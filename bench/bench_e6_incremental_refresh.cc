@@ -1,0 +1,87 @@
+// E6 — Model refresh (paper §1 and §3): models are populated "possibly
+// repeatedly" via INSERT INTO, and "support for incremental model
+// maintenance" is a declared provider capability. This harness refreshes a
+// deployed model with 10% new data five times and compares:
+//   * Naive_Bayes (incremental: consumes only the new cases),
+//   * Decision_Trees (batch: retrains on the growing union),
+// reporting per-refresh time and post-refresh accuracy parity.
+
+#include "bench_util.h"
+
+namespace dmx {
+namespace {
+
+void RunExperiment() {
+  constexpr int kInitial = 4000;
+  constexpr int kBatch = 400;
+  constexpr int kRefreshes = 5;
+
+  bench::Table table({"refresh #", "NB refresh s", "DT retrain s",
+                      "DT/NB", "NB accuracy", "DT accuracy"});
+
+  Provider provider;
+  bench::SetupWarehouses(&provider, kInitial, 800);
+  auto conn = provider.Connect();
+  bench::MustExecute(conn.get(), bench::AgeModelDmx("NB", "Naive_Bayes"));
+  bench::MustExecute(conn.get(),
+                     bench::AgeModelDmx("DT", "Decision_Trees"));
+  bench::MustExecute(conn.get(), bench::AgeInsertDmx("NB", "Customers",
+                                                     "Sales"));
+  bench::MustExecute(conn.get(), bench::AgeInsertDmx("DT", "Customers",
+                                                     "Sales"));
+
+  for (int refresh = 1; refresh <= kRefreshes; ++refresh) {
+    // A new month of data lands in fresh tables.
+    datagen::WarehouseConfig fresh;
+    fresh.num_customers = kBatch;
+    fresh.seed = 1000 + refresh;
+    fresh.first_customer_id = 1000000 * refresh;
+    fresh.customers_table = "Fresh" + std::to_string(refresh);
+    fresh.sales_table = "FreshSales" + std::to_string(refresh);
+    fresh.cars_table = "FreshCars" + std::to_string(refresh);
+    bench::Check(datagen::PopulateWarehouse(provider.database(), fresh),
+                 "fresh data");
+
+    double nb_seconds = bench::MeasureSeconds([&] {
+      bench::MustExecute(conn.get(),
+                         bench::AgeInsertDmx("NB", fresh.customers_table,
+                                             fresh.sales_table));
+    });
+    double dt_seconds = bench::MeasureSeconds([&] {
+      bench::MustExecute(conn.get(),
+                         bench::AgeInsertDmx("DT", fresh.customers_table,
+                                             fresh.sales_table));
+    });
+
+    Rowset nb_predictions = bench::MustExecute(
+        conn.get(), bench::AgePredictDmx("NB", "TestCustomers", "TestSales"));
+    Rowset dt_predictions = bench::MustExecute(
+        conn.get(), bench::AgePredictDmx("DT", "TestCustomers", "TestSales"));
+    double nb_accuracy = bench::AgeBucketAccuracy(
+        &provider, "NB", "TestCustomers", nb_predictions);
+    double dt_accuracy = bench::AgeBucketAccuracy(
+        &provider, "DT", "TestCustomers", dt_predictions);
+
+    table.AddRow({std::to_string(refresh), bench::Fmt(nb_seconds),
+                  bench::Fmt(dt_seconds),
+                  bench::Fmt(dt_seconds / std::max(nb_seconds, 1e-9), 1) + "x",
+                  bench::Fmt(nb_accuracy), bench::Fmt(dt_accuracy)});
+  }
+  table.Print();
+  std::cout <<
+      "\nThe incremental service's refresh cost tracks the batch size (400\n"
+      "cases); the batch service retrains on the whole union each time, so\n"
+      "its cost grows with every refresh while accuracy stays comparable.\n";
+}
+
+}  // namespace
+}  // namespace dmx
+
+int main() {
+  dmx::bench::Banner(
+      "E6", "claim §1/§3: INSERT INTO refresh & incremental maintenance",
+      "incremental refresh cost is flat per batch; cache-and-retrain grows "
+      "with accumulated data; accuracies stay on par");
+  dmx::RunExperiment();
+  return 0;
+}

@@ -1,0 +1,204 @@
+// Shared helpers for the experiment harnesses: timing, aligned table
+// printing, standard warehouse + model setup, and prediction accuracy
+// evaluation against the generator's ground truth.
+
+#ifndef DMX_BENCH_BENCH_UTIL_H_
+#define DMX_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace dmx::bench {
+
+/// Wall-clock seconds for one invocation of `fn`.
+inline double MeasureSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Executes a command, aborting the bench with a message on failure.
+inline Rowset MustExecute(Connection* conn, const std::string& command) {
+  auto result = conn->Execute(command);
+  if (!result.ok()) {
+    std::cerr << "bench command failed: " << result.status().ToString()
+              << "\n" << command << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline void Check(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::cerr << what << ": " << status.ToString() << "\n";
+    std::exit(1);
+  }
+}
+
+/// Fixed-width row printer for experiment tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const std::string& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string rule;
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i > 0) rule += "-+-";
+      rule += std::string(widths_[i], '-');
+    }
+    std::cout << "  " << rule << "\n";
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& cells) const {
+    std::cout << "  ";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) std::cout << " | ";
+      std::cout << cells[i]
+                << std::string(widths_[i] - std::min(widths_[i],
+                                                     cells[i].size()),
+                               ' ');
+    }
+    std::cout << "\n";
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtInt(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+/// Prints the experiment banner: id, paper artifact, expectation.
+inline void Banner(const std::string& id, const std::string& artifact,
+                   const std::string& expectation) {
+  std::cout << "==================================================\n"
+            << id << " - " << artifact << "\n"
+            << "expected shape: " << expectation << "\n"
+            << "==================================================\n";
+}
+
+/// Populates the standard train/test warehouses into `provider`.
+inline void SetupWarehouses(Provider* provider, int train_customers,
+                            int test_customers, uint64_t seed = 42) {
+  datagen::WarehouseConfig train;
+  train.num_customers = train_customers;
+  train.seed = seed;
+  Check(datagen::PopulateWarehouse(provider->database(), train), "train data");
+  datagen::WarehouseConfig test;
+  test.num_customers = test_customers;
+  test.seed = seed + 1;
+  test.first_customer_id = 10000000;
+  test.customers_table = "TestCustomers";
+  test.sales_table = "TestSales";
+  test.cars_table = "TestCars";
+  Check(datagen::PopulateWarehouse(provider->database(), test), "test data");
+}
+
+/// The paper's [Age Prediction] model over a given service.
+inline std::string AgeModelDmx(const std::string& name,
+                               const std::string& service,
+                               const std::string& params = "") {
+  return "CREATE MINING MODEL [" + name + "] (\n"
+         "  [Customer ID] LONG KEY,\n"
+         "  [Gender] TEXT DISCRETE,\n"
+         "  [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT,\n"
+         "  [Product Purchases] TABLE(\n"
+         "    [Product Name] TEXT KEY,\n"
+         "    [Product Type] TEXT DISCRETE RELATED TO [Product Name]))\n"
+         "USING " + service + params;
+}
+
+/// INSERT INTO <model> from the (customers, sales) tables via SHAPE.
+inline std::string AgeInsertDmx(const std::string& name,
+                                const std::string& customers,
+                                const std::string& sales) {
+  return "INSERT INTO [" + name + "] (\n"
+         "  [Customer ID], [Gender], [Age],\n"
+         "  [Product Purchases]([Product Name], [Product Type]))\n"
+         "SHAPE {SELECT [Customer ID], [Gender], [Age] FROM " + customers +
+         " ORDER BY [Customer ID]}\n"
+         "APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM " +
+         sales + " ORDER BY [CustID]}\n"
+         "  RELATE [Customer ID] TO [CustID]) AS [Product Purchases]";
+}
+
+/// Prediction join over the test warehouse returning (id, predicted age).
+inline std::string AgePredictDmx(const std::string& name,
+                                 const std::string& customers,
+                                 const std::string& sales) {
+  return "SELECT t.[Customer ID], Predict([Age]) AS [P] FROM [" + name + "]\n"
+         "NATURAL PREDICTION JOIN\n"
+         "  (SHAPE {SELECT [Customer ID], [Gender] FROM " + customers +
+         " ORDER BY [Customer ID]}\n"
+         "   APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM " +
+         sales + " ORDER BY [CustID]}\n"
+         "     RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t";
+}
+
+/// Bucket-level age accuracy of `predictions` (id, predicted age value)
+/// against the true ages in `customers_table`, using the model's
+/// discretization bounds.
+inline double AgeBucketAccuracy(Provider* provider, const std::string& model,
+                                const std::string& customers_table,
+                                const Rowset& predictions) {
+  auto model_ptr = provider->models()->GetModel(model);
+  Check(model_ptr.status(), "model lookup");
+  int age_attr = (*model_ptr)->attributes().FindAttribute("Age");
+  const Attribute& attr = (*model_ptr)->attributes().attributes[age_attr];
+
+  auto table = provider->database()->GetTable(customers_table);
+  Check(table.status(), "customers table");
+  std::unordered_map<int64_t, double> truth;
+  size_t id_col = *(*table)->schema()->ResolveColumn("Customer ID");
+  size_t age_col = *(*table)->schema()->ResolveColumn("Age");
+  for (const Row& row : (*table)->rows()) {
+    truth[row[id_col].long_value()] = *row[age_col].AsDouble();
+  }
+  int correct = 0;
+  int total = 0;
+  for (const Row& row : predictions.rows()) {
+    auto it = truth.find(row[0].long_value());
+    if (it == truth.end() || row[1].is_null()) continue;
+    ++total;
+    int truth_bucket = attr.BucketOf(it->second);
+    int predicted_bucket = attr.BucketOf(*row[1].AsDouble());
+    if (truth_bucket == predicted_bucket) ++correct;
+  }
+  return total > 0 ? static_cast<double>(correct) / total : 0;
+}
+
+}  // namespace dmx::bench
+
+#endif  // DMX_BENCH_BENCH_UTIL_H_

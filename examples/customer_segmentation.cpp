@@ -1,0 +1,134 @@
+// Customer segmentation: the paper's "segmentation model" class (§3.3). An
+// EM clustering model is trained over demographics and purchase behaviour,
+// segments are inspected through the content graph, customers are assigned
+// to segments with the Cluster() / ClusterProbability() UDFs, and the
+// recovered segments are compared against the generator's planted ones.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace {
+
+dmx::Rowset Run(dmx::Connection* conn, const std::string& command) {
+  auto result = conn->Execute(command);
+  if (!result.ok()) {
+    std::cerr << "command failed: " << result.status().ToString() << "\n"
+              << command << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  dmx::Provider provider;
+  auto conn = provider.Connect();
+
+  constexpr int kCustomers = 2000;
+  constexpr uint64_t kSeed = 42;
+  dmx::datagen::WarehouseConfig config;
+  config.num_customers = kCustomers;
+  config.seed = kSeed;
+  auto status = dmx::datagen::PopulateWarehouse(provider.database(), config);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "== 1. Define and train the segmentation model ==\n";
+  Run(conn.get(), R"(
+    CREATE MINING MODEL [Customer Segments] (
+      [Customer ID] LONG KEY,
+      [Gender] TEXT DISCRETE,
+      [Age] DOUBLE CONTINUOUS,
+      [Income] DOUBLE NORMAL CONTINUOUS,
+      [Customer Loyalty] LONG ORDERED,
+      [Product Purchases] TABLE(
+        [Product Name] TEXT KEY,
+        [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+      )
+    ) USING Clustering(CLUSTER_COUNT = 4, CLUSTER_METHOD = 'EM',
+                       MAX_ITERATIONS = 40, SEED = 17)
+  )");
+  Run(conn.get(), R"(
+    INSERT INTO [Customer Segments]
+    SHAPE
+      {SELECT [Customer ID], [Gender], [Age], [Income], [Customer Loyalty]
+       FROM Customers ORDER BY [Customer ID]}
+    APPEND (
+      {SELECT [CustID], [Product Name], [Product Type] FROM Sales
+       ORDER BY [CustID]}
+      RELATE [Customer ID] TO [CustID]) AS [Product Purchases]
+  )");
+
+  std::cout << "== 2. Inspect the segments (content graph) ==\n";
+  dmx::Rowset content = Run(
+      conn.get(), "SELECT * FROM [Customer Segments].CONTENT");
+  for (const dmx::Row& row : content.rows()) {
+    if (row[3].ToString() != "Cluster") continue;
+    std::cout << "  " << row[4].ToString() << ": support=" << row[7].ToString()
+              << " (" << row[9].ToString() << " of cases)\n";
+    // Show the age component of the cluster from its NODE_DISTRIBUTION.
+    const auto& dist = row[12].table_value();
+    for (const dmx::Row& entry : dist->rows()) {
+      if (entry[0].ToString() == "Age") {
+        std::cout << "      mean age " << entry[1].ToString()
+                  << " (variance " << entry[4].ToString() << ")\n";
+      }
+    }
+  }
+
+  std::cout << "\n== 3. Assign customers to segments ==\n";
+  dmx::Rowset assignments = Run(conn.get(), R"(
+    SELECT t.[Customer ID], Cluster() AS [Segment],
+           ClusterProbability() AS [P]
+    FROM [Customer Segments]
+    NATURAL PREDICTION JOIN
+      (SHAPE {SELECT [Customer ID], [Gender], [Age], [Income],
+              [Customer Loyalty] FROM Customers ORDER BY [Customer ID]}
+       APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales
+                ORDER BY [CustID]}
+               RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t
+  )");
+  std::cout << "  first assignments:\n";
+  for (size_t r = 0; r < 5 && r < assignments.num_rows(); ++r) {
+    std::cout << "    customer " << assignments.at(r, 0).ToString() << " -> "
+              << assignments.at(r, 1).ToString() << " (p="
+              << assignments.at(r, 2).ToString() << ")\n";
+  }
+
+  std::cout << "\n== 4. Recovered vs planted segments ==\n";
+  // Cross-tabulate cluster assignment against the generator's latent segment.
+  std::map<std::string, std::vector<int>> crosstab;
+  for (size_t r = 0; r < assignments.num_rows(); ++r) {
+    int64_t id = assignments.at(r, 0).long_value();
+    int planted = dmx::datagen::SegmentOfCustomer(id, kSeed, kCustomers);
+    auto& row = crosstab[assignments.at(r, 1).ToString()];
+    row.resize(dmx::datagen::kNumSegments, 0);
+    row[planted]++;
+  }
+  std::cout << "  cluster        planted segment counts [0..3]\n";
+  int pure = 0;
+  for (const auto& [cluster, counts] : crosstab) {
+    std::cout << "  " << cluster << ":  ";
+    int best = 0;
+    int total = 0;
+    for (int c : counts) {
+      std::cout << c << " ";
+      best = std::max(best, c);
+      total += c;
+    }
+    std::cout << "\n";
+    pure += best;
+    (void)total;
+  }
+  std::cout << "  purity (majority-planted fraction): "
+            << static_cast<double>(pure) / assignments.num_rows() << "\n";
+  return 0;
+}

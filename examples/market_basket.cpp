@@ -1,0 +1,116 @@
+// Market-basket analysis: the paper's "set of products that the customer is
+// likely to buy" scenario (§3.2.4). An association-rules model is trained on
+// purchase baskets (a PREDICT nested table), its discovered rules are browsed
+// through the content graph, and cross-sell recommendations are produced with
+// Predict([Product Purchases], n) in a NATURAL PREDICTION JOIN.
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace {
+
+dmx::Rowset Run(dmx::Connection* conn, const std::string& command) {
+  auto result = conn->Execute(command);
+  if (!result.ok()) {
+    std::cerr << "command failed: " << result.status().ToString() << "\n"
+              << command << "\n";
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+}  // namespace
+
+int main() {
+  dmx::Provider provider;
+  auto conn = provider.Connect();
+
+  dmx::datagen::WarehouseConfig config;
+  config.num_customers = 3000;
+  config.avg_purchases = 6.0;
+  auto status = dmx::datagen::PopulateWarehouse(provider.database(), config);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+
+  std::cout << "== 1. Define the basket model ==\n";
+  Run(conn.get(), R"(
+    CREATE MINING MODEL [Cross Sell] (
+      [Customer ID] LONG KEY,
+      [Gender] TEXT DISCRETE,
+      [Product Purchases] TABLE(
+        [Product Name] TEXT KEY,
+        [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+      ) PREDICT
+    ) USING Association_Rules(MINIMUM_SUPPORT = 0.05,
+                              MINIMUM_PROBABILITY = 0.5,
+                              MAXIMUM_ITEMSET_SIZE = 3)
+  )");
+
+  std::cout << "== 2. Train on 3000 customer baskets ==\n";
+  Run(conn.get(), R"(
+    INSERT INTO [Cross Sell] (
+      [Customer ID], [Gender],
+      [Product Purchases]([Product Name], [Product Type]))
+    SHAPE
+      {SELECT [Customer ID], [Gender] FROM Customers ORDER BY [Customer ID]}
+    APPEND (
+      {SELECT [CustID], [Product Name], [Product Type] FROM Sales
+       ORDER BY [CustID]}
+      RELATE [Customer ID] TO [CustID]) AS [Product Purchases]
+  )");
+
+  std::cout << "== 3. Discovered rules (content browsing) ==\n";
+  dmx::Rowset content = Run(conn.get(), "SELECT * FROM [Cross Sell].CONTENT");
+  // The RELATED TO column also yields (trivially certain) product => type
+  // rules; show the behavioural ones first.
+  int rules_shown = 0;
+  for (int pass = 0; pass < 2 && rules_shown < 12; ++pass) {
+    for (const dmx::Row& row : content.rows()) {
+      if (row[3].ToString() != "Rule") continue;
+      bool trivial = row[8].double_value() > 0.999;
+      if ((pass == 0) == trivial) continue;
+      std::cout << "  " << row[4].ToString()
+                << "  (confidence=" << row[8].ToString()
+                << ", support=" << row[7].ToString() << ")\n";
+      if (++rules_shown >= 12) break;
+    }
+  }
+  if (rules_shown == 0) {
+    std::cout << "  (no rules above the thresholds)\n";
+  }
+
+  std::cout << "\n== 4. Recommendations for three sample baskets ==\n";
+  // Build a tiny prospect table: customers whose baskets we type in by hand.
+  Run(conn.get(), "CREATE TABLE Prospects (Id LONG, Gender TEXT)");
+  Run(conn.get(), "CREATE TABLE ProspectBaskets (Id LONG, Product TEXT)");
+  Run(conn.get(), R"(
+    INSERT INTO Prospects VALUES (1, 'Male'), (2, 'Female'), (3, 'Male'))");
+  Run(conn.get(), R"(
+    INSERT INTO ProspectBaskets VALUES
+      (1, 'TV'), (1, 'Beer'),
+      (2, 'Seeds'), (2, 'Coffee'),
+      (3, 'Video Game'))");
+
+  dmx::Rowset recommendations = Run(conn.get(), R"(
+    SELECT FLATTENED t.[Id],
+           TopCount(Predict([Product Purchases], 20), $Probability, 3)
+             AS [Recommended]
+    FROM [Cross Sell]
+    PREDICTION JOIN
+      (SHAPE {SELECT [Id], [Gender] FROM Prospects ORDER BY [Id]}
+       APPEND ({SELECT [Id] AS [BId], [Product] FROM ProspectBaskets
+                ORDER BY [BId]}
+               RELATE [Id] TO [BId]) AS [Basket]) AS t
+    ON [Cross Sell].[Gender] = t.[Gender] AND
+       [Cross Sell].[Product Purchases].[Product Name] = t.[Basket].[Product]
+  )");
+  std::cout << recommendations.ToString() << "\n";
+  std::cout << "(planted bundles: TV=>VCR, Beer=>Ham, Seeds=>Garden Tools, "
+               "Video Game=>Game Console)\n";
+  return 0;
+}

@@ -1,0 +1,27 @@
+#include "algorithms/builtin_services.h"
+
+#include "algorithms/association_rules.h"
+#include "algorithms/clustering.h"
+#include "algorithms/decision_tree.h"
+#include "algorithms/linear_regression.h"
+#include "algorithms/naive_bayes.h"
+#include "algorithms/sequence_analysis.h"
+
+namespace dmx {
+
+Status RegisterBuiltinServices(ServiceRegistry* registry) {
+  DMX_RETURN_IF_ERROR(registry->Register(std::make_shared<DecisionTreeService>()));
+  DMX_RETURN_IF_ERROR(registry->Register(std::make_shared<NaiveBayesService>()));
+  DMX_RETURN_IF_ERROR(registry->Register(std::make_shared<ClusteringService>()));
+  DMX_RETURN_IF_ERROR(registry->Register(std::make_shared<AssociationService>()));
+  DMX_RETURN_IF_ERROR(
+      registry->Register(std::make_shared<LinearRegressionService>()));
+  DMX_RETURN_IF_ERROR(
+      registry->Register(std::make_shared<SequenceAnalysisService>()));
+  // The name the paper's CREATE MINING MODEL example uses.
+  DMX_RETURN_IF_ERROR(
+      registry->RegisterAlias("Decision_Trees_101", "Decision_Trees"));
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,18 @@
+// Registration of the built-in mining services. A provider created through
+// dmx::Provider gets all of these plus the aliases the paper's examples use.
+
+#ifndef DMX_ALGORITHMS_BUILTIN_SERVICES_H_
+#define DMX_ALGORITHMS_BUILTIN_SERVICES_H_
+
+#include "model/service_registry.h"
+
+namespace dmx {
+
+/// Registers Decision_Trees, Naive_Bayes, Clustering, Association_Rules,
+/// Linear_Regression and Sequence_Analysis, plus the paper's
+/// "Decision_Trees_101" alias.
+Status RegisterBuiltinServices(ServiceRegistry* registry);
+
+}  // namespace dmx
+
+#endif  // DMX_ALGORITHMS_BUILTIN_SERVICES_H_

@@ -1,0 +1,113 @@
+#include "algorithms/discretizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmx {
+
+namespace {
+
+std::vector<double> EqualRanges(const std::vector<double>& sorted, int buckets) {
+  double lo = sorted.front();
+  double hi = sorted.back();
+  std::vector<double> bounds;
+  if (lo == hi) return bounds;
+  for (int i = 1; i < buckets; ++i) {
+    bounds.push_back(lo + (hi - lo) * i / buckets);
+  }
+  return bounds;
+}
+
+std::vector<double> EqualFrequencies(const std::vector<double>& sorted,
+                                     int buckets) {
+  std::vector<double> bounds;
+  const size_t n = sorted.size();
+  for (int i = 1; i < buckets; ++i) {
+    size_t idx = n * static_cast<size_t>(i) / buckets;
+    if (idx >= n) idx = n - 1;
+    double bound = sorted[idx];
+    if (!bounds.empty() && bound <= bounds.back()) continue;  // skip dup bounds
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+std::vector<double> Clusters(const std::vector<double>& sorted, int buckets) {
+  // 1-D k-means, deterministically initialized at the quantiles.
+  const size_t n = sorted.size();
+  int k = std::min<int>(buckets, static_cast<int>(n));
+  std::vector<double> centroids;
+  centroids.reserve(k);
+  for (int i = 0; i < k; ++i) {
+    centroids.push_back(sorted[(n - 1) * static_cast<size_t>(2 * i + 1) /
+                               static_cast<size_t>(2 * k)]);
+  }
+  std::sort(centroids.begin(), centroids.end());
+  centroids.erase(std::unique(centroids.begin(), centroids.end()),
+                  centroids.end());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> sum(centroids.size(), 0);
+    std::vector<size_t> count(centroids.size(), 0);
+    // Points are sorted, so cluster membership is contiguous; sweep once.
+    size_t c = 0;
+    for (double v : sorted) {
+      while (c + 1 < centroids.size() &&
+             std::fabs(centroids[c + 1] - v) < std::fabs(centroids[c] - v)) {
+        ++c;
+      }
+      // A later centroid can still be closer when v jumps back is impossible
+      // (sorted), but an earlier one can be: rewind as needed.
+      while (c > 0 &&
+             std::fabs(centroids[c - 1] - v) < std::fabs(centroids[c] - v)) {
+        --c;
+      }
+      sum[c] += v;
+      count[c] += 1;
+    }
+    bool changed = false;
+    for (size_t i = 0; i < centroids.size(); ++i) {
+      if (count[i] == 0) continue;
+      double next = sum[i] / static_cast<double>(count[i]);
+      if (next != centroids[i]) {
+        centroids[i] = next;
+        changed = true;
+      }
+    }
+    std::sort(centroids.begin(), centroids.end());
+    if (!changed) break;
+  }
+  std::vector<double> bounds;
+  for (size_t i = 1; i < centroids.size(); ++i) {
+    double bound = (centroids[i - 1] + centroids[i]) / 2;
+    if (!bounds.empty() && bound <= bounds.back()) continue;
+    bounds.push_back(bound);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+Result<std::vector<double>> ComputeBucketBounds(std::vector<double> values,
+                                                DiscretizationMethod method,
+                                                int buckets) {
+  if (buckets < 2) {
+    return InvalidArgument() << "DISCRETIZED needs at least 2 buckets, got "
+                             << buckets;
+  }
+  values.erase(std::remove_if(values.begin(), values.end(),
+                              [](double v) { return std::isnan(v); }),
+               values.end());
+  if (values.empty()) return std::vector<double>{};
+  std::sort(values.begin(), values.end());
+  switch (method) {
+    case DiscretizationMethod::kEqualRanges:
+      return EqualRanges(values, buckets);
+    case DiscretizationMethod::kEqualFrequencies:
+      return EqualFrequencies(values, buckets);
+    case DiscretizationMethod::kClusters:
+      return Clusters(values, buckets);
+  }
+  return Internal() << "unreachable discretization method";
+}
+
+}  // namespace dmx

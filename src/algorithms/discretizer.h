@@ -1,0 +1,30 @@
+// Discretization service (paper §3.2.2 DISCRETIZED): transforms a continuous
+// column "into a number of ORDERED states". Three methods:
+//
+//  * EQUAL_RANGES      — uniform-width buckets over [min, max];
+//  * EQUAL_FREQUENCIES — quantile buckets (equal case counts);
+//  * CLUSTERS          — 1-D k-means; bucket bounds at centroid midpoints.
+//
+// The returned bounds vector b defines buckets (-inf, b0), [b0, b1), ...,
+// [b_last, +inf) — `Attribute::BucketOf` applies them at bind time.
+
+#ifndef DMX_ALGORITHMS_DISCRETIZER_H_
+#define DMX_ALGORITHMS_DISCRETIZER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "model/column_spec.h"
+
+namespace dmx {
+
+/// Computes bucket boundaries for `values` (NaNs must be pre-filtered).
+/// Degenerate inputs (constant column, fewer distinct values than buckets)
+/// return fewer bounds; an empty input returns no bounds (single bucket).
+Result<std::vector<double>> ComputeBucketBounds(std::vector<double> values,
+                                                DiscretizationMethod method,
+                                                int buckets);
+
+}  // namespace dmx
+
+#endif  // DMX_ALGORITHMS_DISCRETIZER_H_

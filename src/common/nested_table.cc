@@ -1,0 +1,17 @@
+#include "common/nested_table.h"
+
+namespace dmx {
+
+bool NestedTable::Equals(const NestedTable& other) const {
+  if (rows_.size() != other.rows_.size()) return false;
+  if (!schema_->Equals(*other.schema_)) return false;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (rows_[r].size() != other.rows_[r].size()) return false;
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      if (!rows_[r][c].Equals(other.rows_[r][c])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmx

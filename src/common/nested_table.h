@@ -1,0 +1,44 @@
+// NestedTable: the immutable value of a TABLE-typed column. "For any given
+// case row, the value of a TABLE type column contains the entire contents of
+// the associated nested table" (paper §3.2.1 f).
+
+#ifndef DMX_COMMON_NESTED_TABLE_H_
+#define DMX_COMMON_NESTED_TABLE_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/value.h"
+
+namespace dmx {
+
+/// \brief An immutable (schema, rows) pair stored inside a Value.
+///
+/// Immutability lets hierarchical rowsets share nested tables freely: copying
+/// a case copies a shared_ptr, never the child rows.
+class NestedTable {
+ public:
+  NestedTable(std::shared_ptr<const Schema> schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  static std::shared_ptr<const NestedTable> Make(
+      std::shared_ptr<const Schema> schema, std::vector<Row> rows) {
+    return std::make_shared<const NestedTable>(std::move(schema), std::move(rows));
+  }
+
+  const std::shared_ptr<const Schema>& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  size_t num_rows() const { return rows_.size(); }
+
+  bool Equals(const NestedTable& other) const;
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_NESTED_TABLE_H_

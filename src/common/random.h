@@ -1,0 +1,49 @@
+// Deterministic random source used by the data generator, EM/K-means
+// initialization and train/test splitting. All call sites take a seed so the
+// whole repository is reproducible.
+
+#ifndef DMX_COMMON_RANDOM_H_
+#define DMX_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+
+namespace dmx {
+
+/// Thin wrapper around std::mt19937_64 with the handful of draws we need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [0, bound).
+  uint64_t Uniform(uint64_t bound) {
+    return std::uniform_int_distribution<uint64_t>(0, bound - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Standard normal draw scaled to (mean, stddev).
+  double Gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Poisson draw (used for per-customer purchase counts).
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_RANDOM_H_

@@ -1,0 +1,71 @@
+// Schema: ordered, case-insensitively named columns of a rowset. A column of
+// type TABLE carries its own nested Schema, giving the hierarchical rowset
+// shape of the paper's casesets (Section 3.1).
+
+#ifndef DMX_COMMON_SCHEMA_H_
+#define DMX_COMMON_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace dmx {
+
+class Schema;
+
+/// One column: a name, a type, and (for TABLE columns) the nested schema.
+struct ColumnDef {
+  std::string name;
+  DataType type = DataType::kText;
+  std::shared_ptr<const Schema> nested;  ///< Set iff type == kTable.
+
+  ColumnDef() = default;
+  ColumnDef(std::string name_in, DataType type_in)
+      : name(std::move(name_in)), type(type_in) {}
+  ColumnDef(std::string name_in, std::shared_ptr<const Schema> nested_in)
+      : name(std::move(name_in)), type(DataType::kTable),
+        nested(std::move(nested_in)) {}
+};
+
+/// \brief Ordered column list with case-insensitive name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  static std::shared_ptr<const Schema> Make(std::vector<ColumnDef> columns) {
+    return std::make_shared<const Schema>(std::move(columns));
+  }
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive), or -1.
+  int FindColumn(std::string_view name) const;
+
+  /// Like FindColumn but produces a BindError naming the column on failure.
+  Result<size_t> ResolveColumn(std::string_view name) const;
+
+  bool HasColumn(std::string_view name) const { return FindColumn(name) >= 0; }
+
+  /// Structural equality: same names (case-insensitive), types, and nested
+  /// schemas in the same order.
+  bool Equals(const Schema& other) const;
+
+  /// "name TYPE, name TYPE(...)" — used in error messages and tests.
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::map<std::string, size_t, LessCi> index_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_SCHEMA_H_

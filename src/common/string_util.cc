@@ -1,0 +1,131 @@
+#include "common/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dmx {
+
+namespace {
+inline char LowerChar(char c) {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+}  // namespace
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](char c) { return LowerChar(c); });
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](char c) {
+    return (c >= 'a' && c <= 'z') ? static_cast<char>(c - 'a' + 'A') : c;
+  });
+  return out;
+}
+
+bool EqualsCi(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (LowerChar(a[i]) != LowerChar(b[i])) return false;
+  }
+  return true;
+}
+
+bool LessCi::operator()(std::string_view a, std::string_view b) const {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    char ca = LowerChar(a[i]);
+    char cb = LowerChar(b[i]);
+    if (ca != cb) return ca < cb;
+  }
+  return a.size() < b.size();
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t begin = 0;
+  while (begin < s.size() && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  size_t end = s.size();
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool StartsWithCi(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && EqualsCi(s.substr(0, prefix.size()), prefix);
+}
+
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out += sep;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string QuoteIdentifier(std::string_view name) {
+  bool plain = !name.empty() &&
+               (std::isalpha(static_cast<unsigned char>(name[0])) || name[0] == '_');
+  if (plain) {
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        plain = false;
+        break;
+      }
+    }
+  }
+  if (plain) return std::string(name);
+  std::string out = "[";
+  for (char c : name) {
+    out += c;
+    if (c == ']') out += ']';  // escape by doubling
+  }
+  out += ']';
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  if (std::isnan(v)) return "NaN";
+  if (std::isinf(v)) return v > 0 ? "Inf" : "-Inf";
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+    return buf;
+  }
+  char buf[64];
+  // %.17g always round-trips; try shorter forms first for readability.
+  for (int precision = 6; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    double parsed = 0;
+    auto [ptr, ec] = std::from_chars(buf, buf + std::char_traits<char>::length(buf),
+                                     parsed);
+    (void)ptr;
+    if (ec == std::errc() && parsed == v) break;
+  }
+  return buf;
+}
+
+}  // namespace dmx

@@ -1,0 +1,215 @@
+#include "common/tokenizer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace dmx {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comments: "--" and "//".
+    if (i + 1 < n && ((c == '-' && input[i + 1] == '-') ||
+                      (c == '/' && input[i + 1] == '/'))) {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '[') {
+      // Bracketed identifier; "]]" escapes a closing bracket.
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == ']') {
+          if (i + 1 < n && input[i + 1] == ']') {
+            text += ']';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return ParseError() << "unterminated [identifier] at offset "
+                            << token.offset;
+      }
+      token.kind = TokenKind::kIdentifier;
+      token.quoted = true;
+      token.text = std::move(text);
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return ParseError() << "unterminated string literal at offset "
+                            << token.offset;
+      }
+      token.kind = TokenKind::kString;
+      token.text = std::move(text);
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < n && (input[exp] == '+' || input[exp] == '-')) ++exp;
+        if (exp < n && std::isdigit(static_cast<unsigned char>(input[exp]))) {
+          is_double = true;
+          i = exp;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+        }
+      }
+      std::string text(input.substr(start, i - start));
+      if (is_double) {
+        token.kind = TokenKind::kDouble;
+        token.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        token.kind = TokenKind::kLong;
+        token.long_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      token.text = std::move(text);
+      out.push_back(std::move(token));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(input[i])) ++i;
+      token.kind = TokenKind::kIdentifier;
+      token.text = std::string(input.substr(start, i - start));
+      out.push_back(std::move(token));
+      continue;
+    }
+    // Punctuation, longest match first.
+    static const char* kTwoChar[] = {"<=", ">=", "<>", "!=", "||"};
+    std::string two = i + 1 < n ? std::string(input.substr(i, 2)) : std::string();
+    bool matched_two = false;
+    for (const char* p : kTwoChar) {
+      if (two == p) {
+        token.kind = TokenKind::kPunct;
+        token.text = two;
+        i += 2;
+        out.push_back(std::move(token));
+        matched_two = true;
+        break;
+      }
+    }
+    if (matched_two) continue;
+    static const std::string kOneChar = "(),.=<>+-*/;{}$";
+    if (kOneChar.find(c) != std::string::npos) {
+      token.kind = TokenKind::kPunct;
+      token.text = std::string(1, c);
+      ++i;
+      out.push_back(std::move(token));
+      continue;
+    }
+    return ParseError() << "unexpected character '" << c << "' at offset " << i;
+  }
+  return out;
+}
+
+bool TokenStream::MatchKeyword(std::string_view kw) {
+  if (Peek().IsKeyword(kw)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+bool TokenStream::MatchKeywords(std::initializer_list<std::string_view> kws) {
+  size_t save = pos_;
+  for (std::string_view kw : kws) {
+    if (!MatchKeyword(kw)) {
+      pos_ = save;
+      return false;
+    }
+  }
+  return true;
+}
+
+bool TokenStream::MatchPunct(std::string_view p) {
+  if (Peek().IsPunct(p)) {
+    Next();
+    return true;
+  }
+  return false;
+}
+
+Status TokenStream::ExpectKeyword(std::string_view kw) {
+  if (!MatchKeyword(kw)) {
+    return ErrorHere(std::string("expected keyword '") + std::string(kw) + "'");
+  }
+  return Status::OK();
+}
+
+Status TokenStream::ExpectPunct(std::string_view p) {
+  if (!MatchPunct(p)) {
+    return ErrorHere(std::string("expected '") + std::string(p) + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::string> TokenStream::ExpectIdentifier(std::string_view what) {
+  if (Peek().kind != TokenKind::kIdentifier) {
+    return ErrorHere(std::string("expected ") + std::string(what));
+  }
+  return Next().text;
+}
+
+Status TokenStream::ErrorHere(std::string_view message) const {
+  const Token& t = Peek();
+  std::string found =
+      t.IsEnd() ? std::string("end of input") : "'" + t.text + "'";
+  return ParseError() << message << ", found " << found << " at offset "
+                      << t.offset;
+}
+
+}  // namespace dmx

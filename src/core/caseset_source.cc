@@ -1,0 +1,38 @@
+#include "core/caseset_source.h"
+
+#include "common/string_util.h"
+#include "relational/sql_executor.h"
+#include "shape/shape_executor.h"
+
+namespace dmx {
+
+Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
+    const rel::Database& db, const CasesetSource& source) {
+  if (const auto* shape_stmt = std::get_if<shape::ShapeStatement>(&source)) {
+    DMX_ASSIGN_OR_RETURN(std::unique_ptr<shape::ShapedCaseReader> reader,
+                         shape::ShapedCaseReader::Create(db, *shape_stmt));
+    return std::unique_ptr<RowsetReader>(std::move(reader));
+  }
+  if (const auto* select = std::get_if<rel::SelectStatement>(&source)) {
+    DMX_ASSIGN_OR_RETURN(Rowset rowset, rel::ExecuteSelect(db, *select));
+    return std::unique_ptr<RowsetReader>(
+        new VectorRowsetReader(std::move(rowset)));
+  }
+  const auto& open = std::get<OpenRowsetSource>(source);
+  if (!EqualsCi(open.format, "CSV")) {
+    return NotSupported() << "OPENROWSET format '" << open.format
+                          << "' (only 'CSV' is supported)";
+  }
+  DMX_ASSIGN_OR_RETURN(Rowset rowset, rel::LoadCsv(open.path));
+  return std::unique_ptr<RowsetReader>(
+      new VectorRowsetReader(std::move(rowset)));
+}
+
+Result<Rowset> MaterializeCasesetSource(const rel::Database& db,
+                                        const CasesetSource& source) {
+  DMX_ASSIGN_OR_RETURN(std::unique_ptr<RowsetReader> reader,
+                       OpenCasesetSource(db, source));
+  return reader->ReadAll();
+}
+
+}  // namespace dmx

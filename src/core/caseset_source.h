@@ -1,0 +1,26 @@
+// Turning a DMX caseset source (SHAPE / SELECT / OPENROWSET) into a row
+// stream. INSERT INTO consumes the streaming form so incremental services
+// really see one case at a time; PREDICTION JOIN materializes.
+
+#ifndef DMX_CORE_CASESET_SOURCE_H_
+#define DMX_CORE_CASESET_SOURCE_H_
+
+#include <memory>
+
+#include "common/rowset.h"
+#include "core/dmx_ast.h"
+#include "relational/database.h"
+
+namespace dmx {
+
+/// Opens the source as a pull-based reader.
+Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
+    const rel::Database& db, const CasesetSource& source);
+
+/// Materializes the source into a rowset.
+Result<Rowset> MaterializeCasesetSource(const rel::Database& db,
+                                        const CasesetSource& source);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_CASESET_SOURCE_H_

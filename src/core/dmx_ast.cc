@@ -1,0 +1,35 @@
+#include "core/dmx_ast.h"
+
+#include "common/string_util.h"
+
+namespace dmx {
+
+std::string DmxExpr::ToString() const {
+  switch (kind) {
+    case Kind::kColumnPath: {
+      std::string out;
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i > 0) out += '.';
+        out += QuoteIdentifier(path[i]);
+      }
+      return out;
+    }
+    case Kind::kFunction: {
+      std::string out = function + "(";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += args[i].ToString();
+      }
+      out += ')';
+      return out;
+    }
+    case Kind::kLiteral:
+      if (literal.is_text()) return "'" + literal.text_value() + "'";
+      return literal.ToString();
+    case Kind::kDollar:
+      return "$" + dollar;
+  }
+  return "?";
+}
+
+}  // namespace dmx

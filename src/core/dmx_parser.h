@@ -1,0 +1,36 @@
+// DMX parser. Because the provider exposes ONE command pipe for both DMX and
+// SQL (the OLE DB command metaphor), ParseDmx first classifies the statement:
+// text that is plain SQL (CREATE TABLE, INSERT ... VALUES, ordinary SELECT,
+// DROP TABLE) returns kNotDmx so the caller can fall through to the
+// relational engine. DELETE FROM <name> is genuinely ambiguous at parse time
+// and is returned as a DMX DeleteFromModelStatement; the provider re-routes
+// it to SQL when <name> turns out to be a base table.
+
+#ifndef DMX_CORE_DMX_PARSER_H_
+#define DMX_CORE_DMX_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "common/status.h"
+#include "core/dmx_ast.h"
+
+namespace dmx {
+
+/// Outcome of classification + parse.
+struct DmxParseResult {
+  /// Set when the text is a DMX statement.
+  std::optional<DmxStatement> statement;
+  /// True when the text should be executed by the relational engine instead.
+  bool is_sql = false;
+};
+
+/// Classifies and parses one command string.
+Result<DmxParseResult> ParseDmx(const std::string& text);
+
+/// Parses a CREATE MINING MODEL statement (exposed for tests).
+Result<ModelDefinition> ParseCreateMiningModel(const std::string& text);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_DMX_PARSER_H_

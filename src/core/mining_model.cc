@@ -1,0 +1,99 @@
+#include "core/mining_model.h"
+
+namespace dmx {
+
+MiningModel::MiningModel(ModelDefinition definition,
+                         std::shared_ptr<MiningService> service,
+                         ParamMap params)
+    : definition_(std::move(definition)),
+      service_(std::move(service)),
+      params_(std::move(params)),
+      attrs_(CaseBinder::BuildAttributeSet(definition_)) {}
+
+Status MiningModel::InsertCases(RowsetReader* reader,
+                                const std::vector<InsertColumn>* mapping) {
+  DMX_ASSIGN_OR_RETURN(
+      CaseBinder binder,
+      CaseBinder::CreateForTraining(definition_, *reader->schema(), mapping));
+
+  const bool incremental = service_->capabilities().supports_incremental;
+  const bool first_training = !is_trained() && case_cache_.empty();
+
+  if (incremental) {
+    Row row;
+    if (trained_ == nullptr) {
+      // Bootstrap: buffer a prefix to pin bucket bounds and dictionaries.
+      std::vector<Row> bootstrap;
+      while (bootstrap.size() < kBootstrapCases) {
+        DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
+        if (!has) break;
+        DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
+        bootstrap.push_back(std::move(row));
+        row = Row();
+      }
+      DMX_RETURN_IF_ERROR(binder.FinalizeStatistics(&attrs_, first_training));
+      DMX_RETURN_IF_ERROR(service_->ValidateBinding(attrs_));
+      DMX_ASSIGN_OR_RETURN(trained_, service_->CreateEmpty(attrs_, params_));
+      for (const Row& buffered : bootstrap) {
+        DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(buffered, &attrs_));
+        DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, c));
+      }
+    }
+    // Stream the remainder (or, on refresh, the whole caseset) one case at a
+    // time — the paper's consumption model; nothing is cached.
+    while (true) {
+      DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
+      if (!has) break;
+      DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
+      DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(row, &attrs_));
+      DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, c));
+    }
+    return Status::OK();
+  }
+
+  // Non-incremental: two passes over the new rows, then retrain on the
+  // cached union.
+  DMX_ASSIGN_OR_RETURN(Rowset rows, reader->ReadAll());
+  for (const Row& row : rows.rows()) {
+    DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
+  }
+  DMX_RETURN_IF_ERROR(binder.FinalizeStatistics(&attrs_, first_training));
+  DMX_RETURN_IF_ERROR(service_->ValidateBinding(attrs_));
+  case_cache_.reserve(case_cache_.size() + rows.num_rows());
+  for (const Row& row : rows.rows()) {
+    DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(row, &attrs_));
+    case_cache_.push_back(std::move(c));
+  }
+  if (case_cache_.empty()) {
+    return InvalidState() << "INSERT INTO '" << definition_.model_name
+                          << "' delivered zero cases";
+  }
+  DMX_ASSIGN_OR_RETURN(trained_, service_->Train(attrs_, case_cache_, params_));
+  return Status::OK();
+}
+
+Result<CasePrediction> MiningModel::Predict(const DataCase& input,
+                                            const PredictOptions& options) const {
+  if (trained_ == nullptr) {
+    return InvalidState() << "model '" << definition_.model_name
+                          << "' has not been trained (INSERT INTO it first)";
+  }
+  return trained_->Predict(attrs_, input, options);
+}
+
+Result<ContentNodePtr> MiningModel::BuildContent() const {
+  if (trained_ == nullptr) {
+    return InvalidState() << "model '" << definition_.model_name
+                          << "' has no content: it has not been trained";
+  }
+  return trained_->BuildContent(attrs_);
+}
+
+Status MiningModel::Reset() {
+  trained_.reset();
+  case_cache_.clear();
+  attrs_ = CaseBinder::BuildAttributeSet(definition_);
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,88 @@
+// MiningModel: the provider-side first-class model object (paper §2: "we
+// have decided to represent a data mining model as analogous to a table in
+// SQL"). It owns the definition, the bound attribute space, the algorithm
+// parameters and — once populated — the trained state, and implements the
+// paper's model operations:
+//
+//   INSERT INTO   -> InsertCases()  (population / refresh)
+//   PREDICTION JOIN -> Predict()    (driven by core/prediction_join)
+//   SELECT ... .CONTENT -> BuildContent()
+//   DELETE FROM   -> Reset()
+//
+// Population strategy mirrors the "incremental model maintenance" capability
+// flag: incremental services consume cases one at a time (after a small
+// bootstrap that fixes DISCRETIZED bucket bounds); non-incremental services
+// keep a training cache inside the model, so repeated INSERT INTO retrains
+// on the union — the model, not the caller, owns refresh.
+
+#ifndef DMX_CORE_MINING_MODEL_H_
+#define DMX_CORE_MINING_MODEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rowset.h"
+#include "core/case_binder.h"
+#include "core/dmx_ast.h"
+#include "model/mining_service.h"
+
+namespace dmx {
+
+/// \brief One named mining model in the provider catalog.
+class MiningModel {
+ public:
+  /// Cases buffered before an incremental service starts streaming (the
+  /// bootstrap pins discretization bounds and initial dictionaries).
+  static constexpr size_t kBootstrapCases = 1024;
+
+  MiningModel(ModelDefinition definition,
+              std::shared_ptr<MiningService> service, ParamMap params);
+
+  const ModelDefinition& definition() const { return definition_; }
+  const AttributeSet& attributes() const { return attrs_; }
+  const MiningService& service() const { return *service_; }
+  const ParamMap& params() const { return params_; }
+  bool is_trained() const { return trained_ != nullptr; }
+  double case_count() const {
+    return trained_ != nullptr ? trained_->case_count() : 0;
+  }
+  /// Cases resident in the training cache (0 for incremental services) —
+  /// what the streaming experiment (E3) measures.
+  size_t cached_cases() const { return case_cache_.size(); }
+
+  /// Populates / refreshes the model from a caseset stream (INSERT INTO).
+  /// `mapping` is the statement's column list (nullptr: bind all by name).
+  Status InsertCases(RowsetReader* reader,
+                     const std::vector<InsertColumn>* mapping);
+
+  /// Prediction entry point for bound cases (see prediction_join.cc).
+  Result<CasePrediction> Predict(const DataCase& input,
+                                 const PredictOptions& options) const;
+
+  /// Content graph of the trained state (SELECT * FROM <model>.CONTENT).
+  Result<ContentNodePtr> BuildContent() const;
+
+  /// DELETE FROM <model>: back to the untrained state (definition kept).
+  Status Reset();
+
+  // --- persistence hooks (pmml library) ---
+  const TrainedModel* trained() const { return trained_.get(); }
+  AttributeSet* mutable_attributes() { return &attrs_; }
+  void AdoptTrainedState(std::unique_ptr<TrainedModel> trained) {
+    trained_ = std::move(trained);
+  }
+
+ private:
+  ModelDefinition definition_;
+  std::shared_ptr<MiningService> service_;
+  ParamMap params_;
+  AttributeSet attrs_;
+  std::unique_ptr<TrainedModel> trained_;
+  /// Bound cases kept for retraining (non-incremental services only).
+  std::vector<DataCase> case_cache_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_MINING_MODEL_H_

@@ -1,0 +1,150 @@
+#include "core/prediction_join.h"
+
+#include "core/case_binder.h"
+#include "core/caseset_source.h"
+#include "core/udf.h"
+
+namespace dmx {
+
+namespace {
+
+// One flattening step: unnests the single TABLE column at `column`.
+Rowset FlattenOneColumn(const Rowset& input, size_t column) {
+  const Schema& schema = *input.schema();
+  const ColumnDef& table_col = schema.column(column);
+  std::vector<ColumnDef> columns;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c != column) {
+      columns.push_back(schema.column(c));
+      continue;
+    }
+    for (const ColumnDef& nested : table_col.nested->columns()) {
+      ColumnDef renamed = nested;
+      renamed.name = table_col.name + "." + nested.name;
+      columns.push_back(std::move(renamed));
+    }
+  }
+  Rowset out(Schema::Make(std::move(columns)));
+  const size_t nested_width = table_col.nested->num_columns();
+  for (const Row& row : input.rows()) {
+    std::vector<Row> nested_rows;
+    if (row[column].is_table() && row[column].table_value() != nullptr &&
+        row[column].table_value()->num_rows() > 0) {
+      nested_rows = row[column].table_value()->rows();
+    } else {
+      nested_rows.push_back(Row(nested_width, Value::Null()));
+    }
+    for (const Row& nested : nested_rows) {
+      Row flat;
+      flat.reserve(row.size() - 1 + nested_width);
+      for (size_t c = 0; c < row.size(); ++c) {
+        if (c != column) {
+          flat.push_back(row[c]);
+        } else {
+          flat.insert(flat.end(), nested.begin(), nested.end());
+        }
+      }
+      (void)out.Append(std::move(flat));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Rowset> FlattenRowset(const Rowset& input) {
+  Rowset current = input;
+  while (true) {
+    int table_column = -1;
+    for (size_t c = 0; c < current.schema()->num_columns(); ++c) {
+      if (current.schema()->column(c).type == DataType::kTable &&
+          current.schema()->column(c).nested != nullptr) {
+        table_column = static_cast<int>(c);
+        break;
+      }
+    }
+    if (table_column < 0) return current;
+    current = FlattenOneColumn(current, static_cast<size_t>(table_column));
+  }
+}
+
+Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
+                                     ModelCatalog* catalog,
+                                     const PredictionJoinStatement& stmt) {
+  DMX_ASSIGN_OR_RETURN(MiningModel * model, catalog->GetModel(stmt.model_name));
+  if (!model->is_trained()) {
+    return InvalidState() << "model '" << stmt.model_name
+                          << "' has not been trained (INSERT INTO it first)";
+  }
+  DMX_ASSIGN_OR_RETURN(Rowset source,
+                       MaterializeCasesetSource(db, stmt.source));
+
+  DMX_ASSIGN_OR_RETURN(
+      CaseBinder binder,
+      CaseBinder::CreateForPrediction(model->definition(), *source.schema(),
+                                      stmt.source_alias,
+                                      stmt.natural ? nullptr : &stmt.on));
+
+  // Output schema from the projection items.
+  std::vector<ColumnDef> columns;
+  columns.reserve(stmt.items.size());
+  for (const DmxSelectItem& item : stmt.items) {
+    DMX_ASSIGN_OR_RETURN(
+        ColumnDef def,
+        InferDmxItemColumn(item.expr, item.alias, *model, *source.schema(),
+                           stmt.source_alias));
+    columns.push_back(std::move(def));
+  }
+  Rowset out(Schema::Make(std::move(columns)));
+
+  PredictOptions options;
+
+  size_t limit = stmt.top.has_value() ? static_cast<size_t>(*stmt.top)
+                                      : source.num_rows();
+  for (size_t r = 0; r < source.num_rows() && out.num_rows() < limit; ++r) {
+    const Row& source_row = source.rows()[r];
+    DMX_ASSIGN_OR_RETURN(DataCase input,
+                         binder.BindCase(source_row, model->attributes()));
+    DMX_ASSIGN_OR_RETURN(CasePrediction prediction,
+                         model->Predict(input, options));
+    PredictionRowContext ctx;
+    ctx.model = model;
+    ctx.prediction = &prediction;
+    ctx.source_row = &source_row;
+    ctx.source_schema = source.schema().get();
+    ctx.source_alias = stmt.source_alias;
+    // WHERE: every conjunct must hold (NULL comparisons are false).
+    bool keep = true;
+    for (const DmxFilter& filter : stmt.where) {
+      DMX_ASSIGN_OR_RETURN(Value lhs, EvaluateDmxExpr(filter.lhs, ctx));
+      DMX_ASSIGN_OR_RETURN(Value rhs, EvaluateDmxExpr(filter.rhs, ctx));
+      if (lhs.is_null() || rhs.is_null()) {
+        keep = false;
+        break;
+      }
+      int cmp = lhs.Compare(rhs);
+      bool pass = filter.op == "=" ? lhs.Equals(rhs)
+                  : filter.op == "<>" ? !lhs.Equals(rhs)
+                  : filter.op == "<" ? cmp < 0
+                  : filter.op == "<=" ? cmp <= 0
+                  : filter.op == ">" ? cmp > 0
+                                     : cmp >= 0;
+      if (!pass) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    Row out_row;
+    out_row.reserve(stmt.items.size());
+    for (const DmxSelectItem& item : stmt.items) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvaluateDmxExpr(item.expr, ctx));
+      out_row.push_back(std::move(v));
+    }
+    DMX_RETURN_IF_ERROR(out.Append(std::move(out_row)));
+  }
+  if (stmt.flattened) return FlattenRowset(out);
+  return out;
+}
+
+}  // namespace dmx

@@ -1,0 +1,30 @@
+// PREDICTION JOIN execution (paper §3.3): joins a caseset against a mining
+// model's "truth table" of possible cases — implemented, as the paper's
+// logical view licenses, by binding each source case to the model's
+// attribute space and computing posteriors — then evaluates the SELECT
+// projection (column echoes, predicted values, statistic UDFs, nested-table
+// histograms) per case. FLATTENED unnests table-valued projection columns.
+
+#ifndef DMX_CORE_PREDICTION_JOIN_H_
+#define DMX_CORE_PREDICTION_JOIN_H_
+
+#include "common/rowset.h"
+#include "core/catalog.h"
+#include "core/dmx_ast.h"
+#include "relational/database.h"
+
+namespace dmx {
+
+/// Executes one prediction-join statement.
+Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
+                                     ModelCatalog* catalog,
+                                     const PredictionJoinStatement& stmt);
+
+/// Unnests every TABLE column of `input`: each nested row becomes one output
+/// row (cases with an empty nested table keep one row of NULLs); nested
+/// columns are renamed "<table column>.<nested column>". Exposed for tests.
+Result<Rowset> FlattenRowset(const Rowset& input);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_PREDICTION_JOIN_H_

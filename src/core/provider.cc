@@ -1,0 +1,108 @@
+#include "core/provider.h"
+
+#include <cassert>
+
+#include "algorithms/builtin_services.h"
+#include "core/caseset_source.h"
+#include "core/dmx_parser.h"
+#include "core/prediction_join.h"
+#include "pmml/pmml.h"
+#include "relational/sql_executor.h"
+#include "relational/sql_parser.h"
+
+namespace dmx {
+
+Provider::Provider() {
+  Status status = RegisterBuiltinServices(&services_);
+  assert(status.ok());
+  (void)status;
+}
+
+std::unique_ptr<Connection> Provider::Connect() {
+  return std::make_unique<Connection>(this);
+}
+
+Result<Rowset> Connection::Execute(const std::string& command) {
+  DMX_ASSIGN_OR_RETURN(DmxParseResult parsed, ParseDmx(command));
+  if (parsed.is_sql) {
+    return rel::ExecuteSql(provider_->database(), command);
+  }
+  DmxStatement& statement = *parsed.statement;
+
+  if (auto* create = std::get_if<CreateModelStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(provider_->models()
+                            ->CreateModel(std::move(create->definition),
+                                          *provider_->services())
+                            .status());
+    return Rowset();
+  }
+  if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(MiningModel * model,
+                         provider_->models()->GetModel(insert->model_name));
+    DMX_ASSIGN_OR_RETURN(
+        std::unique_ptr<RowsetReader> reader,
+        OpenCasesetSource(*provider_->database(), insert->source));
+    DMX_RETURN_IF_ERROR(model->InsertCases(
+        reader.get(), insert->columns.empty() ? nullptr : &insert->columns));
+    return Rowset();
+  }
+  if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
+    return ExecutePredictionJoin(*provider_->database(), provider_->models(),
+                                 *join);
+  }
+  if (auto* content = std::get_if<SelectContentStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(const MiningModel* model,
+                         provider_->models()->GetModel(content->model_name));
+    DMX_ASSIGN_OR_RETURN(Rowset rowset, GetContentRowset(*model));
+    if (content->where == nullptr) return rowset;
+    // Filter in place over the content rowset's own columns.
+    rel::Scope scope;
+    scope.AddRange("CONTENT", *rowset.schema(), 0);
+    DMX_RETURN_IF_ERROR(rel::BindExpr(content->where.get(), scope));
+    Rowset filtered(rowset.schema());
+    for (Row& row : rowset.mutable_rows()) {
+      DMX_ASSIGN_OR_RETURN(bool keep,
+                           rel::EvalPredicate(*content->where, row));
+      if (keep) DMX_RETURN_IF_ERROR(filtered.Append(std::move(row)));
+    }
+    return filtered;
+  }
+  if (auto* del = std::get_if<DeleteFromModelStatement>(&statement)) {
+    // DELETE FROM is shared syntax: models win, tables fall through.
+    if (provider_->models()->HasModel(del->model_name)) {
+      DMX_ASSIGN_OR_RETURN(MiningModel * model,
+                           provider_->models()->GetModel(del->model_name));
+      DMX_RETURN_IF_ERROR(model->Reset());
+      return Rowset();
+    }
+    return rel::ExecuteSql(provider_->database(), command);
+  }
+  if (auto* drop = std::get_if<DropModelStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(provider_->models()->DropModel(drop->model_name));
+    return Rowset();
+  }
+  if (auto* export_stmt = std::get_if<ExportModelStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(
+        const MiningModel* model,
+        provider_->models()->GetModel(export_stmt->model_name));
+    DMX_RETURN_IF_ERROR(SaveModelToFile(*model, export_stmt->path));
+    return Rowset();
+  }
+  if (auto* import_stmt = std::get_if<ImportModelStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(
+        std::unique_ptr<MiningModel> model,
+        LoadModelFromFile(import_stmt->path, *provider_->services()));
+    DMX_RETURN_IF_ERROR(provider_->models()->AdoptModel(std::move(model)));
+    return Rowset();
+  }
+  return Internal() << "unhandled DMX statement";
+}
+
+Result<Rowset> Connection::GetSchemaRowset(SchemaRowsetKind kind,
+                                           const std::string& model_filter)
+    const {
+  return dmx::GetSchemaRowset(kind, *provider_->services(),
+                              *provider_->models(), model_filter);
+}
+
+}  // namespace dmx

@@ -1,0 +1,71 @@
+// Provider / Connection: the in-process stand-in for the COM OLE DB provider
+// objects (substitution documented in DESIGN.md). A Provider owns the three
+// catalogs of Figure 1's server — relational tables, mining services and
+// mining models; a Connection executes command strings against all of them
+// through one pipe, the way ICommandText does:
+//
+//   dmx::Provider provider;
+//   auto conn = provider.Connect();
+//   conn->Execute("CREATE MINING MODEL ...");
+//   conn->Execute("INSERT INTO [Age Prediction] (...) SHAPE {...} ...");
+//   auto rowset = conn->Execute("SELECT ... PREDICTION JOIN ...");
+
+#ifndef DMX_CORE_PROVIDER_H_
+#define DMX_CORE_PROVIDER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rowset.h"
+#include "core/catalog.h"
+#include "core/schema_rowsets.h"
+#include "model/service_registry.h"
+#include "relational/database.h"
+
+namespace dmx {
+
+class Connection;
+
+/// \brief The data-mining provider: owns the database, the service registry
+/// (preloaded with the built-in services) and the model catalog.
+class Provider {
+ public:
+  Provider();
+
+  rel::Database* database() { return &database_; }
+  const rel::Database& database() const { return database_; }
+  ServiceRegistry* services() { return &services_; }
+  const ServiceRegistry& services() const { return services_; }
+  ModelCatalog* models() { return &models_; }
+  const ModelCatalog& models() const { return models_; }
+
+  /// Opens a session. Connections are lightweight views onto the provider.
+  std::unique_ptr<Connection> Connect();
+
+ private:
+  rel::Database database_;
+  ServiceRegistry services_;
+  ModelCatalog models_;
+};
+
+/// \brief One session: the command execution surface.
+class Connection {
+ public:
+  explicit Connection(Provider* provider) : provider_(provider) {}
+
+  /// Executes one DMX or SQL statement. DDL/DML return an empty rowset.
+  Result<Rowset> Execute(const std::string& command);
+
+  /// Provider self-description (paper §3's schema rowsets).
+  Result<Rowset> GetSchemaRowset(SchemaRowsetKind kind,
+                                 const std::string& model_filter = "") const;
+
+  Provider* provider() { return provider_; }
+
+ private:
+  Provider* provider_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_PROVIDER_H_

@@ -1,0 +1,263 @@
+#include "core/schema_rowsets.h"
+
+namespace dmx {
+
+namespace {
+
+Rowset MiningServicesRowset(const ServiceRegistry& services) {
+  auto schema = Schema::Make({{"SERVICE_NAME", DataType::kText},
+                              {"SERVICE_DISPLAY_NAME", DataType::kText},
+                              {"SERVICE_DESCRIPTION", DataType::kText},
+                              {"PREDICTION_SUPPORTED", DataType::kBool},
+                              {"SEGMENTATION_SUPPORTED", DataType::kBool},
+                              {"ASSOCIATION_SUPPORTED", DataType::kBool},
+                              {"INCREMENTAL_MAINTENANCE", DataType::kBool},
+                              {"CONTINUOUS_TARGETS", DataType::kBool},
+                              {"DISCRETE_TARGETS", DataType::kBool},
+                              {"TABLE_PREDICTION", DataType::kBool},
+                              {"SEQUENCE_SUPPORTED", DataType::kBool}});
+  Rowset out(schema);
+  for (const std::string& name : services.ListServices()) {
+    const ServiceCapabilities& caps = services.Find(name).value()->capabilities();
+    (void)out.Append({Value::Text(caps.name), Value::Text(caps.display_name),
+                      Value::Text(caps.description),
+                      Value::Bool(caps.supports_prediction),
+                      Value::Bool(caps.is_segmentation),
+                      Value::Bool(caps.supports_association),
+                      Value::Bool(caps.supports_incremental),
+                      Value::Bool(caps.supports_continuous_targets),
+                      Value::Bool(caps.supports_discrete_targets),
+                      Value::Bool(caps.supports_table_prediction),
+                      Value::Bool(caps.supports_sequence_analysis)});
+  }
+  return out;
+}
+
+Rowset ServiceParametersRowset(const ServiceRegistry& services) {
+  auto schema = Schema::Make({{"SERVICE_NAME", DataType::kText},
+                              {"PARAMETER_NAME", DataType::kText},
+                              {"PARAMETER_DESCRIPTION", DataType::kText},
+                              {"DEFAULT_VALUE", DataType::kText}});
+  Rowset out(schema);
+  for (const std::string& name : services.ListServices()) {
+    const ServiceCapabilities& caps = services.Find(name).value()->capabilities();
+    for (const ServiceParameter& param : caps.parameters) {
+      (void)out.Append({Value::Text(caps.name), Value::Text(param.name),
+                        Value::Text(param.description),
+                        Value::Text(param.default_value.ToString())});
+    }
+  }
+  return out;
+}
+
+Rowset MiningModelsRowset(const ModelCatalog& models) {
+  auto schema = Schema::Make({{"MODEL_NAME", DataType::kText},
+                              {"SERVICE_NAME", DataType::kText},
+                              {"IS_POPULATED", DataType::kBool},
+                              {"CASE_COUNT", DataType::kDouble},
+                              {"PREDICTION_COLUMNS", DataType::kText},
+                              {"CREATION_STATEMENT", DataType::kText}});
+  Rowset out(schema);
+  for (const std::string& name : models.ListModels()) {
+    const MiningModel& model = *models.GetModel(name).value();
+    std::string outputs;
+    for (const ModelColumn& col : model.definition().columns) {
+      if (!col.is_output()) continue;
+      if (!outputs.empty()) outputs += ", ";
+      outputs += col.name;
+    }
+    (void)out.Append({Value::Text(model.definition().model_name),
+                      Value::Text(model.definition().service_name),
+                      Value::Bool(model.is_trained()),
+                      Value::Double(model.case_count()),
+                      Value::Text(outputs),
+                      Value::Text(model.definition().ToDmx())});
+  }
+  return out;
+}
+
+const char* UsageString(const ModelColumn& col) {
+  switch (col.usage) {
+    case PredictUsage::kInput:
+      return "INPUT";
+    case PredictUsage::kPredict:
+      return "PREDICT";
+    case PredictUsage::kPredictOnly:
+      return "PREDICT_ONLY";
+  }
+  return "?";
+}
+
+std::string ContentTypeString(const ModelColumn& col) {
+  switch (col.role) {
+    case ContentRole::kKey:
+      return "KEY";
+    case ContentRole::kTable:
+      return "TABLE";
+    case ContentRole::kRelation:
+      return "RELATION";
+    case ContentRole::kQualifier:
+      return QualifierKindToString(col.qualifier);
+    case ContentRole::kAttribute:
+      return AttributeTypeToString(col.attr_type);
+  }
+  return "?";
+}
+
+void AppendColumnRows(const std::string& model_name, const ModelColumn& col,
+                      const std::string& parent, Rowset* out) {
+  (void)out->Append(
+      {Value::Text(model_name), Value::Text(col.name), Value::Text(parent),
+       Value::Text(DataTypeToString(col.data_type)),
+       Value::Text(ContentTypeString(col)), Value::Text(UsageString(col)),
+       Value::Text(col.related_to),
+       Value::Text(DistributionHintToString(col.distribution))});
+  for (const ModelColumn& nested : col.nested) {
+    AppendColumnRows(model_name, nested, col.name, out);
+  }
+}
+
+Result<Rowset> MiningColumnsRowset(const ModelCatalog& models,
+                                   const std::string& filter) {
+  auto schema = Schema::Make({{"MODEL_NAME", DataType::kText},
+                              {"COLUMN_NAME", DataType::kText},
+                              {"NESTED_TABLE", DataType::kText},
+                              {"DATA_TYPE", DataType::kText},
+                              {"CONTENT_TYPE", DataType::kText},
+                              {"USAGE", DataType::kText},
+                              {"RELATED_ATTRIBUTE", DataType::kText},
+                              {"DISTRIBUTION_HINT", DataType::kText}});
+  Rowset out(schema);
+  for (const std::string& name : models.ListModels()) {
+    if (!filter.empty() && !EqualsCi(filter, name)) continue;
+    DMX_ASSIGN_OR_RETURN(const MiningModel* model, models.GetModel(name));
+    for (const ModelColumn& col : model->definition().columns) {
+      AppendColumnRows(model->definition().model_name, col, "", &out);
+    }
+  }
+  return out;
+}
+
+std::shared_ptr<const Schema> ContentSchema() {
+  static const auto kSchema =
+      Schema::Make({{"MODEL_NAME", DataType::kText},
+                    {"NODE_UNIQUE_NAME", DataType::kText},
+                    {"PARENT_UNIQUE_NAME", DataType::kText},
+                    {"NODE_TYPE", DataType::kText},
+                    {"NODE_CAPTION", DataType::kText},
+                    {"NODE_RULE", DataType::kText},
+                    {"NODE_DESCRIPTION", DataType::kText},
+                    {"NODE_SUPPORT", DataType::kDouble},
+                    {"NODE_PROBABILITY", DataType::kDouble},
+                    {"MARGINAL_PROBABILITY", DataType::kDouble},
+                    {"NODE_SCORE", DataType::kDouble},
+                    {"CHILDREN_CARDINALITY", DataType::kLong},
+                    {"NODE_DISTRIBUTION", DataType::kTable}});
+  return kSchema;
+}
+
+Status AppendContentRows(const MiningModel& model, Rowset* out) {
+  DMX_ASSIGN_OR_RETURN(ContentNodePtr root, model.BuildContent());
+  std::vector<std::pair<const ContentNode*, std::string>> flat;
+  root->Flatten("", &flat);
+  for (const auto& [node, parent] : flat) {
+    DMX_RETURN_IF_ERROR(out->Append(
+        {Value::Text(model.definition().model_name),
+         Value::Text(node->unique_name), Value::Text(parent),
+         Value::Text(NodeTypeToString(node->type)), Value::Text(node->caption),
+         Value::Text(node->rule), Value::Text(node->description),
+         Value::Double(node->support), Value::Double(node->probability),
+         Value::Double(node->marginal_probability), Value::Double(node->score),
+         Value::Long(static_cast<int64_t>(node->children.size())),
+         Value::Table(node->DistributionTable())}));
+  }
+  return Status::OK();
+}
+
+Rowset MiningFunctionsRowset() {
+  auto schema = Schema::Make({{"FUNCTION_NAME", DataType::kText},
+                              {"RETURNS", DataType::kText},
+                              {"SYNTAX", DataType::kText},
+                              {"DESCRIPTION", DataType::kText}});
+  struct FunctionRow {
+    const char* name;
+    const char* returns;
+    const char* syntax;
+    const char* description;
+  };
+  // Must stay in sync with core/udf.cc.
+  static const FunctionRow kFunctions[] = {
+      {"Predict", "scalar or TABLE", "Predict(<column> [, n])",
+       "Best estimate; on a TABLE column, the top-n recommended items"},
+      {"PredictAssociation", "TABLE", "PredictAssociation(<table> [, n])",
+       "Alias of Predict for set-valued targets"},
+      {"PredictProbability", "DOUBLE",
+       "PredictProbability(<column> [, value])",
+       "Probability of the prediction (or of an explicit value)"},
+      {"PredictSupport", "DOUBLE", "PredictSupport(<column> [, value])",
+       "Training cases behind the prediction"},
+      {"PredictVariance", "DOUBLE", "PredictVariance(<column>)",
+       "Predictive variance (continuous targets)"},
+      {"PredictStdev", "DOUBLE", "PredictStdev(<column>)",
+       "Standard deviation of the prediction"},
+      {"PredictHistogram", "TABLE", "PredictHistogram(<column>)",
+       "All candidate values with $SUPPORT/$PROBABILITY/$VARIANCE/$STDEV"},
+      {"TopCount", "TABLE", "TopCount(<table expr>, <rank column>, n)",
+       "Top n rows of a table expression by the rank column"},
+      {"RangeMin", "DOUBLE", "RangeMin(<discretized column>)",
+       "Lower bound of the predicted bucket"},
+      {"RangeMid", "DOUBLE", "RangeMid(<discretized column>)",
+       "Midpoint of the predicted bucket"},
+      {"RangeMax", "DOUBLE", "RangeMax(<discretized column>)",
+       "Upper bound of the predicted bucket"},
+      {"Cluster", "TEXT", "Cluster()",
+       "Winning cluster caption (segmentation models)"},
+      {"ClusterProbability", "DOUBLE", "ClusterProbability()",
+       "Probability of the winning cluster"},
+  };
+  Rowset out(schema);
+  for (const FunctionRow& f : kFunctions) {
+    (void)out.Append({Value::Text(f.name), Value::Text(f.returns),
+                      Value::Text(f.syntax), Value::Text(f.description)});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Rowset> GetContentRowset(const MiningModel& model) {
+  Rowset out(ContentSchema());
+  DMX_RETURN_IF_ERROR(AppendContentRows(model, &out));
+  return out;
+}
+
+Result<Rowset> GetSchemaRowset(SchemaRowsetKind kind,
+                               const ServiceRegistry& services,
+                               const ModelCatalog& models,
+                               const std::string& model_filter) {
+  switch (kind) {
+    case SchemaRowsetKind::kMiningServices:
+      return MiningServicesRowset(services);
+    case SchemaRowsetKind::kServiceParameters:
+      return ServiceParametersRowset(services);
+    case SchemaRowsetKind::kMiningModels:
+      return MiningModelsRowset(models);
+    case SchemaRowsetKind::kMiningColumns:
+      return MiningColumnsRowset(models, model_filter);
+    case SchemaRowsetKind::kMiningFunctions:
+      return MiningFunctionsRowset();
+    case SchemaRowsetKind::kMiningModelContent: {
+      Rowset out(ContentSchema());
+      for (const std::string& name : models.ListModels()) {
+        if (!model_filter.empty() && !EqualsCi(model_filter, name)) continue;
+        DMX_ASSIGN_OR_RETURN(const MiningModel* model, models.GetModel(name));
+        if (!model->is_trained()) continue;
+        DMX_RETURN_IF_ERROR(AppendContentRows(*model, &out));
+      }
+      return out;
+    }
+  }
+  return Internal() << "unreachable schema rowset kind";
+}
+
+}  // namespace dmx

@@ -1,0 +1,38 @@
+// Schema rowsets: "the standard mechanism in OLE DB whereby a provider
+// describes information about itself to potential consumers" (paper §3) —
+// supported capabilities, algorithm parameters, installed models, model
+// columns, and model content.
+
+#ifndef DMX_CORE_SCHEMA_ROWSETS_H_
+#define DMX_CORE_SCHEMA_ROWSETS_H_
+
+#include <string>
+
+#include "common/rowset.h"
+#include "core/catalog.h"
+#include "model/service_registry.h"
+
+namespace dmx {
+
+enum class SchemaRowsetKind {
+  kMiningServices,     ///< One row per installed mining service.
+  kServiceParameters,  ///< One row per (service, parameter).
+  kMiningModels,       ///< One row per model in the catalog.
+  kMiningColumns,      ///< One row per (model, column), nested included.
+  kMiningModelContent, ///< Content rows of every populated model.
+  kMiningFunctions,    ///< One row per prediction UDF the provider ships.
+};
+
+/// Generates a schema rowset. `model_filter` (optional, kMiningColumns /
+/// kMiningModelContent) restricts to one model.
+Result<Rowset> GetSchemaRowset(SchemaRowsetKind kind,
+                               const ServiceRegistry& services,
+                               const ModelCatalog& models,
+                               const std::string& model_filter = "");
+
+/// The MINING_MODEL_CONTENT rows of one model (SELECT * FROM m.CONTENT).
+Result<Rowset> GetContentRowset(const MiningModel& model);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_SCHEMA_ROWSETS_H_

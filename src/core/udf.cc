@@ -1,0 +1,494 @@
+#include "core/udf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace dmx {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Path resolution
+// ---------------------------------------------------------------------------
+
+struct ResolvedPath {
+  bool is_model = false;
+  int source_column = -1;          ///< When !is_model.
+  std::string model_column;        ///< When is_model: scalar or TABLE name.
+};
+
+Result<ResolvedPath> ResolvePath(const std::vector<std::string>& path,
+                                 const MiningModel& model,
+                                 const Schema& source,
+                                 const std::string& source_alias) {
+  const std::string& model_name = model.definition().model_name;
+  ResolvedPath out;
+  if (path.size() == 2) {
+    if (!source_alias.empty() && EqualsCi(path[0], source_alias)) {
+      DMX_ASSIGN_OR_RETURN(size_t idx, source.ResolveColumn(path[1]));
+      out.source_column = static_cast<int>(idx);
+      return out;
+    }
+    if (EqualsCi(path[0], model_name)) {
+      if (model.definition().FindColumn(path[1]) == nullptr) {
+        return BindError() << "model '" << model_name << "' has no column '"
+                           << path[1] << "'";
+      }
+      out.is_model = true;
+      out.model_column = path[1];
+      return out;
+    }
+    return BindError() << "unknown qualifier '" << path[0]
+                       << "' (expected the model name or the source alias)";
+  }
+  if (path.size() == 1) {
+    // Prefer the model column (the paper qualifies ambiguous references).
+    if (model.definition().FindColumn(path[0]) != nullptr) {
+      out.is_model = true;
+      out.model_column = path[0];
+      return out;
+    }
+    int idx = source.FindColumn(path[0]);
+    if (idx >= 0) {
+      out.source_column = idx;
+      return out;
+    }
+    return BindError() << "column '" << path[0]
+                       << "' exists neither in the model nor in the source";
+  }
+  return BindError() << "unsupported column path depth " << path.size();
+}
+
+// The prediction for a model column; errors when the column is not a target.
+Result<const AttributePrediction*> TargetPrediction(
+    const std::string& column, const PredictionRowContext& ctx) {
+  const AttributePrediction* p = ctx.prediction->Find(column);
+  if (p == nullptr) {
+    return BindError() << "column '" << column
+                       << "' is not predicted by model '"
+                       << ctx.model->definition().model_name
+                       << "' (is it marked PREDICT?)";
+  }
+  return p;
+}
+
+// Resolving Predict*-style first arguments down to a model column name.
+Result<std::string> ModelColumnArg(const DmxExpr& arg,
+                                   const MiningModel& model,
+                                   const Schema& source,
+                                   const std::string& source_alias) {
+  if (arg.kind != DmxExpr::Kind::kColumnPath) {
+    return BindError() << "expected a model column reference, got "
+                       << arg.ToString();
+  }
+  DMX_ASSIGN_OR_RETURN(ResolvedPath resolved,
+                       ResolvePath(arg.path, model, source, source_alias));
+  if (!resolved.is_model) {
+    return BindError() << arg.ToString() << " is a source column; Predict "
+                       << "functions take model columns";
+  }
+  return resolved.model_column;
+}
+
+// ---------------------------------------------------------------------------
+// Nested-table construction
+// ---------------------------------------------------------------------------
+
+DataType ModelColumnType(const MiningModel& model, const std::string& column) {
+  const ModelColumn* spec = model.definition().FindColumn(column);
+  if (spec == nullptr) return DataType::kText;
+  if (spec->attr_type == AttributeType::kDiscretized) return DataType::kDouble;
+  return spec->data_type;
+}
+
+// Name of the value column inside histogram tables: the nested KEY name for
+// TABLE targets, the column's own name for scalar targets.
+std::string HistogramValueColumnName(const MiningModel& model,
+                                     const std::string& column) {
+  const ModelColumn* spec = model.definition().FindColumn(column);
+  if (spec != nullptr && spec->is_table()) {
+    for (const ModelColumn& nested : spec->nested) {
+      if (nested.is_key()) return nested.name;
+    }
+  }
+  return column;
+}
+
+DataType HistogramValueColumnType(const MiningModel& model,
+                                  const std::string& column) {
+  const ModelColumn* spec = model.definition().FindColumn(column);
+  if (spec != nullptr && spec->is_table()) {
+    for (const ModelColumn& nested : spec->nested) {
+      if (nested.is_key()) return nested.data_type;
+    }
+  }
+  return ModelColumnType(model, column);
+}
+
+std::shared_ptr<const Schema> HistogramSchema(const MiningModel& model,
+                                              const std::string& column) {
+  return Schema::Make({{HistogramValueColumnName(model, column),
+                        HistogramValueColumnType(model, column)},
+                       {"$SUPPORT", DataType::kDouble},
+                       {"$PROBABILITY", DataType::kDouble},
+                       {"$VARIANCE", DataType::kDouble},
+                       {"$STDEV", DataType::kDouble}});
+}
+
+Value HistogramTable(const MiningModel& model, const std::string& column,
+                     const AttributePrediction& prediction, int limit) {
+  std::vector<Row> rows;
+  size_t n = prediction.histogram.size();
+  if (limit > 0) n = std::min(n, static_cast<size_t>(limit));
+  rows.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ScoredValue& sv = prediction.histogram[i];
+    rows.push_back({sv.value, Value::Double(sv.support),
+                    Value::Double(sv.probability), Value::Double(sv.variance),
+                    Value::Double(sv.stdev())});
+  }
+  return Value::Table(
+      NestedTable::Make(HistogramSchema(model, column), std::move(rows)));
+}
+
+// Histogram entry matching an explicit value argument.
+const ScoredValue* FindHistogramValue(const AttributePrediction& prediction,
+                                      const Value& value) {
+  for (const ScoredValue& sv : prediction.histogram) {
+    if (sv.value.Equals(value)) return &sv;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Individual UDFs
+// ---------------------------------------------------------------------------
+
+Result<Value> EvalPredict(const DmxExpr& expr, const PredictionRowContext& ctx) {
+  if (expr.args.empty() || expr.args.size() > 2) {
+    return InvalidArgument() << "Predict takes 1 or 2 arguments";
+  }
+  DMX_ASSIGN_OR_RETURN(std::string column,
+                       ModelColumnArg(expr.args[0], *ctx.model,
+                                      *ctx.source_schema, ctx.source_alias));
+  DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
+                       TargetPrediction(column, ctx));
+  const ModelColumn* spec = ctx.model->definition().FindColumn(column);
+  if (spec != nullptr && spec->is_table()) {
+    int limit = 10;
+    if (expr.args.size() == 2) {
+      if (expr.args[1].kind != DmxExpr::Kind::kLiteral ||
+          !expr.args[1].literal.is_long()) {
+        return InvalidArgument() << "Predict(<table>, n): n must be an integer";
+      }
+      limit = static_cast<int>(expr.args[1].literal.long_value());
+    }
+    return HistogramTable(*ctx.model, column, *p, limit);
+  }
+  return p->predicted;
+}
+
+enum class Stat { kProbability, kSupport, kVariance, kStdev };
+
+Result<Value> EvalPredictStat(const DmxExpr& expr,
+                              const PredictionRowContext& ctx, Stat stat) {
+  if (expr.args.empty() || expr.args.size() > 2) {
+    return InvalidArgument() << expr.function << " takes 1 or 2 arguments";
+  }
+  DMX_ASSIGN_OR_RETURN(std::string column,
+                       ModelColumnArg(expr.args[0], *ctx.model,
+                                      *ctx.source_schema, ctx.source_alias));
+  DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
+                       TargetPrediction(column, ctx));
+  double probability = p->probability;
+  double support = p->support;
+  double variance = p->variance;
+  if (expr.args.size() == 2) {
+    if (expr.args[1].kind != DmxExpr::Kind::kLiteral) {
+      return InvalidArgument() << expr.function
+                               << ": second argument must be a literal value";
+    }
+    const ScoredValue* sv = FindHistogramValue(*p, expr.args[1].literal);
+    if (sv == nullptr) {
+      probability = 0;
+      support = 0;
+      variance = 0;
+    } else {
+      probability = sv->probability;
+      support = sv->support;
+      variance = sv->variance;
+    }
+  }
+  switch (stat) {
+    case Stat::kProbability:
+      return Value::Double(probability);
+    case Stat::kSupport:
+      return Value::Double(support);
+    case Stat::kVariance:
+      return Value::Double(variance);
+    case Stat::kStdev:
+      return Value::Double(variance > 0 ? std::sqrt(variance) : 0);
+  }
+  return Internal() << "unreachable stat";
+}
+
+Result<Value> EvalPredictHistogram(const DmxExpr& expr,
+                                   const PredictionRowContext& ctx) {
+  if (expr.args.size() != 1) {
+    return InvalidArgument() << "PredictHistogram takes exactly 1 argument";
+  }
+  DMX_ASSIGN_OR_RETURN(std::string column,
+                       ModelColumnArg(expr.args[0], *ctx.model,
+                                      *ctx.source_schema, ctx.source_alias));
+  DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
+                       TargetPrediction(column, ctx));
+  return HistogramTable(*ctx.model, column, *p, /*limit=*/0);
+}
+
+Result<Value> EvalTopCount(const DmxExpr& expr,
+                           const PredictionRowContext& ctx) {
+  if (expr.args.size() != 3) {
+    return InvalidArgument()
+           << "TopCount takes (table expr, rank column, count)";
+  }
+  DMX_ASSIGN_OR_RETURN(Value table, EvaluateDmxExpr(expr.args[0], ctx));
+  if (!table.is_table() || table.table_value() == nullptr) {
+    return InvalidArgument() << "TopCount: first argument is not a table";
+  }
+  // Rank column: $Stat or a column name.
+  std::string rank_name;
+  if (expr.args[1].kind == DmxExpr::Kind::kDollar) {
+    rank_name = "$" + ToUpper(expr.args[1].dollar);
+  } else if (expr.args[1].kind == DmxExpr::Kind::kColumnPath &&
+             expr.args[1].path.size() == 1) {
+    rank_name = expr.args[1].path[0];
+  } else {
+    return InvalidArgument() << "TopCount: rank must be $Stat or a column name";
+  }
+  if (expr.args[2].kind != DmxExpr::Kind::kLiteral ||
+      !expr.args[2].literal.is_long()) {
+    return InvalidArgument() << "TopCount: count must be an integer literal";
+  }
+  int64_t count = expr.args[2].literal.long_value();
+  const NestedTable& nested = *table.table_value();
+  DMX_ASSIGN_OR_RETURN(size_t rank_col,
+                       nested.schema()->ResolveColumn(rank_name));
+  std::vector<Row> rows = nested.rows();
+  std::stable_sort(rows.begin(), rows.end(),
+                   [rank_col](const Row& a, const Row& b) {
+                     return a[rank_col].Compare(b[rank_col]) > 0;
+                   });
+  if (rows.size() > static_cast<size_t>(count)) {
+    rows.resize(static_cast<size_t>(count));
+  }
+  return Value::Table(NestedTable::Make(nested.schema(), std::move(rows)));
+}
+
+enum class RangePoint { kMin, kMid, kMax };
+
+Result<Value> EvalRange(const DmxExpr& expr, const PredictionRowContext& ctx,
+                        RangePoint point) {
+  if (expr.args.size() != 1) {
+    return InvalidArgument() << expr.function << " takes exactly 1 argument";
+  }
+  DMX_ASSIGN_OR_RETURN(std::string column,
+                       ModelColumnArg(expr.args[0], *ctx.model,
+                                      *ctx.source_schema, ctx.source_alias));
+  int attr_index = ctx.model->attributes().FindAttribute(column);
+  if (attr_index < 0) {
+    return BindError() << expr.function << ": '" << column
+                       << "' is not a scalar attribute";
+  }
+  const Attribute& attr = ctx.model->attributes().attributes[attr_index];
+  if (!attr.is_discretized()) {
+    return InvalidArgument() << expr.function << ": '" << column
+                             << "' is not DISCRETIZED";
+  }
+  DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
+                       TargetPrediction(column, ctx));
+  if (p->histogram.empty() || p->histogram[0].state < 0) return Value::Null();
+  int bucket = p->histogram[0].state;
+  const auto& bounds = attr.bucket_bounds;
+  const int n = static_cast<int>(bounds.size());
+  if (n == 0) return Value::Null();
+  bool open_low = bucket <= 0;
+  bool open_high = bucket >= n;
+  double lo = open_low ? bounds[0] : bounds[bucket - 1];
+  double hi = open_high ? bounds[n - 1] : bounds[bucket];
+  switch (point) {
+    case RangePoint::kMin:
+      return open_low ? Value::Null() : Value::Double(lo);
+    case RangePoint::kMax:
+      return open_high ? Value::Null() : Value::Double(hi);
+    case RangePoint::kMid:
+      if (open_low) return Value::Double(bounds[0]);
+      if (open_high) return Value::Double(bounds[n - 1]);
+      return Value::Double((lo + hi) / 2);
+  }
+  return Internal() << "unreachable range point";
+}
+
+Result<Value> EvalCluster(const DmxExpr& expr,
+                          const PredictionRowContext& ctx, bool probability) {
+  if (!expr.args.empty()) {
+    return InvalidArgument() << expr.function << " takes no arguments";
+  }
+  const AttributePrediction* p = ctx.prediction->Find("$CLUSTER");
+  if (p == nullptr) {
+    return InvalidState() << expr.function << " requires a segmentation model";
+  }
+  return probability ? Value::Double(p->probability) : p->predicted;
+}
+
+}  // namespace
+
+Result<Value> EvaluateDmxExpr(const DmxExpr& expr,
+                              const PredictionRowContext& ctx) {
+  switch (expr.kind) {
+    case DmxExpr::Kind::kLiteral:
+      return expr.literal;
+    case DmxExpr::Kind::kDollar:
+      return BindError() << "$" << expr.dollar
+                         << " is only meaningful inside table functions";
+    case DmxExpr::Kind::kColumnPath: {
+      DMX_ASSIGN_OR_RETURN(
+          ResolvedPath resolved,
+          ResolvePath(expr.path, *ctx.model, *ctx.source_schema,
+                      ctx.source_alias));
+      if (!resolved.is_model) return (*ctx.source_row)[resolved.source_column];
+      // A bare model column reference means its prediction (the paper's
+      // "SELECT ..., [Age Prediction].[Age] FROM ... PREDICTION JOIN ...").
+      DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
+                           TargetPrediction(resolved.model_column, ctx));
+      return p->predicted;
+    }
+    case DmxExpr::Kind::kFunction:
+      break;
+  }
+  const std::string& f = expr.function;
+  if (EqualsCi(f, "Predict") || EqualsCi(f, "PredictAssociation")) {
+    return EvalPredict(expr, ctx);
+  }
+  if (EqualsCi(f, "PredictProbability")) {
+    return EvalPredictStat(expr, ctx, Stat::kProbability);
+  }
+  if (EqualsCi(f, "PredictSupport")) {
+    return EvalPredictStat(expr, ctx, Stat::kSupport);
+  }
+  if (EqualsCi(f, "PredictVariance")) {
+    return EvalPredictStat(expr, ctx, Stat::kVariance);
+  }
+  if (EqualsCi(f, "PredictStdev")) {
+    return EvalPredictStat(expr, ctx, Stat::kStdev);
+  }
+  if (EqualsCi(f, "PredictHistogram")) return EvalPredictHistogram(expr, ctx);
+  if (EqualsCi(f, "TopCount")) return EvalTopCount(expr, ctx);
+  if (EqualsCi(f, "RangeMin")) return EvalRange(expr, ctx, RangePoint::kMin);
+  if (EqualsCi(f, "RangeMid")) return EvalRange(expr, ctx, RangePoint::kMid);
+  if (EqualsCi(f, "RangeMax")) return EvalRange(expr, ctx, RangePoint::kMax);
+  if (EqualsCi(f, "Cluster")) return EvalCluster(expr, ctx, false);
+  if (EqualsCi(f, "ClusterProbability")) return EvalCluster(expr, ctx, true);
+  return NotSupported() << "unknown function '" << f << "'";
+}
+
+Result<ColumnDef> InferDmxItemColumn(const DmxExpr& expr,
+                                     const std::string& alias,
+                                     const MiningModel& model,
+                                     const Schema& source,
+                                     const std::string& source_alias) {
+  ColumnDef def;
+  def.name = !alias.empty()
+                 ? alias
+                 : (expr.kind == DmxExpr::Kind::kColumnPath
+                        ? expr.path.back()
+                        : expr.ToString());
+  switch (expr.kind) {
+    case DmxExpr::Kind::kLiteral:
+      def.type = expr.literal.is_long()     ? DataType::kLong
+                 : expr.literal.is_double() ? DataType::kDouble
+                 : expr.literal.is_bool()   ? DataType::kBool
+                                            : DataType::kText;
+      return def;
+    case DmxExpr::Kind::kDollar:
+      return BindError() << "$" << expr.dollar
+                         << " cannot be a projection item";
+    case DmxExpr::Kind::kColumnPath: {
+      DMX_ASSIGN_OR_RETURN(ResolvedPath resolved,
+                           ResolvePath(expr.path, model, source, source_alias));
+      if (!resolved.is_model) {
+        def.type = source.column(resolved.source_column).type;
+        def.nested = source.column(resolved.source_column).nested;
+        return def;
+      }
+      const ModelColumn* spec = model.definition().FindColumn(
+          resolved.model_column);
+      if (spec != nullptr && spec->is_table()) {
+        def.type = DataType::kTable;
+        def.nested = HistogramSchema(model, resolved.model_column);
+        return def;
+      }
+      def.type = ModelColumnType(model, resolved.model_column);
+      return def;
+    }
+    case DmxExpr::Kind::kFunction:
+      break;
+  }
+  const std::string& f = expr.function;
+  auto table_result = [&](const std::string& column) {
+    def.type = DataType::kTable;
+    def.nested = HistogramSchema(model, column);
+    return def;
+  };
+  if (EqualsCi(f, "PredictHistogram") ||
+      ((EqualsCi(f, "Predict") || EqualsCi(f, "PredictAssociation")) &&
+       !expr.args.empty())) {
+    DMX_ASSIGN_OR_RETURN(std::string column,
+                         [&]() -> Result<std::string> {
+                           if (expr.args[0].kind !=
+                               DmxExpr::Kind::kColumnPath) {
+                             return BindError() << f << ": bad argument";
+                           }
+                           DMX_ASSIGN_OR_RETURN(
+                               ResolvedPath resolved,
+                               ResolvePath(expr.args[0].path, model, source,
+                                           source_alias));
+                           if (!resolved.is_model) {
+                             return BindError()
+                                    << f << ": argument is not a model column";
+                           }
+                           return resolved.model_column;
+                         }());
+    const ModelColumn* spec = model.definition().FindColumn(column);
+    if (EqualsCi(f, "PredictHistogram") ||
+        (spec != nullptr && spec->is_table())) {
+      return table_result(column);
+    }
+    def.type = ModelColumnType(model, column);
+    return def;
+  }
+  if (EqualsCi(f, "TopCount")) {
+    if (expr.args.empty()) return BindError() << "TopCount needs arguments";
+    DMX_ASSIGN_OR_RETURN(ColumnDef inner,
+                         InferDmxItemColumn(expr.args[0], "", model, source,
+                                            source_alias));
+    def.type = inner.type;
+    def.nested = inner.nested;
+    return def;
+  }
+  if (EqualsCi(f, "Cluster")) {
+    def.type = DataType::kText;
+    return def;
+  }
+  if (EqualsCi(f, "PredictProbability") || EqualsCi(f, "PredictSupport") ||
+      EqualsCi(f, "PredictVariance") || EqualsCi(f, "PredictStdev") ||
+      EqualsCi(f, "ClusterProbability") || EqualsCi(f, "RangeMin") ||
+      EqualsCi(f, "RangeMid") || EqualsCi(f, "RangeMax")) {
+    def.type = DataType::kDouble;
+    return def;
+  }
+  return NotSupported() << "unknown function '" << f << "'";
+}
+
+}  // namespace dmx

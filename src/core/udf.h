@@ -1,0 +1,54 @@
+// DMX projection evaluation: column paths and the provider's user-defined
+// functions over prediction results (paper §3.2.4: "Each provider ships a
+// set of functions that can be referenced in the prediction query. Some
+// UDFs are scalar-valued, such as probability or support. Others have tables
+// as values, such as histogram, and hence return nested tables").
+//
+// Shipped UDFs:
+//   Predict(<col> [, n])           best estimate; on a TABLE column: nested
+//                                  table of the top-n recommended items
+//   PredictProbability(<col> [, value])
+//   PredictSupport(<col> [, value])
+//   PredictVariance(<col>) / PredictStdev(<col>)
+//   PredictHistogram(<col>)        nested table: value, $SUPPORT,
+//                                  $PROBABILITY, $VARIANCE, $STDEV
+//   TopCount(<table expr>, <rank column | $stat>, n)
+//   RangeMin/RangeMid/RangeMax(<col>)   DISCRETIZED bucket bounds
+//   Cluster() / ClusterProbability()    segmentation membership
+
+#ifndef DMX_CORE_UDF_H_
+#define DMX_CORE_UDF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rowset.h"
+#include "core/dmx_ast.h"
+#include "core/mining_model.h"
+
+namespace dmx {
+
+/// Evaluation context for one joined case.
+struct PredictionRowContext {
+  const MiningModel* model = nullptr;
+  const CasePrediction* prediction = nullptr;
+  const Row* source_row = nullptr;
+  const Schema* source_schema = nullptr;
+  std::string source_alias;
+};
+
+/// Static (schema-time) description of one projection item: its output
+/// column definition. Must stay consistent with EvaluateDmxExpr.
+Result<ColumnDef> InferDmxItemColumn(const DmxExpr& expr,
+                                     const std::string& alias,
+                                     const MiningModel& model,
+                                     const Schema& source,
+                                     const std::string& source_alias);
+
+/// Evaluates one projection expression for one joined case.
+Result<Value> EvaluateDmxExpr(const DmxExpr& expr,
+                              const PredictionRowContext& ctx);
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_UDF_H_

@@ -1,0 +1,293 @@
+#include "datagen/warehouse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/random.h"
+
+namespace dmx::datagen {
+
+namespace {
+
+// splitmix64: hash-combine (seed, customer id) so every per-customer draw is
+// independent of generation order.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t CustomerSeed(uint64_t seed, int64_t customer_id) {
+  return Mix(seed ^ Mix(static_cast<uint64_t>(customer_id)));
+}
+
+// Behavioural segment parameters. Ages separate cleanly enough that a model
+// trained on purchases + gender can predict the (discretized) age bucket.
+struct SegmentSpec {
+  double age_mean, age_sd;
+  double income_mean, income_sd;
+  double male_prob;
+  double loyalty_mean;
+  int signup_month_center;                // 1..12, cyclical
+  std::vector<const char*> products;      // preferred purchases
+  std::vector<const char*> cars;          // preferred cars
+  const char* likely_hair;                // extra age-correlated signal
+};
+
+const std::vector<SegmentSpec>& Segments() {
+  static const std::vector<SegmentSpec> kSegments = {
+      // Young gamers.
+      {22, 3, 25000, 5000, 0.65, 2.0, 9,
+       {"Video Game", "Game Console", "Soda", "Board Game", "Cereal"},
+       {"Compact"},
+       "Brown"},
+      // Families.
+      {38, 5, 55000, 10000, 0.50, 3.5, 8,
+       {"TV", "VCR", "Ham", "Beer", "Bread", "Cheese", "Doll"},
+       {"Van", "Truck"},
+       "Black"},
+      // Senior gardeners.
+      {62, 6, 40000, 8000, 0.45, 4.5, 4,
+       {"Lawn Mower", "Garden Tools", "Seeds", "Coffee", "Cookbook", "Novel"},
+       {"Sedan"},
+       "Gray"},
+      // Young professionals.
+      {29, 4, 70000, 12000, 0.55, 3.0, 1,
+       {"Camera", "Wine", "Tennis Racket", "Running Shoes", "Novel", "Coffee"},
+       {"Sports Car", "Truck"},
+       "Blonde"},
+  };
+  return kSegments;
+}
+
+
+
+const char* TypeOfProduct(const std::string& name) {
+  for (const Product& p : ProductCatalog()) {
+    if (name == p.name) return p.type;
+  }
+  return "Misc";
+}
+
+std::shared_ptr<const Schema> CustomersSchema() {
+  return Schema::Make({{"Customer ID", DataType::kLong},
+                       {"Gender", DataType::kText},
+                       {"Hair Color", DataType::kText},
+                       {"Age", DataType::kLong},
+                       {"Age Probability", DataType::kDouble},
+                       {"Customer Loyalty", DataType::kLong},
+                       {"Income", DataType::kDouble},
+                       {"Signup Month", DataType::kLong}});
+}
+
+std::shared_ptr<const Schema> SalesSchema() {
+  return Schema::Make({{"CustID", DataType::kLong},
+                       {"Product Name", DataType::kText},
+                       {"Quantity", DataType::kDouble},
+                       {"Product Type", DataType::kText},
+                       {"Purchase Time", DataType::kLong}});
+}
+
+std::shared_ptr<const Schema> CarsSchema() {
+  return Schema::Make({{"CustID", DataType::kLong},
+                       {"Car", DataType::kText},
+                       {"Car Probability", DataType::kDouble}});
+}
+
+}  // namespace
+
+const std::vector<PlantedBundle>& PlantedBundles() {
+  // The co-purchase/ordering rules every mining experiment should be able to
+  // rediscover.
+  static const std::vector<PlantedBundle> kBundles = {
+      {"TV", "VCR", 0.8},
+      {"Beer", "Ham", 0.7},
+      {"Tennis Racket", "Running Shoes", 0.75},
+      {"Seeds", "Garden Tools", 0.8},
+      {"Video Game", "Game Console", 0.7},
+  };
+  return kBundles;
+}
+
+const std::vector<Product>& ProductCatalog() {
+  static const std::vector<Product> kCatalog = {
+      {"TV", "Electronic"},          {"VCR", "Electronic"},
+      {"DVD Player", "Electronic"},  {"Game Console", "Electronic"},
+      {"Camera", "Electronic"},      {"Ham", "Food"},
+      {"Cheese", "Food"},            {"Bread", "Food"},
+      {"Cereal", "Food"},            {"Beer", "Beverage"},
+      {"Wine", "Beverage"},          {"Soda", "Beverage"},
+      {"Coffee", "Beverage"},        {"Lawn Mower", "Garden"},
+      {"Garden Tools", "Garden"},    {"Seeds", "Garden"},
+      {"Video Game", "Toy"},         {"Board Game", "Toy"},
+      {"Doll", "Toy"},               {"Tennis Racket", "Sport"},
+      {"Running Shoes", "Sport"},    {"Novel", "Book"},
+      {"Cookbook", "Book"},          {"Textbook", "Book"},
+  };
+  return kCatalog;
+}
+
+int SegmentOfCustomer(int64_t customer_id, uint64_t seed, int num_customers,
+                      int64_t first_customer_id) {
+  (void)num_customers;
+  (void)first_customer_id;
+  return static_cast<int>(CustomerSeed(seed, customer_id) % kNumSegments);
+}
+
+Status PopulateWarehouse(rel::Database* db, const WarehouseConfig& config) {
+  DMX_ASSIGN_OR_RETURN(rel::Table * customers,
+                       db->CreateTable(config.customers_table,
+                                       CustomersSchema()));
+  DMX_ASSIGN_OR_RETURN(rel::Table * sales,
+                       db->CreateTable(config.sales_table, SalesSchema()));
+  DMX_ASSIGN_OR_RETURN(rel::Table * cars,
+                       db->CreateTable(config.cars_table, CarsSchema()));
+
+  static const char* kHairColors[] = {"Black", "Brown", "Blonde", "Red",
+                                      "Gray"};
+  for (int i = 0; i < config.num_customers; ++i) {
+    int64_t id = config.first_customer_id + i;
+    Rng rng(CustomerSeed(config.seed, id));
+    const SegmentSpec& seg =
+        Segments()[CustomerSeed(config.seed, id) % kNumSegments];
+
+    // --- Customers row ---
+    std::string gender = rng.Chance(seg.male_prob) ? "Male" : "Female";
+    std::string hair = rng.Chance(0.6)
+                           ? seg.likely_hair
+                           : kHairColors[rng.Uniform(5)];
+    int64_t age = std::clamp<int64_t>(
+        std::llround(rng.Gaussian(seg.age_mean, seg.age_sd)), 18, 90);
+    double age_prob = rng.Chance(0.9) ? 1.0 : 0.5 + 0.45 * rng.NextDouble();
+    int64_t loyalty = std::clamp<int64_t>(
+        std::llround(rng.Gaussian(seg.loyalty_mean, 0.8)), 1, 5);
+    double income = std::max(8000.0, rng.Gaussian(seg.income_mean,
+                                                  seg.income_sd));
+    // Cyclical signup month: center +- 2, wrapping around the year.
+    int64_t month =
+        1 + ((seg.signup_month_center - 1 + static_cast<int>(rng.Uniform(5)) -
+              2 + 12) %
+             12);
+    DMX_RETURN_IF_ERROR(customers->Insert(
+        {Value::Long(id), Value::Text(gender), Value::Text(hair),
+         Value::Long(age), Value::Double(age_prob), Value::Long(loyalty),
+         Value::Double(income), Value::Long(month)}));
+
+    // --- Sales rows: an ORDERED purchase sequence. Bundle consequents are
+    // inserted right after their antecedent, planting first-order
+    // transitions (TV then VCR, ...) for the sequence-analysis service on
+    // top of the co-occurrence signal.
+    std::vector<std::string> sequence;
+    auto add_product = [&sequence](const std::string& product) {
+      for (const std::string& existing : sequence) {
+        if (existing == product) return false;
+      }
+      sequence.push_back(product);
+      return true;
+    };
+    int count = 1 + rng.Poisson(std::max(0.0, config.avg_purchases - 1));
+    for (int k = 0; k < count; ++k) {
+      std::string product;
+      if (rng.Chance(0.75) && !seg.products.empty()) {
+        product = seg.products[rng.Uniform(seg.products.size())];
+      } else {
+        product = ProductCatalog()[rng.Uniform(ProductCatalog().size())].name;
+      }
+      add_product(product);
+    }
+    for (const PlantedBundle& bundle : PlantedBundles()) {
+      for (size_t i = 0; i < sequence.size(); ++i) {
+        if (sequence[i] != bundle.antecedent) continue;
+        if (!rng.Chance(bundle.probability)) break;
+        bool already = false;
+        for (const std::string& existing : sequence) {
+          if (existing == bundle.consequent) already = true;
+        }
+        if (!already) {
+          sequence.insert(sequence.begin() + i + 1, bundle.consequent);
+        }
+        break;
+      }
+    }
+    for (size_t position = 0; position < sequence.size(); ++position) {
+      const std::string& product = sequence[position];
+      std::string type = TypeOfProduct(product);
+      double quantity = 1;
+      if (type == "Food" || type == "Beverage") {
+        quantity = 1 + rng.Poisson(2.0);
+      }
+      DMX_RETURN_IF_ERROR(sales->Insert(
+          {Value::Long(id), Value::Text(product), Value::Double(quantity),
+           Value::Text(type), Value::Long(static_cast<int64_t>(position + 1))}));
+    }
+
+    // --- CarOwnership rows ---
+    std::set<std::string> owned;
+    int car_count = rng.Poisson(config.avg_cars);
+    for (int k = 0; k < car_count; ++k) {
+      if (seg.cars.empty()) break;
+      owned.insert(seg.cars[rng.Uniform(seg.cars.size())]);
+    }
+    for (const std::string& car : owned) {
+      double prob = rng.Chance(0.8) ? 1.0 : 0.5;
+      DMX_RETURN_IF_ERROR(cars->Insert(
+          {Value::Long(id), Value::Text(car), Value::Double(prob)}));
+    }
+  }
+  return Status::OK();
+}
+
+Status LoadPaperExample(rel::Database* db) {
+  DMX_ASSIGN_OR_RETURN(rel::Table * customers,
+                       db->CreateTable("Customers", CustomersSchema()));
+  DMX_ASSIGN_OR_RETURN(rel::Table * sales,
+                       db->CreateTable("Sales", SalesSchema()));
+  DMX_ASSIGN_OR_RETURN(rel::Table * cars,
+                       db->CreateTable("CarOwnership", CarsSchema()));
+
+  // Customer 1 is exactly the paper's Table 1 case: male, black hair,
+  // "believed to be 35 years old with 100% certainty".
+  DMX_RETURN_IF_ERROR(customers->Insert(
+      {Value::Long(1), Value::Text("Male"), Value::Text("Black"),
+       Value::Long(35), Value::Double(1.0), Value::Long(4),
+       Value::Double(52000), Value::Long(8)}));
+  DMX_RETURN_IF_ERROR(customers->Insert(
+      {Value::Long(2), Value::Text("Female"), Value::Text("Blonde"),
+       Value::Long(28), Value::Double(1.0), Value::Long(3),
+       Value::Double(61000), Value::Long(2)}));
+  DMX_RETURN_IF_ERROR(customers->Insert(
+      {Value::Long(3), Value::Text("Male"), Value::Text("Gray"),
+       Value::Long(64), Value::Double(0.8), Value::Long(5),
+       Value::Double(39000), Value::Long(4)}));
+
+  // "this customer has bought a TV, a VCR, Beer (quantity 6) and Ham
+  // (quantity 2)" — four purchases, two nested columns beyond the key.
+  auto sale = [&](int64_t id, const char* name, double qty, int64_t when) {
+    return sales->Insert({Value::Long(id), Value::Text(name),
+                          Value::Double(qty), Value::Text(TypeOfProduct(name)),
+                          Value::Long(when)});
+  };
+  DMX_RETURN_IF_ERROR(sale(1, "TV", 1, 1));
+  DMX_RETURN_IF_ERROR(sale(1, "VCR", 1, 2));
+  DMX_RETURN_IF_ERROR(sale(1, "Ham", 2, 3));
+  DMX_RETURN_IF_ERROR(sale(1, "Beer", 6, 4));
+  DMX_RETURN_IF_ERROR(sale(2, "Wine", 1, 1));
+  DMX_RETURN_IF_ERROR(sale(2, "Camera", 1, 2));
+  DMX_RETURN_IF_ERROR(sale(3, "Seeds", 3, 1));
+  DMX_RETURN_IF_ERROR(sale(3, "Garden Tools", 1, 2));
+  DMX_RETURN_IF_ERROR(sale(3, "Coffee", 2, 3));
+
+  // "we know this customer owns a truck (100%) and we believe he also has a
+  // van (50% certainty)".
+  DMX_RETURN_IF_ERROR(cars->Insert(
+      {Value::Long(1), Value::Text("Truck"), Value::Double(1.0)}));
+  DMX_RETURN_IF_ERROR(cars->Insert(
+      {Value::Long(1), Value::Text("Van"), Value::Double(0.5)}));
+  DMX_RETURN_IF_ERROR(cars->Insert(
+      {Value::Long(3), Value::Text("Sedan"), Value::Double(1.0)}));
+  return Status::OK();
+}
+
+}  // namespace dmx::datagen

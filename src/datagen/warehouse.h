@@ -1,0 +1,93 @@
+// Synthetic stand-in for the paper's customer data warehouse (substitution
+// documented in DESIGN.md): the exact 3-table schema of the running example —
+// Customers, Sales (product purchases) and CarOwnership — populated with
+// customers drawn from latent behavioural segments so that the mining
+// experiments have real structure to find:
+//
+//  * age/income/loyalty and purchase categories depend on the latent segment,
+//    which makes [Age] predictable from [Gender] + [Product Purchases] — the
+//    paper's own "Age Prediction" model;
+//  * planted co-purchase bundles (TV=>VCR, Beer=>Ham, ...) give the
+//    association-rules service rules to discover;
+//  * the segments themselves are recoverable by the clustering service.
+
+#ifndef DMX_DATAGEN_WAREHOUSE_H_
+#define DMX_DATAGEN_WAREHOUSE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace dmx::datagen {
+
+/// Tuning knobs for the generated warehouse.
+struct WarehouseConfig {
+  int num_customers = 1000;
+  uint64_t seed = 42;
+  /// Mean purchases per customer (Poisson, shifted by +1 so nobody is empty).
+  double avg_purchases = 5.0;
+  /// Mean cars per customer (Poisson).
+  double avg_cars = 1.0;
+  /// Customer-ID offset so that two warehouses can coexist in one database.
+  int64_t first_customer_id = 1;
+  /// Table names, overridable so train and test sets can coexist.
+  std::string customers_table = "Customers";
+  std::string sales_table = "Sales";
+  std::string cars_table = "CarOwnership";
+};
+
+/// Product catalog entry: the RELATION of the paper's §3.2.1 — [Product Type]
+/// classifies [Product Name] and is functionally consistent across cases.
+struct Product {
+  const char* name;
+  const char* type;
+};
+
+/// The fixed product catalog (name -> type is a function, as the paper
+/// requires of RELATION columns).
+const std::vector<Product>& ProductCatalog();
+
+/// Number of latent behavioural segments planted by the generator.
+constexpr int kNumSegments = 4;
+
+/// One planted co-purchase/ordering rule: with the given probability, buying
+/// the antecedent is followed (immediately, in purchase order) by the
+/// consequent. Exposed so quality experiments can slice by where the planted
+/// signal actually lives.
+struct PlantedBundle {
+  const char* antecedent;
+  const char* consequent;
+  double probability;
+};
+
+/// The bundles the generator plants (TV=>VCR, Beer=>Ham, ...).
+const std::vector<PlantedBundle>& PlantedBundles();
+
+/// Creates and fills the three warehouse tables:
+///   <Customers>(Customer ID LONG, Gender TEXT, Hair Color TEXT, Age LONG,
+///               Age Probability DOUBLE, Customer Loyalty LONG, Income DOUBLE,
+///               Signup Month LONG)
+///   <Sales>(CustID LONG, Product Name TEXT, Quantity DOUBLE,
+///           Product Type TEXT)
+///   <CarOwnership>(CustID LONG, Car TEXT, Car Probability DOUBLE)
+/// Fails if any of the target tables already exists.
+Status PopulateWarehouse(rel::Database* db, const WarehouseConfig& config);
+
+/// Loads exactly the paper's Table 1 micro-dataset: customer 1 (male, black
+/// hair, 35, age probability 100%) with purchases {TV, VCR, Ham x2, Beer x6}
+/// and cars {Truck 100%, Van 50%}, plus two smaller customers so that joins
+/// and shapes have more than one case to chew on. Table names are the
+/// defaults of WarehouseConfig.
+Status LoadPaperExample(rel::Database* db);
+
+/// Returns the latent segment the generator assigned to a customer id
+/// (useful for validating clustering quality in tests and benches).
+int SegmentOfCustomer(int64_t customer_id, uint64_t seed, int num_customers,
+                      int64_t first_customer_id = 1);
+
+}  // namespace dmx::datagen
+
+#endif  // DMX_DATAGEN_WAREHOUSE_H_

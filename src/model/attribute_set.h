@@ -1,0 +1,154 @@
+// AttributeSet and DataCase: the uniform representation handed to mining
+// services. Case binding (core/case_binder) turns each hierarchical case of
+// a caseset into a DataCase:
+//
+//  * every scalar ATTRIBUTE column becomes one Attribute slot — categorical
+//    attributes carry a value dictionary, continuous ones a raw double,
+//    DISCRETIZED ones a bucket index (the bucket bounds live on the
+//    Attribute);
+//  * every TABLE column becomes a NestedGroup with a dictionary over its KEY
+//    values, and each case carries the set of item indices present (plus the
+//    per-item values of non-key nested attributes);
+//  * QUALIFIER columns do not become attributes — they feed case weights
+//    (SUPPORT OF) and soft labels (PROBABILITY OF) on their target.
+//
+// This realizes the paper's claim that consolidated cases let "traditional
+// data mining algorithms ... be leveraged with relative ease": services see
+// plain attribute vectors regardless of how the relational data was shaped.
+
+#ifndef DMX_MODEL_ATTRIBUTE_SET_H_
+#define DMX_MODEL_ATTRIBUTE_SET_H_
+
+#include <cmath>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "model/column_spec.h"
+
+namespace dmx {
+
+/// Missing-value sentinel in DataCase::values.
+inline constexpr double kMissing = std::numeric_limits<double>::quiet_NaN();
+
+inline bool IsMissing(double v) { return std::isnan(v); }
+
+/// \brief One scalar modeling attribute.
+struct Attribute {
+  std::string name;  ///< Model column name, or "Table.Column" for nested.
+  bool is_continuous = false;
+  bool is_input = true;
+  bool is_output = false;
+  AttributeType declared_type = AttributeType::kDiscrete;
+  DistributionHint hint = DistributionHint::kNone;
+  /// MODEL_EXISTENCE_ONLY: values collapse to Existing / Missing.
+  bool existence_only = false;
+
+  // Categorical dictionary (value <-> dense index). Used by discrete,
+  // ordered and cyclical attributes; ordered dictionaries are sorted.
+  std::vector<Value> categories;
+  std::unordered_map<Value, int, ValueHash> category_index;
+
+  // DISCRETIZED: bucket i covers [bounds[i-1], bounds[i]) with open ends.
+  // Filled during binding; size == bucket_count - 1 once trained.
+  std::vector<double> bucket_bounds;
+  DiscretizationMethod discretization = DiscretizationMethod::kEqualRanges;
+  int requested_buckets = 5;
+
+  bool is_discretized() const {
+    return declared_type == AttributeType::kDiscretized;
+  }
+  bool is_cyclical() const { return declared_type == AttributeType::kCyclical; }
+
+  /// Number of categorical states (discretized: bucket count).
+  int cardinality() const {
+    if (is_discretized()) return static_cast<int>(bucket_bounds.size()) + 1;
+    return static_cast<int>(categories.size());
+  }
+
+  /// Interns `value`, growing the dictionary, and returns its index.
+  int InternCategory(const Value& value);
+
+  /// Index of `value`, or -1 if unseen.
+  int LookupCategory(const Value& value) const;
+
+  /// Bucket index of a continuous value per bucket_bounds.
+  int BucketOf(double v) const;
+
+  /// Display form of categorical state `index` (bucket ranges for
+  /// discretized attributes: "[18.0, 32.4)").
+  std::string StateName(int index) const;
+
+  /// The Value representing state `index` (bucket midpoint for discretized).
+  Value StateValue(int index) const;
+};
+
+/// \brief One nested TABLE column, modeled as a set-valued attribute group.
+struct NestedGroup {
+  std::string name;  ///< The TABLE column's name, e.g. "Product Purchases".
+  bool is_input = true;
+  bool is_output = false;
+
+  // Dictionary over the nested KEY values ("items": products, cars, ...).
+  std::vector<Value> keys;
+  std::unordered_map<Value, int, ValueHash> key_index;
+
+  /// Names of non-key nested value attributes (e.g. "Quantity"); per-case
+  /// item values align with this list.
+  std::vector<std::string> value_names;
+
+  /// Index into value_names of the SEQUENCE_TIME column (-1: unordered
+  /// group). Sequence services order a case's items by this value.
+  int sequence_time_value = -1;
+
+  int InternKey(const Value& value);
+  int LookupKey(const Value& value) const;
+};
+
+/// \brief The bound attribute space of a mining model.
+struct AttributeSet {
+  std::vector<Attribute> attributes;
+  std::vector<NestedGroup> groups;
+
+  /// Index of the scalar attribute named `name` (case-insensitive), or -1.
+  int FindAttribute(const std::string& name) const;
+  /// Index of the nested group named `name`, or -1.
+  int FindGroup(const std::string& name) const;
+
+  std::vector<int> InputAttributeIndices() const;
+  std::vector<int> OutputAttributeIndices() const;
+};
+
+/// One item occurrence inside a nested group.
+struct CaseItem {
+  int key = -1;                 ///< Index into NestedGroup::keys.
+  std::vector<double> values;   ///< Aligned with NestedGroup::value_names.
+};
+
+/// \brief One case, bound to an AttributeSet.
+struct DataCase {
+  /// One slot per AttributeSet::attributes entry: the raw double for
+  /// continuous attributes, the dense category/bucket index for categorical
+  /// ones, kMissing for NULL/absent.
+  std::vector<double> values;
+
+  /// Case weight (SUPPORT OF qualifier; default 1).
+  double weight = 1.0;
+
+  /// Per-attribute label confidence (PROBABILITY OF qualifier; default 1).
+  /// Sparse: empty vector means "all 1".
+  std::vector<double> confidences;
+
+  /// One item list per AttributeSet::groups entry.
+  std::vector<std::vector<CaseItem>> groups;
+
+  double confidence(size_t attribute) const {
+    return attribute < confidences.size() ? confidences[attribute] : 1.0;
+  }
+};
+
+}  // namespace dmx
+
+#endif  // DMX_MODEL_ATTRIBUTE_SET_H_

@@ -1,0 +1,231 @@
+#include "model/column_spec.h"
+
+#include "common/string_util.h"
+
+namespace dmx {
+
+const char* ContentRoleToString(ContentRole role) {
+  switch (role) {
+    case ContentRole::kKey: return "KEY";
+    case ContentRole::kAttribute: return "ATTRIBUTE";
+    case ContentRole::kRelation: return "RELATION";
+    case ContentRole::kQualifier: return "QUALIFIER";
+    case ContentRole::kTable: return "TABLE";
+  }
+  return "?";
+}
+
+const char* AttributeTypeToString(AttributeType type) {
+  switch (type) {
+    case AttributeType::kDiscrete: return "DISCRETE";
+    case AttributeType::kOrdered: return "ORDERED";
+    case AttributeType::kCyclical: return "CYCLICAL";
+    case AttributeType::kContinuous: return "CONTINUOUS";
+    case AttributeType::kDiscretized: return "DISCRETIZED";
+    case AttributeType::kSequenceTime: return "SEQUENCE_TIME";
+  }
+  return "?";
+}
+
+const char* QualifierKindToString(QualifierKind kind) {
+  switch (kind) {
+    case QualifierKind::kProbability: return "PROBABILITY";
+    case QualifierKind::kVariance: return "VARIANCE";
+    case QualifierKind::kSupport: return "SUPPORT";
+    case QualifierKind::kProbabilityVariance: return "PROBABILITY_VARIANCE";
+    case QualifierKind::kOrder: return "ORDER";
+  }
+  return "?";
+}
+
+const char* DistributionHintToString(DistributionHint hint) {
+  switch (hint) {
+    case DistributionHint::kNone: return "";
+    case DistributionHint::kNormal: return "NORMAL";
+    case DistributionHint::kLogNormal: return "LOG_NORMAL";
+    case DistributionHint::kUniform: return "UNIFORM";
+    case DistributionHint::kBinomial: return "BINOMIAL";
+    case DistributionHint::kMultinomial: return "MULTINOMIAL";
+    case DistributionHint::kPoisson: return "POISSON";
+    case DistributionHint::kMixture: return "MIXTURE";
+  }
+  return "";
+}
+
+const char* DiscretizationMethodToString(DiscretizationMethod method) {
+  switch (method) {
+    case DiscretizationMethod::kEqualRanges: return "EQUAL_RANGES";
+    case DiscretizationMethod::kEqualFrequencies: return "EQUAL_FREQUENCIES";
+    case DiscretizationMethod::kClusters: return "CLUSTERS";
+  }
+  return "?";
+}
+
+Result<DiscretizationMethod> DiscretizationMethodFromString(
+    const std::string& s) {
+  if (EqualsCi(s, "EQUAL_RANGES") || EqualsCi(s, "EQUAL_AREAS")) {
+    return DiscretizationMethod::kEqualRanges;
+  }
+  if (EqualsCi(s, "EQUAL_FREQUENCIES")) {
+    return DiscretizationMethod::kEqualFrequencies;
+  }
+  if (EqualsCi(s, "CLUSTERS")) return DiscretizationMethod::kClusters;
+  return ParseError() << "unknown discretization method '" << s << "'";
+}
+
+std::string ModelColumn::ToDmx() const {
+  std::string out = QuoteIdentifier(name);
+  if (role == ContentRole::kTable) {
+    out += " TABLE(";
+    for (size_t i = 0; i < nested.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += nested[i].ToDmx();
+    }
+    out += ")";
+    if (usage == PredictUsage::kPredict) out += " PREDICT";
+    if (usage == PredictUsage::kPredictOnly) out += " PREDICT_ONLY";
+    return out;
+  }
+  out += ' ';
+  out += DataTypeToString(data_type);
+  switch (role) {
+    case ContentRole::kKey:
+      out += " KEY";
+      break;
+    case ContentRole::kAttribute: {
+      const char* hint = DistributionHintToString(distribution);
+      if (*hint != '\0') {
+        out += ' ';
+        out += hint;
+      }
+      out += ' ';
+      out += AttributeTypeToString(attr_type);
+      if (attr_type == AttributeType::kDiscretized) {
+        out += '(';
+        out += DiscretizationMethodToString(discretization);
+        out += ", " + std::to_string(discretization_buckets) + ")";
+      }
+      break;
+    }
+    case ContentRole::kRelation:
+      out += " DISCRETE RELATED TO " + QuoteIdentifier(related_to);
+      break;
+    case ContentRole::kQualifier:
+      out += ' ';
+      out += QualifierKindToString(qualifier);
+      out += " OF " + QuoteIdentifier(related_to);
+      break;
+    case ContentRole::kTable:
+      break;  // handled above
+  }
+  if (not_null) out += " NOT NULL";
+  if (model_existence_only) out += " MODEL_EXISTENCE_ONLY";
+  if (usage == PredictUsage::kPredict) out += " PREDICT";
+  if (usage == PredictUsage::kPredictOnly) out += " PREDICT_ONLY";
+  return out;
+}
+
+namespace {
+
+const ModelColumn* FindByName(const std::vector<ModelColumn>& columns,
+                              const std::string& name) {
+  for (const ModelColumn& col : columns) {
+    if (EqualsCi(col.name, name)) return &col;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status ValidateColumns(const std::vector<ModelColumn>& columns,
+                       bool top_level) {
+  if (columns.empty()) {
+    return InvalidArgument() << "a mining model needs at least one column";
+  }
+  int key_count = 0;
+  for (const ModelColumn& col : columns) {
+    // Duplicate names.
+    int dups = 0;
+    for (const ModelColumn& other : columns) {
+      if (EqualsCi(other.name, col.name)) ++dups;
+    }
+    if (dups > 1) {
+      return InvalidArgument() << "duplicate column name '" << col.name << "'";
+    }
+    switch (col.role) {
+      case ContentRole::kKey:
+        ++key_count;
+        if (col.is_output()) {
+          return InvalidArgument()
+                 << "key column '" << col.name << "' cannot be PREDICT";
+        }
+        break;
+      case ContentRole::kAttribute:
+        if ((col.attr_type == AttributeType::kContinuous ||
+             col.attr_type == AttributeType::kDiscretized ||
+             col.attr_type == AttributeType::kSequenceTime) &&
+            col.data_type == DataType::kText) {
+          return InvalidArgument()
+                 << "column '" << col.name << "': " << "a "
+                 << AttributeTypeToString(col.attr_type)
+                 << " attribute must have a numeric data type";
+        }
+        break;
+      case ContentRole::kRelation: {
+        const ModelColumn* target = FindByName(columns, col.related_to);
+        if (target == nullptr) {
+          return BindError() << "RELATED TO target '" << col.related_to
+                             << "' of column '" << col.name
+                             << "' is not a column at the same level";
+        }
+        if (target->role == ContentRole::kTable) {
+          return InvalidArgument() << "RELATED TO target '" << col.related_to
+                                   << "' cannot be a TABLE column";
+        }
+        break;
+      }
+      case ContentRole::kQualifier: {
+        const ModelColumn* target = FindByName(columns, col.related_to);
+        if (target == nullptr) {
+          return BindError() << "qualifier '" << col.name << "' modifies '"
+                             << col.related_to
+                             << "', which is not a column at the same level";
+        }
+        if (target->role != ContentRole::kAttribute &&
+            target->role != ContentRole::kKey) {
+          return InvalidArgument()
+                 << "qualifier '" << col.name
+                 << "' must modify an attribute or key column";
+        }
+        if (col.data_type == DataType::kText ||
+            col.data_type == DataType::kTable) {
+          return InvalidArgument()
+                 << "qualifier '" << col.name << "' must be numeric";
+        }
+        break;
+      }
+      case ContentRole::kTable: {
+        if (!top_level) {
+          return InvalidArgument()
+                 << "nested table '" << col.name
+                 << "' inside a nested table: only one level of nesting is "
+                    "supported (the paper's casesets are one level deep)";
+        }
+        DMX_RETURN_IF_ERROR(ValidateColumns(col.nested, /*top_level=*/false));
+        break;
+      }
+    }
+  }
+  if (top_level && key_count != 1) {
+    return InvalidArgument()
+           << "a mining model needs exactly one case-level KEY column, got "
+           << key_count;
+  }
+  if (!top_level && key_count != 1) {
+    return InvalidArgument()
+           << "a nested table needs exactly one KEY column, got " << key_count;
+  }
+  return Status::OK();
+}
+
+}  // namespace dmx

@@ -1,0 +1,53 @@
+#include "model/service_registry.h"
+
+namespace dmx {
+
+Status ServiceRegistry::Register(std::shared_ptr<MiningService> service) {
+  const std::string& name = service->capabilities().name;
+  if (services_.count(name) > 0 || aliases_.count(name) > 0) {
+    return AlreadyExists() << "mining service '" << name
+                           << "' is already registered";
+  }
+  services_.emplace(name, std::move(service));
+  return Status::OK();
+}
+
+Status ServiceRegistry::RegisterAlias(const std::string& alias,
+                                      const std::string& target) {
+  if (services_.count(alias) > 0 || aliases_.count(alias) > 0) {
+    return AlreadyExists() << "name '" << alias << "' is already registered";
+  }
+  if (services_.count(target) == 0) {
+    return NotFound() << "alias target service '" << target
+                      << "' is not registered";
+  }
+  aliases_.emplace(alias, target);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<MiningService>> ServiceRegistry::Find(
+    const std::string& name) const {
+  auto it = services_.find(name);
+  if (it != services_.end()) return it->second;
+  auto alias = aliases_.find(name);
+  if (alias != aliases_.end()) {
+    it = services_.find(alias->second);
+    if (it != services_.end()) return it->second;
+  }
+  std::string known;
+  for (const auto& [service_name, service] : services_) {
+    if (!known.empty()) known += ", ";
+    known += service_name;
+  }
+  return NotFound() << "unknown mining service '" << name
+                    << "' (registered services: " << known << ")";
+}
+
+std::vector<std::string> ServiceRegistry::ListServices() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, service] : services_) out.push_back(name);
+  return out;
+}
+
+}  // namespace dmx

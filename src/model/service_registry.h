@@ -1,0 +1,43 @@
+// ServiceRegistry: the provider's table of installed mining services.
+// CREATE MINING MODEL ... USING <name> resolves here, and the
+// MINING_SERVICES / SERVICE_PARAMETERS schema rowsets are generated from the
+// registered capabilities. Aliases let the paper's example names
+// ("Decision_Trees_101") map onto real services.
+
+#ifndef DMX_MODEL_SERVICE_REGISTRY_H_
+#define DMX_MODEL_SERVICE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "model/mining_service.h"
+
+namespace dmx {
+
+/// \brief Case-insensitive name -> MiningService map with alias support.
+class ServiceRegistry {
+ public:
+  /// Registers a service under its capability name. AlreadyExists on clash.
+  Status Register(std::shared_ptr<MiningService> service);
+
+  /// Registers an alternative DMX name for an existing service.
+  Status RegisterAlias(const std::string& alias, const std::string& target);
+
+  /// Resolves a USING-clause name (alias-aware). NotFound with the list of
+  /// known services on failure.
+  Result<std::shared_ptr<MiningService>> Find(const std::string& name) const;
+
+  /// Capability names (not aliases) in sorted order.
+  std::vector<std::string> ListServices() const;
+
+ private:
+  std::map<std::string, std::shared_ptr<MiningService>, LessCi> services_;
+  std::map<std::string, std::string, LessCi> aliases_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_MODEL_SERVICE_REGISTRY_H_

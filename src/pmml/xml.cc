@@ -1,0 +1,292 @@
+#include "pmml/xml.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace dmx::xml {
+
+Element* Element::AddChild(std::string name) {
+  children_.push_back(std::make_unique<Element>(std::move(name)));
+  return children_.back().get();
+}
+
+void Element::SetAttr(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+void Element::SetAttr(const std::string& key, double value) {
+  SetAttr(key, FormatDouble(value));
+}
+
+void Element::SetAttr(const std::string& key, int64_t value) {
+  SetAttr(key, std::to_string(value));
+}
+
+const std::string* Element::FindAttr(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+Result<std::string> Element::GetAttr(const std::string& key) const {
+  const std::string* v = FindAttr(key);
+  if (v == nullptr) {
+    return NotFound() << "element <" << name_ << "> has no attribute '" << key
+                      << "'";
+  }
+  return *v;
+}
+
+Result<double> Element::GetDoubleAttr(const std::string& key) const {
+  DMX_ASSIGN_OR_RETURN(std::string raw, GetAttr(key));
+  char* end = nullptr;
+  double value = std::strtod(raw.c_str(), &end);
+  if (end != raw.c_str() + raw.size()) {
+    return IOError() << "attribute " << key << "='" << raw
+                     << "' is not a number";
+  }
+  return value;
+}
+
+Result<int64_t> Element::GetLongAttr(const std::string& key) const {
+  DMX_ASSIGN_OR_RETURN(double value, GetDoubleAttr(key));
+  return static_cast<int64_t>(value);
+}
+
+const Element* Element::FindChild(const std::string& name) const {
+  for (const ElementPtr& child : children_) {
+    if (child->name() == name) return child.get();
+  }
+  return nullptr;
+}
+
+std::vector<const Element*> Element::FindChildren(
+    const std::string& name) const {
+  std::vector<const Element*> out;
+  for (const ElementPtr& child : children_) {
+    if (child->name() == name) out.push_back(child.get());
+  }
+  return out;
+}
+
+std::string Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void Element::Write(int indent, std::string* out) const {
+  out->append(indent, ' ');
+  *out += '<';
+  *out += name_;
+  for (const auto& [k, v] : attributes_) {
+    *out += ' ';
+    *out += k;
+    *out += "=\"";
+    *out += Escape(v);
+    *out += '"';
+  }
+  if (children_.empty() && text_.empty()) {
+    *out += "/>\n";
+    return;
+  }
+  *out += '>';
+  if (!text_.empty()) *out += Escape(text_);
+  if (!children_.empty()) {
+    *out += '\n';
+    for (const ElementPtr& child : children_) {
+      child->Write(indent + 2, out);
+    }
+    out->append(indent, ' ');
+  }
+  *out += "</";
+  *out += name_;
+  *out += ">\n";
+}
+
+std::string Element::ToString() const {
+  std::string out;
+  Write(0, &out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<ElementPtr> ParseDocument() {
+    SkipProlog();
+    DMX_ASSIGN_OR_RETURN(ElementPtr root, ParseElement());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return IOError() << "trailing content after the XML root element";
+    }
+    return root;
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  void SkipProlog() {
+    SkipWhitespace();
+    while (pos_ + 1 < text_.size() && text_[pos_] == '<' &&
+           (text_[pos_ + 1] == '?' || text_[pos_ + 1] == '!')) {
+      size_t end = text_.find('>', pos_);
+      pos_ = end == std::string::npos ? text_.size() : end + 1;
+      SkipWhitespace();
+    }
+  }
+
+  Result<std::string> ParseName() {
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '-' || text_[pos_] == ':' ||
+            text_[pos_] == '.')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return IOError() << "expected XML name at offset " << pos_;
+    }
+    return text_.substr(start, pos_ - start);
+  }
+
+  std::string Unescape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (size_t i = 0; i < raw.size(); ++i) {
+      if (raw[i] != '&') {
+        out += raw[i];
+        continue;
+      }
+      size_t semi = raw.find(';', i);
+      std::string entity =
+          semi == std::string::npos ? "" : raw.substr(i + 1, semi - i - 1);
+      if (entity == "amp") {
+        out += '&';
+      } else if (entity == "lt") {
+        out += '<';
+      } else if (entity == "gt") {
+        out += '>';
+      } else if (entity == "quot") {
+        out += '"';
+      } else if (entity == "apos") {
+        out += '\'';
+      } else {
+        out += raw[i];
+        continue;
+      }
+      i = semi;
+    }
+    return out;
+  }
+
+  Result<ElementPtr> ParseElement() {
+    SkipWhitespace();
+    if (pos_ >= text_.size() || text_[pos_] != '<') {
+      return IOError() << "expected '<' at offset " << pos_;
+    }
+    ++pos_;
+    DMX_ASSIGN_OR_RETURN(std::string name, ParseName());
+    auto element = std::make_unique<Element>(name);
+    // Attributes.
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size()) return IOError() << "unterminated element";
+      if (text_[pos_] == '/') {
+        if (pos_ + 1 >= text_.size() || text_[pos_ + 1] != '>') {
+          return IOError() << "malformed empty-element tag";
+        }
+        pos_ += 2;
+        return element;
+      }
+      if (text_[pos_] == '>') {
+        ++pos_;
+        break;
+      }
+      DMX_ASSIGN_OR_RETURN(std::string key, ParseName());
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '=') {
+        return IOError() << "expected '=' after attribute '" << key << "'";
+      }
+      ++pos_;
+      SkipWhitespace();
+      if (pos_ >= text_.size() || (text_[pos_] != '"' && text_[pos_] != '\'')) {
+        return IOError() << "expected quoted attribute value";
+      }
+      char quote = text_[pos_++];
+      size_t end = text_.find(quote, pos_);
+      if (end == std::string::npos) {
+        return IOError() << "unterminated attribute value";
+      }
+      element->SetAttr(key, Unescape(text_.substr(pos_, end - pos_)));
+      pos_ = end + 1;
+    }
+    // Content: text and child elements until the closing tag.
+    std::string text;
+    while (true) {
+      if (pos_ >= text_.size()) {
+        return IOError() << "unterminated element <" << name << ">";
+      }
+      if (text_[pos_] == '<') {
+        if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '/') {
+          pos_ += 2;
+          DMX_ASSIGN_OR_RETURN(std::string closing, ParseName());
+          if (closing != name) {
+            return IOError() << "mismatched closing tag </" << closing
+                             << "> for <" << name << ">";
+          }
+          SkipWhitespace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return IOError() << "malformed closing tag";
+          }
+          ++pos_;
+          element->set_text(Unescape(std::string(Trim(text))));
+          return element;
+        }
+        DMX_ASSIGN_OR_RETURN(ElementPtr child, ParseElement());
+        element->AdoptChild(std::move(child));
+        continue;
+      }
+      text += text_[pos_++];
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ElementPtr> Parse(const std::string& text) {
+  Parser parser(text);
+  return parser.ParseDocument();
+}
+
+}  // namespace dmx::xml

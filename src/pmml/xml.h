@@ -1,0 +1,71 @@
+// Minimal XML element tree: writer + parser sufficient for PMML-style model
+// persistence (elements, attributes, text content, escaping). No DTDs,
+// namespaces or processing instructions — PMML documents we emit and consume
+// never need them.
+
+#ifndef DMX_PMML_XML_H_
+#define DMX_PMML_XML_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmx::xml {
+
+class Element;
+using ElementPtr = std::unique_ptr<Element>;
+
+/// \brief One XML element: name, attributes, children, text content.
+class Element {
+ public:
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  const std::string& text() const { return text_; }
+  void set_text(std::string text) { text_ = std::move(text); }
+
+  Element* AddChild(std::string name);
+  void AdoptChild(ElementPtr child) { children_.push_back(std::move(child)); }
+  const std::vector<ElementPtr>& children() const { return children_; }
+
+  void SetAttr(const std::string& key, std::string value);
+  void SetAttr(const std::string& key, double value);
+  void SetAttr(const std::string& key, int64_t value);
+
+  /// nullptr when absent.
+  const std::string* FindAttr(const std::string& key) const;
+
+  /// Typed attribute access with NotFound/parse errors.
+  Result<std::string> GetAttr(const std::string& key) const;
+  Result<double> GetDoubleAttr(const std::string& key) const;
+  Result<int64_t> GetLongAttr(const std::string& key) const;
+
+  /// First child with the given element name; nullptr when absent.
+  const Element* FindChild(const std::string& name) const;
+
+  /// All children with the given element name.
+  std::vector<const Element*> FindChildren(const std::string& name) const;
+
+  /// Serializes the subtree with 2-space indentation.
+  std::string ToString() const;
+
+ private:
+  void Write(int indent, std::string* out) const;
+
+  std::string name_;
+  std::string text_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<ElementPtr> children_;
+};
+
+/// Parses one XML document (a single root element).
+Result<ElementPtr> Parse(const std::string& text);
+
+/// Escapes &<>"' for attribute/text contexts.
+std::string Escape(const std::string& raw);
+
+}  // namespace dmx::xml
+
+#endif  // DMX_PMML_XML_H_

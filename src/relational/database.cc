@@ -1,0 +1,254 @@
+#include "relational/database.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace dmx::rel {
+
+Result<Table*> Database::CreateTable(const std::string& name,
+                                     std::shared_ptr<const Schema> schema) {
+  if (tables_.count(name) > 0) {
+    return AlreadyExists() << "table '" << name << "' already exists";
+  }
+  DMX_RETURN_IF_ERROR(Table::ValidateSchema(*schema));
+  auto table = std::make_unique<Table>(name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<Table*> Database::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound() << "table '" << name << "' does not exist";
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return NotFound() << "table '" << name << "' does not exist";
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.erase(name) == 0) {
+    return NotFound() << "table '" << name << "' does not exist";
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> Database::ListTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+namespace {
+
+void WriteCsvField(const std::string& field, std::ostream* out) {
+  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) {
+    *out << field;
+    return;
+  }
+  *out << '"';
+  for (char c : field) {
+    if (c == '"') *out << '"';
+    *out << c;
+  }
+  *out << '"';
+}
+
+Status SaveCsvImpl(const Schema& schema, const std::vector<Row>& rows,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return IOError() << "cannot open '" << path << "' for writing";
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out << ',';
+    WriteCsvField(schema.column(c).name, &out);
+  }
+  out << '\n';
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out << ',';
+      if (!row[c].is_null()) WriteCsvField(row[c].ToString(), &out);
+    }
+    out << '\n';
+  }
+  if (!out) return IOError() << "write to '" << path << "' failed";
+  return Status::OK();
+}
+
+// Splits one CSV record; handles quoted fields with embedded separators.
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Ignore CR of CRLF endings.
+    } else {
+      field += c;
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool ParseLong(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *out);
+  return ec == std::errc() && ptr == end;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+Status SaveCsv(const Table& table, const std::string& path) {
+  return SaveCsvImpl(*table.schema(), table.rows(), path);
+}
+
+Status SaveCsv(const Rowset& rowset, const std::string& path) {
+  for (const ColumnDef& col : rowset.schema()->columns()) {
+    if (col.type == DataType::kTable) {
+      return NotSupported() << "cannot export nested-table column '" << col.name
+                            << "' to CSV";
+    }
+  }
+  return SaveCsvImpl(*rowset.schema(), rowset.rows(), path);
+}
+
+Result<Rowset> LoadCsv(const std::string& path,
+                       std::shared_ptr<const Schema> schema) {
+  std::ifstream in(path);
+  if (!in) return IOError() << "cannot open '" << path << "' for reading";
+  std::string line;
+  if (!std::getline(in, line)) {
+    return IOError() << "'" << path << "' is empty (no header row)";
+  }
+  std::vector<std::string> header = SplitCsvLine(line);
+  std::vector<std::vector<std::string>> raw_rows;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = SplitCsvLine(line);
+    if (fields.size() != header.size()) {
+      return IOError() << "row " << raw_rows.size() + 2 << " of '" << path
+                       << "' has " << fields.size() << " fields, header has "
+                       << header.size();
+    }
+    raw_rows.push_back(std::move(fields));
+  }
+
+  if (schema == nullptr) {
+    // Infer per-column types from the data.
+    std::vector<ColumnDef> columns;
+    columns.reserve(header.size());
+    for (size_t c = 0; c < header.size(); ++c) {
+      bool all_long = true;
+      bool all_double = true;
+      bool any_value = false;
+      for (const auto& row : raw_rows) {
+        const std::string& cell = row[c];
+        if (cell.empty()) continue;
+        any_value = true;
+        int64_t l;
+        double d;
+        if (!ParseLong(cell, &l)) all_long = false;
+        if (!ParseDouble(cell, &d)) all_double = false;
+        if (!all_long && !all_double) break;
+      }
+      DataType type = DataType::kText;
+      if (any_value && all_long) {
+        type = DataType::kLong;
+      } else if (any_value && all_double) {
+        type = DataType::kDouble;
+      }
+      columns.emplace_back(header[c], type);
+    }
+    schema = Schema::Make(std::move(columns));
+  } else {
+    if (schema->num_columns() != header.size()) {
+      return IOError() << "'" << path << "' has " << header.size()
+                       << " columns, expected schema has "
+                       << schema->num_columns();
+    }
+  }
+
+  Rowset out(schema);
+  for (auto& raw : raw_rows) {
+    Row row;
+    row.reserve(raw.size());
+    for (size_t c = 0; c < raw.size(); ++c) {
+      const std::string& cell = raw[c];
+      if (cell.empty()) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      switch (schema->column(c).type) {
+        case DataType::kLong: {
+          int64_t l;
+          if (!ParseLong(cell, &l)) {
+            return IOError() << "cell '" << cell << "' is not a LONG in column '"
+                             << schema->column(c).name << "'";
+          }
+          row.push_back(Value::Long(l));
+          break;
+        }
+        case DataType::kDouble: {
+          double d;
+          if (!ParseDouble(cell, &d)) {
+            return IOError() << "cell '" << cell
+                             << "' is not a DOUBLE in column '"
+                             << schema->column(c).name << "'";
+          }
+          row.push_back(Value::Double(d));
+          break;
+        }
+        case DataType::kBool:
+          row.push_back(Value::Bool(EqualsCi(cell, "TRUE") || cell == "1"));
+          break;
+        case DataType::kText:
+          row.push_back(Value::Text(cell));
+          break;
+        case DataType::kTable:
+          return NotSupported() << "CSV cannot carry nested tables";
+      }
+    }
+    DMX_RETURN_IF_ERROR(out.Append(std::move(row)));
+  }
+  return out;
+}
+
+}  // namespace dmx::rel

@@ -1,0 +1,59 @@
+// Database: the catalog of base tables the provider's relational engine
+// serves, plus CSV import/export (the "dump to files and mine outside"
+// pipeline the paper argues against is built from these primitives so the
+// benches can measure it).
+
+#ifndef DMX_RELATIONAL_DATABASE_H_
+#define DMX_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "relational/table.h"
+
+namespace dmx::rel {
+
+/// \brief Named-table catalog with case-insensitive names.
+class Database {
+ public:
+  /// Creates an empty table. AlreadyExists when the name is taken.
+  Result<Table*> CreateTable(const std::string& name,
+                             std::shared_ptr<const Schema> schema);
+
+  /// NotFound when the table does not exist.
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return tables_.count(name) > 0;
+  }
+
+  /// Table names in case-insensitive sorted order.
+  std::vector<std::string> ListTables() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>, LessCi> tables_;
+};
+
+/// Writes a table to CSV (header row, RFC-4180-style quoting).
+Status SaveCsv(const Table& table, const std::string& path);
+
+/// Writes an arbitrary flat rowset to CSV.
+Status SaveCsv(const Rowset& rowset, const std::string& path);
+
+/// Reads a CSV file into a rowset. When `schema` is null, column types are
+/// inferred per column: LONG if every non-empty cell parses as an integer,
+/// else DOUBLE if numeric, else TEXT. Empty cells load as NULL.
+Result<Rowset> LoadCsv(const std::string& path,
+                       std::shared_ptr<const Schema> schema = nullptr);
+
+}  // namespace dmx::rel
+
+#endif  // DMX_RELATIONAL_DATABASE_H_

@@ -1,0 +1,126 @@
+// Scalar expression trees shared by the SQL subset (WHERE / ON / projections)
+// and reused by the shaping and prediction layers for simple predicates.
+//
+// Binding and evaluation are split: Bind() resolves column references against
+// a Scope (names -> row positions) once, Eval() then runs per row with no
+// lookups.
+
+#ifndef DMX_RELATIONAL_EXPRESSION_H_
+#define DMX_RELATIONAL_EXPRESSION_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dmx::rel {
+
+/// Name resolution environment: maps (qualifier, column) to a position in the
+/// evaluation row. Unqualified names resolve across all ranges and must be
+/// unambiguous.
+class Scope {
+ public:
+  /// Adds a named range (table alias) whose columns occupy positions
+  /// [offset, offset + schema.num_columns()).
+  void AddRange(const std::string& alias, const Schema& schema, size_t offset);
+
+  /// Resolves `qualifier.name` (qualifier may be empty). BindError on unknown
+  /// or ambiguous references.
+  Result<size_t> Resolve(const std::string& qualifier,
+                         const std::string& name) const;
+
+  size_t width() const { return width_; }
+
+ private:
+  struct Entry {
+    std::string alias;
+    std::string column;
+    size_t position;
+  };
+  std::vector<Entry> entries_;
+  size_t width_ = 0;
+};
+
+/// Expression node kinds.
+enum class ExprKind {
+  kLiteral,
+  kColumnRef,
+  kUnary,   // NOT, unary minus
+  kBinary,  // comparisons, arithmetic, AND/OR
+  kIsNull,  // IS [NOT] NULL
+  kCall,    // function call: aggregates (COUNT/SUM/AVG/MIN/MAX), COUNT(*)
+};
+
+enum class BinaryOp { kEq, kNe, kLt, kLe, kGt, kGe, kAdd, kSub, kMul, kDiv,
+                      kAnd, kOr };
+enum class UnaryOp { kNot, kNeg };
+
+/// Returns the SQL spelling of a binary operator ("=", "<>", "AND", ...).
+const char* BinaryOpToString(BinaryOp op);
+
+/// \brief One node of an expression tree.
+///
+/// A plain struct (per the project style for data containers): parsers build
+/// it, Bind() fills `bound_index` on column refs, Eval() reads it.
+struct Expr {
+  ExprKind kind;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef
+  std::string qualifier;  ///< Table alias, possibly empty.
+  std::string column;
+  int bound_index = -1;   ///< Filled by Bind().
+
+  // kUnary / kBinary / kIsNull
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kEq;
+  bool is_null_negated = false;  ///< IS NOT NULL
+  std::vector<std::shared_ptr<Expr>> children;
+
+  // kCall
+  std::string function;    ///< Upper-cased function name.
+  bool call_star = false;  ///< COUNT(*).
+
+  static std::shared_ptr<Expr> MakeLiteral(Value v);
+  static std::shared_ptr<Expr> MakeColumnRef(std::string qualifier,
+                                             std::string column);
+  static std::shared_ptr<Expr> MakeUnary(UnaryOp op, std::shared_ptr<Expr> child);
+  static std::shared_ptr<Expr> MakeBinary(BinaryOp op, std::shared_ptr<Expr> lhs,
+                                          std::shared_ptr<Expr> rhs);
+  static std::shared_ptr<Expr> MakeIsNull(std::shared_ptr<Expr> child,
+                                          bool negated);
+  static std::shared_ptr<Expr> MakeCall(std::string function,
+                                        std::vector<std::shared_ptr<Expr>> args,
+                                        bool star);
+
+  /// True when this subtree contains an aggregate call.
+  bool ContainsAggregate() const;
+
+  /// Round-trippable SQL text of this expression.
+  std::string ToString() const;
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Resolves every column reference in `expr` against `scope`.
+Status BindExpr(Expr* expr, const Scope& scope);
+
+/// Evaluates a bound expression against a row laid out per the binding scope.
+///
+/// NULL semantics (documented simplification of SQL's three-valued logic):
+/// any comparison or arithmetic involving NULL yields NULL; NULL in a boolean
+/// position counts as false; IS NULL / IS NOT NULL test the state directly.
+Result<Value> EvalExpr(const Expr& expr, const Row& row);
+
+/// Convenience: evaluates a predicate, mapping NULL to false.
+Result<bool> EvalPredicate(const Expr& expr, const Row& row);
+
+}  // namespace dmx::rel
+
+#endif  // DMX_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,629 @@
+#include "relational/sql_executor.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "relational/sql_parser.h"
+
+namespace dmx::rel {
+
+namespace {
+
+struct RowKeyHash {
+  size_t operator()(const Row& key) const {
+    size_t h = 0;
+    for (const Value& v : key) h = h * 1315423911u + v.Hash();
+    return h;
+  }
+};
+
+struct RowKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (!a[i].Equals(b[i])) return false;
+    }
+    return true;
+  }
+};
+
+// A conjunct of a join condition split into the equi-pairs usable for hashing
+// and the residual predicate evaluated per joined row.
+struct JoinAnalysis {
+  std::vector<std::pair<int, int>> equi;  // (left position, right position)
+  std::vector<ExprPtr> residual;
+};
+
+void CollectConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (expr->kind == ExprKind::kBinary && expr->binary_op == BinaryOp::kAnd) {
+    CollectConjuncts(expr->children[0], out);
+    CollectConjuncts(expr->children[1], out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+// Tries to bind a column ref exclusively in one scope.
+bool BindsIn(const Expr& column_ref, const Scope& scope, int* position) {
+  auto result = scope.Resolve(column_ref.qualifier, column_ref.column);
+  if (!result.ok()) return false;
+  *position = static_cast<int>(*result);
+  return true;
+}
+
+// Splits `on` into hashable equi-join pairs and a residual. `left_scope`
+// covers the rows accumulated so far, `right_scope` only the newly joined
+// table (positions relative to its own row).
+JoinAnalysis AnalyzeJoin(const ExprPtr& on, const Scope& left_scope,
+                         const Scope& right_scope) {
+  JoinAnalysis analysis;
+  std::vector<ExprPtr> conjuncts;
+  CollectConjuncts(on, &conjuncts);
+  for (const ExprPtr& c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->binary_op == BinaryOp::kEq &&
+        c->children[0]->kind == ExprKind::kColumnRef &&
+        c->children[1]->kind == ExprKind::kColumnRef) {
+      int l = -1;
+      int r = -1;
+      if (BindsIn(*c->children[0], left_scope, &l) &&
+          BindsIn(*c->children[1], right_scope, &r)) {
+        analysis.equi.emplace_back(l, r);
+        continue;
+      }
+      if (BindsIn(*c->children[1], left_scope, &l) &&
+          BindsIn(*c->children[0], right_scope, &r)) {
+        analysis.equi.emplace_back(l, r);
+        continue;
+      }
+    }
+    analysis.residual.push_back(c);
+  }
+  return analysis;
+}
+
+// Unique output column naming: bare name unless it collides, then
+// "alias.name".
+std::vector<ColumnDef> UniquifyColumns(std::vector<ColumnDef> columns,
+                                       const std::vector<std::string>& quals) {
+  std::map<std::string, int, LessCi> counts;
+  for (const ColumnDef& col : columns) counts[col.name]++;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (counts[columns[i].name] > 1 && !quals[i].empty()) {
+      columns[i].name = quals[i] + "." + columns[i].name;
+    }
+  }
+  return columns;
+}
+
+Result<DataType> InferExprType(const Expr& expr,
+                               const std::vector<const Schema*>& schemas,
+                               const std::vector<size_t>& offsets) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      switch (expr.literal.kind()) {
+        case Value::Kind::kBool:
+          return DataType::kBool;
+        case Value::Kind::kLong:
+          return DataType::kLong;
+        case Value::Kind::kDouble:
+          return DataType::kDouble;
+        case Value::Kind::kTable:
+          return DataType::kTable;
+        default:
+          return DataType::kText;
+      }
+    case ExprKind::kColumnRef: {
+      size_t pos = static_cast<size_t>(expr.bound_index);
+      for (size_t s = 0; s < schemas.size(); ++s) {
+        size_t begin = offsets[s];
+        size_t end = begin + schemas[s]->num_columns();
+        if (pos >= begin && pos < end) {
+          return schemas[s]->column(pos - begin).type;
+        }
+      }
+      return Internal() << "bound index outside all ranges";
+    }
+    case ExprKind::kUnary:
+      return expr.unary_op == UnaryOp::kNot ? DataType::kBool : DataType::kDouble;
+    case ExprKind::kBinary:
+      switch (expr.binary_op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul: {
+          DMX_ASSIGN_OR_RETURN(DataType lhs,
+                               InferExprType(*expr.children[0], schemas, offsets));
+          DMX_ASSIGN_OR_RETURN(DataType rhs,
+                               InferExprType(*expr.children[1], schemas, offsets));
+          if (lhs == DataType::kText && rhs == DataType::kText) {
+            return DataType::kText;
+          }
+          return (lhs == DataType::kLong && rhs == DataType::kLong)
+                     ? DataType::kLong
+                     : DataType::kDouble;
+        }
+        case BinaryOp::kDiv:
+          return DataType::kDouble;
+        default:
+          return DataType::kBool;
+      }
+    case ExprKind::kIsNull:
+      return DataType::kBool;
+    case ExprKind::kCall:
+      if (expr.function == "COUNT") return DataType::kLong;
+      if (expr.function == "AVG" || expr.function == "SUM") {
+        return DataType::kDouble;
+      }
+      if (!expr.children.empty()) {
+        return InferExprType(*expr.children[0], schemas, offsets);
+      }
+      return DataType::kDouble;
+  }
+  return DataType::kText;
+}
+
+bool HasColumnRef(const Expr& expr) {
+  if (expr.kind == ExprKind::kColumnRef) return true;
+  for (const ExprPtr& child : expr.children) {
+    if (HasColumnRef(*child)) return true;
+  }
+  return false;
+}
+
+// Computes one aggregate call over a group of rows.
+Result<Value> ComputeAggregate(const Expr& call,
+                               const std::vector<const Row*>& group) {
+  const std::string& f = call.function;
+  if (f == "COUNT") {
+    if (call.call_star) return Value::Long(static_cast<int64_t>(group.size()));
+    if (call.children.size() != 1) {
+      return InvalidArgument() << "COUNT takes one argument or *";
+    }
+    int64_t count = 0;
+    for (const Row* row : group) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
+      if (!v.is_null()) ++count;
+    }
+    return Value::Long(count);
+  }
+  if (call.children.size() != 1) {
+    return InvalidArgument() << f << " takes exactly one argument";
+  }
+  if (f == "SUM" || f == "AVG") {
+    double total = 0;
+    int64_t count = 0;
+    bool all_long = true;
+    for (const Row* row : group) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
+      if (v.is_null()) continue;
+      if (!v.is_long()) all_long = false;
+      DMX_ASSIGN_OR_RETURN(double d, v.AsDouble());
+      total += d;
+      ++count;
+    }
+    if (count == 0) return Value::Null();
+    if (f == "AVG") return Value::Double(total / count);
+    return all_long ? Value::Long(static_cast<int64_t>(total))
+                    : Value::Double(total);
+  }
+  if (f == "MIN" || f == "MAX") {
+    Value best;
+    for (const Row* row : group) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
+      if (v.is_null()) continue;
+      if (best.is_null() ||
+          (f == "MIN" ? v.Compare(best) < 0 : v.Compare(best) > 0)) {
+        best = std::move(v);
+      }
+    }
+    return best;
+  }
+  return NotSupported() << "unknown function '" << f << "'";
+}
+
+// Evaluates a (possibly aggregate-bearing) expression over a row group:
+// aggregate calls reduce the group, everything else evaluates against the
+// group's first row (legal because non-aggregate projections are restricted
+// to GROUP BY expressions).
+Result<Value> EvalOverGroup(const Expr& expr,
+                            const std::vector<const Row*>& group) {
+  if (expr.kind == ExprKind::kCall) return ComputeAggregate(expr, group);
+  if (!expr.ContainsAggregate()) {
+    static const Row kEmpty;
+    return EvalExpr(expr, group.empty() ? kEmpty : *group.front());
+  }
+  // Mixed node (e.g. SUM(x) / COUNT(*)): evaluate children, then reuse the
+  // scalar evaluator on a literal-folded copy of this node.
+  Expr folded = expr;
+  folded.children.clear();
+  for (const ExprPtr& child : expr.children) {
+    DMX_ASSIGN_OR_RETURN(Value v, EvalOverGroup(*child, group));
+    folded.children.push_back(Expr::MakeLiteral(std::move(v)));
+  }
+  static const Row kEmpty;
+  return EvalExpr(folded, kEmpty);
+}
+
+// GROUP BY / aggregate execution over the filtered pre-projection rows.
+Result<Rowset> ExecuteAggregation(const SelectStatement& stmt,
+                                  const Scope& scope,
+                                  const std::vector<const Schema*>& schemas,
+                                  const std::vector<size_t>& offsets,
+                                  std::vector<Row> rows) {
+  // Bind everything.
+  std::vector<ExprPtr> keys = stmt.group_by;
+  for (const ExprPtr& key : keys) {
+    DMX_RETURN_IF_ERROR(BindExpr(key.get(), scope));
+  }
+  std::vector<ColumnDef> out_columns;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      return InvalidArgument() << "SELECT * cannot be combined with "
+                                  "aggregates / GROUP BY";
+    }
+    DMX_RETURN_IF_ERROR(BindExpr(item.expr.get(), scope));
+    // Non-aggregate projections must be grouping expressions (or constants).
+    if (!item.expr->ContainsAggregate() && HasColumnRef(*item.expr)) {
+      bool is_key = false;
+      for (const ExprPtr& key : keys) {
+        if (key->ToString() == item.expr->ToString()) is_key = true;
+      }
+      if (!is_key) {
+        return InvalidArgument()
+               << "projection " << item.expr->ToString()
+               << " must appear in GROUP BY or inside an aggregate";
+      }
+    }
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == ExprKind::kColumnRef ? item.expr->column
+                                                     : item.expr->ToString();
+    }
+    DMX_ASSIGN_OR_RETURN(DataType type,
+                         InferExprType(*item.expr, schemas, offsets));
+    out_columns.emplace_back(std::move(name), type);
+  }
+
+  // Partition rows into groups (one global group when GROUP BY is absent).
+  std::vector<std::vector<const Row*>> groups;
+  if (keys.empty()) {
+    groups.emplace_back();
+    for (const Row& row : rows) groups.back().push_back(&row);
+  } else {
+    std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> index;
+    for (const Row& row : rows) {
+      Row key_values;
+      key_values.reserve(keys.size());
+      for (const ExprPtr& key : keys) {
+        DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*key, row));
+        key_values.push_back(std::move(v));
+      }
+      auto [it, inserted] = index.emplace(std::move(key_values), groups.size());
+      if (inserted) groups.emplace_back();
+      groups[it->second].push_back(&row);
+    }
+  }
+
+  Rowset out(Schema::Make(std::move(out_columns)));
+  for (const auto& group : groups) {
+    Row out_row;
+    out_row.reserve(stmt.items.size());
+    for (const SelectItem& item : stmt.items) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvalOverGroup(*item.expr, group));
+      out_row.push_back(std::move(v));
+    }
+    DMX_RETURN_IF_ERROR(out.Append(std::move(out_row)));
+  }
+
+  // ORDER BY over the aggregated output (names resolve against the output
+  // schema: aliases or printed expressions).
+  if (!stmt.order_by.empty()) {
+    std::vector<std::pair<size_t, bool>> sort_keys;
+    for (const OrderItem& item : stmt.order_by) {
+      if (item.expr->kind != ExprKind::kColumnRef) {
+        return InvalidArgument()
+               << "ORDER BY over aggregates must reference output columns";
+      }
+      DMX_ASSIGN_OR_RETURN(size_t idx,
+                           out.schema()->ResolveColumn(item.expr->column));
+      sort_keys.emplace_back(idx, item.ascending);
+    }
+    std::stable_sort(out.mutable_rows().begin(), out.mutable_rows().end(),
+                     [&](const Row& a, const Row& b) {
+                       for (auto [idx, ascending] : sort_keys) {
+                         int cmp = a[idx].Compare(b[idx]);
+                         if (cmp != 0) return ascending ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (stmt.top.has_value() &&
+      out.num_rows() > static_cast<size_t>(*stmt.top)) {
+    out.mutable_rows().resize(static_cast<size_t>(*stmt.top));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
+  // Resolve FROM and JOIN tables; accumulate a combined scope of all ranges.
+  std::vector<const Schema*> schemas;
+  std::vector<size_t> offsets;
+  std::vector<std::string> aliases;
+  Scope scope;
+  std::vector<Row> rows;  // Working set of combined rows, built join by join.
+  if (stmt.has_from()) {
+    DMX_ASSIGN_OR_RETURN(const Table* base, db.GetTable(stmt.from.table));
+    schemas.push_back(base->schema().get());
+    offsets.push_back(0);
+    aliases.push_back(stmt.from.effective_alias());
+    scope.AddRange(aliases[0], *base->schema(), 0);
+    rows = base->rows();
+  } else {
+    // Singleton SELECT: constant projections over one empty row.
+    if (!stmt.joins.empty()) {
+      return InvalidArgument() << "a FROM-less SELECT cannot have JOINs";
+    }
+    rows.push_back(Row());
+  }
+
+  for (const JoinClause& join : stmt.joins) {
+    DMX_ASSIGN_OR_RETURN(const Table* right, db.GetTable(join.table.table));
+    size_t left_width = scope.width();
+
+    Scope right_scope;
+    right_scope.AddRange(join.table.effective_alias(), *right->schema(), 0);
+
+    JoinAnalysis analysis = AnalyzeJoin(join.on, scope, right_scope);
+
+    Scope combined = scope;
+    combined.AddRange(join.table.effective_alias(), *right->schema(),
+                      left_width);
+    std::vector<ExprPtr> residual = analysis.residual;
+    for (const ExprPtr& r : residual) {
+      DMX_RETURN_IF_ERROR(BindExpr(r.get(), combined));
+    }
+
+    std::vector<Row> joined;
+    auto emit_if_match = [&](const Row& left_row,
+                             const Row& right_row) -> Status {
+      Row out;
+      out.reserve(left_width + right_row.size());
+      out = left_row;
+      out.insert(out.end(), right_row.begin(), right_row.end());
+      for (const ExprPtr& r : residual) {
+        DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*r, out));
+        if (!pass) return Status::OK();
+      }
+      joined.push_back(std::move(out));
+      return Status::OK();
+    };
+
+    if (!analysis.equi.empty()) {
+      // Hash join on the equi columns.
+      std::unordered_multimap<Row, const Row*, RowKeyHash, RowKeyEq> hash;
+      hash.reserve(right->num_rows());
+      for (const Row& right_row : right->rows()) {
+        Row key;
+        key.reserve(analysis.equi.size());
+        bool has_null = false;
+        for (auto [l, r] : analysis.equi) {
+          (void)l;
+          if (right_row[r].is_null()) has_null = true;
+          key.push_back(right_row[r]);
+        }
+        if (has_null) continue;  // NULL never equi-joins.
+        hash.emplace(std::move(key), &right_row);
+      }
+      for (const Row& left_row : rows) {
+        Row key;
+        key.reserve(analysis.equi.size());
+        bool has_null = false;
+        for (auto [l, r] : analysis.equi) {
+          (void)r;
+          if (left_row[l].is_null()) has_null = true;
+          key.push_back(left_row[l]);
+        }
+        if (has_null) continue;
+        auto [begin, end] = hash.equal_range(key);
+        for (auto it = begin; it != end; ++it) {
+          DMX_RETURN_IF_ERROR(emit_if_match(left_row, *it->second));
+        }
+      }
+    } else {
+      // Nested-loop fallback for non-equi conditions.
+      for (const Row& left_row : rows) {
+        for (const Row& right_row : right->rows()) {
+          DMX_RETURN_IF_ERROR(emit_if_match(left_row, right_row));
+        }
+      }
+    }
+
+    rows = std::move(joined);
+    scope = std::move(combined);
+    schemas.push_back(right->schema().get());
+    offsets.push_back(left_width);
+    aliases.push_back(join.table.effective_alias());
+  }
+
+  // WHERE.
+  if (stmt.where != nullptr) {
+    DMX_RETURN_IF_ERROR(BindExpr(stmt.where.get(), scope));
+    std::vector<Row> filtered;
+    filtered.reserve(rows.size());
+    for (Row& row : rows) {
+      DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*stmt.where, row));
+      if (pass) filtered.push_back(std::move(row));
+    }
+    rows = std::move(filtered);
+  }
+
+  // Aggregation path: GROUP BY present or any aggregate in the projection.
+  bool aggregating = !stmt.group_by.empty();
+  for (const SelectItem& item : stmt.items) {
+    if (!item.star && item.expr->ContainsAggregate()) aggregating = true;
+  }
+  if (aggregating) {
+    return ExecuteAggregation(stmt, scope, schemas, offsets, std::move(rows));
+  }
+
+  // ORDER BY (applied on the pre-projection rows so any column can sort).
+  // A bare name that matches a projection alias sorts by that projection.
+  std::vector<OrderItem> order_by = stmt.order_by;
+  for (OrderItem& item : order_by) {
+    if (item.expr->kind != ExprKind::kColumnRef ||
+        !item.expr->qualifier.empty()) {
+      continue;
+    }
+    for (const SelectItem& sel : stmt.items) {
+      if (!sel.star && !sel.alias.empty() &&
+          EqualsCi(sel.alias, item.expr->column)) {
+        item.expr = sel.expr;
+        break;
+      }
+    }
+  }
+  if (!order_by.empty()) {
+    for (const OrderItem& item : order_by) {
+      DMX_RETURN_IF_ERROR(BindExpr(item.expr.get(), scope));
+    }
+    Status sort_status;
+    std::stable_sort(rows.begin(), rows.end(),
+                     [&](const Row& a, const Row& b) {
+                       for (const OrderItem& item : order_by) {
+                         auto va = EvalExpr(*item.expr, a);
+                         auto vb = EvalExpr(*item.expr, b);
+                         if (!va.ok() || !vb.ok()) {
+                           if (sort_status.ok()) {
+                             sort_status = va.ok() ? vb.status() : va.status();
+                           }
+                           return false;
+                         }
+                         int cmp = va->Compare(*vb);
+                         if (cmp != 0) return item.ascending ? cmp < 0 : cmp > 0;
+                       }
+                       return false;
+                     });
+    DMX_RETURN_IF_ERROR(sort_status);
+  }
+
+  if (stmt.top.has_value() && rows.size() > static_cast<size_t>(*stmt.top)) {
+    rows.resize(static_cast<size_t>(*stmt.top));
+  }
+
+  // Projection. Expand stars, bind expressions, name and type columns.
+  std::vector<ExprPtr> projections;
+  std::vector<ColumnDef> out_columns;
+  std::vector<std::string> out_quals;
+  for (const SelectItem& item : stmt.items) {
+    if (item.star) {
+      for (size_t s = 0; s < schemas.size(); ++s) {
+        for (size_t c = 0; c < schemas[s]->num_columns(); ++c) {
+          auto ref = Expr::MakeColumnRef(aliases[s], schemas[s]->column(c).name);
+          projections.push_back(std::move(ref));
+          out_columns.push_back(schemas[s]->column(c));
+          out_quals.push_back(aliases[s]);
+        }
+      }
+      continue;
+    }
+    projections.push_back(item.expr);
+    std::string name = item.alias;
+    if (name.empty()) {
+      name = item.expr->kind == ExprKind::kColumnRef
+                 ? item.expr->column
+                 : "Expr" + std::to_string(projections.size());
+    }
+    out_columns.emplace_back(name, DataType::kText);  // Type fixed below.
+    out_quals.push_back(item.expr->kind == ExprKind::kColumnRef
+                            ? item.expr->qualifier
+                            : "");
+  }
+  for (size_t i = 0; i < projections.size(); ++i) {
+    DMX_RETURN_IF_ERROR(BindExpr(projections[i].get(), scope));
+    DMX_ASSIGN_OR_RETURN(out_columns[i].type,
+                         InferExprType(*projections[i], schemas, offsets));
+  }
+  out_columns = UniquifyColumns(std::move(out_columns), out_quals);
+
+  Rowset result(Schema::Make(std::move(out_columns)));
+  for (const Row& row : rows) {
+    Row out;
+    out.reserve(projections.size());
+    for (const ExprPtr& p : projections) {
+      DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
+      out.push_back(std::move(v));
+    }
+    DMX_RETURN_IF_ERROR(result.Append(std::move(out)));
+  }
+  return result;
+}
+
+Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
+  if (const auto* stmt = std::get_if<SelectStatement>(&statement)) {
+    return ExecuteSelect(*db, *stmt);
+  }
+  if (const auto* stmt = std::get_if<CreateTableStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(
+        db->CreateTable(stmt->name, Schema::Make(stmt->columns)).status());
+    return Rowset();
+  }
+  if (const auto* stmt = std::get_if<InsertStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(Table * table, db->GetTable(stmt->table));
+    const Schema& schema = *table->schema();
+    // Map the statement's column list (or schema order) to positions.
+    std::vector<size_t> positions;
+    if (stmt->columns.empty()) {
+      for (size_t i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
+    } else {
+      for (const std::string& name : stmt->columns) {
+        DMX_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(name));
+        positions.push_back(idx);
+      }
+    }
+    Row empty;
+    for (const auto& exprs : stmt->rows) {
+      if (exprs.size() != positions.size()) {
+        return InvalidArgument()
+               << "INSERT row has " << exprs.size() << " values, expected "
+               << positions.size();
+      }
+      Row row(schema.num_columns(), Value::Null());
+      for (size_t i = 0; i < exprs.size(); ++i) {
+        DMX_ASSIGN_OR_RETURN(row[positions[i]], EvalExpr(*exprs[i], empty));
+      }
+      DMX_RETURN_IF_ERROR(table->Insert(std::move(row)));
+    }
+    return Rowset();
+  }
+  if (const auto* stmt = std::get_if<DropTableStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(db->DropTable(stmt->name));
+    return Rowset();
+  }
+  if (const auto* stmt = std::get_if<DeleteStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(Table * table, db->GetTable(stmt->table));
+    if (stmt->where == nullptr) {
+      table->Clear();
+      return Rowset();
+    }
+    Scope scope;
+    scope.AddRange(stmt->table, *table->schema(), 0);
+    DMX_RETURN_IF_ERROR(BindExpr(stmt->where.get(), scope));
+    std::vector<Row> kept;
+    for (const Row& row : table->rows()) {
+      DMX_ASSIGN_OR_RETURN(bool matches, EvalPredicate(*stmt->where, row));
+      if (!matches) kept.push_back(row);
+    }
+    table->Clear();
+    DMX_RETURN_IF_ERROR(table->InsertAll(std::move(kept)));
+    return Rowset();
+  }
+  return Internal() << "unhandled SQL statement kind";
+}
+
+Result<Rowset> ExecuteSql(Database* db, const std::string& sql) {
+  DMX_ASSIGN_OR_RETURN(SqlStatement statement, ParseSql(sql));
+  return Execute(db, statement);
+}
+
+}  // namespace dmx::rel

@@ -1,0 +1,29 @@
+// Executor for the SQL subset: SELECT with (hash-)joins, filters, ordering
+// and projection; CREATE TABLE / INSERT / DELETE / DROP against the catalog.
+
+#ifndef DMX_RELATIONAL_SQL_EXECUTOR_H_
+#define DMX_RELATIONAL_SQL_EXECUTOR_H_
+
+#include <string>
+
+#include "common/rowset.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/sql_ast.h"
+
+namespace dmx::rel {
+
+/// Executes one parsed statement. DDL/DML return an empty rowset; SELECT
+/// returns its result.
+Result<Rowset> Execute(Database* db, const SqlStatement& statement);
+
+/// Parses and executes `sql` in one step.
+Result<Rowset> ExecuteSql(Database* db, const std::string& sql);
+
+/// Executes a SELECT; exposed separately because the SHAPE service and the
+/// DMX executor run embedded SELECT blocks directly.
+Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt);
+
+}  // namespace dmx::rel
+
+#endif  // DMX_RELATIONAL_SQL_EXECUTOR_H_

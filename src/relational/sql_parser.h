@@ -1,0 +1,30 @@
+// Recursive-descent parser for the SQL subset (see sql_ast.h for the
+// grammar). The parser is also used as a sub-parser: the SHAPE service and
+// DMX INSERT/PREDICTION JOIN statements embed `{SELECT ...}` blocks, parsed
+// via ParseSelectFrom(TokenStream&).
+
+#ifndef DMX_RELATIONAL_SQL_PARSER_H_
+#define DMX_RELATIONAL_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/tokenizer.h"
+#include "relational/sql_ast.h"
+
+namespace dmx::rel {
+
+/// Parses a complete SQL statement from `text`.
+Result<SqlStatement> ParseSql(const std::string& text);
+
+/// Parses a SELECT statement starting at the current stream position (the
+/// leading SELECT keyword must still be in the stream). Used by embedding
+/// grammars (SHAPE, DMX).
+Result<SelectStatement> ParseSelectFrom(TokenStream* tokens);
+
+/// Parses a scalar expression (exposed for tests and embedding grammars).
+Result<ExprPtr> ParseExpression(TokenStream* tokens);
+
+}  // namespace dmx::rel
+
+#endif  // DMX_RELATIONAL_SQL_PARSER_H_

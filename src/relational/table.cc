@@ -1,0 +1,40 @@
+#include "relational/table.h"
+
+namespace dmx::rel {
+
+Status Table::ValidateSchema(const Schema& schema) {
+  if (schema.num_columns() == 0) {
+    return InvalidArgument() << "a table needs at least one column";
+  }
+  for (const ColumnDef& col : schema.columns()) {
+    if (col.type == DataType::kTable) {
+      return InvalidArgument()
+             << "base table column '" << col.name
+             << "' cannot be TABLE-typed; use SHAPE to build nested rowsets";
+    }
+  }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  if (row.size() != schema_->num_columns()) {
+    return InvalidArgument() << "INSERT into '" << name_ << "': got "
+                             << row.size() << " values, expected "
+                             << schema_->num_columns();
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    DMX_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(schema_->column(i).type));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Status Table::InsertAll(std::vector<Row> rows) {
+  rows_.reserve(rows_.size() + rows.size());
+  for (Row& row : rows) {
+    DMX_RETURN_IF_ERROR(Insert(std::move(row)));
+  }
+  return Status::OK();
+}
+
+}  // namespace dmx::rel

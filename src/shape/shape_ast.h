@@ -1,0 +1,41 @@
+// AST for the data-shaping language of paper §3.1 / §3.3:
+//
+//   SHAPE {<select>}
+//   APPEND ({<select>} RELATE <parent col> TO <child col> [, ...])
+//     AS <nested table name>
+//   [APPEND ... AS ...]...
+//
+// The result is a hierarchical rowset: the master SELECT's columns plus one
+// TABLE-typed column per APPEND holding the related child rows.
+
+#ifndef DMX_SHAPE_SHAPE_AST_H_
+#define DMX_SHAPE_SHAPE_AST_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/sql_ast.h"
+
+namespace dmx::shape {
+
+/// One RELATE pair: parent column name TO child column name.
+struct RelatePair {
+  std::string parent_column;
+  std::string child_column;
+};
+
+/// One APPEND clause: a child query related to the master by key equality.
+struct AppendClause {
+  rel::SelectStatement child;
+  std::vector<RelatePair> relations;
+  std::string name;  ///< The nested TABLE column's name (AS ...).
+};
+
+struct ShapeStatement {
+  rel::SelectStatement master;
+  std::vector<AppendClause> appends;
+};
+
+}  // namespace dmx::shape
+
+#endif  // DMX_SHAPE_SHAPE_AST_H_

@@ -1,0 +1,87 @@
+#include "shape/shape_executor.h"
+
+#include "relational/sql_executor.h"
+
+namespace dmx::shape {
+
+namespace {
+
+size_t HashKey(const Row& row, const std::vector<size_t>& columns) {
+  size_t h = 0;
+  for (size_t c : columns) h = h * 1315423911u + row[c].Hash();
+  return h;
+}
+
+bool KeysEqual(const Row& parent, const std::vector<size_t>& parent_cols,
+               const Row& child, const std::vector<size_t>& child_cols) {
+  for (size_t i = 0; i < parent_cols.size(); ++i) {
+    if (!parent[parent_cols[i]].Equals(child[child_cols[i]])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
+    const rel::Database& db, const ShapeStatement& stmt) {
+  auto reader = std::unique_ptr<ShapedCaseReader>(new ShapedCaseReader());
+  DMX_ASSIGN_OR_RETURN(reader->master_, rel::ExecuteSelect(db, stmt.master));
+
+  std::vector<ColumnDef> out_columns = reader->master_.schema()->columns();
+  for (const AppendClause& append : stmt.appends) {
+    ChildIndex index;
+    DMX_ASSIGN_OR_RETURN(index.rowset, rel::ExecuteSelect(db, append.child));
+    index.nested_schema = index.rowset.schema();
+    for (const RelatePair& pair : append.relations) {
+      DMX_ASSIGN_OR_RETURN(
+          size_t parent_col,
+          reader->master_.schema()->ResolveColumn(pair.parent_column));
+      DMX_ASSIGN_OR_RETURN(size_t child_col,
+                           index.rowset.schema()->ResolveColumn(
+                               pair.child_column));
+      index.parent_key_columns.push_back(parent_col);
+      index.child_key_columns.push_back(child_col);
+    }
+    index.by_key.reserve(index.rowset.num_rows());
+    for (size_t r = 0; r < index.rowset.num_rows(); ++r) {
+      index.by_key.emplace(
+          HashKey(index.rowset.rows()[r], index.child_key_columns), r);
+    }
+    out_columns.emplace_back(append.name, index.nested_schema);
+    reader->children_.push_back(std::move(index));
+  }
+  reader->schema_ = Schema::Make(std::move(out_columns));
+  return reader;
+}
+
+Result<bool> ShapedCaseReader::Next(Row* row) {
+  if (pos_ >= master_.num_rows()) return false;
+  const Row& parent = master_.rows()[pos_++];
+  *row = parent;
+  row->reserve(parent.size() + children_.size());
+  for (const ChildIndex& child : children_) {
+    std::vector<Row> nested_rows;
+    size_t h = HashKey(parent, child.parent_key_columns);
+    auto [begin, end] = child.by_key.equal_range(h);
+    for (auto it = begin; it != end; ++it) {
+      const Row& candidate = child.rowset.rows()[it->second];
+      if (KeysEqual(parent, child.parent_key_columns, candidate,
+                    child.child_key_columns)) {
+        nested_rows.push_back(candidate);
+      }
+    }
+    row->push_back(
+        Value::Table(NestedTable::Make(child.nested_schema,
+                                       std::move(nested_rows))));
+  }
+  return true;
+}
+
+Result<Rowset> ExecuteShape(const rel::Database& db,
+                            const ShapeStatement& stmt) {
+  DMX_ASSIGN_OR_RETURN(std::unique_ptr<ShapedCaseReader> reader,
+                       ShapedCaseReader::Create(db, stmt));
+  return reader->ReadAll();
+}
+
+}  // namespace dmx::shape

@@ -1,0 +1,63 @@
+// Execution of SHAPE statements: builds hierarchical rowsets (casesets) from
+// flat query results, either fully materialized or streamed case-at-a-time.
+//
+// The streaming reader is the paper's §3.1 consumption model: "data mining
+// algorithms are designed so that they consume an entity instance at a time".
+// Only one case is resident in the mining layer at any moment; the child rows
+// are indexed (not copied) until a case is emitted.
+
+#ifndef DMX_SHAPE_SHAPE_EXECUTOR_H_
+#define DMX_SHAPE_SHAPE_EXECUTOR_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rowset.h"
+#include "common/status.h"
+#include "relational/database.h"
+#include "shape/shape_ast.h"
+
+namespace dmx::shape {
+
+/// Executes the SHAPE statement, returning the fully materialized
+/// hierarchical rowset (master columns + one TABLE column per APPEND).
+Result<Rowset> ExecuteShape(const rel::Database& db, const ShapeStatement& stmt);
+
+/// \brief Case-at-a-time reader over a SHAPE statement.
+///
+/// Child rowsets are executed once and indexed by relate key; each Next()
+/// materializes exactly one hierarchical case.
+class ShapedCaseReader : public RowsetReader {
+ public:
+  /// Runs the embedded queries and builds the key indexes.
+  static Result<std::unique_ptr<ShapedCaseReader>> Create(
+      const rel::Database& db, const ShapeStatement& stmt);
+
+  const std::shared_ptr<const Schema>& schema() const override {
+    return schema_;
+  }
+
+  Result<bool> Next(Row* row) override;
+
+ private:
+  struct ChildIndex {
+    Rowset rowset;
+    std::shared_ptr<const Schema> nested_schema;
+    std::vector<size_t> child_key_columns;
+    std::vector<size_t> parent_key_columns;
+    // Key hash -> indices of child rows with that key (verified on probe).
+    std::unordered_multimap<size_t, size_t> by_key;
+  };
+
+  ShapedCaseReader() = default;
+
+  std::shared_ptr<const Schema> schema_;
+  Rowset master_;
+  std::vector<ChildIndex> children_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dmx::shape
+
+#endif  // DMX_SHAPE_SHAPE_EXECUTOR_H_

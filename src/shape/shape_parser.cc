@@ -1,0 +1,61 @@
+#include "shape/shape_parser.h"
+
+#include "relational/sql_parser.h"
+
+namespace dmx::shape {
+
+namespace {
+
+// {SELECT ...} — braces are mandatory, as in the MDAC shaping language.
+Result<rel::SelectStatement> ParseBracedSelect(TokenStream* tokens) {
+  DMX_RETURN_IF_ERROR(tokens->ExpectPunct("{"));
+  DMX_ASSIGN_OR_RETURN(rel::SelectStatement select,
+                       rel::ParseSelectFrom(tokens));
+  DMX_RETURN_IF_ERROR(tokens->ExpectPunct("}"));
+  return select;
+}
+
+}  // namespace
+
+Result<ShapeStatement> ParseShapeFrom(TokenStream* tokens) {
+  DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("SHAPE"));
+  ShapeStatement stmt;
+  DMX_ASSIGN_OR_RETURN(stmt.master, ParseBracedSelect(tokens));
+  while (tokens->MatchKeyword("APPEND")) {
+    DMX_RETURN_IF_ERROR(tokens->ExpectPunct("("));
+    AppendClause append;
+    DMX_ASSIGN_OR_RETURN(append.child, ParseBracedSelect(tokens));
+    DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("RELATE"));
+    while (true) {
+      RelatePair pair;
+      DMX_ASSIGN_OR_RETURN(pair.parent_column,
+                           tokens->ExpectIdentifier("parent column"));
+      DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("TO"));
+      DMX_ASSIGN_OR_RETURN(pair.child_column,
+                           tokens->ExpectIdentifier("child column"));
+      append.relations.push_back(std::move(pair));
+      if (!tokens->MatchPunct(",")) break;
+    }
+    DMX_RETURN_IF_ERROR(tokens->ExpectPunct(")"));
+    DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("AS"));
+    DMX_ASSIGN_OR_RETURN(append.name,
+                         tokens->ExpectIdentifier("nested table name"));
+    stmt.appends.push_back(std::move(append));
+  }
+  if (stmt.appends.empty()) {
+    return tokens->ErrorHere("SHAPE requires at least one APPEND clause");
+  }
+  return stmt;
+}
+
+Result<ShapeStatement> ParseShape(const std::string& text) {
+  DMX_ASSIGN_OR_RETURN(std::vector<Token> token_list, Tokenize(text));
+  TokenStream tokens(std::move(token_list));
+  DMX_ASSIGN_OR_RETURN(ShapeStatement stmt, ParseShapeFrom(&tokens));
+  if (!tokens.AtEnd()) {
+    return tokens.ErrorHere("unexpected trailing input after SHAPE");
+  }
+  return stmt;
+}
+
+}  // namespace dmx::shape

@@ -1,0 +1,26 @@
+// Parser for SHAPE statements (see shape_ast.h for the grammar). Embedded
+// SELECT blocks are delegated to the SQL parser; the whole SHAPE grammar is
+// itself embeddable (DMX INSERT INTO and PREDICTION JOIN source queries), so
+// the TokenStream entry point is exposed.
+
+#ifndef DMX_SHAPE_SHAPE_PARSER_H_
+#define DMX_SHAPE_SHAPE_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "common/tokenizer.h"
+#include "shape/shape_ast.h"
+
+namespace dmx::shape {
+
+/// Parses a complete SHAPE statement from text.
+Result<ShapeStatement> ParseShape(const std::string& text);
+
+/// Parses a SHAPE statement at the current stream position (leading SHAPE
+/// keyword still in the stream).
+Result<ShapeStatement> ParseShapeFrom(TokenStream* tokens);
+
+}  // namespace dmx::shape
+
+#endif  // DMX_SHAPE_SHAPE_PARSER_H_

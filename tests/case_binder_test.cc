@@ -1,0 +1,277 @@
+// Case binding: attribute-set construction from definitions, name-based
+// training binding, dictionaries and discretization, qualifier routing,
+// relation-derived item groups, and prediction-time ON/NATURAL binding.
+
+#include "core/case_binder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/dmx_parser.h"
+
+namespace dmx {
+namespace {
+
+ModelDefinition MustDefine(const std::string& dmx) {
+  auto def = ParseCreateMiningModel(dmx);
+  EXPECT_TRUE(def.ok()) << def.status().ToString();
+  return def.ok() ? std::move(def).value() : ModelDefinition{};
+}
+
+const char* kModelDmx = R"(
+  CREATE MINING MODEL m (
+    [Id] LONG KEY,
+    [Gender] TEXT DISCRETE,
+    [Age] DOUBLE DISCRETIZED(EQUAL_RANGES, 4) PREDICT,
+    [Income] DOUBLE CONTINUOUS,
+    [Loyalty] LONG ORDERED,
+    [AgeProb] DOUBLE PROBABILITY OF [Age],
+    [Weight] DOUBLE SUPPORT OF [Id],
+    [Comment] TEXT DISCRETE MODEL_EXISTENCE_ONLY,
+    [Purchases] TABLE (
+      [Product] TEXT KEY,
+      [Qty] DOUBLE CONTINUOUS,
+      [Type] TEXT DISCRETE RELATED TO [Product]
+    )
+  ) USING Naive_Bayes)";
+
+std::shared_ptr<const Schema> SourceSchema() {
+  auto nested = Schema::Make({{"CustID", DataType::kLong},
+                              {"Product", DataType::kText},
+                              {"Qty", DataType::kDouble},
+                              {"Type", DataType::kText}});
+  return Schema::Make({{"Id", DataType::kLong},
+                       {"Gender", DataType::kText},
+                       {"Age", DataType::kLong},
+                       {"Income", DataType::kDouble},
+                       {"Loyalty", DataType::kLong},
+                       {"AgeProb", DataType::kDouble},
+                       {"Weight", DataType::kDouble},
+                       {"Comment", DataType::kText},
+                       ColumnDef("Purchases", nested)});
+}
+
+Row MakeSourceRow(int64_t id, const char* gender, int64_t age, double income,
+                  int64_t loyalty, double age_prob, double weight,
+                  const Value& comment,
+                  std::vector<std::tuple<const char*, double, const char*>>
+                      purchases) {
+  auto nested_schema = SourceSchema()->column(8).nested;
+  std::vector<Row> nested_rows;
+  for (const auto& [product, qty, type] : purchases) {
+    nested_rows.push_back({Value::Long(id), Value::Text(product),
+                           Value::Double(qty), Value::Text(type)});
+  }
+  return {Value::Long(id),        Value::Text(gender),
+          Value::Long(age),       Value::Double(income),
+          Value::Long(loyalty),   Value::Double(age_prob),
+          Value::Double(weight),  comment,
+          Value::Table(NestedTable::Make(nested_schema, nested_rows))};
+}
+
+TEST(CaseBinderTest, AttributeSetStructure) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  // Key and qualifiers yield no attributes; 5 scalars remain.
+  ASSERT_EQ(attrs.attributes.size(), 5u);
+  EXPECT_EQ(attrs.attributes[0].name, "Gender");
+  EXPECT_FALSE(attrs.attributes[0].is_continuous);
+  EXPECT_TRUE(attrs.attributes[1].is_discretized());
+  EXPECT_TRUE(attrs.attributes[1].is_output);
+  EXPECT_TRUE(attrs.attributes[1].is_input);  // PREDICT = both
+  EXPECT_TRUE(attrs.attributes[2].is_continuous);
+  EXPECT_EQ(attrs.attributes[3].declared_type, AttributeType::kOrdered);
+  EXPECT_TRUE(attrs.attributes[4].existence_only);
+  EXPECT_EQ(attrs.attributes[4].cardinality(), 2);
+  // The TABLE column and its relation-derived sibling.
+  ASSERT_EQ(attrs.groups.size(), 2u);
+  EXPECT_EQ(attrs.groups[0].name, "Purchases");
+  ASSERT_EQ(attrs.groups[0].value_names.size(), 1u);
+  EXPECT_EQ(attrs.groups[0].value_names[0], "Qty");
+  EXPECT_EQ(attrs.groups[1].name, "Purchases.Type");
+}
+
+TEST(CaseBinderTest, TrainingBindsByNameAndBuildsDictionaries) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  auto binder = CaseBinder::CreateForTraining(def, *SourceSchema(), nullptr);
+  ASSERT_TRUE(binder.ok()) << binder.status().ToString();
+
+  Row row = MakeSourceRow(1, "Male", 30, 50000, 3, 0.8, 2.0,
+                          Value::Text("hello"),
+                          {{"TV", 1, "Electronic"}, {"Beer", 6, "Beverage"}});
+  Row row2 = MakeSourceRow(2, "Female", 60, 30000, 5, 1.0, 1.0, Value::Null(),
+                           {{"Seeds", 2, "Garden"}});
+  ASSERT_TRUE(binder->CollectStatistics(row, &attrs).ok());
+  ASSERT_TRUE(binder->CollectStatistics(row2, &attrs).ok());
+  ASSERT_TRUE(binder->FinalizeStatistics(&attrs, true).ok());
+
+  // Dictionaries built.
+  EXPECT_EQ(attrs.attributes[0].cardinality(), 2);        // Male/Female
+  EXPECT_EQ(attrs.groups[0].keys.size(), 3u);             // TV/Beer/Seeds
+  EXPECT_EQ(attrs.groups[1].keys.size(), 3u);             // 3 types
+  // Discretized Age got bounds from its 2 samples.
+  EXPECT_FALSE(attrs.attributes[1].bucket_bounds.empty());
+
+  auto c = binder->BindCase(row, &attrs);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->values[0], attrs.attributes[0].LookupCategory(
+                              Value::Text("Male")));
+  EXPECT_EQ(static_cast<int>(c->values[1]), attrs.attributes[1].BucketOf(30));
+  EXPECT_DOUBLE_EQ(c->values[2], 50000);
+  // Qualifiers routed: SUPPORT -> weight, PROBABILITY -> confidence of Age.
+  EXPECT_DOUBLE_EQ(c->weight, 2.0);
+  EXPECT_DOUBLE_EQ(c->confidence(1), 0.8);
+  // MODEL_EXISTENCE_ONLY: non-null comment -> state 1.
+  EXPECT_EQ(c->values[4], 1.0);
+  auto c2 = binder->BindCase(row2, &attrs);
+  EXPECT_EQ((*c2).values[4], 0.0);
+  // Nested items with per-item values and the derived type group.
+  ASSERT_EQ(c->groups.size(), 2u);
+  ASSERT_EQ(c->groups[0].size(), 2u);
+  EXPECT_EQ(c->groups[0][0].key,
+            attrs.groups[0].LookupKey(Value::Text("TV")));
+  ASSERT_EQ(c->groups[0][1].values.size(), 1u);
+  EXPECT_DOUBLE_EQ(c->groups[0][1].values[0], 6);
+  EXPECT_EQ(c->groups[1].size(), 2u);  // Electronic + Beverage
+}
+
+TEST(CaseBinderTest, MappingRestrictsAndValidates) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  std::vector<InsertColumn> mapping;
+  mapping.push_back({"Gender", false, {}});
+  mapping.push_back({"Id", false, {}});
+  auto binder = CaseBinder::CreateForTraining(def, *SourceSchema(), &mapping);
+  ASSERT_TRUE(binder.ok());
+  Row row = MakeSourceRow(1, "Male", 30, 50000, 3, 1.0, 1.0, Value::Null(),
+                          {{"TV", 1, "Electronic"}});
+  auto c = binder->BindCase(row, &attrs);
+  ASSERT_TRUE(c.ok());
+  // Unmapped columns (Age, Income, ...) stay missing; weight defaults.
+  EXPECT_FALSE(IsMissing(c->values[0]));
+  EXPECT_TRUE(IsMissing(c->values[1]));
+  EXPECT_TRUE(IsMissing(c->values[2]));
+  EXPECT_DOUBLE_EQ(c->weight, 1.0);
+  EXPECT_TRUE(c->groups[0].empty());
+
+  // A mapped column missing from the source is a bind error.
+  std::vector<InsertColumn> bad;
+  bad.push_back({"Gender", false, {}});
+  auto tiny = Schema::Make({{"Id", DataType::kLong}});
+  EXPECT_TRUE(CaseBinder::CreateForTraining(def, *tiny, &bad)
+                  .status().IsBindError());
+  // A source sharing no column at all is a bind error even unmapped.
+  auto alien = Schema::Make({{"Zzz", DataType::kLong}});
+  EXPECT_TRUE(CaseBinder::CreateForTraining(def, *alien, nullptr)
+                  .status().IsBindError());
+}
+
+TEST(CaseBinderTest, PredictionBindingNeverInterns) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  auto train_binder = CaseBinder::CreateForTraining(def, *SourceSchema(),
+                                                    nullptr);
+  ASSERT_TRUE(train_binder.ok());
+  Row row = MakeSourceRow(1, "Male", 30, 1000, 3, 1.0, 1.0, Value::Null(),
+                          {{"TV", 1, "Electronic"}});
+  ASSERT_TRUE(train_binder->CollectStatistics(row, &attrs).ok());
+  ASSERT_TRUE(train_binder->FinalizeStatistics(&attrs, true).ok());
+
+  auto pred_binder = CaseBinder::CreateForPrediction(def, *SourceSchema(), "t",
+                                                     nullptr);
+  ASSERT_TRUE(pred_binder.ok());
+  Row unseen = MakeSourceRow(2, "Nonbinary", 31, 1000, 3, 1.0, 1.0,
+                             Value::Null(), {{"Hoverboard", 1, "Toy"}});
+  size_t genders_before = attrs.attributes[0].categories.size();
+  size_t keys_before = attrs.groups[0].keys.size();
+  auto c = pred_binder->BindCase(unseen, static_cast<const AttributeSet&>(attrs));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(IsMissing(c->values[0]));  // unseen category -> missing
+  EXPECT_TRUE(c->groups[0].empty());     // unseen item dropped
+  EXPECT_EQ(attrs.attributes[0].categories.size(), genders_before);
+  EXPECT_EQ(attrs.groups[0].keys.size(), keys_before);
+}
+
+TEST(CaseBinderTest, OnClauseBindsScrambledSourceNames) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  // Seed the dictionaries.
+  auto train_binder = CaseBinder::CreateForTraining(def, *SourceSchema(),
+                                                    nullptr);
+  Row seed = MakeSourceRow(1, "Male", 30, 1000, 3, 1.0, 1.0, Value::Null(),
+                           {{"TV", 1, "Electronic"}});
+  ASSERT_TRUE(train_binder->CollectStatistics(seed, &attrs).ok());
+  ASSERT_TRUE(train_binder->FinalizeStatistics(&attrs, true).ok());
+
+  // A prediction source whose column names share nothing with the model.
+  auto nested = Schema::Make({{"P", DataType::kText}, {"N", DataType::kDouble}});
+  auto source = Schema::Make({{"Sex", DataType::kText},
+                              ColumnDef("Cart", nested)});
+  std::vector<OnPair> on;
+  on.push_back({{"m", "Gender"}, {"t", "Sex"}});
+  on.push_back({{"m", "Purchases", "Product"}, {"t", "Cart", "P"}});
+  on.push_back({{"m", "Purchases", "Qty"}, {"t", "Cart", "N"}});
+  auto binder = CaseBinder::CreateForPrediction(def, *source, "t", &on);
+  ASSERT_TRUE(binder.ok()) << binder.status().ToString();
+
+  Row row = {Value::Text("Male"),
+             Value::Table(NestedTable::Make(
+                 nested, {{Value::Text("TV"), Value::Double(2)}}))};
+  auto c = binder->BindCase(row, static_cast<const AttributeSet&>(attrs));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->values[0],
+            attrs.attributes[0].LookupCategory(Value::Text("Male")));
+  ASSERT_EQ(c->groups[0].size(), 1u);
+  EXPECT_EQ(c->groups[0][0].key, attrs.groups[0].LookupKey(Value::Text("TV")));
+  EXPECT_DOUBLE_EQ(c->groups[0][0].values[0], 2);
+  // Unmapped inputs are missing.
+  EXPECT_TRUE(IsMissing(c->values[2]));  // Income
+
+  // ON-clause errors.
+  std::vector<OnPair> bad_model_col;
+  bad_model_col.push_back({{"m", "Ghost"}, {"t", "Sex"}});
+  EXPECT_TRUE(CaseBinder::CreateForPrediction(def, *source, "t",
+                                              &bad_model_col)
+                  .status().IsBindError());
+  std::vector<OnPair> no_model_side;
+  no_model_side.push_back({{"x", "a"}, {"t", "Sex"}});
+  EXPECT_TRUE(CaseBinder::CreateForPrediction(def, *source, "t",
+                                              &no_model_side)
+                  .status().IsBindError());
+  std::vector<OnPair> bad_source_col;
+  bad_source_col.push_back({{"m", "Gender"}, {"t", "Ghost"}});
+  EXPECT_TRUE(CaseBinder::CreateForPrediction(def, *source, "t",
+                                              &bad_source_col)
+                  .status().IsBindError());
+}
+
+TEST(CaseBinderTest, OrderedDictionarySortedAtFirstFinalize) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  auto binder = CaseBinder::CreateForTraining(def, *SourceSchema(), nullptr);
+  ASSERT_TRUE(binder.ok());
+  // Loyalty values arrive out of order: 5, 1, 3.
+  for (int64_t loyalty : {5, 1, 3}) {
+    Row row = MakeSourceRow(loyalty, "Male", 30, 1000, loyalty, 1.0, 1.0,
+                            Value::Null(), {});
+    ASSERT_TRUE(binder->CollectStatistics(row, &attrs).ok());
+  }
+  ASSERT_TRUE(binder->FinalizeStatistics(&attrs, true).ok());
+  const Attribute& loyalty = attrs.attributes[3];
+  ASSERT_EQ(loyalty.categories.size(), 3u);
+  EXPECT_TRUE(loyalty.categories[0].Equals(Value::Long(1)));
+  EXPECT_TRUE(loyalty.categories[1].Equals(Value::Long(3)));
+  EXPECT_TRUE(loyalty.categories[2].Equals(Value::Long(5)));
+}
+
+TEST(CaseBinderTest, NegativeSupportWeightRejected) {
+  ModelDefinition def = MustDefine(kModelDmx);
+  AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
+  auto binder = CaseBinder::CreateForTraining(def, *SourceSchema(), nullptr);
+  ASSERT_TRUE(binder.ok());
+  Row row = MakeSourceRow(1, "Male", 30, 1000, 3, 1.0, -2.0, Value::Null(), {});
+  EXPECT_FALSE(binder->BindCase(row, &attrs).ok());
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,153 @@
+// Cross-service content-graph invariants (property suite over all six
+// services): every populated model's content graph must have exactly one
+// root, consistent parent links, non-negative supports bounded by the root,
+// probabilities in [0,1], unique node names, and distribution rows whose
+// probabilities are sane. These are the guarantees browsing clients (the
+// paper's "reporting and visualization applications") rely on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace dmx {
+namespace {
+
+struct ServicePlan {
+  const char* name;
+  const char* create;
+  const char* insert;
+};
+
+constexpr const char* kStandardInsert = R"(
+  INSERT INTO [M]
+  SHAPE {SELECT [Customer ID], [Gender], [Age], [Income], [Customer Loyalty]
+         FROM Customers ORDER BY [Customer ID]}
+  APPEND ({SELECT [CustID], [Product Name], [Product Type], [Purchase Time]
+           FROM Sales ORDER BY [CustID]}
+          RELATE [Customer ID] TO [CustID]) AS [Product Purchases])";
+
+const ServicePlan kPlans[] = {
+    {"Decision_Trees", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+         [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT,
+         [Product Purchases] TABLE([Product Name] TEXT KEY,
+           [Product Type] TEXT DISCRETE RELATED TO [Product Name]))
+       USING Decision_Trees)",
+     kStandardInsert},
+    {"Naive_Bayes", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+         [Customer Loyalty] LONG DISCRETE PREDICT,
+         [Product Purchases] TABLE([Product Name] TEXT KEY))
+       USING Naive_Bayes)",
+     kStandardInsert},
+    {"Clustering", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY, [Age] DOUBLE CONTINUOUS,
+         [Income] DOUBLE CONTINUOUS, [Gender] TEXT DISCRETE)
+       USING Clustering(CLUSTER_COUNT = 3, SEED = 9))",
+     kStandardInsert},
+    {"Association_Rules", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY,
+         [Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT)
+       USING Association_Rules(MINIMUM_SUPPORT = 0.05,
+                               MINIMUM_PROBABILITY = 0.3))",
+     kStandardInsert},
+    {"Linear_Regression", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+         [Income] DOUBLE CONTINUOUS, [Age] DOUBLE CONTINUOUS PREDICT)
+       USING Linear_Regression)",
+     kStandardInsert},
+    {"Sequence_Analysis", R"(
+       CREATE MINING MODEL [M] (
+         [Customer ID] LONG KEY,
+         [Product Purchases] TABLE([Product Name] TEXT KEY,
+           [Purchase Time] DOUBLE SEQUENCE_TIME) PREDICT)
+       USING Sequence_Analysis)",
+     kStandardInsert},
+};
+
+class ContentInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(ContentInvariants, GraphIsWellFormed) {
+  const ServicePlan& plan = kPlans[GetParam()];
+  Provider provider;
+  datagen::WarehouseConfig config;
+  config.num_customers = 400;
+  ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
+  auto conn = provider.Connect();
+  ASSERT_TRUE(conn->Execute(plan.create).ok());
+  auto insert = conn->Execute(plan.insert);
+  ASSERT_TRUE(insert.ok()) << plan.name << ": " << insert.status().ToString();
+
+  auto content = conn->Execute("SELECT * FROM [M].CONTENT");
+  ASSERT_TRUE(content.ok()) << content.status().ToString();
+  ASSERT_GT(content->num_rows(), 0u) << plan.name;
+
+  const Schema& schema = *content->schema();
+  size_t unique_col = *schema.ResolveColumn("NODE_UNIQUE_NAME");
+  size_t parent_col = *schema.ResolveColumn("PARENT_UNIQUE_NAME");
+  size_t type_col = *schema.ResolveColumn("NODE_TYPE");
+  size_t support_col = *schema.ResolveColumn("NODE_SUPPORT");
+  size_t prob_col = *schema.ResolveColumn("NODE_PROBABILITY");
+  size_t marginal_col = *schema.ResolveColumn("MARGINAL_PROBABILITY");
+  size_t children_col = *schema.ResolveColumn("CHILDREN_CARDINALITY");
+  size_t dist_col = *schema.ResolveColumn("NODE_DISTRIBUTION");
+
+  std::set<std::string> names;
+  std::map<std::string, int64_t> declared_children;
+  std::map<std::string, int64_t> actual_children;
+  int roots = 0;
+  double root_support = 0;
+  for (const Row& row : content->rows()) {
+    const std::string& unique = row[unique_col].text_value();
+    EXPECT_TRUE(names.insert(unique).second)
+        << plan.name << ": duplicate node name " << unique;
+    declared_children[unique] = row[children_col].long_value();
+    const std::string& parent = row[parent_col].text_value();
+    if (parent.empty()) {
+      ++roots;
+      EXPECT_EQ(row[type_col].text_value(), "Model");
+      root_support = row[support_col].double_value();
+    } else {
+      EXPECT_TRUE(names.count(parent))
+          << plan.name << ": parent " << parent << " precedes child in DFS";
+      actual_children[parent]++;
+    }
+    // Statistics are sane.
+    EXPECT_GE(row[support_col].double_value(), 0) << plan.name;
+    EXPECT_GE(row[prob_col].double_value(), -1e-9) << plan.name;
+    EXPECT_LE(row[prob_col].double_value(), 1 + 1e-9) << plan.name;
+    EXPECT_GE(row[marginal_col].double_value(), -1e-9);
+    EXPECT_LE(row[marginal_col].double_value(), 1 + 1e-9);
+    // The distribution nested table has valid probabilities too.
+    ASSERT_TRUE(row[dist_col].is_table());
+    const NestedTable& dist = *row[dist_col].table_value();
+    size_t dp = *dist.schema()->ResolveColumn("PROBABILITY");
+    size_t ds = *dist.schema()->ResolveColumn("SUPPORT");
+    for (const Row& entry : dist.rows()) {
+      EXPECT_GE(entry[dp].double_value(), -1e-9) << plan.name;
+      EXPECT_LE(entry[dp].double_value(), 1 + 1e-9) << plan.name;
+      EXPECT_GE(entry[ds].double_value(), 0) << plan.name;
+    }
+  }
+  EXPECT_EQ(roots, 1) << plan.name;
+  EXPECT_GT(root_support, 0) << plan.name;
+  // CHILDREN_CARDINALITY matches the actual edges.
+  for (const auto& [name, declared] : declared_children) {
+    EXPECT_EQ(declared, actual_children[name])
+        << plan.name << ": node " << name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllServices, ContentInvariants,
+                         ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace dmx

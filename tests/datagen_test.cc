@@ -1,0 +1,196 @@
+// Synthetic warehouse: determinism, schema shape, the functional
+// product->type relation the paper requires of RELATION columns, and the
+// planted statistical structure the experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "datagen/warehouse.h"
+#include "relational/sql_executor.h"
+
+namespace dmx::datagen {
+namespace {
+
+TEST(DatagenTest, SameSeedSameWarehouse) {
+  rel::Database a;
+  rel::Database b;
+  WarehouseConfig config;
+  config.num_customers = 100;
+  ASSERT_TRUE(PopulateWarehouse(&a, config).ok());
+  ASSERT_TRUE(PopulateWarehouse(&b, config).ok());
+  for (const char* table : {"Customers", "Sales", "CarOwnership"}) {
+    auto ta = a.GetTable(table);
+    auto tb = b.GetTable(table);
+    ASSERT_TRUE(ta.ok());
+    ASSERT_TRUE(tb.ok());
+    ASSERT_EQ((*ta)->num_rows(), (*tb)->num_rows()) << table;
+    for (size_t r = 0; r < (*ta)->num_rows(); ++r) {
+      for (size_t c = 0; c < (*ta)->schema()->num_columns(); ++c) {
+        EXPECT_TRUE((*ta)->rows()[r][c].Equals((*tb)->rows()[r][c]));
+      }
+    }
+  }
+}
+
+TEST(DatagenTest, DifferentSeedsDiffer) {
+  rel::Database a;
+  rel::Database b;
+  WarehouseConfig config_a;
+  config_a.num_customers = 100;
+  WarehouseConfig config_b = config_a;
+  config_b.seed = 43;
+  ASSERT_TRUE(PopulateWarehouse(&a, config_a).ok());
+  ASSERT_TRUE(PopulateWarehouse(&b, config_b).ok());
+  auto ta = *a.GetTable("Customers");
+  auto tb = *b.GetTable("Customers");
+  int differing = 0;
+  for (size_t r = 0; r < ta->num_rows(); ++r) {
+    if (!ta->rows()[r][3].Equals(tb->rows()[r][3])) ++differing;  // Age
+  }
+  EXPECT_GT(differing, 10);
+}
+
+TEST(DatagenTest, ProductTypeIsAFunctionOfProductName) {
+  rel::Database db;
+  WarehouseConfig config;
+  config.num_customers = 500;
+  ASSERT_TRUE(PopulateWarehouse(&db, config).ok());
+  auto sales = *db.GetTable("Sales");
+  std::map<std::string, std::string> type_of;
+  for (const Row& row : sales->rows()) {
+    auto [it, inserted] =
+        type_of.emplace(row[1].text_value(), row[3].text_value());
+    if (!inserted) {
+      EXPECT_EQ(it->second, row[3].text_value())
+          << "product " << row[1].text_value() << " has two types";
+    }
+  }
+  // And matches the published catalog.
+  for (const auto& [name, type] : type_of) {
+    bool found = false;
+    for (const Product& p : ProductCatalog()) {
+      if (name == p.name) {
+        EXPECT_EQ(type, p.type);
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST(DatagenTest, EveryCustomerHasAtLeastOnePurchase) {
+  rel::Database db;
+  WarehouseConfig config;
+  config.num_customers = 200;
+  ASSERT_TRUE(PopulateWarehouse(&db, config).ok());
+  auto sales = *db.GetTable("Sales");
+  std::set<int64_t> buyers;
+  for (const Row& row : sales->rows()) buyers.insert(row[0].long_value());
+  EXPECT_EQ(buyers.size(), 200u);
+}
+
+TEST(DatagenTest, SegmentsShapeAges) {
+  rel::Database db;
+  WarehouseConfig config;
+  config.num_customers = 800;
+  ASSERT_TRUE(PopulateWarehouse(&db, config).ok());
+  auto customers = *db.GetTable("Customers");
+  // Mean age per planted segment must be ordered: gamers < professionals <
+  // families < seniors (segments 0, 3, 1, 2).
+  std::map<int, std::pair<double, int>> by_segment;
+  for (const Row& row : customers->rows()) {
+    int segment = SegmentOfCustomer(row[0].long_value(), config.seed,
+                                    config.num_customers);
+    by_segment[segment].first += static_cast<double>(row[3].long_value());
+    by_segment[segment].second += 1;
+  }
+  ASSERT_EQ(by_segment.size(), 4u);
+  auto mean = [&](int s) {
+    return by_segment[s].first / by_segment[s].second;
+  };
+  EXPECT_LT(mean(0), mean(3));
+  EXPECT_LT(mean(3), mean(1));
+  EXPECT_LT(mean(1), mean(2));
+}
+
+TEST(DatagenTest, PlantedBundlesLiftCoPurchase) {
+  rel::Database db;
+  WarehouseConfig config;
+  config.num_customers = 2000;
+  ASSERT_TRUE(PopulateWarehouse(&db, config).ok());
+  auto sales = *db.GetTable("Sales");
+  std::map<int64_t, std::set<std::string>> baskets;
+  for (const Row& row : sales->rows()) {
+    baskets[row[0].long_value()].insert(row[1].text_value());
+  }
+  auto conf = [&](const char* a, const char* b) {
+    int with_a = 0;
+    int with_both = 0;
+    for (const auto& [id, basket] : baskets) {
+      if (basket.count(a) > 0) {
+        ++with_a;
+        if (basket.count(b) > 0) ++with_both;
+      }
+    }
+    return with_a > 0 ? static_cast<double>(with_both) / with_a : 0.0;
+  };
+  auto marginal = [&](const char* b) {
+    int with_b = 0;
+    for (const auto& [id, basket] : baskets) {
+      if (basket.count(b) > 0) ++with_b;
+    }
+    return static_cast<double>(with_b) / baskets.size();
+  };
+  // Planted TV => VCR at 0.8: confidence must far exceed VCR's base rate.
+  EXPECT_GT(conf("TV", "VCR"), 0.6);
+  EXPECT_GT(conf("TV", "VCR"), 2 * marginal("VCR"));
+  EXPECT_GT(conf("Seeds", "Garden Tools"), 0.6);
+}
+
+TEST(DatagenTest, PaperExampleMatchesTable1) {
+  rel::Database db;
+  ASSERT_TRUE(LoadPaperExample(&db).ok());
+  auto r = rel::ExecuteSql(&db,
+                           "SELECT * FROM Customers WHERE [Customer ID] = 1");
+  // Bracketed identifiers work through the SQL engine too.
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->num_rows(), 1u);
+  EXPECT_EQ(r->Get(0, "Gender")->text_value(), "Male");
+  EXPECT_EQ(r->Get(0, "Hair Color")->text_value(), "Black");
+  EXPECT_EQ(r->Get(0, "Age")->long_value(), 35);
+  EXPECT_EQ(r->Get(0, "Age Probability")->double_value(), 1.0);
+
+  // The flattened 3-way join of the paper's §3.1 discussion produces exactly
+  // 4 purchases x 2 cars = 8 rows for customer 1 ("lots of replication").
+  auto join = rel::ExecuteSql(&db, R"(
+      SELECT c.[Customer ID], s.[Product Name], o.[Car]
+      FROM Customers c
+      INNER JOIN Sales s ON c.[Customer ID] = s.[CustID]
+      INNER JOIN CarOwnership o ON c.[Customer ID] = o.[CustID]
+      WHERE c.[Customer ID] = 1)");
+  ASSERT_TRUE(join.ok()) << join.status().ToString();
+  EXPECT_EQ(join->num_rows(), 8u);
+}
+
+TEST(DatagenTest, TableNameOverridesAllowCoexistingWarehouses) {
+  rel::Database db;
+  WarehouseConfig a;
+  a.num_customers = 10;
+  WarehouseConfig b;
+  b.num_customers = 10;
+  b.customers_table = "C2";
+  b.sales_table = "S2";
+  b.cars_table = "O2";
+  b.first_customer_id = 1000;
+  ASSERT_TRUE(PopulateWarehouse(&db, a).ok());
+  ASSERT_TRUE(PopulateWarehouse(&db, b).ok());
+  EXPECT_TRUE(db.HasTable("Customers"));
+  EXPECT_TRUE(db.HasTable("C2"));
+  // Re-creating the same tables fails loudly.
+  EXPECT_FALSE(PopulateWarehouse(&db, a).ok());
+}
+
+}  // namespace
+}  // namespace dmx::datagen

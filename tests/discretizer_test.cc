@@ -1,0 +1,158 @@
+// Discretization service: exact behaviour on hand data plus property sweeps
+// over (method, bucket count, value distribution).
+
+#include "algorithms/discretizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "common/random.h"
+#include "model/attribute_set.h"
+
+namespace dmx {
+namespace {
+
+TEST(DiscretizerTest, EqualRangesOnKnownData) {
+  auto bounds = ComputeBucketBounds({0, 10}, DiscretizationMethod::kEqualRanges,
+                                    4);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_EQ(bounds->size(), 3u);
+  EXPECT_DOUBLE_EQ((*bounds)[0], 2.5);
+  EXPECT_DOUBLE_EQ((*bounds)[1], 5.0);
+  EXPECT_DOUBLE_EQ((*bounds)[2], 7.5);
+}
+
+TEST(DiscretizerTest, EqualFrequenciesBalancesCounts) {
+  std::vector<double> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i);
+  auto bounds = ComputeBucketBounds(values,
+                                    DiscretizationMethod::kEqualFrequencies, 4);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_EQ(bounds->size(), 3u);
+  EXPECT_DOUBLE_EQ((*bounds)[0], 25);
+  EXPECT_DOUBLE_EQ((*bounds)[1], 50);
+  EXPECT_DOUBLE_EQ((*bounds)[2], 75);
+}
+
+TEST(DiscretizerTest, ClustersSeparateObviousModes) {
+  std::vector<double> values;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Gaussian(0, 0.5));
+  for (int i = 0; i < 200; ++i) values.push_back(rng.Gaussian(100, 0.5));
+  auto bounds = ComputeBucketBounds(values, DiscretizationMethod::kClusters, 2);
+  ASSERT_TRUE(bounds.ok());
+  ASSERT_EQ(bounds->size(), 1u);
+  EXPECT_GT((*bounds)[0], 10);
+  EXPECT_LT((*bounds)[0], 90);
+}
+
+TEST(DiscretizerTest, DegenerateInputs) {
+  // Constant column: no usable bounds, a single bucket.
+  auto constant = ComputeBucketBounds({5, 5, 5},
+                                      DiscretizationMethod::kEqualRanges, 4);
+  ASSERT_TRUE(constant.ok());
+  EXPECT_TRUE(constant->empty());
+  // Empty column.
+  auto empty = ComputeBucketBounds({}, DiscretizationMethod::kEqualFrequencies,
+                                   3);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  // NaNs are filtered.
+  auto nans = ComputeBucketBounds({1, std::nan(""), 2},
+                                  DiscretizationMethod::kEqualRanges, 2);
+  ASSERT_TRUE(nans.ok());
+  EXPECT_EQ(nans->size(), 1u);
+  // Fewer than 2 buckets is an error.
+  EXPECT_FALSE(
+      ComputeBucketBounds({1, 2}, DiscretizationMethod::kEqualRanges, 1).ok());
+}
+
+TEST(DiscretizerTest, DuplicateHeavyDataCollapsesBounds) {
+  // 90% of mass at one value: equal frequencies cannot produce 5 distinct
+  // bounds and must deduplicate rather than emit non-increasing ones.
+  std::vector<double> values(90, 7.0);
+  for (int i = 0; i < 10; ++i) values.push_back(100 + i);
+  auto bounds = ComputeBucketBounds(values,
+                                    DiscretizationMethod::kEqualFrequencies, 6);
+  ASSERT_TRUE(bounds.ok());
+  for (size_t i = 1; i < bounds->size(); ++i) {
+    EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: bounds are strictly increasing, within [min, max], and no
+// more numerous than buckets - 1 — across methods, bucket counts and
+// distributions.
+// ---------------------------------------------------------------------------
+
+using SweepParam = std::tuple<DiscretizationMethod, int, int /*distribution*/>;
+
+class DiscretizerSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DiscretizerSweep, BoundsInvariants) {
+  auto [method, buckets, distribution] = GetParam();
+  Rng rng(77 + buckets + distribution * 13);
+  std::vector<double> values;
+  for (int i = 0; i < 500; ++i) {
+    switch (distribution) {
+      case 0:
+        values.push_back(rng.NextDouble() * 100);
+        break;
+      case 1:
+        values.push_back(rng.Gaussian(50, 10));
+        break;
+      case 2:  // bimodal
+        values.push_back(rng.Chance(0.5) ? rng.Gaussian(10, 2)
+                                         : rng.Gaussian(90, 2));
+        break;
+      default:  // heavy ties
+        values.push_back(static_cast<double>(rng.Uniform(5)));
+        break;
+    }
+  }
+  double lo = *std::min_element(values.begin(), values.end());
+  double hi = *std::max_element(values.begin(), values.end());
+  auto bounds = ComputeBucketBounds(values, method, buckets);
+  ASSERT_TRUE(bounds.ok());
+  EXPECT_LE(bounds->size(), static_cast<size_t>(buckets - 1));
+  for (size_t i = 0; i < bounds->size(); ++i) {
+    if (i > 0) EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    EXPECT_GE((*bounds)[i], lo);
+    EXPECT_LE((*bounds)[i], hi);
+  }
+  // Attribute::BucketOf must place every value into a valid bucket.
+  Attribute attr;
+  attr.declared_type = AttributeType::kDiscretized;
+  attr.bucket_bounds = *bounds;
+  for (double v : values) {
+    int bucket = attr.BucketOf(v);
+    EXPECT_GE(bucket, 0);
+    EXPECT_LE(bucket, static_cast<int>(bounds->size()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DiscretizerSweep,
+    ::testing::Combine(::testing::Values(DiscretizationMethod::kEqualRanges,
+                                         DiscretizationMethod::kEqualFrequencies,
+                                         DiscretizationMethod::kClusters),
+                       ::testing::Values(2, 3, 5, 10),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(DiscretizerTest, MethodNamesRoundTrip) {
+  for (DiscretizationMethod m : {DiscretizationMethod::kEqualRanges,
+                                 DiscretizationMethod::kEqualFrequencies,
+                                 DiscretizationMethod::kClusters}) {
+    auto parsed = DiscretizationMethodFromString(DiscretizationMethodToString(m));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, m);
+  }
+  EXPECT_FALSE(DiscretizationMethodFromString("MAGIC").ok());
+}
+
+}  // namespace
+}  // namespace dmx

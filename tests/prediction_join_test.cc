@@ -1,0 +1,290 @@
+// Prediction join + UDFs: end-to-end through the provider, covering every
+// shipped function, ON vs NATURAL equivalence, FLATTENED semantics, TOP,
+// and the error surface.
+
+#include "core/prediction_join.h"
+
+#include <gtest/gtest.h>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace dmx {
+namespace {
+
+class PredictionJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    conn_ = provider_.Connect();
+    datagen::WarehouseConfig config;
+    config.num_customers = 400;
+    ASSERT_TRUE(datagen::PopulateWarehouse(provider_.database(), config).ok());
+    Must(R"(
+      CREATE MINING MODEL [M] (
+        [Customer ID] LONG KEY,
+        [Gender] TEXT DISCRETE,
+        [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT,
+        [Product Purchases] TABLE(
+          [Product Name] TEXT KEY,
+          [Product Type] TEXT DISCRETE RELATED TO [Product Name]
+        )
+      ) USING Naive_Bayes)");
+    Must(R"(
+      INSERT INTO [M]
+      SHAPE {SELECT [Customer ID], [Gender], [Age] FROM Customers
+             ORDER BY [Customer ID]}
+      APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales
+               ORDER BY [CustID]}
+              RELATE [Customer ID] TO [CustID]) AS [Product Purchases])");
+  }
+
+  Rowset Must(const std::string& command) {
+    auto result = conn_->Execute(command);
+    EXPECT_TRUE(result.ok()) << command << "\n-> "
+                             << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Status Fails(const std::string& command) {
+    auto result = conn_->Execute(command);
+    EXPECT_FALSE(result.ok()) << command;
+    return result.status();
+  }
+
+  static constexpr const char* kNaturalSource = R"(
+    NATURAL PREDICTION JOIN
+      (SHAPE {SELECT [Customer ID], [Gender] FROM Customers
+              ORDER BY [Customer ID]}
+       APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales
+                ORDER BY [CustID]}
+               RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t)";
+
+  Provider provider_;
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(PredictionJoinTest, EveryScalarUdf) {
+  Rowset r = Must(std::string(R"(
+    SELECT t.[Customer ID],
+           Predict([Age]) AS P,
+           [M].[Age] AS ColumnForm,
+           PredictProbability([Age]) AS Prob,
+           PredictSupport([Age]) AS Supp,
+           PredictVariance([Age]) AS Var,
+           PredictStdev([Age]) AS Sd,
+           RangeMin([Age]) AS Lo,
+           RangeMid([Age]) AS Mid,
+           RangeMax([Age]) AS Hi
+    FROM [M])") + kNaturalSource);
+  ASSERT_EQ(r.num_rows(), 400u);
+  for (size_t i = 0; i < r.num_rows(); ++i) {
+    // Predict([Age]) and [M].[Age] agree.
+    EXPECT_TRUE(r.at(i, 1).Equals(r.at(i, 2)));
+    double prob = r.at(i, 3).double_value();
+    EXPECT_GT(prob, 0);
+    EXPECT_LE(prob, 1 + 1e-9);
+    EXPECT_GT(r.at(i, 4).double_value(), 0);  // support
+    // Range* bracket the bucket: Lo <= Mid <= Hi when bounded.
+    if (!r.at(i, 7).is_null() && !r.at(i, 9).is_null()) {
+      EXPECT_LE(r.at(i, 7).double_value(), r.at(i, 8).double_value());
+      EXPECT_LE(r.at(i, 8).double_value(), r.at(i, 9).double_value());
+    }
+  }
+}
+
+TEST_F(PredictionJoinTest, HistogramIsSortedAndNormalized) {
+  Rowset r = Must(std::string(R"(
+    SELECT PredictHistogram([Age]) AS H FROM [M])") + kNaturalSource);
+  for (const Row& row : r.rows()) {
+    ASSERT_TRUE(row[0].is_table());
+    const NestedTable& h = *row[0].table_value();
+    ASSERT_GT(h.num_rows(), 0u);
+    double total = 0;
+    double previous = 2;
+    size_t prob_col = *h.schema()->ResolveColumn("$PROBABILITY");
+    for (const Row& entry : h.rows()) {
+      double p = entry[prob_col].double_value();
+      EXPECT_LE(p, previous + 1e-12);  // descending
+      previous = p;
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST_F(PredictionJoinTest, TopCountTrimsHistograms) {
+  Rowset r = Must(std::string(R"(
+    SELECT TopCount(PredictHistogram([Age]), $Probability, 2) AS H
+    FROM [M])") + kNaturalSource);
+  for (const Row& row : r.rows()) {
+    EXPECT_LE(row[0].table_value()->num_rows(), 2u);
+  }
+}
+
+TEST_F(PredictionJoinTest, OnClauseMatchesNatural) {
+  std::string on_query = R"(
+    SELECT t.[Customer ID], [M].[Age]
+    FROM [M]
+    PREDICTION JOIN
+      (SHAPE {SELECT [Customer ID], [Gender] FROM Customers
+              ORDER BY [Customer ID]}
+       APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales
+                ORDER BY [CustID]}
+               RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t
+    ON [M].[Gender] = t.[Gender] AND
+       [M].[Product Purchases].[Product Name] =
+         t.[Product Purchases].[Product Name] AND
+       [M].[Product Purchases].[Product Type] =
+         t.[Product Purchases].[Product Type])";
+  Rowset on_result = Must(on_query);
+  Rowset natural = Must(std::string(R"(
+    SELECT t.[Customer ID], [M].[Age] FROM [M])") + kNaturalSource);
+  ASSERT_EQ(on_result.num_rows(), natural.num_rows());
+  for (size_t i = 0; i < natural.num_rows(); ++i) {
+    EXPECT_TRUE(on_result.at(i, 0).Equals(natural.at(i, 0)));
+    EXPECT_TRUE(on_result.at(i, 1).Equals(natural.at(i, 1)));
+  }
+}
+
+TEST_F(PredictionJoinTest, TopLimitsCases) {
+  Rowset r = Must(std::string(R"(
+    SELECT TOP 7 t.[Customer ID] FROM [M])") + kNaturalSource);
+  EXPECT_EQ(r.num_rows(), 7u);
+}
+
+TEST_F(PredictionJoinTest, FlattenedExpandsAndRenames) {
+  Rowset nested = Must(std::string(R"(
+    SELECT t.[Customer ID], PredictHistogram([Age]) AS H
+    FROM [M])") + kNaturalSource);
+  Rowset flat = Must(std::string(R"(
+    SELECT FLATTENED t.[Customer ID], PredictHistogram([Age]) AS H
+    FROM [M])") + kNaturalSource);
+  size_t expected = 0;
+  for (const Row& row : nested.rows()) {
+    expected += std::max<size_t>(1, row[1].table_value()->num_rows());
+  }
+  EXPECT_EQ(flat.num_rows(), expected);
+  EXPECT_TRUE(flat.schema()->HasColumn("H.Age"));
+  EXPECT_TRUE(flat.schema()->HasColumn("H.$PROBABILITY"));
+}
+
+TEST_F(PredictionJoinTest, FlattenRowsetHandlesEmptyTables) {
+  auto nested_schema = Schema::Make({{"K", DataType::kLong}});
+  Rowset input(Schema::Make({{"Id", DataType::kLong},
+                             ColumnDef("T", nested_schema)}));
+  (void)input.Append({Value::Long(1),
+                      Value::Table(NestedTable::Make(nested_schema, {}))});
+  auto flat = FlattenRowset(input);
+  ASSERT_TRUE(flat.ok());
+  ASSERT_EQ(flat->num_rows(), 1u);
+  EXPECT_TRUE(flat->at(0, 1).is_null());  // empty table -> one NULL row
+}
+
+TEST_F(PredictionJoinTest, PredictOnTableColumnErrorsForThisService) {
+  // Naive_Bayes predicts scalars; [Product Purchases] is not a target.
+  Status s = Fails(std::string(R"(
+    SELECT Predict([Product Purchases], 3) FROM [M])") + kNaturalSource);
+  EXPECT_TRUE(s.IsBindError());
+}
+
+TEST_F(PredictionJoinTest, ErrorSurface) {
+  // Unknown model.
+  EXPECT_TRUE(Fails("SELECT Predict(x) FROM nope NATURAL PREDICTION JOIN "
+                    "(SELECT [Customer ID] FROM Customers) AS t")
+                  .IsNotFound());
+  // Unknown UDF.
+  EXPECT_TRUE(Fails(std::string("SELECT Summon([Age]) FROM [M]") +
+                    kNaturalSource)
+                  .IsNotSupported());
+  // Non-predict column in a Predict UDF.
+  EXPECT_TRUE(Fails(std::string("SELECT Predict([Gender]) FROM [M]") +
+                    kNaturalSource)
+                  .IsBindError());
+  // Unknown source column.
+  EXPECT_TRUE(Fails(std::string("SELECT t.[Ghost] FROM [M]") + kNaturalSource)
+                  .IsBindError());
+  // Cluster() on a non-segmentation model.
+  EXPECT_TRUE(Fails(std::string("SELECT Cluster() FROM [M]") + kNaturalSource)
+                  .IsInvalidState());
+  // RangeMin on a non-discretized column.
+  EXPECT_TRUE(Fails(std::string("SELECT RangeMin([Gender]) FROM [M]") +
+                    kNaturalSource)
+                  .ok() == false);
+}
+
+TEST_F(PredictionJoinTest, PredictProbabilityWithExplicitValue) {
+  // Probabilities of every bucket value sum to ~1 for a given case; an
+  // unknown value scores 0.
+  Rowset hist = Must(std::string(R"(
+    SELECT TOP 1 PredictHistogram([Age]) AS H FROM [M])") + kNaturalSource);
+  const NestedTable& h = *hist.at(0, 0).table_value();
+  size_t value_col = *h.schema()->ResolveColumn("Age");
+  double total = 0;
+  for (const Row& entry : h.rows()) {
+    std::string value = entry[value_col].ToString();
+    Rowset p = Must(std::string("SELECT TOP 1 PredictProbability([Age], ") +
+                    value + ") AS P FROM [M]" + kNaturalSource);
+    total += p.at(0, 0).double_value();
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  Rowset zero = Must(std::string(
+      "SELECT TOP 1 PredictProbability([Age], -12345.0) AS P FROM [M]") +
+      kNaturalSource);
+  EXPECT_DOUBLE_EQ(zero.at(0, 0).double_value(), 0.0);
+}
+
+TEST_F(PredictionJoinTest, ClusterUdfsOnSegmentationModel) {
+  Must(R"(
+    CREATE MINING MODEL [Seg] (
+      [Customer ID] LONG KEY,
+      [Age] DOUBLE CONTINUOUS,
+      [Income] DOUBLE CONTINUOUS
+    ) USING Clustering(CLUSTER_COUNT = 3, SEED = 5))");
+  Must(R"(
+    INSERT INTO [Seg]
+    SELECT [Customer ID], [Age], [Income] FROM Customers)");
+  Rowset r = Must(R"(
+    SELECT Cluster() AS C, ClusterProbability() AS P
+    FROM [Seg]
+    NATURAL PREDICTION JOIN
+      (SELECT [Customer ID], [Age], [Income] FROM Customers) AS t)");
+  ASSERT_EQ(r.num_rows(), 400u);
+  std::set<std::string> clusters;
+  for (const Row& row : r.rows()) {
+    clusters.insert(row[0].text_value());
+    EXPECT_GT(row[1].double_value(), 0.33);
+  }
+  EXPECT_GE(clusters.size(), 2u);
+}
+
+TEST_F(PredictionJoinTest, AssociationTablePrediction) {
+  Must(R"(
+    CREATE MINING MODEL [Rec] (
+      [Customer ID] LONG KEY,
+      [Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT
+    ) USING Association_Rules(MINIMUM_SUPPORT = 0.05,
+                              MINIMUM_PROBABILITY = 0.3))");
+  Must(R"(
+    INSERT INTO [Rec]
+    SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+    APPEND ({SELECT [CustID], [Product Name] FROM Sales ORDER BY [CustID]}
+            RELATE [Customer ID] TO [CustID]) AS [Product Purchases])");
+  Rowset r = Must(R"(
+    SELECT t.[Customer ID], Predict([Product Purchases], 3) AS R
+    FROM [Rec]
+    NATURAL PREDICTION JOIN
+      (SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+       APPEND ({SELECT [CustID], [Product Name] FROM Sales
+                ORDER BY [CustID]}
+               RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t)");
+  ASSERT_EQ(r.num_rows(), 400u);
+  for (const Row& row : r.rows()) {
+    ASSERT_TRUE(row[1].is_table());
+    EXPECT_LE(row[1].table_value()->num_rows(), 3u);
+    // The recommendation table is keyed by the nested KEY's name.
+    EXPECT_EQ(row[1].table_value()->schema()->column(0).name, "Product Name");
+  }
+}
+
+}  // namespace
+}  // namespace dmx

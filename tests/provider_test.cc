@@ -1,0 +1,163 @@
+// Provider / Connection: single-pipe command routing (DMX vs SQL), DELETE
+// FROM disambiguation between models and tables, and command error surface.
+
+#include "core/provider.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "datagen/warehouse.h"
+
+namespace dmx {
+namespace {
+
+class ProviderTest : public ::testing::Test {
+ protected:
+  void SetUp() override { conn_ = provider_.Connect(); }
+
+  Rowset Must(const std::string& command) {
+    auto result = conn_->Execute(command);
+    EXPECT_TRUE(result.ok()) << command << " -> "
+                             << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Provider provider_;
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(ProviderTest, BuiltinServicesPreloaded) {
+  EXPECT_EQ(provider_.services()->ListServices().size(), 6u);
+  // The paper's alias resolves.
+  EXPECT_TRUE(provider_.services()->Find("Decision_Trees_101").ok());
+  EXPECT_TRUE(provider_.services()->Find("decision_trees").ok());  // ci
+  EXPECT_TRUE(provider_.services()->Find("Missing_Service")
+                  .status().IsNotFound());
+}
+
+TEST_F(ProviderTest, DeleteFromDisambiguatesModelsAndTables) {
+  // A table and a model sharing DELETE FROM syntax.
+  Must("CREATE TABLE Shared (Id LONG)");
+  Must("INSERT INTO Shared VALUES (1), (2)");
+  Must("CREATE MINING MODEL [M] (Id LONG KEY, X TEXT DISCRETE PREDICT) "
+       "USING Naive_Bayes");
+  Must("CREATE TABLE Source (Id LONG, X TEXT)");
+  Must("INSERT INTO Source VALUES (1, 'a'), (2, 'b')");
+  Must("INSERT INTO [M] SELECT Id, X FROM Source");
+  ASSERT_TRUE((*provider_.models()->GetModel("M"))->is_trained());
+
+  // DELETE FROM a table name routes to SQL.
+  Must("DELETE FROM Shared");
+  EXPECT_EQ(Must("SELECT * FROM Shared").num_rows(), 0u);
+  // DELETE FROM the model resets it.
+  Must("DELETE FROM M");
+  EXPECT_FALSE((*provider_.models()->GetModel("M"))->is_trained());
+  // DELETE FROM an unknown name reports the table error.
+  auto missing = conn_->Execute("DELETE FROM Nothing");
+  EXPECT_TRUE(missing.status().IsNotFound());
+}
+
+TEST_F(ProviderTest, ModelAndTableNamespacesAreIndependent) {
+  Must("CREATE TABLE Twin (Id LONG, X TEXT)");
+  Must("INSERT INTO Twin VALUES (1, 'a')");
+  Must("CREATE MINING MODEL [Twin] (Id LONG KEY, X TEXT DISCRETE PREDICT) "
+       "USING Naive_Bayes");
+  // SELECT FROM Twin is SQL (the table); model ops name the model.
+  EXPECT_EQ(Must("SELECT * FROM Twin").num_rows(), 1u);
+  Must("INSERT INTO [Twin] SELECT Id, X FROM Twin");
+  EXPECT_TRUE((*provider_.models()->GetModel("Twin"))->is_trained());
+  Must("DROP MINING MODEL [Twin]");
+  EXPECT_TRUE(provider_.database()->HasTable("Twin"));
+}
+
+TEST_F(ProviderTest, CommandErrorSurface) {
+  EXPECT_TRUE(conn_->Execute("").status().IsParseError());
+  EXPECT_TRUE(conn_->Execute("GIBBERISH COMMAND").status().IsParseError());
+  EXPECT_TRUE(conn_->Execute("INSERT INTO nomodel SELECT a FROM t")
+                  .status().IsNotFound());
+  EXPECT_TRUE(conn_->Execute("DROP MINING MODEL ghost").status().IsNotFound());
+  EXPECT_TRUE(conn_->Execute("SELECT * FROM ghost.CONTENT")
+                  .status().IsNotFound());
+  // Creating a model with an unknown service fails and leaves no entry.
+  auto bad = conn_->Execute(
+      "CREATE MINING MODEL z (k LONG KEY, x TEXT DISCRETE PREDICT) "
+      "USING Warp_Drive");
+  EXPECT_TRUE(bad.status().IsNotFound());
+  EXPECT_FALSE(provider_.models()->HasModel("z"));
+  // Duplicate model names.
+  Must("CREATE MINING MODEL dup (k LONG KEY, x TEXT DISCRETE PREDICT) "
+       "USING Naive_Bayes");
+  EXPECT_EQ(conn_->Execute("CREATE MINING MODEL dup (k LONG KEY, x TEXT "
+                           "DISCRETE PREDICT) USING Naive_Bayes")
+                .status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(ProviderTest, OpenRowsetCsvTrainingPath) {
+  // Write a small CSV and train from it via OPENROWSET.
+  std::string path = ::testing::TempDir() + "/provider_openrowset.csv";
+  {
+    Rowset data(Schema::Make({{"Id", DataType::kLong},
+                              {"Color", DataType::kText},
+                              {"Label", DataType::kText}}));
+    for (int i = 0; i < 40; ++i) {
+      std::string color = i % 2 == 0 ? "red" : "blue";
+      (void)data.Append({Value::Long(i), Value::Text(color),
+                         Value::Text(i % 2 == 0 ? "A" : "B")});
+    }
+    ASSERT_TRUE(rel::SaveCsv(data, path).ok());
+  }
+  Must("CREATE MINING MODEL csvm (Id LONG KEY, Color TEXT DISCRETE, "
+       "Label TEXT DISCRETE PREDICT) USING Naive_Bayes");
+  Must("INSERT INTO csvm OPENROWSET('CSV', '" + path + "')");
+  EXPECT_DOUBLE_EQ((*provider_.models()->GetModel("csvm"))->case_count(), 40);
+  // Unsupported format errors clearly.
+  EXPECT_TRUE(conn_->Execute("INSERT INTO csvm OPENROWSET('PARQUET', 'x')")
+                  .status().IsNotSupported());
+  std::remove(path.c_str());
+}
+
+TEST_F(ProviderTest, ExportImportMiningModelStatements) {
+  datagen::WarehouseConfig config;
+  config.num_customers = 80;
+  ASSERT_TRUE(datagen::PopulateWarehouse(provider_.database(), config).ok());
+  Must(R"(CREATE MINING MODEL [Exportable] (
+            [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+            [Customer Loyalty] LONG DISCRETE PREDICT)
+          USING Naive_Bayes)");
+  Must("INSERT INTO [Exportable] SELECT [Customer ID], [Gender], "
+       "[Customer Loyalty] FROM Customers");
+  std::string path = ::testing::TempDir() + "/provider_export.xml";
+  Must("EXPORT MINING MODEL [Exportable] TO '" + path + "'");
+
+  // Import into a second provider through the same statement language.
+  Provider other;
+  auto other_conn = other.Connect();
+  auto import_result =
+      other_conn->Execute("IMPORT MINING MODEL FROM '" + path + "'");
+  ASSERT_TRUE(import_result.ok()) << import_result.status().ToString();
+  auto model = other.models()->GetModel("Exportable");
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE((*model)->is_trained());
+  EXPECT_DOUBLE_EQ((*model)->case_count(), 80);
+  // Importing over an existing name fails.
+  EXPECT_EQ(other_conn->Execute("IMPORT MINING MODEL FROM '" + path + "'")
+                .status().code(),
+            StatusCode::kAlreadyExists);
+  // Exporting an unknown model / importing a bad path fail cleanly.
+  EXPECT_TRUE(conn_->Execute("EXPORT MINING MODEL ghost TO '/tmp/x.xml'")
+                  .status().IsNotFound());
+  EXPECT_FALSE(conn_->Execute("IMPORT MINING MODEL FROM '/no/such.xml'").ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(ProviderTest, MultipleConnectionsShareState) {
+  auto conn2 = provider_.Connect();
+  Must("CREATE TABLE T (A LONG)");
+  auto seen = conn2->Execute("SELECT * FROM T");
+  EXPECT_TRUE(seen.ok());
+}
+
+}  // namespace
+}  // namespace dmx

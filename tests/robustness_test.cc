@@ -1,0 +1,125 @@
+// Robustness: the command pipe must never crash — every malformed, truncated
+// or shuffled statement returns an error Status. A seeded fuzz sweep mutates
+// valid statements (truncation, token deletion, token transposition, symbol
+// injection) and fires them at a live provider.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/tokenizer.h"
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace dmx {
+namespace {
+
+const char* kSeedStatements[] = {
+    "SELECT [Customer ID], [Gender] FROM Customers ORDER BY [Customer ID]",
+    "CREATE MINING MODEL [F] ([Customer ID] LONG KEY, [Gender] TEXT DISCRETE,"
+    " [Age] DOUBLE DISCRETIZED PREDICT) USING Naive_Bayes",
+    "INSERT INTO [F] SELECT [Customer ID], [Gender], [Age] FROM Customers",
+    "INSERT INTO [F] SHAPE {SELECT [Customer ID], [Gender], [Age] FROM "
+    "Customers ORDER BY [Customer ID]} APPEND ({SELECT [CustID], "
+    "[Product Name] FROM Sales ORDER BY [CustID]} RELATE [Customer ID] TO "
+    "[CustID]) AS [P]",
+    "SELECT t.[Customer ID], Predict([Age]) FROM [F] NATURAL PREDICTION JOIN "
+    "(SELECT [Customer ID], [Gender] FROM Customers) AS t "
+    "WHERE PredictProbability([Age]) > 0.1",
+    "SELECT * FROM [F].CONTENT WHERE NODE_TYPE = 'Leaf'",
+    "EXPORT MINING MODEL [F] TO '/tmp/robustness.xml'",
+    "DELETE FROM [F]",
+    "DROP MINING MODEL [F]",
+    "SELECT Region, COUNT(*) AS N FROM Customers GROUP BY Region",
+};
+
+// Rebuilds statement text from a token list (lossy but lexically valid).
+std::string Detokenize(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& t : tokens) {
+    if (!out.empty()) out += ' ';
+    switch (t.kind) {
+      case TokenKind::kIdentifier:
+        out += t.quoted ? "[" + t.text + "]" : t.text;
+        break;
+      case TokenKind::kString:
+        out += "'" + t.text + "'";
+        break;
+      default:
+        out += t.text;
+    }
+  }
+  return out;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessTest, MutatedStatementsNeverCrash) {
+  Provider provider;
+  datagen::WarehouseConfig config;
+  config.num_customers = 30;
+  ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
+  auto conn = provider.Connect();
+
+  Rng rng(GetParam());
+  int executed = 0;
+  for (const char* seed : kSeedStatements) {
+    // The pristine statement must not crash either (it may or may not
+    // succeed depending on the order models were created/dropped).
+    (void)conn->Execute(seed);
+    auto tokens = Tokenize(seed);
+    ASSERT_TRUE(tokens.ok());
+    for (int mutation = 0; mutation < 40; ++mutation) {
+      std::vector<Token> mutated = *tokens;
+      switch (rng.Uniform(4)) {
+        case 0:  // truncate
+          mutated.resize(rng.Uniform(mutated.size()) + 1);
+          break;
+        case 1:  // delete a token
+          mutated.erase(mutated.begin() + rng.Uniform(mutated.size()));
+          break;
+        case 2: {  // transpose two tokens
+          size_t a = rng.Uniform(mutated.size());
+          size_t b = rng.Uniform(mutated.size());
+          std::swap(mutated[a], mutated[b]);
+          break;
+        }
+        default: {  // inject a random symbol token
+          Token junk;
+          junk.kind = TokenKind::kPunct;
+          const char* symbols[] = {"(", ")", ",", ".", "=", "*", "{", "}"};
+          junk.text = symbols[rng.Uniform(8)];
+          mutated.insert(mutated.begin() + rng.Uniform(mutated.size() + 1),
+                         junk);
+          break;
+        }
+      }
+      // Must return (ok or error), never crash / hang.
+      auto result = conn->Execute(Detokenize(mutated));
+      (void)result;
+      ++executed;
+    }
+  }
+  EXPECT_EQ(executed, 400);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(RobustnessEdgeCases, DegenerateInputs) {
+  Provider provider;
+  auto conn = provider.Connect();
+  const char* inputs[] = {
+      "", " ", ";", "''", "[", "]", "(((((", "SELECT", "SELECT FROM",
+      "CREATE MINING MODEL", "INSERT INTO", "PREDICTION JOIN",
+      "SHAPE {SELECT}", "SELECT * FROM",
+      "SELECT * FROM x.CONTENT WHERE", "-- just a comment",
+      "CREATE MINING MODEL m () USING x",
+  };
+  for (const char* input : inputs) {
+    auto result = conn->Execute(input);
+    EXPECT_FALSE(result.ok()) << "'" << input << "' unexpectedly succeeded";
+  }
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,202 @@
+// Schema rowsets: the provider's self-description surface — services,
+// parameters, models, columns, and content — including filters.
+
+#include "core/schema_rowsets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace dmx {
+namespace {
+
+class SchemaRowsetsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    conn_ = provider_.Connect();
+    datagen::WarehouseConfig config;
+    config.num_customers = 60;
+    ASSERT_TRUE(datagen::PopulateWarehouse(provider_.database(), config).ok());
+    Must(R"(CREATE MINING MODEL [A] (
+              [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+              [Customer Loyalty] LONG DISCRETE PREDICT)
+            USING Naive_Bayes)");
+    Must(R"(CREATE MINING MODEL [B] (
+              [Customer ID] LONG KEY, [Age] DOUBLE CONTINUOUS,
+              [Income] DOUBLE CONTINUOUS)
+            USING Clustering(CLUSTER_COUNT = 2))");
+  }
+
+  Rowset Must(const std::string& command) {
+    auto result = conn_->Execute(command);
+    EXPECT_TRUE(result.ok()) << command << " -> "
+                             << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Rowset Get(SchemaRowsetKind kind, const std::string& filter = "") {
+    auto result = conn_->GetSchemaRowset(kind, filter);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Provider provider_;
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(SchemaRowsetsTest, MiningServicesDescribeCapabilities) {
+  Rowset services = Get(SchemaRowsetKind::kMiningServices);
+  ASSERT_EQ(services.num_rows(), 6u);
+  std::set<std::string> names;
+  bool nb_incremental = false;
+  bool clustering_segmentation = false;
+  bool assoc_table_prediction = false;
+  for (const Row& row : services.rows()) {
+    names.insert(row[0].text_value());
+    if (row[0].text_value() == "Naive_Bayes") {
+      nb_incremental = row[6].bool_value();
+    }
+    if (row[0].text_value() == "Clustering") {
+      clustering_segmentation = row[4].bool_value();
+    }
+    if (row[0].text_value() == "Association_Rules") {
+      assoc_table_prediction = row[9].bool_value();
+    }
+  }
+  EXPECT_EQ(names.size(), 6u);
+  EXPECT_TRUE(names.count("Decision_Trees"));
+  EXPECT_TRUE(names.count("Linear_Regression"));
+  EXPECT_TRUE(nb_incremental);
+  EXPECT_TRUE(clustering_segmentation);
+  EXPECT_TRUE(assoc_table_prediction);
+}
+
+TEST_F(SchemaRowsetsTest, ServiceParametersListDefaults) {
+  Rowset params = Get(SchemaRowsetKind::kServiceParameters);
+  bool found_cluster_count = false;
+  for (const Row& row : params.rows()) {
+    if (row[0].text_value() == "Clustering" &&
+        row[1].text_value() == "CLUSTER_COUNT") {
+      found_cluster_count = true;
+      EXPECT_EQ(row[3].text_value(), "4");
+    }
+    EXPECT_FALSE(row[2].text_value().empty());  // description present
+  }
+  EXPECT_TRUE(found_cluster_count);
+}
+
+TEST_F(SchemaRowsetsTest, MiningModelsTrackPopulation) {
+  Rowset models = Get(SchemaRowsetKind::kMiningModels);
+  ASSERT_EQ(models.num_rows(), 2u);
+  for (const Row& row : models.rows()) {
+    EXPECT_FALSE(row[2].bool_value());  // nothing populated yet
+    // CREATION_STATEMENT is parseable DMX.
+    EXPECT_NE(row[5].text_value().find("CREATE MINING MODEL"),
+              std::string::npos);
+  }
+  Must("INSERT INTO [A] SELECT [Customer ID], [Gender], [Customer Loyalty] "
+       "FROM Customers");
+  models = Get(SchemaRowsetKind::kMiningModels);
+  EXPECT_TRUE(models.Get(0, "IS_POPULATED")->bool_value());   // A
+  EXPECT_FALSE(models.Get(1, "IS_POPULATED")->bool_value());  // B
+  EXPECT_EQ(models.Get(0, "PREDICTION_COLUMNS")->text_value(),
+            "Customer Loyalty");
+}
+
+TEST_F(SchemaRowsetsTest, MiningColumnsIncludeNestedAndFilter) {
+  Must(R"(CREATE MINING MODEL [C] (
+            [Customer ID] LONG KEY,
+            [T] TABLE ([K] TEXT KEY, [V] DOUBLE CONTINUOUS,
+                       [R] TEXT DISCRETE RELATED TO [K]))
+          USING Clustering)");
+  Rowset all = Get(SchemaRowsetKind::kMiningColumns);
+  Rowset only_c = Get(SchemaRowsetKind::kMiningColumns, "C");
+  EXPECT_GT(all.num_rows(), only_c.num_rows());
+  ASSERT_EQ(only_c.num_rows(), 5u);  // 2 top-level + 3 nested
+  int nested_count = 0;
+  for (const Row& row : only_c.rows()) {
+    if (!row[2].text_value().empty()) {
+      ++nested_count;
+      EXPECT_EQ(row[2].text_value(), "T");
+    }
+    if (row[1].text_value() == "R") {
+      EXPECT_EQ(row[6].text_value(), "K");  // RELATED_ATTRIBUTE
+      EXPECT_EQ(row[4].text_value(), "RELATION");
+    }
+  }
+  EXPECT_EQ(nested_count, 3);
+}
+
+TEST_F(SchemaRowsetsTest, ContentRowsetOnlyCoversPopulatedModels) {
+  Rowset empty = Get(SchemaRowsetKind::kMiningModelContent);
+  EXPECT_EQ(empty.num_rows(), 0u);
+  Must("INSERT INTO [A] SELECT [Customer ID], [Gender], [Customer Loyalty] "
+       "FROM Customers");
+  Rowset content = Get(SchemaRowsetKind::kMiningModelContent);
+  ASSERT_GT(content.num_rows(), 0u);
+  // Parent/child linkage is consistent: every non-root parent exists.
+  std::set<std::string> names;
+  for (const Row& row : content.rows()) {
+    names.insert(row[1].text_value());
+  }
+  int roots = 0;
+  for (const Row& row : content.rows()) {
+    const std::string& parent = row[2].text_value();
+    if (parent.empty()) {
+      ++roots;
+    } else {
+      EXPECT_TRUE(names.count(parent)) << "dangling parent " << parent;
+    }
+    // NODE_DISTRIBUTION is a nested table.
+    EXPECT_TRUE(row[12].is_table());
+  }
+  EXPECT_EQ(roots, 1);
+  // Filter matches SELECT ... .CONTENT output.
+  Rowset via_select = Must("SELECT * FROM [A].CONTENT");
+  Rowset via_filter = Get(SchemaRowsetKind::kMiningModelContent, "A");
+  EXPECT_EQ(via_select.num_rows(), via_filter.num_rows());
+}
+
+TEST_F(SchemaRowsetsTest, MiningFunctionsListTheUdfSurface) {
+  Rowset functions = Get(SchemaRowsetKind::kMiningFunctions);
+  ASSERT_GE(functions.num_rows(), 13u);
+  std::set<std::string> names;
+  for (const Row& row : functions.rows()) {
+    names.insert(row[0].text_value());
+    EXPECT_FALSE(row[2].text_value().empty());  // syntax
+    EXPECT_FALSE(row[3].text_value().empty());  // description
+  }
+  for (const char* expected :
+       {"Predict", "PredictProbability", "PredictHistogram", "TopCount",
+        "RangeMid", "Cluster", "ClusterProbability"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST_F(SchemaRowsetsTest, ContentSelectSupportsWhere) {
+  Must("INSERT INTO [A] SELECT [Customer ID], [Gender], [Customer Loyalty] "
+       "FROM Customers");
+  Rowset all = Must("SELECT * FROM [A].CONTENT");
+  Rowset only_attrs = Must(
+      "SELECT * FROM [A].CONTENT WHERE NODE_TYPE = 'NaiveBayesAttribute'");
+  EXPECT_LT(only_attrs.num_rows(), all.num_rows());
+  EXPECT_GT(only_attrs.num_rows(), 0u);
+  for (const Row& row : only_attrs.rows()) {
+    EXPECT_EQ(row[3].text_value(), "NaiveBayesAttribute");
+  }
+  Rowset supported = Must(
+      "SELECT * FROM [A].CONTENT WHERE NODE_SUPPORT > 10 AND "
+      "NODE_TYPE <> 'Model'");
+  for (const Row& row : supported.rows()) {
+    EXPECT_GT(row[7].double_value(), 10);
+  }
+  // Unknown column in the filter is a bind error.
+  auto bad = conn_->Execute("SELECT * FROM [A].CONTENT WHERE GHOST = 1");
+  EXPECT_TRUE(bad.status().IsBindError());
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,190 @@
+// SQL engine extensions: singleton (FROM-less) SELECT, aggregates with and
+// without GROUP BY, and the prediction-join WHERE filter built on top.
+
+#include <gtest/gtest.h>
+
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+#include "relational/sql_executor.h"
+
+namespace dmx {
+namespace {
+
+class SqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must("CREATE TABLE Orders (Id LONG, Customer TEXT, Amount DOUBLE, "
+         "Region TEXT)");
+    Must(R"(INSERT INTO Orders VALUES
+        (1, 'ann', 10, 'north'), (2, 'ann', 20, 'north'),
+        (3, 'bob', 5, 'south'), (4, 'cid', 8, 'south'),
+        (5, 'cid', 12, 'north'))");
+  }
+
+  Rowset Must(const std::string& sql) {
+    auto result = rel::ExecuteSql(&db_, sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  rel::Database db_;
+};
+
+TEST_F(SqlExtensionsTest, SingletonSelect) {
+  Rowset r = Must("SELECT 1 AS Id, 'Male' AS Gender, 2.5 AS Score");
+  ASSERT_EQ(r.num_rows(), 1u);
+  ASSERT_EQ(r.num_columns(), 3u);
+  EXPECT_EQ(r.schema()->column(1).name, "Gender");
+  EXPECT_TRUE(r.at(0, 0).Equals(Value::Long(1)));
+  EXPECT_TRUE(r.at(0, 1).Equals(Value::Text("Male")));
+  // Expressions evaluate; column refs are (correctly) bind errors.
+  Rowset computed = Must("SELECT 2 * 3 + 1 AS X");
+  EXPECT_TRUE(computed.at(0, 0).Equals(Value::Long(7)));
+  EXPECT_FALSE(rel::ExecuteSql(&db_, "SELECT ghost").ok());
+}
+
+TEST_F(SqlExtensionsTest, GlobalAggregates) {
+  Rowset r = Must(
+      "SELECT COUNT(*) AS N, SUM(Amount) AS S, AVG(Amount) AS A, "
+      "MIN(Amount) AS Lo, MAX(Amount) AS Hi FROM Orders");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_TRUE(r.Get(0, "N")->Equals(Value::Long(5)));
+  EXPECT_TRUE(r.Get(0, "S")->Equals(Value::Double(55)));
+  EXPECT_TRUE(r.Get(0, "A")->Equals(Value::Double(11)));
+  EXPECT_TRUE(r.Get(0, "Lo")->Equals(Value::Double(5)));
+  EXPECT_TRUE(r.Get(0, "Hi")->Equals(Value::Double(20)));
+}
+
+TEST_F(SqlExtensionsTest, GroupByWithOrderAndTop) {
+  Rowset r = Must(R"(
+      SELECT Region, COUNT(*) AS N, SUM(Amount) AS Total
+      FROM Orders GROUP BY Region ORDER BY Total DESC)");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_TRUE(r.at(0, 0).Equals(Value::Text("north")));
+  EXPECT_TRUE(r.at(0, 2).Equals(Value::Double(42)));
+  EXPECT_TRUE(r.at(1, 2).Equals(Value::Double(13)));
+
+  Rowset top = Must(R"(
+      SELECT TOP 1 Customer, COUNT(*) AS N FROM Orders
+      GROUP BY Customer ORDER BY N DESC, Customer)");
+  ASSERT_EQ(top.num_rows(), 1u);
+  EXPECT_TRUE(top.at(0, 0).Equals(Value::Text("ann")));
+}
+
+TEST_F(SqlExtensionsTest, AggregatesRespectWhereAndNulls) {
+  Must("INSERT INTO Orders (Id, Customer) VALUES (6, 'dee')");  // NULL amount
+  Rowset r = Must(
+      "SELECT COUNT(*) AS N, COUNT(Amount) AS NA, AVG(Amount) AS A "
+      "FROM Orders WHERE Region IS NULL OR Region = 'north'");
+  EXPECT_TRUE(r.Get(0, "N")->Equals(Value::Long(4)));
+  EXPECT_TRUE(r.Get(0, "NA")->Equals(Value::Long(3)));  // NULL skipped
+  EXPECT_TRUE(r.Get(0, "A")->Equals(Value::Double(14)));
+  // All-NULL aggregate -> NULL.
+  Rowset none = Must("SELECT SUM(Amount) AS S FROM Orders WHERE Id = 6");
+  EXPECT_TRUE(none.at(0, 0).is_null());
+}
+
+TEST_F(SqlExtensionsTest, AggregateExpressionArithmetic) {
+  Rowset r = Must(
+      "SELECT SUM(Amount) / COUNT(*) AS MeanByHand, AVG(Amount) AS Mean "
+      "FROM Orders");
+  EXPECT_TRUE(r.at(0, 0).Equals(r.at(0, 1)));
+}
+
+TEST_F(SqlExtensionsTest, AggregateErrorPaths) {
+  // Non-grouped column in an aggregate query.
+  EXPECT_FALSE(
+      rel::ExecuteSql(&db_, "SELECT Customer, COUNT(*) FROM Orders").ok());
+  // Unknown function.
+  EXPECT_FALSE(
+      rel::ExecuteSql(&db_, "SELECT MEDIAN(Amount) FROM Orders").ok());
+  // Star with aggregates.
+  EXPECT_FALSE(
+      rel::ExecuteSql(&db_, "SELECT * FROM Orders GROUP BY Region").ok());
+  // Aggregates in WHERE.
+  EXPECT_FALSE(
+      rel::ExecuteSql(&db_, "SELECT Id FROM Orders WHERE COUNT(*) > 1").ok());
+}
+
+class PredictionWhereTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    conn_ = provider_.Connect();
+    datagen::WarehouseConfig config;
+    config.num_customers = 300;
+    ASSERT_TRUE(datagen::PopulateWarehouse(provider_.database(), config).ok());
+    Must(R"(CREATE MINING MODEL [M] (
+              [Customer ID] LONG KEY, [Gender] TEXT DISCRETE,
+              [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT)
+            USING Naive_Bayes)");
+    Must("INSERT INTO [M] SELECT [Customer ID], [Gender], [Age] "
+         "FROM Customers");
+  }
+
+  Rowset Must(const std::string& command) {
+    auto result = conn_->Execute(command);
+    EXPECT_TRUE(result.ok()) << command << " -> "
+                             << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Provider provider_;
+  std::unique_ptr<Connection> conn_;
+};
+
+TEST_F(PredictionWhereTest, FiltersOnUdfValues) {
+  Rowset all = Must(R"(
+    SELECT t.[Customer ID], PredictProbability([Age]) AS P FROM [M]
+    NATURAL PREDICTION JOIN
+      (SELECT [Customer ID], [Gender] FROM Customers) AS t)");
+  Rowset confident = Must(R"(
+    SELECT t.[Customer ID], PredictProbability([Age]) AS P FROM [M]
+    NATURAL PREDICTION JOIN
+      (SELECT [Customer ID], [Gender] FROM Customers) AS t
+    WHERE PredictProbability([Age]) > 0.3)");
+  EXPECT_LT(confident.num_rows(), all.num_rows());
+  EXPECT_GT(confident.num_rows(), 0u);
+  for (const Row& row : confident.rows()) {
+    EXPECT_GT(row[1].double_value(), 0.3);
+  }
+  // The filtered set is exactly the subset passing the threshold.
+  size_t expected = 0;
+  for (const Row& row : all.rows()) {
+    if (row[1].double_value() > 0.3) ++expected;
+  }
+  EXPECT_EQ(confident.num_rows(), expected);
+}
+
+TEST_F(PredictionWhereTest, FiltersOnSourceColumnsAndConjunction) {
+  Rowset r = Must(R"(
+    SELECT t.[Customer ID], t.[Gender] FROM [M]
+    NATURAL PREDICTION JOIN
+      (SELECT [Customer ID], [Gender] FROM Customers) AS t
+    WHERE t.[Gender] = 'Male' AND PredictSupport([Age]) >= 1)");
+  ASSERT_GT(r.num_rows(), 0u);
+  for (const Row& row : r.rows()) {
+    EXPECT_EQ(row[1].text_value(), "Male");
+  }
+}
+
+TEST_F(PredictionWhereTest, TopCountsFilteredRows) {
+  Rowset r = Must(R"(
+    SELECT TOP 5 t.[Customer ID] FROM [M]
+    NATURAL PREDICTION JOIN
+      (SELECT [Customer ID], [Gender] FROM Customers) AS t
+    WHERE t.[Gender] = 'Female')");
+  EXPECT_EQ(r.num_rows(), 5u);
+}
+
+TEST_F(PredictionWhereTest, SingletonPredictionQuery) {
+  // The classic DMX singleton form: predict for one ad-hoc case.
+  Rowset r = Must(R"(
+    SELECT Predict([Age]) AS A, PredictProbability([Age]) AS P FROM [M]
+    NATURAL PREDICTION JOIN (SELECT 'Male' AS [Gender]) AS t)");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_FALSE(r.at(0, 0).is_null());
+  EXPECT_GT(r.at(0, 1).double_value(), 0);
+}
+
+}  // namespace
+}  // namespace dmx

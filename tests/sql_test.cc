@@ -1,0 +1,278 @@
+// SQL subset: parser, expression semantics, executor (filters, ordering,
+// hash/nested-loop joins, TOP), DDL/DML, and CSV import/export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "relational/database.h"
+#include "relational/sql_executor.h"
+#include "relational/sql_parser.h"
+
+namespace dmx::rel {
+namespace {
+
+class SqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Must("CREATE TABLE People (Id LONG, Name TEXT, Age LONG, City TEXT)");
+    Must(R"(INSERT INTO People VALUES
+        (1, 'Ann', 34, 'Oslo'),
+        (2, 'Bob', 28, 'Rome'),
+        (3, 'Cid', 42, 'Oslo'),
+        (4, 'Dee', 28, 'Bern'))");
+    Must("CREATE TABLE Pets (Owner LONG, Pet TEXT)");
+    Must(R"(INSERT INTO Pets VALUES
+        (1, 'cat'), (1, 'dog'), (3, 'fish'), (9, 'owl'))");
+  }
+
+  Rowset Must(const std::string& sql) {
+    auto result = ExecuteSql(&db_, sql);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? std::move(result).value() : Rowset();
+  }
+
+  Status Fails(const std::string& sql) {
+    auto result = ExecuteSql(&db_, sql);
+    EXPECT_FALSE(result.ok()) << sql;
+    return result.status();
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, SelectStarPreservesSchemaOrder) {
+  Rowset r = Must("SELECT * FROM People");
+  EXPECT_EQ(r.num_rows(), 4u);
+  ASSERT_EQ(r.num_columns(), 4u);
+  EXPECT_EQ(r.schema()->column(0).name, "Id");
+  EXPECT_EQ(r.schema()->column(3).name, "City");
+}
+
+TEST_F(SqlTest, WhereFiltersAndProjects) {
+  Rowset r = Must("SELECT Name FROM People WHERE Age = 28");
+  EXPECT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.at(0, 0).text_value(), "Bob");
+}
+
+TEST_F(SqlTest, WhereComposesBooleans) {
+  EXPECT_EQ(Must("SELECT Id FROM People WHERE Age > 30 AND City = 'Oslo'")
+                .num_rows(),
+            2u);
+  EXPECT_EQ(Must("SELECT Id FROM People WHERE Age > 40 OR City = 'Bern'")
+                .num_rows(),
+            2u);
+  EXPECT_EQ(Must("SELECT Id FROM People WHERE NOT (City = 'Oslo')").num_rows(),
+            2u);
+  EXPECT_EQ(Must("SELECT Id FROM People WHERE Age <> 28").num_rows(), 2u);
+}
+
+TEST_F(SqlTest, ArithmeticInProjection) {
+  Rowset r = Must("SELECT Age * 2 + 1 AS D FROM People WHERE Id = 1");
+  EXPECT_EQ(r.at(0, 0).long_value(), 69);
+  EXPECT_EQ(r.schema()->column(0).name, "D");
+  Rowset div = Must("SELECT Age / 4 AS Q FROM People WHERE Id = 1");
+  EXPECT_EQ(div.at(0, 0).double_value(), 8.5);
+}
+
+TEST_F(SqlTest, DivisionByZeroYieldsNull) {
+  Rowset r = Must("SELECT Age / 0 AS Q FROM People WHERE Id = 1");
+  EXPECT_TRUE(r.at(0, 0).is_null());
+}
+
+TEST_F(SqlTest, OrderByMultipleKeysAndDirections) {
+  Rowset r = Must("SELECT Name FROM People ORDER BY Age ASC, Name DESC");
+  ASSERT_EQ(r.num_rows(), 4u);
+  EXPECT_EQ(r.at(0, 0).text_value(), "Dee");  // 28, 'Dee' > 'Bob'
+  EXPECT_EQ(r.at(1, 0).text_value(), "Bob");
+  EXPECT_EQ(r.at(3, 0).text_value(), "Cid");
+}
+
+TEST_F(SqlTest, OrderByProjectionAlias) {
+  Rowset r = Must("SELECT Id, Age * -1 AS NegAge FROM People ORDER BY NegAge");
+  EXPECT_EQ(r.at(0, 0).long_value(), 3);  // oldest first
+}
+
+TEST_F(SqlTest, TopAppliesAfterOrdering) {
+  Rowset r = Must("SELECT TOP 2 Name FROM People ORDER BY Age DESC");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.at(0, 0).text_value(), "Cid");
+  EXPECT_EQ(r.at(1, 0).text_value(), "Ann");
+}
+
+TEST_F(SqlTest, InnerJoinMatchesAndDropsDangling) {
+  Rowset r = Must(R"(
+      SELECT p.Name, t.Pet FROM People p
+      INNER JOIN Pets t ON p.Id = t.Owner
+      ORDER BY p.Name, t.Pet)");
+  ASSERT_EQ(r.num_rows(), 3u);  // owner 9 has no person; Bob/Dee have no pets
+  EXPECT_EQ(r.at(0, 0).text_value(), "Ann");
+  EXPECT_EQ(r.at(0, 1).text_value(), "cat");
+  EXPECT_EQ(r.at(2, 0).text_value(), "Cid");
+}
+
+TEST_F(SqlTest, JoinWithResidualCondition) {
+  Rowset r = Must(R"(
+      SELECT p.Name, t.Pet FROM People p
+      INNER JOIN Pets t ON p.Id = t.Owner AND p.Age > 40)");
+  ASSERT_EQ(r.num_rows(), 1u);
+  EXPECT_EQ(r.at(0, 0).text_value(), "Cid");
+}
+
+TEST_F(SqlTest, NonEquiJoinFallsBackToNestedLoop) {
+  Rowset r = Must(R"(
+      SELECT p.Id, t.Owner FROM People p
+      INNER JOIN Pets t ON p.Id < t.Owner AND t.Owner = 9)");
+  EXPECT_EQ(r.num_rows(), 4u);
+}
+
+TEST_F(SqlTest, JoinChainOfThreeTables) {
+  Must("CREATE TABLE Cities (City TEXT, Country TEXT)");
+  Must("INSERT INTO Cities VALUES ('Oslo', 'NO'), ('Rome', 'IT')");
+  Rowset r = Must(R"(
+      SELECT p.Name, c.Country, t.Pet FROM People p
+      INNER JOIN Cities c ON p.City = c.City
+      INNER JOIN Pets t ON p.Id = t.Owner
+      ORDER BY p.Name)");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.at(0, 1).text_value(), "NO");
+}
+
+TEST_F(SqlTest, DuplicateColumnNamesGetQualified) {
+  Rowset r = Must(R"(
+      SELECT * FROM People p INNER JOIN Pets t ON p.Id = t.Owner)");
+  // All column names stay unique.
+  std::set<std::string> names;
+  for (const ColumnDef& col : r.schema()->columns()) {
+    EXPECT_TRUE(names.insert(ToLower(col.name)).second) << col.name;
+  }
+}
+
+TEST_F(SqlTest, NullSemantics) {
+  Must("CREATE TABLE N (A LONG, B LONG)");
+  Must("INSERT INTO N (A) VALUES (1)");  // B left NULL
+  EXPECT_EQ(Must("SELECT A FROM N WHERE B = 0").num_rows(), 0u);
+  EXPECT_EQ(Must("SELECT A FROM N WHERE B <> 0").num_rows(), 0u);
+  EXPECT_EQ(Must("SELECT A FROM N WHERE B IS NULL").num_rows(), 1u);
+  EXPECT_EQ(Must("SELECT A FROM N WHERE B IS NOT NULL").num_rows(), 0u);
+  EXPECT_EQ(Must("SELECT A FROM N WHERE A IS NOT NULL").num_rows(), 1u);
+  // NULL never equi-joins.
+  Must("CREATE TABLE M (B LONG)");
+  Must("INSERT INTO M (B) VALUES (0)");
+  EXPECT_EQ(Must("SELECT * FROM N INNER JOIN M ON N.B = M.B").num_rows(), 0u);
+}
+
+TEST_F(SqlTest, InsertWithColumnListAndCoercion) {
+  Must("CREATE TABLE C (A DOUBLE, B TEXT)");
+  Must("INSERT INTO C (B, A) VALUES ('x', 3)");  // 3 coerces LONG->DOUBLE
+  Rowset r = Must("SELECT A, B FROM C");
+  EXPECT_TRUE(r.at(0, 0).is_double());
+  EXPECT_EQ(r.at(0, 0).double_value(), 3.0);
+}
+
+TEST_F(SqlTest, DeleteWithAndWithoutWhere) {
+  Must("DELETE FROM Pets WHERE Owner = 1");
+  EXPECT_EQ(Must("SELECT * FROM Pets").num_rows(), 2u);
+  Must("DELETE FROM Pets");
+  EXPECT_EQ(Must("SELECT * FROM Pets").num_rows(), 0u);
+}
+
+TEST_F(SqlTest, DropTable) {
+  Must("DROP TABLE Pets");
+  EXPECT_TRUE(Fails("SELECT * FROM Pets").IsNotFound());
+  EXPECT_TRUE(Fails("DROP TABLE Pets").IsNotFound());
+}
+
+TEST_F(SqlTest, ErrorPaths) {
+  EXPECT_TRUE(Fails("SELECT Nope FROM People").IsBindError());
+  EXPECT_TRUE(Fails("SELECT * FROM Nowhere").IsNotFound());
+  EXPECT_TRUE(Fails("SELECT FROM People").IsParseError());
+  EXPECT_TRUE(Fails("FLY ME TO THE MOON").IsParseError());
+  EXPECT_TRUE(Fails("CREATE TABLE People (X LONG)").code() ==
+              StatusCode::kAlreadyExists);
+  EXPECT_TRUE(Fails("INSERT INTO People VALUES (1)").ok() == false);
+  // Ambiguous unqualified column across joined tables.
+  Must("CREATE TABLE People2 (Id LONG)");
+  Must("INSERT INTO People2 VALUES (1)");
+  EXPECT_TRUE(
+      Fails("SELECT Id FROM People INNER JOIN People2 ON People.Id = "
+            "People2.Id")
+          .IsBindError());
+}
+
+TEST_F(SqlTest, BaseTablesRejectTableColumns) {
+  auto nested = Schema::Make({{"K", DataType::kLong}});
+  auto schema = Schema::Make({{"Id", DataType::kLong}, ColumnDef("T", nested)});
+  EXPECT_FALSE(db_.CreateTable("Bad", schema).ok());
+}
+
+TEST_F(SqlTest, ParserRoundTripsExpressions) {
+  // Print -> reparse -> print is a fixpoint.
+  const char* exprs[] = {
+      "(a = 1)", "((a + b) * 2)", "(NOT (x) OR (y < 3.5))",
+      "(name = 'O''Brien')", "col IS NOT NULL",
+  };
+  for (const char* text : exprs) {
+    auto tokens1 = Tokenize(text);
+    ASSERT_TRUE(tokens1.ok());
+    TokenStream ts1(std::move(tokens1).value());
+    auto e1 = ParseExpression(&ts1);
+    ASSERT_TRUE(e1.ok()) << text;
+    std::string printed = (*e1)->ToString();
+    auto tokens2 = Tokenize(printed);
+    ASSERT_TRUE(tokens2.ok());
+    TokenStream ts2(std::move(tokens2).value());
+    auto e2 = ParseExpression(&ts2);
+    ASSERT_TRUE(e2.ok()) << printed;
+    EXPECT_EQ((*e2)->ToString(), printed);
+  }
+}
+
+TEST_F(SqlTest, CsvRoundTrip) {
+  std::string path = ::testing::TempDir() + "/sql_test_people.csv";
+  auto table = db_.GetTable("People");
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE(SaveCsv(**table, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_rows(), 4u);
+  EXPECT_EQ(loaded->schema()->column(1).type, DataType::kText);
+  EXPECT_EQ(loaded->schema()->column(2).type, DataType::kLong);
+  EXPECT_TRUE(loaded->Get(0, "Name")->Equals(Value::Text("Ann")));
+  std::remove(path.c_str());
+}
+
+TEST_F(SqlTest, CsvQuotingAndNulls) {
+  Must("CREATE TABLE Q (A TEXT, B LONG)");
+  Must("INSERT INTO Q (A) VALUES ('comma, quote \" and more')");
+  std::string path = ::testing::TempDir() + "/sql_test_quoted.csv";
+  auto table = db_.GetTable("Q");
+  ASSERT_TRUE(SaveCsv(**table, path).ok());
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->num_rows(), 1u);
+  // Commas and quotes survive the round trip; the empty LONG reloads as NULL.
+  EXPECT_EQ(loaded->Get(0, "A")->ToString(), "comma, quote \" and more");
+  EXPECT_TRUE(loaded->Get(0, "B")->is_null());
+  std::remove(path.c_str());
+}
+
+TEST_F(SqlTest, CsvTypeInference) {
+  std::string path = ::testing::TempDir() + "/sql_test_infer.csv";
+  {
+    std::ofstream out(path);
+    out << "a,b,c\n1,1.5,x\n2,,y\n";
+  }
+  auto loaded = LoadCsv(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->schema()->column(0).type, DataType::kLong);
+  EXPECT_EQ(loaded->schema()->column(1).type, DataType::kDouble);
+  EXPECT_EQ(loaded->schema()->column(2).type, DataType::kText);
+  EXPECT_TRUE(loaded->at(1, 1).is_null());  // empty cell -> NULL
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dmx::rel

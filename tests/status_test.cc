@@ -1,0 +1,93 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace dmx {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, BuilderComposesMessages) {
+  Status s = InvalidArgument() << "bad count " << 42 << " for '" << "x" << "'";
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad count 42 for 'x'");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad count 42 for 'x'");
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status(NotFound() << "x").IsNotFound());
+  EXPECT_TRUE(Status(ParseError() << "x").IsParseError());
+  EXPECT_TRUE(Status(BindError() << "x").IsBindError());
+  EXPECT_TRUE(Status(NotSupported() << "x").IsNotSupported());
+  EXPECT_TRUE(Status(InvalidState() << "x").IsInvalidState());
+  EXPECT_FALSE(Status(NotFound() << "x").IsParseError());
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int code = 0; code <= static_cast<int>(StatusCode::kInternal); ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, CopyIsCheapAndShared) {
+  Status a = IOError() << "disk on fire";
+  Status b = a;
+  EXPECT_EQ(b.message(), "disk on fire");
+  EXPECT_EQ(b.code(), StatusCode::kIOError);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_EQ(r.ValueOr(0), 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = NotFound() << "nope";
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 3);
+}
+
+Result<int> FailsThrough() {
+  DMX_ASSIGN_OR_RETURN(int x, Result<int>(NotFound() << "inner"));
+  return x + 1;
+}
+
+Result<int> Succeeds() {
+  DMX_ASSIGN_OR_RETURN(int x, Result<int>(41));
+  return x + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_TRUE(FailsThrough().status().IsNotFound());
+  EXPECT_EQ(*Succeeds(), 42);
+}
+
+Status ReturnIfError(bool fail) {
+  DMX_RETURN_IF_ERROR(fail ? Status(Internal() << "boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(ReturnIfError(false).ok());
+  EXPECT_EQ(ReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace dmx

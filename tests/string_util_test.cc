@@ -1,0 +1,92 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+namespace dmx {
+namespace {
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+  EXPECT_TRUE(EqualsCi("SELECT", "select"));
+  EXPECT_TRUE(EqualsCi("", ""));
+  EXPECT_FALSE(EqualsCi("abc", "abcd"));
+  EXPECT_FALSE(EqualsCi("abc", "abd"));
+}
+
+TEST(StringUtilTest, LessCiIsAStrictWeakOrder) {
+  LessCi less;
+  EXPECT_TRUE(less("Apple", "banana"));
+  EXPECT_FALSE(less("banana", "Apple"));
+  EXPECT_FALSE(less("ABC", "abc"));
+  EXPECT_FALSE(less("abc", "ABC"));
+  EXPECT_TRUE(less("ab", "abc"));
+  // Usable as a map comparator with case-insensitive keys.
+  std::map<std::string, int, LessCi> m;
+  m["Alpha"] = 1;
+  m["ALPHA"] = 2;
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m["alpha"], 2);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(Split("a,,c", ',')[1], "");
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("abc", ',')[0], "abc");
+}
+
+TEST(StringUtilTest, JoinAndStartsWith) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_TRUE(StartsWithCi("SELECT * FROM", "select"));
+  EXPECT_FALSE(StartsWithCi("SEL", "select"));
+}
+
+TEST(StringUtilTest, QuoteIdentifier) {
+  EXPECT_EQ(QuoteIdentifier("Age"), "Age");
+  EXPECT_EQ(QuoteIdentifier("snake_case_2"), "snake_case_2");
+  EXPECT_EQ(QuoteIdentifier("Age Prediction"), "[Age Prediction]");
+  EXPECT_EQ(QuoteIdentifier("1starts_with_digit"), "[1starts_with_digit]");
+  EXPECT_EQ(QuoteIdentifier("has]bracket"), "[has]]bracket]");
+  EXPECT_EQ(QuoteIdentifier(""), "[]");
+}
+
+TEST(FormatDoubleTest, SpecialsAndIntegers) {
+  EXPECT_EQ(FormatDouble(0), "0");
+  EXPECT_EQ(FormatDouble(-3), "-3");
+  EXPECT_EQ(FormatDouble(1e6), "1000000");
+  EXPECT_EQ(FormatDouble(std::nan("")), "NaN");
+  EXPECT_EQ(FormatDouble(std::numeric_limits<double>::infinity()), "Inf");
+}
+
+// Property: FormatDouble output re-parses to the exact same double.
+class FormatDoubleRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(FormatDoubleRoundTrip, Exact) {
+  double v = GetParam();
+  std::string text = FormatDouble(v);
+  double parsed = std::strtod(text.c_str(), nullptr);
+  EXPECT_EQ(parsed, v) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, FormatDoubleRoundTrip,
+    ::testing::Values(0.1, 1.0 / 3.0, 2.5, -17.125, 1e-12, 3.141592653589793,
+                      123456.789, 1e15, 5e-324, 0.30000000000000004));
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,76 @@
+// Shared helpers for algorithm-level tests: direct construction of
+// AttributeSets and DataCases without going through the DMX/shaping layers.
+
+#ifndef DMX_TESTS_TEST_UTIL_H_
+#define DMX_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "model/attribute_set.h"
+
+namespace dmx::testutil {
+
+/// Adds a categorical input attribute with named states; returns its index.
+inline int AddCategorical(AttributeSet* attrs, const std::string& name,
+                          const std::vector<std::string>& states,
+                          bool is_output = false) {
+  Attribute attr;
+  attr.name = name;
+  attr.is_continuous = false;
+  attr.is_input = true;
+  attr.is_output = is_output;
+  for (const std::string& s : states) attr.InternCategory(Value::Text(s));
+  attrs->attributes.push_back(std::move(attr));
+  return static_cast<int>(attrs->attributes.size()) - 1;
+}
+
+/// Adds a continuous attribute; returns its index.
+inline int AddContinuous(AttributeSet* attrs, const std::string& name,
+                         bool is_output = false) {
+  Attribute attr;
+  attr.name = name;
+  attr.is_continuous = true;
+  attr.declared_type = AttributeType::kContinuous;
+  attr.is_input = true;
+  attr.is_output = is_output;
+  attrs->attributes.push_back(std::move(attr));
+  return static_cast<int>(attrs->attributes.size()) - 1;
+}
+
+/// Adds a nested item group with the given keys; returns its index.
+inline int AddGroup(AttributeSet* attrs, const std::string& name,
+                    const std::vector<std::string>& keys,
+                    bool is_output = false) {
+  NestedGroup group;
+  group.name = name;
+  group.is_input = !is_output;
+  group.is_output = is_output;
+  for (const std::string& k : keys) group.InternKey(Value::Text(k));
+  attrs->groups.push_back(std::move(group));
+  return static_cast<int>(attrs->groups.size()) - 1;
+}
+
+/// Builds a case over `attrs` with the given per-attribute values and
+/// per-group item index lists.
+inline DataCase MakeCase(const AttributeSet& attrs,
+                         std::vector<double> values,
+                         std::vector<std::vector<int>> items = {}) {
+  DataCase c;
+  c.values = std::move(values);
+  c.values.resize(attrs.attributes.size(), kMissing);
+  c.groups.resize(attrs.groups.size());
+  for (size_t g = 0; g < items.size() && g < c.groups.size(); ++g) {
+    for (int key : items[g]) {
+      CaseItem item;
+      item.key = key;
+      c.groups[g].push_back(item);
+    }
+  }
+  return c;
+}
+
+}  // namespace dmx::testutil
+
+#endif  // DMX_TESTS_TEST_UTIL_H_

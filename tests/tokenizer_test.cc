@@ -1,0 +1,105 @@
+#include "common/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dmx {
+namespace {
+
+std::vector<Token> MustTokenize(const std::string& text) {
+  auto result = Tokenize(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? std::move(result).value() : std::vector<Token>{};
+}
+
+TEST(TokenizerTest, BasicKinds) {
+  auto tokens = MustTokenize("SELECT x, 42, 2.5, 'text' FROM [My Table]");
+  ASSERT_EQ(tokens.size(), 10u);
+  EXPECT_TRUE(tokens[0].IsKeyword("select"));
+  EXPECT_EQ(tokens[1].kind, TokenKind::kIdentifier);
+  EXPECT_TRUE(tokens[2].IsPunct(","));
+  EXPECT_EQ(tokens[3].long_value, 42);
+  EXPECT_EQ(tokens[5].double_value, 2.5);
+  EXPECT_EQ(tokens[7].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[7].text, "text");
+  EXPECT_TRUE(tokens[8].IsKeyword("FROM"));
+  EXPECT_TRUE(tokens[9].quoted);
+  EXPECT_EQ(tokens[9].text, "My Table");
+}
+
+TEST(TokenizerTest, BracketEscaping) {
+  auto tokens = MustTokenize("[a]]b]");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "a]b");
+  // Quoted identifiers never match keywords.
+  EXPECT_FALSE(MustTokenize("[SELECT]")[0].IsKeyword("SELECT"));
+}
+
+TEST(TokenizerTest, StringEscaping) {
+  auto tokens = MustTokenize("'it''s'");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(TokenizerTest, NumberForms) {
+  auto tokens = MustTokenize("1 1.5 .5 1e3 2E-2 7.");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kLong);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDouble);
+  EXPECT_EQ(tokens[2].double_value, 0.5);
+  EXPECT_EQ(tokens[3].double_value, 1000.0);
+  EXPECT_EQ(tokens[4].double_value, 0.02);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kDouble);
+}
+
+TEST(TokenizerTest, Comments) {
+  auto tokens = MustTokenize("a -- comment\nb // another\nc");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[2].text, "c");
+}
+
+TEST(TokenizerTest, MultiCharPunctuation) {
+  auto tokens = MustTokenize("<= >= <> != < > = $");
+  ASSERT_EQ(tokens.size(), 8u);
+  EXPECT_TRUE(tokens[0].IsPunct("<="));
+  EXPECT_TRUE(tokens[2].IsPunct("<>"));
+  EXPECT_TRUE(tokens[7].IsPunct("$"));
+}
+
+TEST(TokenizerTest, Errors) {
+  EXPECT_TRUE(Tokenize("[unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("'unterminated").status().IsParseError());
+  EXPECT_TRUE(Tokenize("a ? b").status().IsParseError());
+}
+
+TEST(TokenStreamTest, MatchAndExpect) {
+  TokenStream ts(MustTokenize("ORDER BY name DESC"));
+  EXPECT_FALSE(ts.MatchKeywords({"GROUP", "BY"}));
+  EXPECT_TRUE(ts.MatchKeywords({"ORDER", "BY"}));
+  auto name = ts.ExpectIdentifier();
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "name");
+  EXPECT_TRUE(ts.MatchKeyword("desc"));
+  EXPECT_TRUE(ts.AtEnd());
+}
+
+TEST(TokenStreamTest, RewindRestoresPosition) {
+  TokenStream ts(MustTokenize("a b c"));
+  size_t save = ts.position();
+  ts.Next();
+  ts.Next();
+  ts.Rewind(save);
+  EXPECT_EQ(ts.Peek().text, "a");
+}
+
+TEST(TokenStreamTest, ErrorsNameTheOffendingToken) {
+  TokenStream ts(MustTokenize("FROM"));
+  Status s = ts.ExpectKeyword("SELECT");
+  EXPECT_TRUE(s.IsParseError());
+  EXPECT_NE(s.message().find("FROM"), std::string::npos);
+  ts.Next();
+  Status end = ts.ExpectPunct(")");
+  EXPECT_NE(end.message().find("end of input"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dmx

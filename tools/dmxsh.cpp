@@ -1,0 +1,158 @@
+// dmxsh — an interactive shell for the OpenDMX provider.
+//
+// Reads DMX / SQL statements (terminated by ';') from stdin and prints the
+// resulting rowsets, the way a consumer talks to the provider in Figure 1.
+//
+//   dmxsh [--warehouse N] [--paper-example] [--quiet]
+//
+//   --warehouse N     preload the synthetic customer warehouse (N customers)
+//   --paper-example   preload the paper's Table 1 micro-warehouse
+//   --quiet           suppress the banner and prompts (for piped scripts)
+//
+// Shell commands (no ';'):
+//   \models   \services   \tables   \columns <model>   \help   \quit
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/string_util.h"
+#include "core/provider.h"
+#include "datagen/warehouse.h"
+
+namespace {
+
+void PrintHelp() {
+  std::cout <<
+      "statements end with ';' and run through the provider, e.g.\n"
+      "  CREATE MINING MODEL m (...) USING Naive_Bayes;\n"
+      "  INSERT INTO m SHAPE {...} APPEND ({...} RELATE a TO b) AS t;\n"
+      "  SELECT ... FROM m NATURAL PREDICTION JOIN (...) AS t;\n"
+      "  SELECT * FROM m.CONTENT;\n"
+      "shell commands:\n"
+      "  \\models      installed mining models\n"
+      "  \\services    installed mining services\n"
+      "  \\functions   prediction UDFs\n"
+      "  \\tables      base tables\n"
+      "  \\columns m   column rowset of model m\n"
+      "  \\help        this text\n"
+      "  \\quit        exit\n";
+}
+
+void PrintRowset(const dmx::Rowset& rowset) {
+  if (rowset.num_columns() == 0) {
+    std::cout << "OK\n";
+    return;
+  }
+  std::cout << rowset.ToString(/*expand_nested=*/true)
+            << "(" << rowset.num_rows() << " row"
+            << (rowset.num_rows() == 1 ? "" : "s") << ")\n";
+}
+
+bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
+  auto show = [&](dmx::SchemaRowsetKind kind, const std::string& filter = "") {
+    auto rowset = conn->GetSchemaRowset(kind, filter);
+    if (rowset.ok()) {
+      PrintRowset(*rowset);
+    } else {
+      std::cout << rowset.status().ToString() << "\n";
+    }
+  };
+  if (line == "\\models") {
+    show(dmx::SchemaRowsetKind::kMiningModels);
+  } else if (line == "\\services") {
+    show(dmx::SchemaRowsetKind::kMiningServices);
+  } else if (line == "\\functions") {
+    show(dmx::SchemaRowsetKind::kMiningFunctions);
+  } else if (line == "\\tables") {
+    for (const std::string& name :
+         conn->provider()->database()->ListTables()) {
+      std::cout << "  " << name << "\n";
+    }
+  } else if (line.rfind("\\columns ", 0) == 0) {
+    show(dmx::SchemaRowsetKind::kMiningColumns, line.substr(9));
+  } else if (line == "\\help") {
+    PrintHelp();
+  } else if (line == "\\quit" || line == "\\q") {
+    return false;
+  } else {
+    std::cout << "unknown shell command (try \\help)\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quiet = false;
+  int warehouse = 0;
+  bool paper_example = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else if (std::strcmp(argv[i], "--paper-example") == 0) {
+      paper_example = true;
+    } else if (std::strcmp(argv[i], "--warehouse") == 0 && i + 1 < argc) {
+      warehouse = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: dmxsh [--warehouse N] [--paper-example] [--quiet]\n";
+      return 2;
+    }
+  }
+
+  dmx::Provider provider;
+  if (paper_example) {
+    auto status = dmx::datagen::LoadPaperExample(provider.database());
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  } else if (warehouse > 0) {
+    dmx::datagen::WarehouseConfig config;
+    config.num_customers = warehouse;
+    auto status = dmx::datagen::PopulateWarehouse(provider.database(), config);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
+  auto conn = provider.Connect();
+
+  if (!quiet) {
+    std::cout << "OpenDMX shell -- data mining as first-class SQL objects\n"
+              << "type \\help for help, \\quit to exit\n";
+    if (paper_example) {
+      std::cout << "(paper Table 1 micro-warehouse loaded: Customers, Sales, "
+                   "CarOwnership)\n";
+    } else if (warehouse > 0) {
+      std::cout << "(synthetic warehouse loaded: " << warehouse
+                << " customers)\n";
+    }
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (!quiet) std::cout << (buffer.empty() ? "dmx> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(dmx::Trim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (!HandleShellCommand(conn.get(), trimmed)) break;
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    // Execute once the statement terminator arrives.
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    std::string command(dmx::Trim(buffer));
+    buffer.clear();
+    if (command == ";") continue;
+    auto result = conn->Execute(command);
+    if (!result.ok()) {
+      std::cout << result.status().ToString() << "\n";
+      continue;
+    }
+    PrintRowset(*result);
+  }
+  return 0;
+}
