@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_in_db_vs_export.dir/bench_e1_in_db_vs_export.cc.o"
+  "CMakeFiles/bench_e1_in_db_vs_export.dir/bench_e1_in_db_vs_export.cc.o.d"
+  "bench_e1_in_db_vs_export"
+  "bench_e1_in_db_vs_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_in_db_vs_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

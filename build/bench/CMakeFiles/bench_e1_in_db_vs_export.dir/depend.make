@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e1_in_db_vs_export.
+# This may be replaced when dependencies are built.

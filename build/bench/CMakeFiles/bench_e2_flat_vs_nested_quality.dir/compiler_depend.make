@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_e2_flat_vs_nested_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2_flat_vs_nested_quality.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_streaming_cases.dir/bench_e3_streaming_cases.cc.o"
+  "CMakeFiles/bench_e3_streaming_cases.dir/bench_e3_streaming_cases.cc.o.d"
+  "bench_e3_streaming_cases"
+  "bench_e3_streaming_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_streaming_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_service_scaling.dir/bench_e4_service_scaling.cc.o"
+  "CMakeFiles/bench_e4_service_scaling.dir/bench_e4_service_scaling.cc.o.d"
+  "bench_e4_service_scaling"
+  "bench_e4_service_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_service_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

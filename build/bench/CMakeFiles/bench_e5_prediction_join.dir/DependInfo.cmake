@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_e5_prediction_join.cc" "bench/CMakeFiles/bench_e5_prediction_join.dir/bench_e5_prediction_join.cc.o" "gcc" "bench/CMakeFiles/bench_e5_prediction_join.dir/bench_e5_prediction_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pmml/CMakeFiles/dmx_pmml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmx_provider.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dmx_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/dmx_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dmx_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dmx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/dmx_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dmx_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_content_and_pmml.dir/bench_e8_content_and_pmml.cc.o"
+  "CMakeFiles/bench_e8_content_and_pmml.dir/bench_e8_content_and_pmml.cc.o.d"
+  "bench_e8_content_and_pmml"
+  "bench_e8_content_and_pmml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_content_and_pmml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_provider_stack.dir/bench_fig1_provider_stack.cc.o"
+  "CMakeFiles/bench_fig1_provider_stack.dir/bench_fig1_provider_stack.cc.o.d"
+  "bench_fig1_provider_stack"
+  "bench_fig1_provider_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_provider_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

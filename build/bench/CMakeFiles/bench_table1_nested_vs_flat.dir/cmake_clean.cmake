@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_nested_vs_flat.dir/bench_table1_nested_vs_flat.cc.o"
+  "CMakeFiles/bench_table1_nested_vs_flat.dir/bench_table1_nested_vs_flat.cc.o.d"
+  "bench_table1_nested_vs_flat"
+  "bench_table1_nested_vs_flat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nested_vs_flat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

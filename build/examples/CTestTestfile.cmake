@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;8;dmx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_market_basket "/root/repo/build/examples/market_basket")
+set_tests_properties(example_market_basket PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;dmx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_customer_segmentation "/root/repo/build/examples/customer_segmentation")
+set_tests_properties(example_customer_segmentation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;dmx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_model_lifecycle "/root/repo/build/examples/model_lifecycle")
+set_tests_properties(example_model_lifecycle PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;dmx_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_next_purchase "/root/repo/build/examples/next_purchase")
+set_tests_properties(example_next_purchase PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;dmx_add_example;/root/repo/examples/CMakeLists.txt;0;")

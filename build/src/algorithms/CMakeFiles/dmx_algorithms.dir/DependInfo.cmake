@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algorithms/association_rules.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/association_rules.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/association_rules.cc.o.d"
+  "/root/repo/src/algorithms/builtin_services.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/builtin_services.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/builtin_services.cc.o.d"
+  "/root/repo/src/algorithms/clustering.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/clustering.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/clustering.cc.o.d"
+  "/root/repo/src/algorithms/decision_tree.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/decision_tree.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/decision_tree.cc.o.d"
+  "/root/repo/src/algorithms/discretizer.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/discretizer.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/discretizer.cc.o.d"
+  "/root/repo/src/algorithms/linear_regression.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/linear_regression.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/linear_regression.cc.o.d"
+  "/root/repo/src/algorithms/naive_bayes.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/naive_bayes.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/algorithms/sequence_analysis.cc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/sequence_analysis.cc.o" "gcc" "src/algorithms/CMakeFiles/dmx_algorithms.dir/sequence_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/dmx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

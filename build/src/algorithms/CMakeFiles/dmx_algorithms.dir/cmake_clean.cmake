@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_algorithms.dir/association_rules.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/association_rules.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/builtin_services.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/builtin_services.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/clustering.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/clustering.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/decision_tree.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/decision_tree.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/discretizer.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/discretizer.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/linear_regression.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/linear_regression.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/naive_bayes.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/dmx_algorithms.dir/sequence_analysis.cc.o"
+  "CMakeFiles/dmx_algorithms.dir/sequence_analysis.cc.o.d"
+  "libdmx_algorithms.a"
+  "libdmx_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_common.dir/nested_table.cc.o"
+  "CMakeFiles/dmx_common.dir/nested_table.cc.o.d"
+  "CMakeFiles/dmx_common.dir/rowset.cc.o"
+  "CMakeFiles/dmx_common.dir/rowset.cc.o.d"
+  "CMakeFiles/dmx_common.dir/schema.cc.o"
+  "CMakeFiles/dmx_common.dir/schema.cc.o.d"
+  "CMakeFiles/dmx_common.dir/status.cc.o"
+  "CMakeFiles/dmx_common.dir/status.cc.o.d"
+  "CMakeFiles/dmx_common.dir/string_util.cc.o"
+  "CMakeFiles/dmx_common.dir/string_util.cc.o.d"
+  "CMakeFiles/dmx_common.dir/tokenizer.cc.o"
+  "CMakeFiles/dmx_common.dir/tokenizer.cc.o.d"
+  "CMakeFiles/dmx_common.dir/value.cc.o"
+  "CMakeFiles/dmx_common.dir/value.cc.o.d"
+  "libdmx_common.a"
+  "libdmx_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/case_binder.cc" "src/core/CMakeFiles/dmx_core.dir/case_binder.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/case_binder.cc.o.d"
+  "/root/repo/src/core/caseset_source.cc" "src/core/CMakeFiles/dmx_core.dir/caseset_source.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/caseset_source.cc.o.d"
+  "/root/repo/src/core/catalog.cc" "src/core/CMakeFiles/dmx_core.dir/catalog.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/catalog.cc.o.d"
+  "/root/repo/src/core/dmx_ast.cc" "src/core/CMakeFiles/dmx_core.dir/dmx_ast.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/dmx_ast.cc.o.d"
+  "/root/repo/src/core/dmx_parser.cc" "src/core/CMakeFiles/dmx_core.dir/dmx_parser.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/dmx_parser.cc.o.d"
+  "/root/repo/src/core/mining_model.cc" "src/core/CMakeFiles/dmx_core.dir/mining_model.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/mining_model.cc.o.d"
+  "/root/repo/src/core/prediction_join.cc" "src/core/CMakeFiles/dmx_core.dir/prediction_join.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/prediction_join.cc.o.d"
+  "/root/repo/src/core/schema_rowsets.cc" "src/core/CMakeFiles/dmx_core.dir/schema_rowsets.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/schema_rowsets.cc.o.d"
+  "/root/repo/src/core/udf.cc" "src/core/CMakeFiles/dmx_core.dir/udf.cc.o" "gcc" "src/core/CMakeFiles/dmx_core.dir/udf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algorithms/CMakeFiles/dmx_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dmx_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/shape/CMakeFiles/dmx_shape.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/dmx_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_core.dir/case_binder.cc.o"
+  "CMakeFiles/dmx_core.dir/case_binder.cc.o.d"
+  "CMakeFiles/dmx_core.dir/caseset_source.cc.o"
+  "CMakeFiles/dmx_core.dir/caseset_source.cc.o.d"
+  "CMakeFiles/dmx_core.dir/catalog.cc.o"
+  "CMakeFiles/dmx_core.dir/catalog.cc.o.d"
+  "CMakeFiles/dmx_core.dir/dmx_ast.cc.o"
+  "CMakeFiles/dmx_core.dir/dmx_ast.cc.o.d"
+  "CMakeFiles/dmx_core.dir/dmx_parser.cc.o"
+  "CMakeFiles/dmx_core.dir/dmx_parser.cc.o.d"
+  "CMakeFiles/dmx_core.dir/mining_model.cc.o"
+  "CMakeFiles/dmx_core.dir/mining_model.cc.o.d"
+  "CMakeFiles/dmx_core.dir/prediction_join.cc.o"
+  "CMakeFiles/dmx_core.dir/prediction_join.cc.o.d"
+  "CMakeFiles/dmx_core.dir/schema_rowsets.cc.o"
+  "CMakeFiles/dmx_core.dir/schema_rowsets.cc.o.d"
+  "CMakeFiles/dmx_core.dir/udf.cc.o"
+  "CMakeFiles/dmx_core.dir/udf.cc.o.d"
+  "libdmx_core.a"
+  "libdmx_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_provider.dir/provider.cc.o"
+  "CMakeFiles/dmx_provider.dir/provider.cc.o.d"
+  "libdmx_provider.a"
+  "libdmx_provider.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_provider.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_datagen.dir/warehouse.cc.o"
+  "CMakeFiles/dmx_datagen.dir/warehouse.cc.o.d"
+  "libdmx_datagen.a"
+  "libdmx_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/attribute_set.cc" "src/model/CMakeFiles/dmx_model.dir/attribute_set.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/attribute_set.cc.o.d"
+  "/root/repo/src/model/column_spec.cc" "src/model/CMakeFiles/dmx_model.dir/column_spec.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/column_spec.cc.o.d"
+  "/root/repo/src/model/content_node.cc" "src/model/CMakeFiles/dmx_model.dir/content_node.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/content_node.cc.o.d"
+  "/root/repo/src/model/mining_service.cc" "src/model/CMakeFiles/dmx_model.dir/mining_service.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/mining_service.cc.o.d"
+  "/root/repo/src/model/model_definition.cc" "src/model/CMakeFiles/dmx_model.dir/model_definition.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/model_definition.cc.o.d"
+  "/root/repo/src/model/service_registry.cc" "src/model/CMakeFiles/dmx_model.dir/service_registry.cc.o" "gcc" "src/model/CMakeFiles/dmx_model.dir/service_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dmx_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

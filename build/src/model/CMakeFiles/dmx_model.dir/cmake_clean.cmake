@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_model.dir/attribute_set.cc.o"
+  "CMakeFiles/dmx_model.dir/attribute_set.cc.o.d"
+  "CMakeFiles/dmx_model.dir/column_spec.cc.o"
+  "CMakeFiles/dmx_model.dir/column_spec.cc.o.d"
+  "CMakeFiles/dmx_model.dir/content_node.cc.o"
+  "CMakeFiles/dmx_model.dir/content_node.cc.o.d"
+  "CMakeFiles/dmx_model.dir/mining_service.cc.o"
+  "CMakeFiles/dmx_model.dir/mining_service.cc.o.d"
+  "CMakeFiles/dmx_model.dir/model_definition.cc.o"
+  "CMakeFiles/dmx_model.dir/model_definition.cc.o.d"
+  "CMakeFiles/dmx_model.dir/service_registry.cc.o"
+  "CMakeFiles/dmx_model.dir/service_registry.cc.o.d"
+  "libdmx_model.a"
+  "libdmx_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

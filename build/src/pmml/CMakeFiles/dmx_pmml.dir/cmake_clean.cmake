@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_pmml.dir/pmml.cc.o"
+  "CMakeFiles/dmx_pmml.dir/pmml.cc.o.d"
+  "CMakeFiles/dmx_pmml.dir/xml.cc.o"
+  "CMakeFiles/dmx_pmml.dir/xml.cc.o.d"
+  "libdmx_pmml.a"
+  "libdmx_pmml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_pmml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_relational.dir/database.cc.o"
+  "CMakeFiles/dmx_relational.dir/database.cc.o.d"
+  "CMakeFiles/dmx_relational.dir/expression.cc.o"
+  "CMakeFiles/dmx_relational.dir/expression.cc.o.d"
+  "CMakeFiles/dmx_relational.dir/sql_executor.cc.o"
+  "CMakeFiles/dmx_relational.dir/sql_executor.cc.o.d"
+  "CMakeFiles/dmx_relational.dir/sql_parser.cc.o"
+  "CMakeFiles/dmx_relational.dir/sql_parser.cc.o.d"
+  "CMakeFiles/dmx_relational.dir/table.cc.o"
+  "CMakeFiles/dmx_relational.dir/table.cc.o.d"
+  "libdmx_relational.a"
+  "libdmx_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

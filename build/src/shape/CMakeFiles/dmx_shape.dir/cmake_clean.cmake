@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_shape.dir/shape_executor.cc.o"
+  "CMakeFiles/dmx_shape.dir/shape_executor.cc.o.d"
+  "CMakeFiles/dmx_shape.dir/shape_parser.cc.o"
+  "CMakeFiles/dmx_shape.dir/shape_parser.cc.o.d"
+  "libdmx_shape.a"
+  "libdmx_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

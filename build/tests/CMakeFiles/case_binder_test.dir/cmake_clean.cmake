@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/case_binder_test.dir/case_binder_test.cc.o"
+  "CMakeFiles/case_binder_test.dir/case_binder_test.cc.o.d"
+  "case_binder_test"
+  "case_binder_test.pdb"
+  "case_binder_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/case_binder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/content_invariants_test.dir/content_invariants_test.cc.o"
+  "CMakeFiles/content_invariants_test.dir/content_invariants_test.cc.o.d"
+  "content_invariants_test"
+  "content_invariants_test.pdb"
+  "content_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/content_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

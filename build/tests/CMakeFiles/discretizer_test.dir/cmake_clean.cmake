@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discretizer_test.dir/discretizer_test.cc.o"
+  "CMakeFiles/discretizer_test.dir/discretizer_test.cc.o.d"
+  "discretizer_test"
+  "discretizer_test.pdb"
+  "discretizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discretizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

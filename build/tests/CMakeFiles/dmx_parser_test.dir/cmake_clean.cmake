@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmx_parser_test.dir/dmx_parser_test.cc.o"
+  "CMakeFiles/dmx_parser_test.dir/dmx_parser_test.cc.o.d"
+  "dmx_parser_test"
+  "dmx_parser_test.pdb"
+  "dmx_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmx_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

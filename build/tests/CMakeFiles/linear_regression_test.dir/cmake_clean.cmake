@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linear_regression_test.dir/linear_regression_test.cc.o"
+  "CMakeFiles/linear_regression_test.dir/linear_regression_test.cc.o.d"
+  "linear_regression_test"
+  "linear_regression_test.pdb"
+  "linear_regression_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linear_regression_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

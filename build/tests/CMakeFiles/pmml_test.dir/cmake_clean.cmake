@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmml_test.dir/pmml_test.cc.o"
+  "CMakeFiles/pmml_test.dir/pmml_test.cc.o.d"
+  "pmml_test"
+  "pmml_test.pdb"
+  "pmml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prediction_join_test.dir/prediction_join_test.cc.o"
+  "CMakeFiles/prediction_join_test.dir/prediction_join_test.cc.o.d"
+  "prediction_join_test"
+  "prediction_join_test.pdb"
+  "prediction_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prediction_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

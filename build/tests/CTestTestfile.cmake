@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/paper_examples_test[1]_include.cmake")
+include("/root/repo/build/tests/status_test[1]_include.cmake")
+include("/root/repo/build/tests/value_test[1]_include.cmake")
+include("/root/repo/build/tests/string_util_test[1]_include.cmake")
+include("/root/repo/build/tests/tokenizer_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/shape_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/discretizer_test[1]_include.cmake")
+include("/root/repo/build/tests/naive_bayes_test[1]_include.cmake")
+include("/root/repo/build/tests/decision_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/clustering_test[1]_include.cmake")
+include("/root/repo/build/tests/association_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_regression_test[1]_include.cmake")
+include("/root/repo/build/tests/dmx_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/case_binder_test[1]_include.cmake")
+include("/root/repo/build/tests/prediction_join_test[1]_include.cmake")
+include("/root/repo/build/tests/mining_model_test[1]_include.cmake")
+include("/root/repo/build/tests/xml_test[1]_include.cmake")
+include("/root/repo/build/tests/pmml_test[1]_include.cmake")
+include("/root/repo/build/tests/schema_rowsets_test[1]_include.cmake")
+include("/root/repo/build/tests/provider_test[1]_include.cmake")
+include("/root/repo/build/tests/sequence_analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/content_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/udf_inference_test[1]_include.cmake")
+include("/root/repo/build/tests/robustness_test[1]_include.cmake")

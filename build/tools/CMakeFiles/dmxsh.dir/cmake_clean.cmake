@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmxsh.dir/dmxsh.cpp.o"
+  "CMakeFiles/dmxsh.dir/dmxsh.cpp.o.d"
+  "dmxsh"
+  "dmxsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmxsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
