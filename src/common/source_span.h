@@ -1,0 +1,54 @@
+// SourceSpan: a byte range inside a command string. Parsers stamp spans onto
+// AST nodes so the semantic analyzer (core/dmx_analyzer.h) can point
+// diagnostics at the offending text instead of just naming it.
+
+#ifndef DMX_COMMON_SOURCE_SPAN_H_
+#define DMX_COMMON_SOURCE_SPAN_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace dmx {
+
+/// \brief Half-open byte range [offset, offset + length) in a statement.
+/// A zero-length span at offset 0 means "no position information" (AST nodes
+/// built programmatically rather than parsed).
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 0;
+
+  bool valid() const { return length > 0; }
+};
+
+/// 1-based line/column of a byte offset, for "2:17"-style diagnostics.
+struct LineColumn {
+  size_t line = 1;
+  size_t column = 1;
+};
+
+inline LineColumn LocateOffset(std::string_view source, size_t offset) {
+  LineColumn at;
+  if (offset > source.size()) offset = source.size();
+  for (size_t i = 0; i < offset; ++i) {
+    if (source[i] == '\n') {
+      ++at.line;
+      at.column = 1;
+    } else {
+      ++at.column;
+    }
+  }
+  return at;
+}
+
+/// "3:14" (line:column) when `span` is valid and source text is available to
+/// locate it in, "" otherwise.
+inline std::string FormatSpan(std::string_view source, SourceSpan span) {
+  if (!span.valid() || source.empty()) return "";
+  LineColumn at = LocateOffset(source, span.offset);
+  return std::to_string(at.line) + ":" + std::to_string(at.column);
+}
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_SOURCE_SPAN_H_

@@ -1,10 +1,14 @@
 #include "core/catalog.h"
 
+#include "core/dmx_analyzer.h"
+
 namespace dmx {
 
 Result<MiningModel*> ModelCatalog::CreateModel(ModelDefinition definition,
                                                const ServiceRegistry& registry) {
-  DMX_RETURN_IF_ERROR(definition.Validate());
+  // Semantic analysis first: unlike the legacy first-error Validate(), the
+  // analyzer reports every column-metadata violation in one message.
+  DMX_RETURN_IF_ERROR(DmxAnalyzer().AnalyzeDefinition(definition).ToStatus());
   if (models_.count(definition.model_name) > 0) {
     return AlreadyExists() << "mining model '" << definition.model_name
                            << "' already exists";

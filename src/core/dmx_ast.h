@@ -20,6 +20,7 @@
 #include <variant>
 #include <vector>
 
+#include "common/source_span.h"
 #include "common/value.h"
 #include "model/model_definition.h"
 #include "relational/sql_ast.h"
@@ -45,12 +46,14 @@ struct CreateModelStatement {
 /// binding against the source rowset is by column name (see case_binder.h).
 struct InsertColumn {
   std::string name;
+  SourceSpan span;  ///< Name position in the INSERT column list.
   bool is_table = false;
   std::vector<std::string> nested;  ///< Nested model column names.
 };
 
 struct InsertIntoStatement {
   std::string model_name;
+  SourceSpan model_span;  ///< Model-name position in the statement text.
   std::vector<InsertColumn> columns;  ///< Empty: populate all model columns.
   CasesetSource source;
 };
@@ -60,6 +63,9 @@ struct InsertIntoStatement {
 struct DmxExpr {
   enum class Kind { kColumnPath, kFunction, kLiteral, kDollar };
   Kind kind = Kind::kColumnPath;
+
+  /// Position of the expression's first token.
+  SourceSpan span;
 
   /// kColumnPath: qualified segments, e.g. {"Age Prediction", "Age"} or
   /// {"t", "Customer ID"} or just {"Age"}.
@@ -104,15 +110,18 @@ struct PredictionJoinStatement {
   std::optional<int64_t> top;
   std::vector<DmxSelectItem> items;
   std::string model_name;
+  SourceSpan model_span;  ///< Model-name position in the statement text.
   bool natural = false;
   CasesetSource source;
   std::string source_alias;  ///< "AS t"; empty when unaliased.
+  SourceSpan alias_span;     ///< Alias position; invalid when unaliased.
   std::vector<OnPair> on;    ///< Empty for NATURAL joins.
   std::vector<DmxFilter> where;  ///< Conjunction; empty = no filter.
 };
 
 struct SelectContentStatement {
   std::string model_name;
+  SourceSpan model_span;
   /// Optional WHERE over the content rowset's columns
   /// (e.g. NODE_TYPE = 'Rule' AND NODE_SUPPORT > 100). May be null.
   rel::ExprPtr where;
@@ -122,15 +131,18 @@ struct SelectContentStatement {
 /// back to the relational engine when <name> is a table.
 struct DeleteFromModelStatement {
   std::string model_name;
+  SourceSpan model_span;
 };
 
 struct DropModelStatement {
   std::string model_name;
+  SourceSpan model_span;
 };
 
 /// EXPORT MINING MODEL <name> TO '<path>': persist as PMML-style XML.
 struct ExportModelStatement {
   std::string model_name;
+  SourceSpan model_span;
   std::string path;
 };
 

@@ -8,6 +8,16 @@ namespace dmx {
 
 namespace {
 
+/// Source range of one token (re-adds the quoting stripped by the lexer).
+SourceSpan TokenSpan(const Token& t) {
+  size_t length = t.text.size();
+  if (t.kind == TokenKind::kString ||
+      (t.kind == TokenKind::kIdentifier && t.quoted)) {
+    length += 2;
+  }
+  return SourceSpan{t.offset, length == 0 ? 1 : length};
+}
+
 // ---------------------------------------------------------------------------
 // CREATE MINING MODEL
 // ---------------------------------------------------------------------------
@@ -159,6 +169,7 @@ Status ParseColumnModifiers(TokenStream* tokens, ModelColumn* col) {
 Result<ModelColumn> ParseScalarOrTableColumn(TokenStream* tokens,
                                              bool top_level) {
   ModelColumn col;
+  col.span = TokenSpan(tokens->Peek());
   DMX_ASSIGN_OR_RETURN(col.name, tokens->ExpectIdentifier("column name"));
   if (tokens->Peek().IsKeyword("TABLE")) {
     if (!top_level) {
@@ -187,9 +198,11 @@ Result<ModelColumn> ParseScalarOrTableColumn(TokenStream* tokens,
 Result<ModelDefinition> ParseCreateFrom(TokenStream* tokens) {
   // "CREATE MINING MODEL" already consumed.
   ModelDefinition def;
+  def.name_span = TokenSpan(tokens->Peek());
   DMX_ASSIGN_OR_RETURN(def.model_name, tokens->ExpectIdentifier("model name"));
   DMX_ASSIGN_OR_RETURN(def.columns, ParseColumnList(tokens, /*top_level=*/true));
   DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("USING"));
+  def.service_span = TokenSpan(tokens->Peek());
   DMX_ASSIGN_OR_RETURN(def.service_name,
                        tokens->ExpectIdentifier("mining service name"));
   if (tokens->MatchPunct("(")) {
@@ -268,10 +281,12 @@ Result<CasesetSource> ParseSource(TokenStream* tokens) {
 Result<InsertIntoStatement> ParseInsertInto(TokenStream* tokens) {
   // "INSERT INTO" consumed.
   InsertIntoStatement stmt;
+  stmt.model_span = TokenSpan(tokens->Peek());
   DMX_ASSIGN_OR_RETURN(stmt.model_name, tokens->ExpectIdentifier("model name"));
   if (tokens->MatchPunct("(")) {
     while (true) {
       InsertColumn col;
+      col.span = TokenSpan(tokens->Peek());
       DMX_ASSIGN_OR_RETURN(col.name, tokens->ExpectIdentifier("column name"));
       if (tokens->MatchPunct("(")) {
         col.is_table = true;
@@ -300,6 +315,7 @@ Result<InsertIntoStatement> ParseInsertInto(TokenStream* tokens) {
 
 Result<DmxExpr> ParseDmxExpr(TokenStream* tokens) {
   DmxExpr expr;
+  expr.span = TokenSpan(tokens->Peek());
   // Negative numeric literals.
   if (tokens->Peek().IsPunct("-") &&
       (tokens->Peek(1).kind == TokenKind::kLong ||
@@ -417,6 +433,7 @@ Result<DmxStatement> ParseDmxSelect(TokenStream* tokens) {
     }
   }
   DMX_RETURN_IF_ERROR(tokens->ExpectKeyword("FROM"));
+  stmt.model_span = TokenSpan(tokens->Peek());
   DMX_ASSIGN_OR_RETURN(stmt.model_name, tokens->ExpectIdentifier("model name"));
 
   // SELECT * FROM <model>.CONTENT
@@ -429,6 +446,7 @@ Result<DmxStatement> ParseDmxSelect(TokenStream* tokens) {
     }
     SelectContentStatement content;
     content.model_name = stmt.model_name;
+    content.model_span = stmt.model_span;
     if (tokens->MatchKeyword("WHERE")) {
       DMX_ASSIGN_OR_RETURN(content.where, rel::ParseExpression(tokens));
     }
@@ -445,10 +463,12 @@ Result<DmxStatement> ParseDmxSelect(TokenStream* tokens) {
   DMX_ASSIGN_OR_RETURN(stmt.source, ParseSource(tokens));
   DMX_RETURN_IF_ERROR(tokens->ExpectPunct(")"));
   if (tokens->MatchKeyword("AS")) {
+    stmt.alias_span = TokenSpan(tokens->Peek());
     DMX_ASSIGN_OR_RETURN(stmt.source_alias,
                          tokens->ExpectIdentifier("source alias"));
   } else if (tokens->Peek().kind == TokenKind::kIdentifier &&
              !tokens->Peek().IsKeyword("ON")) {
+    stmt.alias_span = TokenSpan(tokens->Peek());
     stmt.source_alias = tokens->Next().text;
   }
   if (tokens->MatchKeyword("ON")) {
@@ -571,11 +591,13 @@ Result<DmxParseResult> ParseDmx(const std::string& text) {
     result.statement = std::move(stmt);
   } else if (tokens.MatchKeywords({"DROP", "MINING", "MODEL"})) {
     DropModelStatement stmt;
+    stmt.model_span = TokenSpan(tokens.Peek());
     DMX_ASSIGN_OR_RETURN(stmt.model_name,
                          tokens.ExpectIdentifier("model name"));
     result.statement = std::move(stmt);
   } else if (tokens.MatchKeywords({"EXPORT", "MINING", "MODEL"})) {
     ExportModelStatement stmt;
+    stmt.model_span = TokenSpan(tokens.Peek());
     DMX_ASSIGN_OR_RETURN(stmt.model_name,
                          tokens.ExpectIdentifier("model name"));
     DMX_RETURN_IF_ERROR(tokens.ExpectKeyword("TO"));
@@ -596,10 +618,12 @@ Result<DmxParseResult> ParseDmx(const std::string& text) {
     // DELETE FROM <name> with no WHERE may target a model; anything more is
     // SQL. The provider re-routes when <name> is a base table.
     tokens.MatchKeywords({"DELETE", "FROM"});
+    SourceSpan name_span = TokenSpan(tokens.Peek());
     auto name = tokens.ExpectIdentifier("name");
     if (name.ok() && (tokens.AtEnd() || tokens.Peek().IsPunct(";"))) {
       DeleteFromModelStatement stmt;
       stmt.model_name = std::move(name).value();
+      stmt.model_span = name_span;
       result.statement = std::move(stmt);
       return result;
     }

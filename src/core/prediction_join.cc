@@ -2,6 +2,7 @@
 
 #include "core/case_binder.h"
 #include "core/caseset_source.h"
+#include "core/dmx_analyzer.h"
 #include "core/udf.h"
 
 namespace dmx {
@@ -72,6 +73,14 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
                                      ModelCatalog* catalog,
                                      const PredictionJoinStatement& stmt) {
   DMX_ASSIGN_OR_RETURN(MiningModel * model, catalog->GetModel(stmt.model_name));
+  // Semantic preflight: reject statements the binder would only fail on one
+  // Status at a time (no PREDICT column, unknown model paths, ...) with the
+  // full multi-diagnostic report.
+  AnalyzerContext analyzer_context;
+  analyzer_context.catalog = catalog;
+  analyzer_context.database = &db;
+  DMX_RETURN_IF_ERROR(
+      DmxAnalyzer(analyzer_context).AnalyzePredictionJoin(stmt).ToStatus());
   if (!model->is_trained()) {
     return InvalidState() << "model '" << stmt.model_name
                           << "' has not been trained (INSERT INTO it first)";

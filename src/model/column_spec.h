@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/source_span.h"
 #include "common/status.h"
 #include "common/value.h"
 
@@ -74,6 +75,9 @@ Result<DiscretizationMethod> DiscretizationMethodFromString(
 /// carry their nested column list.
 struct ModelColumn {
   std::string name;
+  /// Where the column name appeared in the CREATE statement (zero when the
+  /// definition was built programmatically, e.g. on the PMML import path).
+  SourceSpan span;
   DataType data_type = DataType::kText;
   ContentRole role = ContentRole::kAttribute;
   AttributeType attr_type = AttributeType::kDiscrete;

@@ -27,8 +27,10 @@ using ParamMap = std::map<std::string, Value, LessCi>;
 /// \brief The definition half of a data mining model (paper §3.2).
 struct ModelDefinition {
   std::string model_name;
+  SourceSpan name_span;     ///< Model-name position in the CREATE text.
   std::vector<ModelColumn> columns;
   std::string service_name;
+  SourceSpan service_span;  ///< USING-clause service-name position.
   std::vector<AlgorithmParam> parameters;
 
   /// Finds a top-level column by name; nullptr when absent.

@@ -11,6 +11,12 @@
 namespace dmx {
 namespace {
 
+InsertColumn ScalarColumn(std::string name) {
+  InsertColumn col;
+  col.name = std::move(name);
+  return col;
+}
+
 ModelDefinition MustDefine(const std::string& dmx) {
   auto def = ParseCreateMiningModel(dmx);
   EXPECT_TRUE(def.ok()) << def.status().ToString();
@@ -139,8 +145,8 @@ TEST(CaseBinderTest, MappingRestrictsAndValidates) {
   ModelDefinition def = MustDefine(kModelDmx);
   AttributeSet attrs = CaseBinder::BuildAttributeSet(def);
   std::vector<InsertColumn> mapping;
-  mapping.push_back({"Gender", false, {}});
-  mapping.push_back({"Id", false, {}});
+  mapping.push_back(ScalarColumn("Gender"));
+  mapping.push_back(ScalarColumn("Id"));
   auto binder = CaseBinder::CreateForTraining(def, *SourceSchema(), &mapping);
   ASSERT_TRUE(binder.ok());
   Row row = MakeSourceRow(1, "Male", 30, 50000, 3, 1.0, 1.0, Value::Null(),
@@ -156,7 +162,7 @@ TEST(CaseBinderTest, MappingRestrictsAndValidates) {
 
   // A mapped column missing from the source is a bind error.
   std::vector<InsertColumn> bad;
-  bad.push_back({"Gender", false, {}});
+  bad.push_back(ScalarColumn("Gender"));
   auto tiny = Schema::Make({{"Id", DataType::kLong}});
   EXPECT_TRUE(CaseBinder::CreateForTraining(def, *tiny, &bad)
                   .status().IsBindError());

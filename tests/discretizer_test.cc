@@ -120,7 +120,9 @@ TEST_P(DiscretizerSweep, BoundsInvariants) {
   ASSERT_TRUE(bounds.ok());
   EXPECT_LE(bounds->size(), static_cast<size_t>(buckets - 1));
   for (size_t i = 0; i < bounds->size(); ++i) {
-    if (i > 0) EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    if (i > 0) {
+      EXPECT_LT((*bounds)[i - 1], (*bounds)[i]);
+    }
     EXPECT_GE((*bounds)[i], lo);
     EXPECT_LE((*bounds)[i], hi);
   }

@@ -12,11 +12,13 @@
 // Shell commands (no ';'):
 //   \models   \services   \tables   \columns <model>   \help   \quit
 
+#include <cctype>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "common/string_util.h"
+#include "core/dmx_analyzer.h"
 #include "core/provider.h"
 #include "datagen/warehouse.h"
 
@@ -29,6 +31,7 @@ void PrintHelp() {
       "  INSERT INTO m SHAPE {...} APPEND ({...} RELATE a TO b) AS t;\n"
       "  SELECT ... FROM m NATURAL PREDICTION JOIN (...) AS t;\n"
       "  SELECT * FROM m.CONTENT;\n"
+      "  ANALYZE <statement>;   lint a statement without executing it\n"
       "shell commands:\n"
       "  \\models      installed mining models\n"
       "  \\services    installed mining services\n"
@@ -47,6 +50,29 @@ void PrintRowset(const dmx::Rowset& rowset) {
   std::cout << rowset.ToString(/*expand_nested=*/true)
             << "(" << rowset.num_rows() << " row"
             << (rowset.num_rows() == 1 ? "" : "s") << ")\n";
+}
+
+// ANALYZE <statement>: runs the semantic analyzer on the statement text and
+// prints the diagnostic report instead of executing it.
+bool TryAnalyzeCommand(dmx::Connection* conn, const std::string& command) {
+  static const char kKeyword[] = "ANALYZE";
+  const size_t len = sizeof(kKeyword) - 1;
+  if (command.size() <= len ||
+      !dmx::EqualsCi(std::string_view(command).substr(0, len), kKeyword) ||
+      std::isspace(static_cast<unsigned char>(command[len])) == 0) {
+    return false;
+  }
+  std::string statement(dmx::Trim(command.substr(len)));
+  while (!statement.empty() && statement.back() == ';') {
+    statement.pop_back();
+  }
+  dmx::AnalyzerContext context;
+  context.catalog = conn->provider()->models();
+  context.services = conn->provider()->services();
+  context.database = conn->provider()->database();
+  std::cout << dmx::DmxAnalyzer(context).AnalyzeText(statement).ToString(
+      statement);
+  return true;
 }
 
 bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
@@ -147,6 +173,7 @@ int main(int argc, char** argv) {
     std::string command(dmx::Trim(buffer));
     buffer.clear();
     if (command == ";") continue;
+    if (TryAnalyzeCommand(conn.get(), command)) continue;
     auto result = conn->Execute(command);
     if (!result.ok()) {
       std::cout << result.status().ToString() << "\n";
