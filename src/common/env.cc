@@ -1,0 +1,271 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace dmx {
+
+namespace {
+
+Status ErrnoStatus(int err, const std::string& op, const std::string& path) {
+  internal::StatusBuilder builder = [&] {
+    if (err == ENOSPC || err == EDQUOT) return ResourceExhausted();
+    if (err == ENOENT) return NotFound();
+    return IOError();
+  }();
+  return builder << op << " '" << path << "': " << std::strerror(err);
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus(errno, "write", path_);
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return ErrnoStatus(errno, "fsync", path_);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    int fd = fd_;
+    fd_ = -1;
+    if (fd >= 0 && ::close(fd) != 0) {
+      return ErrnoStatus(errno, "close", path_);
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append) override {
+    int flags = O_WRONLY | O_CREAT | (append ? O_APPEND : O_TRUNC);
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return ErrnoStatus(errno, "open for write", path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return ErrnoStatus(errno, "open for read", path);
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        int err = errno;
+        ::close(fd);
+        return ErrnoStatus(err, "read", path);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      return ErrnoStatus(errno, "stat", path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoStatus(errno, "rename to '" + to + "'", from);
+    }
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return ErrnoStatus(errno, "unlink", path);
+    }
+    return Status::OK();
+  }
+
+  Status TruncateFile(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return ErrnoStatus(errno, "truncate", path);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoStatus(errno, "mkdir", path);
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return ErrnoStatus(errno, "opendir", path);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+Status Env::WriteStringToFile(const std::string& path, std::string_view data,
+                              bool sync) {
+  DMX_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       NewWritableFile(path));
+  DMX_RETURN_IF_ERROR(file->Append(data));
+  if (sync) DMX_RETURN_IF_ERROR(file->Sync());
+  return file->Close();
+}
+
+Status Env::AtomicWriteFile(const std::string& path, std::string_view data) {
+  std::string tmp = path + ".tmp";
+  DMX_RETURN_IF_ERROR(WriteStringToFile(tmp, data, /*sync=*/true));
+  return RenameFile(tmp, path);
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjectionEnv
+// ---------------------------------------------------------------------------
+
+/// Wraps a WritableFile so appends/syncs/closes hit the env's fault counter.
+/// Named (non-anonymous) so the FaultInjectionEnv friend declaration binds.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(std::unique_ptr<WritableFile> base,
+                             FaultInjectionEnv* env)
+      : base_(std::move(base)), env_(env) {}
+
+  Status Append(std::string_view data) override;
+  Status Sync() override;
+  Status Close() override;
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectionEnv* env_;
+};
+
+Status FaultInjectionEnv::MaybeFault(bool* torn) {
+  if (torn != nullptr) *torn = false;
+  if (!armed_) return Status::OK();
+  int64_t op = ops_++;
+  if (!fired_ && op < fail_at_) return Status::OK();
+  bool first = !fired_;
+  fired_ = true;
+  switch (kind_) {
+    case FaultKind::kNoSpace:
+      return ResourceExhausted() << "injected ENOSPC at op " << op;
+    case FaultKind::kTornWrite:
+      if (first && torn != nullptr && torn_pending_) {
+        torn_pending_ = false;
+        *torn = true;
+      }
+      return IOError() << "injected torn write at op " << op;
+    case FaultKind::kIOError:
+      break;
+  }
+  return IOError() << "injected I/O fault at op " << op;
+}
+
+Status FaultInjectionWritableFile::Append(std::string_view data) {
+  bool torn = false;
+  Status fault = env_->MaybeFault(&torn);
+  if (fault.ok()) return base_->Append(data);
+  // A torn write persists a prefix of the record before the "crash".
+  if (torn && !data.empty()) {
+    (void)base_->Append(data.substr(0, (data.size() + 1) / 2));
+    (void)base_->Sync();
+  }
+  return fault;
+}
+
+Status FaultInjectionWritableFile::Sync() {
+  DMX_RETURN_IF_ERROR(env_->MaybeFault(nullptr));
+  return base_->Sync();
+}
+
+Status FaultInjectionWritableFile::Close() {
+  Status fault = env_->MaybeFault(nullptr);
+  // Always release the descriptor, even when reporting an injected failure.
+  Status close_status = base_->Close();
+  if (!fault.ok()) return fault;
+  return close_status;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool append) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
+                       base_->NewWritableFile(path, append));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectionWritableFile>(std::move(base), this));
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  return base_->DeleteFile(path);
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  return base_->TruncateFile(path, size);
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string& path) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  return base_->CreateDir(path);
+}
+
+}  // namespace dmx

@@ -1,0 +1,148 @@
+// Env: the file-system seam of the provider (Arrow/RocksDB idiom). All file
+// I/O — PMML export/import, CSV load/save, the durable catalog store — goes
+// through an Env so tests can substitute a FaultInjectionEnv and exercise
+// crash/torn-write/ENOSPC behaviour deterministically.
+//
+// The default Env is POSIX-backed; errors map ENOSPC/EDQUOT to
+// kResourceExhausted, ENOENT to kNotFound and everything else to kIOError,
+// always naming the path.
+
+#ifndef DMX_COMMON_ENV_H_
+#define DMX_COMMON_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dmx {
+
+/// \brief Sequential append-only file handle.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Flushes buffered data to stable storage (fsync).
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor; further calls are invalid. Close failures are
+  /// real write failures (delayed allocation) and must be checked.
+  virtual Status Close() = 0;
+};
+
+/// \brief File-system interface. Stateless; safe to share across objects.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+
+  /// Opens `path` for writing; truncates unless `append`.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append = false) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (POSIX rename semantics).
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status DeleteFile(const std::string& path) = 0;
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Creates a directory; succeeds if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// Entry names (no "."/"..") of a directory.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
+
+  // --- composed helpers (route through the virtual primitives, so fault
+  // injection sees every underlying write/sync/close) ---
+
+  /// Open + append + optional fsync + close, checking every step.
+  Status WriteStringToFile(const std::string& path, std::string_view data,
+                           bool sync = true);
+
+  /// Durable replace: write `path`.tmp, fsync, close, rename over `path`.
+  /// A crash at any point leaves either the old file or the new file.
+  Status AtomicWriteFile(const std::string& path, std::string_view data);
+};
+
+/// \brief Deterministic fault injection around a base Env.
+///
+/// Mutating operations (write-open, append, sync, close, rename, delete,
+/// truncate, mkdir) are counted once armed; the `fail_at`-th operation fails
+/// with the configured fault, and — like a crashed process — every mutating
+/// operation after it fails too. Reads always pass through.
+class FaultInjectionEnv : public Env {
+ public:
+  enum class FaultKind {
+    kIOError,     ///< Clean failure: no bytes reach the file.
+    kTornWrite,   ///< The failing append writes a prefix, then fails.
+    kNoSpace,     ///< kResourceExhausted, as if the disk filled up.
+  };
+
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  /// Starts counting mutating operations; the op with 0-based index
+  /// `fail_at` (and all later ones) fail with `kind`. Pass a huge `fail_at`
+  /// to count operations without failing any.
+  void ArmFault(int64_t fail_at, FaultKind kind) {
+    armed_ = true;
+    fail_at_ = fail_at;
+    kind_ = kind;
+    ops_ = 0;
+    fired_ = false;
+    torn_pending_ = kind == FaultKind::kTornWrite;
+  }
+  void Disarm() { armed_ = false; }
+
+  /// Mutating operations observed since ArmFault.
+  int64_t op_count() const { return ops_; }
+  bool fault_fired() const { return fired_; }
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool append = false) override;
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> GetFileSize(const std::string& path) override {
+    return base_->GetFileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status DeleteFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status CreateDir(const std::string& path) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override {
+    return base_->ListDir(path);
+  }
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// Counts one mutating op; non-OK when the fault (has) fired. Sets
+  /// `*torn` when this op should write a torn prefix before failing.
+  Status MaybeFault(bool* torn);
+
+  Env* base_;
+  bool armed_ = false;
+  int64_t fail_at_ = 0;
+  FaultKind kind_ = FaultKind::kIOError;
+  int64_t ops_ = 0;
+  bool fired_ = false;
+  bool torn_pending_ = false;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_ENV_H_

@@ -22,10 +22,23 @@ const char* StatusCodeToString(StatusCode code) {
       return "Invalid state";
     case StatusCode::kIOError:
       return "IO error";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
     case StatusCode::kInternal:
       return "Internal error";
   }
   return "Unknown";
+}
+
+Status Status::WithContext(std::string context) const {
+  if (ok()) return *this;
+  Rep rep{rep_->code, rep_->message, rep_->context};
+  rep.context.push_back(std::move(context));
+  Status out;
+  out.rep_ = std::make_shared<const Rep>(std::move(rep));
+  return out;
 }
 
 std::string Status::ToString() const {
@@ -34,6 +47,10 @@ std::string Status::ToString() const {
   if (!message().empty()) {
     out += ": ";
     out += message();
+  }
+  for (const std::string& frame : context()) {
+    out += "; while ";
+    out += frame;
   }
   return out;
 }

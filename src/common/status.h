@@ -13,6 +13,7 @@
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace dmx {
 
@@ -27,6 +28,8 @@ enum class StatusCode {
   kNotSupported,      ///< Capability not provided by this service/provider.
   kInvalidState,      ///< Operation illegal in the object's current state.
   kIOError,           ///< Filesystem / serialization failure.
+  kCorruption,        ///< Stored data failed a checksum / format check.
+  kResourceExhausted, ///< Out of a finite resource (disk space, quota).
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -42,7 +45,7 @@ class Status {
   Status(StatusCode code, std::string message)
       : rep_(code == StatusCode::kOk
                  ? nullptr
-                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+                 : std::make_shared<Rep>(Rep{code, std::move(message), {}})) {}
 
   static Status OK() { return Status(); }
 
@@ -53,7 +56,22 @@ class Status {
     return rep_ ? rep_->message : kEmpty;
   }
 
-  /// "OK" or "<code name>: <message>".
+  /// \brief Returns a copy carrying one more frame of context, innermost
+  /// first ("appending WAL record", then "journaling statement", ...).
+  ///
+  /// OK statuses pass through unchanged, so the helper can be applied
+  /// unconditionally on return paths:
+  ///   return store->Append(rec).WithContext("journaling statement");
+  Status WithContext(std::string context) const;
+
+  /// Context frames attached via WithContext, innermost first. Empty when OK.
+  const std::vector<std::string>& context() const {
+    static const std::vector<std::string> kEmpty;
+    return rep_ ? rep_->context : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>", plus any context frames rendered as
+  /// "; while <frame>" innermost-first.
   std::string ToString() const;
 
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
@@ -61,11 +79,17 @@ class Status {
   bool IsBindError() const { return code() == StatusCode::kBindError; }
   bool IsNotSupported() const { return code() == StatusCode::kNotSupported; }
   bool IsInvalidState() const { return code() == StatusCode::kInvalidState; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
  private:
   struct Rep {
     StatusCode code;
     std::string message;
+    std::vector<std::string> context;  ///< WithContext frames, innermost first.
   };
   std::shared_ptr<const Rep> rep_;
 };
@@ -116,6 +140,12 @@ inline internal::StatusBuilder InvalidState() {
 }
 inline internal::StatusBuilder IOError() {
   return internal::StatusBuilder(StatusCode::kIOError);
+}
+inline internal::StatusBuilder Corruption() {
+  return internal::StatusBuilder(StatusCode::kCorruption);
+}
+inline internal::StatusBuilder ResourceExhausted() {
+  return internal::StatusBuilder(StatusCode::kResourceExhausted);
 }
 inline internal::StatusBuilder Internal() {
   return internal::StatusBuilder(StatusCode::kInternal);

@@ -1,6 +1,9 @@
 #include "core/provider.h"
 
 #include <cassert>
+#include <string_view>
+#include <utility>
+#include <variant>
 
 #include "algorithms/builtin_services.h"
 #include "core/caseset_source.h"
@@ -9,8 +12,114 @@
 #include "pmml/pmml.h"
 #include "relational/sql_executor.h"
 #include "relational/sql_parser.h"
+#include "store/log_format.h"
 
 namespace dmx {
+
+namespace {
+
+// Snapshot schema encoding: u32 column count, then per column the type name
+// and column name, each length-prefixed (names may contain any byte).
+std::string EncodeSchema(const Schema& schema) {
+  std::string out;
+  store::PutFixed32(&out, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    store::PutLengthPrefixed(&out, DataTypeToString(col.type));
+    store::PutLengthPrefixed(&out, col.name);
+  }
+  return out;
+}
+
+Result<std::shared_ptr<const Schema>> DecodeSchema(const std::string& meta) {
+  std::string_view src(meta);
+  uint32_t num_columns = 0;
+  if (!store::GetFixed32(&src, &num_columns)) {
+    return Corruption() << "table snapshot schema is truncated";
+  }
+  std::vector<ColumnDef> columns;
+  columns.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns; ++i) {
+    std::string_view type_name;
+    std::string_view col_name;
+    if (!store::GetLengthPrefixed(&src, &type_name) ||
+        !store::GetLengthPrefixed(&src, &col_name)) {
+      return Corruption() << "table snapshot schema is truncated";
+    }
+    DMX_ASSIGN_OR_RETURN(DataType type,
+                         DataTypeFromString(std::string(type_name)));
+    columns.emplace_back(std::string(col_name), type);
+  }
+  return Schema::Make(std::move(columns));
+}
+
+}  // namespace
+
+/// Bridges the durable store to the provider's catalogs: replays journaled
+/// statements / model blobs on recovery and serializes the whole catalog
+/// (tables as CSV, models as PMML) for snapshots.
+class Provider::CatalogStoreClient : public store::StoreClient {
+ public:
+  explicit CatalogStoreClient(Provider* provider) : provider_(provider) {}
+
+  Status ApplyStatement(const std::string& text) override {
+    // Recovery runs before the store is attached to the provider, so this
+    // Execute cannot re-journal the statement.
+    Connection conn(provider_);
+    return conn.Execute(text).status();
+  }
+
+  Status ApplyModelBlob(const std::string& name,
+                        const std::string& pmml) override {
+    DMX_ASSIGN_OR_RETURN(std::unique_ptr<MiningModel> model,
+                         DeserializeModel(pmml, *provider_->services()));
+    // The store is authoritative: replace any same-named in-memory model.
+    if (provider_->models()->HasModel(name)) {
+      DMX_RETURN_IF_ERROR(provider_->models()->DropModel(name));
+    }
+    return provider_->models()->AdoptModel(std::move(model));
+  }
+
+  Status ApplyTableSnapshot(const store::StoreRecord& record) override {
+    DMX_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                         DecodeSchema(record.meta));
+    DMX_ASSIGN_OR_RETURN(Rowset rowset,
+                         rel::ParseCsvString(record.data, schema));
+    rel::Database* db = provider_->database();
+    if (db->HasTable(record.name)) {
+      DMX_RETURN_IF_ERROR(db->DropTable(record.name));
+    }
+    DMX_ASSIGN_OR_RETURN(rel::Table * table,
+                         db->CreateTable(record.name, std::move(schema)));
+    return table->InsertAll(std::move(rowset.mutable_rows()));
+  }
+
+  Result<std::vector<store::StoreRecord>> CaptureSnapshot() override {
+    std::vector<store::StoreRecord> out;
+    for (const std::string& name : provider_->database()->ListTables()) {
+      DMX_ASSIGN_OR_RETURN(rel::Table * table,
+                           provider_->database()->GetTable(name));
+      store::StoreRecord record;
+      record.kind = 'T';
+      record.name = table->name();
+      record.meta = EncodeSchema(*table->schema());
+      record.data = rel::ToCsvString(*table->schema(), table->rows());
+      out.push_back(std::move(record));
+    }
+    for (const std::string& name : provider_->models()->ListModels()) {
+      DMX_ASSIGN_OR_RETURN(MiningModel * model,
+                           provider_->models()->GetModel(name));
+      store::StoreRecord record;
+      record.kind = 'M';
+      record.name = model->definition().model_name;
+      DMX_ASSIGN_OR_RETURN(record.data, SerializeModel(*model));
+      out.push_back(std::move(record));
+    }
+    return out;
+  }
+
+ private:
+  Provider* provider_;
+};
 
 Provider::Provider() {
   Status status = RegisterBuiltinServices(&services_);
@@ -18,14 +127,65 @@ Provider::Provider() {
   (void)status;
 }
 
+Provider::~Provider() = default;
+
 std::unique_ptr<Connection> Provider::Connect() {
   return std::make_unique<Connection>(this);
 }
 
+Status Provider::OpenStore(const std::string& store_dir,
+                           store::StoreOptions options) {
+  if (store_ != nullptr) {
+    return InvalidState() << "a store is already attached (at '"
+                          << store_->dir() << "')";
+  }
+  store_client_ = std::make_unique<CatalogStoreClient>(this);
+  Result<std::unique_ptr<store::DurableStore>> store =
+      store::DurableStore::Open(store_dir, store_client_.get(), options);
+  if (!store.ok()) {
+    store_client_.reset();
+    return store.status();
+  }
+  store_ = std::move(store).value();
+  return Status::OK();
+}
+
+Status Provider::Checkpoint() {
+  if (store_ == nullptr) {
+    return InvalidState() << "no durable store attached";
+  }
+  return store_->Checkpoint();
+}
+
+namespace {
+
+/// Journals one successfully executed statement; no-op without a store. A
+/// journal failure means the in-memory effect is NOT durable — it is
+/// surfaced to the caller, who sees the pre-statement state after a reopen.
+Status JournalStatement(Provider* provider, const std::string& text) {
+  if (provider->store() == nullptr) return Status::OK();
+  return provider->store()->JournalStatement(text);
+}
+
+/// True when a successfully executed SQL statement mutated the catalog
+/// (everything except SELECT) and must therefore be journaled.
+bool IsMutatingSql(const std::string& command) {
+  Result<rel::SqlStatement> parsed = rel::ParseSql(command);
+  return parsed.ok() &&
+         !std::holds_alternative<rel::SelectStatement>(*parsed);
+}
+
+}  // namespace
+
 Result<Rowset> Connection::Execute(const std::string& command) {
   DMX_ASSIGN_OR_RETURN(DmxParseResult parsed, ParseDmx(command));
   if (parsed.is_sql) {
-    return rel::ExecuteSql(provider_->database(), command);
+    DMX_ASSIGN_OR_RETURN(Rowset rowset,
+                         rel::ExecuteSql(provider_->database(), command));
+    if (provider_->store() != nullptr && IsMutatingSql(command)) {
+      DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
+    }
+    return rowset;
   }
   DmxStatement& statement = *parsed.statement;
 
@@ -34,6 +194,7 @@ Result<Rowset> Connection::Execute(const std::string& command) {
                             ->CreateModel(std::move(create->definition),
                                           *provider_->services())
                             .status());
+    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
     return Rowset();
   }
   if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
@@ -44,6 +205,7 @@ Result<Rowset> Connection::Execute(const std::string& command) {
         OpenCasesetSource(*provider_->database(), insert->source));
     DMX_RETURN_IF_ERROR(model->InsertCases(
         reader.get(), insert->columns.empty() ? nullptr : &insert->columns));
+    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
     return Rowset();
   }
   if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
@@ -73,18 +235,23 @@ Result<Rowset> Connection::Execute(const std::string& command) {
       DMX_ASSIGN_OR_RETURN(MiningModel * model,
                            provider_->models()->GetModel(del->model_name));
       DMX_RETURN_IF_ERROR(model->Reset());
-      return Rowset();
+    } else {
+      DMX_RETURN_IF_ERROR(
+          rel::ExecuteSql(provider_->database(), command).status());
     }
-    return rel::ExecuteSql(provider_->database(), command);
+    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
+    return Rowset();
   }
   if (auto* drop = std::get_if<DropModelStatement>(&statement)) {
     DMX_RETURN_IF_ERROR(provider_->models()->DropModel(drop->model_name));
+    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
     return Rowset();
   }
   if (auto* export_stmt = std::get_if<ExportModelStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(
         const MiningModel* model,
         provider_->models()->GetModel(export_stmt->model_name));
+    // Reads catalog state only — nothing to journal.
     DMX_RETURN_IF_ERROR(SaveModelToFile(*model, export_stmt->path));
     return Rowset();
   }
@@ -92,7 +259,17 @@ Result<Rowset> Connection::Execute(const std::string& command) {
     DMX_ASSIGN_OR_RETURN(
         std::unique_ptr<MiningModel> model,
         LoadModelFromFile(import_stmt->path, *provider_->services()));
+    std::string name = model->definition().model_name;
+    std::string pmml;
+    if (provider_->store() != nullptr) {
+      // Journal the serialized model itself, not the IMPORT statement:
+      // replay must not depend on the external file still existing.
+      DMX_ASSIGN_OR_RETURN(pmml, SerializeModel(*model));
+    }
     DMX_RETURN_IF_ERROR(provider_->models()->AdoptModel(std::move(model)));
+    if (provider_->store() != nullptr) {
+      DMX_RETURN_IF_ERROR(provider_->store()->JournalModelBlob(name, pmml));
+    }
     return Rowset();
   }
   return Internal() << "unhandled DMX statement";

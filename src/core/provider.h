@@ -16,11 +16,13 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/rowset.h"
 #include "core/catalog.h"
 #include "core/schema_rowsets.h"
 #include "model/service_registry.h"
 #include "relational/database.h"
+#include "store/store.h"
 
 namespace dmx {
 
@@ -31,6 +33,7 @@ class Connection;
 class Provider {
  public:
   Provider();
+  ~Provider();  // out-of-line: CatalogStoreClient is defined in provider.cc
 
   rel::Database* database() { return &database_; }
   const rel::Database& database() const { return database_; }
@@ -42,10 +45,30 @@ class Provider {
   /// Opens a session. Connections are lightweight views onto the provider.
   std::unique_ptr<Connection> Connect();
 
+  /// \brief Attaches a durable store rooted at `store_dir` (created if
+  /// missing): recovers any existing snapshot + WAL into this provider's
+  /// catalogs, then journals every subsequent successful DDL/DML statement.
+  ///
+  /// Call once, before serving traffic. Pre-existing in-memory objects that
+  /// collide with recovered ones are replaced by the recovered state (the
+  /// store is authoritative).
+  Status OpenStore(const std::string& store_dir,
+                   store::StoreOptions options = {});
+
+  /// The attached store, or nullptr when running purely in memory.
+  store::DurableStore* store() { return store_.get(); }
+
+  /// Forces a snapshot + WAL rotation (InvalidState without a store).
+  Status Checkpoint();
+
  private:
+  class CatalogStoreClient;
+
   rel::Database database_;
   ServiceRegistry services_;
   ModelCatalog models_;
+  std::unique_ptr<CatalogStoreClient> store_client_;
+  std::unique_ptr<store::DurableStore> store_;
 };
 
 /// \brief One session: the command execution surface.

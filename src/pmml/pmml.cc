@@ -1,6 +1,5 @@
 #include "pmml/pmml.h"
 
-#include <fstream>
 #include <sstream>
 
 #include "algorithms/association_rules.h"
@@ -644,22 +643,23 @@ Result<std::unique_ptr<MiningModel>> DeserializeModel(
   return model;
 }
 
-Status SaveModelToFile(const MiningModel& model, const std::string& path) {
+Status SaveModelToFile(const MiningModel& model, const std::string& path,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
   DMX_ASSIGN_OR_RETURN(std::string document, SerializeModel(model));
-  std::ofstream out(path);
-  if (!out) return IOError() << "cannot open '" << path << "' for writing";
-  out << document;
-  if (!out) return IOError() << "write to '" << path << "' failed";
-  return Status::OK();
+  return env->AtomicWriteFile(path, document)
+      .WithContext("exporting model '" + model.definition().model_name + "'");
 }
 
 Result<std::unique_ptr<MiningModel>> LoadModelFromFile(
-    const std::string& path, const ServiceRegistry& registry) {
-  std::ifstream in(path);
-  if (!in) return IOError() << "cannot open '" << path << "' for reading";
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return DeserializeModel(buffer.str(), registry);
+    const std::string& path, const ServiceRegistry& registry, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> document = env->ReadFileToString(path);
+  if (!document.ok()) {
+    return document.status().WithContext("importing model from '" + path +
+                                         "'");
+  }
+  return DeserializeModel(*document, registry);
 }
 
 }  // namespace dmx

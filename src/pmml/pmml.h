@@ -19,6 +19,7 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "core/mining_model.h"
 #include "model/service_registry.h"
 
@@ -32,10 +33,14 @@ Result<std::string> SerializeModel(const MiningModel& model);
 Result<std::unique_ptr<MiningModel>> DeserializeModel(
     const std::string& document, const ServiceRegistry& registry);
 
-/// Convenience file round-trip.
-Status SaveModelToFile(const MiningModel& model, const std::string& path);
+/// Convenience file round-trip through `env` (Env::Default() when null).
+/// Saves atomically (write-temp, fsync, rename); every write is checked and
+/// failures return kIOError/kResourceExhausted naming the path.
+Status SaveModelToFile(const MiningModel& model, const std::string& path,
+                       Env* env = nullptr);
 Result<std::unique_ptr<MiningModel>> LoadModelFromFile(
-    const std::string& path, const ServiceRegistry& registry);
+    const std::string& path, const ServiceRegistry& registry,
+    Env* env = nullptr);
 
 }  // namespace dmx
 

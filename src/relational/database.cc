@@ -3,7 +3,6 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
-#include <fstream>
 #include <sstream>
 
 namespace dmx::rel {
@@ -52,38 +51,18 @@ std::vector<std::string> Database::ListTables() const {
 
 namespace {
 
-void WriteCsvField(const std::string& field, std::ostream* out) {
+void WriteCsvField(const std::string& field, std::string* out) {
   bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quotes) {
-    *out << field;
+    *out += field;
     return;
   }
-  *out << '"';
+  *out += '"';
   for (char c : field) {
-    if (c == '"') *out << '"';
-    *out << c;
+    if (c == '"') *out += '"';
+    *out += c;
   }
-  *out << '"';
-}
-
-Status SaveCsvImpl(const Schema& schema, const std::vector<Row>& rows,
-                   const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return IOError() << "cannot open '" << path << "' for writing";
-  for (size_t c = 0; c < schema.num_columns(); ++c) {
-    if (c > 0) out << ',';
-    WriteCsvField(schema.column(c).name, &out);
-  }
-  out << '\n';
-  for (const Row& row : rows) {
-    for (size_t c = 0; c < row.size(); ++c) {
-      if (c > 0) out << ',';
-      if (!row[c].is_null()) WriteCsvField(row[c].ToString(), &out);
-    }
-    out << '\n';
-  }
-  if (!out) return IOError() << "write to '" << path << "' failed";
-  return Status::OK();
+  *out += '"';
 }
 
 // Splits one CSV record; handles quoted fields with embedded separators.
@@ -136,27 +115,49 @@ bool ParseDouble(const std::string& s, double* out) {
 
 }  // namespace
 
-Status SaveCsv(const Table& table, const std::string& path) {
-  return SaveCsvImpl(*table.schema(), table.rows(), path);
+std::string ToCsvString(const Schema& schema, const std::vector<Row>& rows) {
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out += ',';
+    WriteCsvField(schema.column(c).name, &out);
+  }
+  out += '\n';
+  for (const Row& row : rows) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out += ',';
+      if (!row[c].is_null()) WriteCsvField(row[c].ToString(), &out);
+    }
+    out += '\n';
+  }
+  return out;
 }
 
-Status SaveCsv(const Rowset& rowset, const std::string& path) {
+Status SaveCsv(const Table& table, const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  return env->WriteStringToFile(path, ToCsvString(*table.schema(),
+                                                  table.rows()))
+      .WithContext("saving table '" + table.name() + "' to CSV");
+}
+
+Status SaveCsv(const Rowset& rowset, const std::string& path, Env* env) {
   for (const ColumnDef& col : rowset.schema()->columns()) {
     if (col.type == DataType::kTable) {
       return NotSupported() << "cannot export nested-table column '" << col.name
                             << "' to CSV";
     }
   }
-  return SaveCsvImpl(*rowset.schema(), rowset.rows(), path);
+  if (env == nullptr) env = Env::Default();
+  return env->WriteStringToFile(path, ToCsvString(*rowset.schema(),
+                                                  rowset.rows()))
+      .WithContext("saving rowset to CSV");
 }
 
-Result<Rowset> LoadCsv(const std::string& path,
-                       std::shared_ptr<const Schema> schema) {
-  std::ifstream in(path);
-  if (!in) return IOError() << "cannot open '" << path << "' for reading";
+Result<Rowset> ParseCsvString(const std::string& data,
+                              std::shared_ptr<const Schema> schema) {
+  std::istringstream in(data);
   std::string line;
   if (!std::getline(in, line)) {
-    return IOError() << "'" << path << "' is empty (no header row)";
+    return IOError() << "CSV data is empty (no header row)";
   }
   std::vector<std::string> header = SplitCsvLine(line);
   std::vector<std::vector<std::string>> raw_rows;
@@ -164,8 +165,8 @@ Result<Rowset> LoadCsv(const std::string& path,
     if (line.empty()) continue;
     std::vector<std::string> fields = SplitCsvLine(line);
     if (fields.size() != header.size()) {
-      return IOError() << "row " << raw_rows.size() + 2 << " of '" << path
-                       << "' has " << fields.size() << " fields, header has "
+      return IOError() << "CSV row " << raw_rows.size() + 2 << " has "
+                       << fields.size() << " fields, header has "
                        << header.size();
     }
     raw_rows.push_back(std::move(fields));
@@ -200,7 +201,7 @@ Result<Rowset> LoadCsv(const std::string& path,
     schema = Schema::Make(std::move(columns));
   } else {
     if (schema->num_columns() != header.size()) {
-      return IOError() << "'" << path << "' has " << header.size()
+      return IOError() << "CSV has " << header.size()
                        << " columns, expected schema has "
                        << schema->num_columns();
     }
@@ -249,6 +250,20 @@ Result<Rowset> LoadCsv(const std::string& path,
     DMX_RETURN_IF_ERROR(out.Append(std::move(row)));
   }
   return out;
+}
+
+Result<Rowset> LoadCsv(const std::string& path,
+                       std::shared_ptr<const Schema> schema, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> data = env->ReadFileToString(path);
+  if (!data.ok()) {
+    return data.status().WithContext("loading CSV '" + path + "'");
+  }
+  Result<Rowset> rowset = ParseCsvString(*data, std::move(schema));
+  if (!rowset.ok()) {
+    return rowset.status().WithContext("loading CSV '" + path + "'");
+  }
+  return rowset;
 }
 
 }  // namespace dmx::rel

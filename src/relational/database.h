@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/schema.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -42,17 +43,29 @@ class Database {
   std::map<std::string, std::unique_ptr<Table>, LessCi> tables_;
 };
 
-/// Writes a table to CSV (header row, RFC-4180-style quoting).
-Status SaveCsv(const Table& table, const std::string& path);
+/// Renders rows as CSV text (header row, RFC-4180-style quoting) — the form
+/// SaveCsv writes to disk and the durable store embeds in snapshots.
+std::string ToCsvString(const Schema& schema, const std::vector<Row>& rows);
+
+/// Writes a table to CSV through `env` (Env::Default() when null); every
+/// write and the close are checked, failures return kIOError naming `path`.
+Status SaveCsv(const Table& table, const std::string& path,
+               Env* env = nullptr);
 
 /// Writes an arbitrary flat rowset to CSV.
-Status SaveCsv(const Rowset& rowset, const std::string& path);
+Status SaveCsv(const Rowset& rowset, const std::string& path,
+               Env* env = nullptr);
 
-/// Reads a CSV file into a rowset. When `schema` is null, column types are
+/// Parses CSV text into a rowset. When `schema` is null, column types are
 /// inferred per column: LONG if every non-empty cell parses as an integer,
 /// else DOUBLE if numeric, else TEXT. Empty cells load as NULL.
+Result<Rowset> ParseCsvString(const std::string& data,
+                              std::shared_ptr<const Schema> schema = nullptr);
+
+/// Reads a CSV file into a rowset (see ParseCsvString for typing rules).
 Result<Rowset> LoadCsv(const std::string& path,
-                       std::shared_ptr<const Schema> schema = nullptr);
+                       std::shared_ptr<const Schema> schema = nullptr,
+                       Env* env = nullptr);
 
 }  // namespace dmx::rel
 

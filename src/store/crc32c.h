@@ -1,0 +1,23 @@
+// CRC-32C (Castagnoli): the checksum guarding every record of the durable
+// store's WAL, snapshots and manifest. Software table-driven implementation;
+// same polynomial (0x1EDC6F41, reflected 0x82F63B78) as RocksDB / iSCSI.
+
+#ifndef DMX_STORE_CRC32C_H_
+#define DMX_STORE_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace dmx::store {
+
+/// Extends `crc` over `data` (pass 0 to start a new checksum).
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32c(std::string_view data) {
+  return Crc32cExtend(0, data.data(), data.size());
+}
+
+}  // namespace dmx::store
+
+#endif  // DMX_STORE_CRC32C_H_

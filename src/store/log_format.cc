@@ -1,0 +1,96 @@
+#include "store/log_format.h"
+
+#include "store/crc32c.h"
+
+namespace dmx::store {
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4] = {static_cast<char>(v & 0xFF),
+                 static_cast<char>((v >> 8) & 0xFF),
+                 static_cast<char>((v >> 16) & 0xFF),
+                 static_cast<char>((v >> 24) & 0xFF)};
+  dst->append(buf, 4);
+}
+
+bool GetFixed32(std::string_view* src, uint32_t* v) {
+  if (src->size() < 4) return false;
+  const auto* p = reinterpret_cast<const unsigned char*>(src->data());
+  *v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+       (static_cast<uint32_t>(p[2]) << 16) |
+       (static_cast<uint32_t>(p[3]) << 24);
+  src->remove_prefix(4);
+  return true;
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+bool GetLengthPrefixed(std::string_view* src, std::string_view* out) {
+  uint32_t len = 0;
+  if (!GetFixed32(src, &len)) return false;
+  if (src->size() < len) return false;
+  *out = src->substr(0, len);
+  src->remove_prefix(len);
+  return true;
+}
+
+void AppendRecordTo(std::string* dst, std::string_view payload) {
+  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
+  PutFixed32(dst, Crc32c(payload));
+  dst->append(payload.data(), payload.size());
+}
+
+Status RecordWriter::Append(std::string_view payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 8);
+  AppendRecordTo(&framed, payload);
+  return file_->Append(framed);
+}
+
+Result<ReadLogResult> ParseLog(std::string_view data) {
+  ReadLogResult out;
+  const uint64_t total = data.size();
+  uint64_t offset = 0;
+  while (offset < total) {
+    std::string_view rest = data.substr(offset);
+    uint32_t size = 0;
+    uint32_t crc = 0;
+    // Short header or short payload: the record region necessarily extends
+    // to EOF, so this is a torn final write.
+    if (!GetFixed32(&rest, &size) || !GetFixed32(&rest, &crc) ||
+        rest.size() < size) {
+      out.torn_tail = true;
+      return out;
+    }
+    std::string_view payload = rest.substr(0, size);
+    uint64_t next = offset + 8 + size;
+    if (Crc32c(payload) != crc) {
+      if (next >= total) {
+        // Checksum failure on the final record: torn write.
+        out.torn_tail = true;
+        return out;
+      }
+      return Corruption() << "checksum mismatch in record at offset " << offset
+                          << " (" << size << " bytes, followed by "
+                          << total - next << " more)";
+    }
+    out.records.emplace_back(payload);
+    offset = next;
+    out.valid_bytes = offset;
+  }
+  return out;
+}
+
+Result<ReadLogResult> ReadLogFile(Env* env, const std::string& path) {
+  if (!env->FileExists(path)) return ReadLogResult{};
+  DMX_ASSIGN_OR_RETURN(std::string data, env->ReadFileToString(path));
+  Result<ReadLogResult> parsed = ParseLog(data);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("reading log '" + path + "'");
+  }
+  return parsed;
+}
+
+}  // namespace dmx::store

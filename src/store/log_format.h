@@ -1,0 +1,68 @@
+// Record framing shared by the durable store's WAL, snapshot and manifest
+// files. Each record is:
+//
+//   [u32 payload_size][u32 crc32c(payload)][payload bytes]     (little-endian)
+//
+// A reader distinguishes two failure shapes:
+//   * torn tail — damage confined to the final record (short header, short
+//     payload, or a checksum mismatch on the last record): the write was
+//     interrupted; the log is valid up to the previous record.
+//   * mid-log corruption — a bad record followed by further bytes: the file
+//     was damaged after the fact; surfaced as kCorruption.
+
+#ifndef DMX_STORE_LOG_FORMAT_H_
+#define DMX_STORE_LOG_FORMAT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace dmx::store {
+
+// --- little-endian fixed/length-prefixed primitives ---
+
+void PutFixed32(std::string* dst, uint32_t v);
+bool GetFixed32(std::string_view* src, uint32_t* v);
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+bool GetLengthPrefixed(std::string_view* src, std::string_view* out);
+
+/// Frames `payload` as one record appended to `dst`.
+void AppendRecordTo(std::string* dst, std::string_view payload);
+
+/// \brief Appends checksummed records to an Env file.
+class RecordWriter {
+ public:
+  explicit RecordWriter(std::unique_ptr<WritableFile> file)
+      : file_(std::move(file)) {}
+
+  Status Append(std::string_view payload);
+  Status Sync() { return file_->Sync(); }
+  Status Close() { return file_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> file_;
+};
+
+struct ReadLogResult {
+  std::vector<std::string> records;
+  /// Byte offset just past the last valid record (truncation point).
+  uint64_t valid_bytes = 0;
+  /// True when a torn final record was dropped.
+  bool torn_tail = false;
+};
+
+/// Parses every record of `data`. Torn final record => OK with
+/// torn_tail=true; damage before the end => kCorruption.
+Result<ReadLogResult> ParseLog(std::string_view data);
+
+/// ReadFileToString + ParseLog. A missing file is an empty log.
+Result<ReadLogResult> ReadLogFile(Env* env, const std::string& path);
+
+}  // namespace dmx::store
+
+#endif  // DMX_STORE_LOG_FORMAT_H_

@@ -1,0 +1,311 @@
+#include "store/store.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dmx::store {
+
+namespace {
+
+constexpr char kManifestMagic[] = "DMXMANIFEST ";
+
+std::string FormatSeq(uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%06" PRIu64, seq);
+  return buf;
+}
+
+/// "snapshot-000123" -> 123; nullopt-style -1 for non-matching names.
+bool ParseSeqSuffix(const std::string& name, const std::string& prefix,
+                    const std::string& suffix, uint64_t* seq) {
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.compare(0, prefix.size(), prefix) != 0) return false;
+  if (name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  std::string digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  *seq = std::strtoull(digits.c_str(), &end, 10);
+  return end == digits.c_str() + digits.size();
+}
+
+}  // namespace
+
+std::string EncodeStatementRecord(std::string_view text) {
+  std::string out(1, 'S');
+  out.append(text.data(), text.size());
+  return out;
+}
+
+std::string EncodeModelRecord(std::string_view name, std::string_view pmml) {
+  std::string out(1, 'M');
+  PutLengthPrefixed(&out, name);
+  out.append(pmml.data(), pmml.size());
+  return out;
+}
+
+std::string EncodeTableRecord(std::string_view name, std::string_view meta,
+                              std::string_view csv) {
+  std::string out(1, 'T');
+  PutLengthPrefixed(&out, name);
+  PutLengthPrefixed(&out, meta);
+  out.append(csv.data(), csv.size());
+  return out;
+}
+
+Result<StoreRecord> DecodeStoreRecord(std::string_view payload) {
+  if (payload.empty()) return Corruption() << "empty store record";
+  StoreRecord record;
+  record.kind = payload[0];
+  std::string_view rest = payload.substr(1);
+  switch (record.kind) {
+    case 'S':
+      record.data.assign(rest.data(), rest.size());
+      return record;
+    case 'E':
+      return record;
+    case 'M': {
+      std::string_view name;
+      if (!GetLengthPrefixed(&rest, &name)) {
+        return Corruption() << "model record with malformed name";
+      }
+      record.name.assign(name.data(), name.size());
+      record.data.assign(rest.data(), rest.size());
+      return record;
+    }
+    case 'T': {
+      std::string_view name;
+      std::string_view meta;
+      if (!GetLengthPrefixed(&rest, &name) ||
+          !GetLengthPrefixed(&rest, &meta)) {
+        return Corruption() << "table record with malformed header";
+      }
+      record.name.assign(name.data(), name.size());
+      record.meta.assign(meta.data(), meta.size());
+      record.data.assign(rest.data(), rest.size());
+      return record;
+    }
+    default:
+      return Corruption() << "unknown store record kind '" << record.kind
+                          << "'";
+  }
+}
+
+DurableStore::DurableStore(std::string dir, StoreClient* client,
+                           StoreOptions options)
+    : dir_(std::move(dir)),
+      client_(client),
+      options_(options),
+      env_(options.env != nullptr ? options.env : Env::Default()) {}
+
+std::string DurableStore::SnapshotPath(uint64_t seq) const {
+  return dir_ + "/snapshot-" + FormatSeq(seq);
+}
+
+std::string DurableStore::WalPath(uint64_t seq) const {
+  return dir_ + "/wal-" + FormatSeq(seq) + ".log";
+}
+
+std::string DurableStore::ManifestPath() const { return dir_ + "/MANIFEST"; }
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(
+    const std::string& dir, StoreClient* client, StoreOptions options) {
+  std::unique_ptr<DurableStore> store(new DurableStore(dir, client, options));
+  Status status = store->Recover();
+  if (!status.ok()) {
+    return status.WithContext("opening store '" + dir + "'");
+  }
+  return store;
+}
+
+Status DurableStore::Recover() {
+  DMX_RETURN_IF_ERROR(env_->CreateDir(dir_));
+
+  // Resolve the current snapshot sequence: MANIFEST first, else scan for the
+  // newest snapshot file (rename is atomic, so a present snapshot is whole —
+  // its 'E' terminator is verified below anyway).
+  bool have_seq = false;
+  if (env_->FileExists(ManifestPath())) {
+    DMX_ASSIGN_OR_RETURN(ReadLogResult manifest,
+                         ReadLogFile(env_, ManifestPath()));
+    if (manifest.records.size() == 1 &&
+        manifest.records[0].rfind(kManifestMagic, 0) == 0) {
+      seq_ = std::strtoull(
+          manifest.records[0].c_str() + sizeof(kManifestMagic) - 1, nullptr,
+          10);
+      have_seq = true;
+    }
+  }
+  if (!have_seq) {
+    DMX_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
+    for (const std::string& name : names) {
+      uint64_t seq = 0;
+      if (ParseSeqSuffix(name, "snapshot-", "", &seq) && seq > seq_) {
+        seq_ = seq;
+      }
+    }
+  }
+
+  if (seq_ > 0) {
+    Result<ReadLogResult> snapshot = ReadLogFile(env_, SnapshotPath(seq_));
+    if (!snapshot.ok()) return snapshot.status();
+    bool terminated = !snapshot->records.empty() &&
+                      !snapshot->torn_tail &&
+                      snapshot->records.back() == "E";
+    if (!terminated) {
+      return Corruption() << "snapshot '" << SnapshotPath(seq_)
+                          << "' is incomplete (missing end record)";
+    }
+    for (const std::string& payload : snapshot->records) {
+      DMX_ASSIGN_OR_RETURN(StoreRecord record, DecodeStoreRecord(payload));
+      switch (record.kind) {
+        case 'T':
+          DMX_RETURN_IF_ERROR(client_->ApplyTableSnapshot(record).WithContext(
+              "restoring table '" + record.name + "'"));
+          break;
+        case 'M':
+          DMX_RETURN_IF_ERROR(
+              client_->ApplyModelBlob(record.name, record.data)
+                  .WithContext("restoring model '" + record.name + "'"));
+          break;
+        case 'E':
+          break;
+        default:
+          return Corruption() << "record kind '" << record.kind
+                              << "' is invalid inside a snapshot";
+      }
+      if (record.kind != 'E') ++recovery_stats_.snapshot_entries;
+    }
+  }
+  recovery_stats_.snapshot_seq = seq_;
+
+  // Replay the WAL, truncating a torn final record.
+  const std::string wal_path = WalPath(seq_);
+  DMX_ASSIGN_OR_RETURN(ReadLogResult wal, ReadLogFile(env_, wal_path));
+  if (wal.torn_tail) {
+    DMX_RETURN_IF_ERROR(
+        env_->TruncateFile(wal_path, wal.valid_bytes)
+            .WithContext("truncating torn WAL tail of '" + wal_path + "'"));
+    recovery_stats_.torn_tail_truncated = true;
+  }
+  for (const std::string& payload : wal.records) {
+    DMX_ASSIGN_OR_RETURN(StoreRecord record, DecodeStoreRecord(payload));
+    switch (record.kind) {
+      case 'S':
+        DMX_RETURN_IF_ERROR(client_->ApplyStatement(record.data).WithContext(
+            "replaying journaled statement"));
+        ++recovery_stats_.replayed_statements;
+        break;
+      case 'M':
+        DMX_RETURN_IF_ERROR(
+            client_->ApplyModelBlob(record.name, record.data)
+                .WithContext("replaying imported model '" + record.name +
+                             "'"));
+        ++recovery_stats_.replayed_blobs;
+        break;
+      default:
+        return Corruption() << "record kind '" << record.kind
+                            << "' is invalid inside a WAL";
+    }
+  }
+  wal_records_ = wal.records.size();
+
+  CleanStaleFiles();
+  return Status::OK();
+}
+
+void DurableStore::CleanStaleFiles() {
+  Result<std::vector<std::string>> names = env_->ListDir(dir_);
+  if (!names.ok()) return;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    bool stale = false;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      stale = true;
+    } else if (ParseSeqSuffix(name, "snapshot-", "", &seq) ||
+               ParseSeqSuffix(name, "wal-", ".log", &seq)) {
+      stale = seq != seq_;
+    }
+    if (stale) (void)env_->DeleteFile(dir_ + "/" + name);
+  }
+}
+
+Status DurableStore::EnsureWalWriter() {
+  if (wal_ != nullptr) return Status::OK();
+  DMX_ASSIGN_OR_RETURN(
+      std::unique_ptr<WritableFile> file,
+      env_->NewWritableFile(WalPath(seq_), /*append=*/true));
+  wal_ = std::make_unique<RecordWriter>(std::move(file));
+  return Status::OK();
+}
+
+Status DurableStore::Append(std::string_view payload) {
+  DMX_RETURN_IF_ERROR(EnsureWalWriter());
+  DMX_RETURN_IF_ERROR(wal_->Append(payload));
+  DMX_RETURN_IF_ERROR(wal_->Sync());
+  ++wal_records_;
+  if (options_.auto_checkpoint_interval > 0 &&
+      wal_records_ >= options_.auto_checkpoint_interval) {
+    // The record above is already durable; a failed checkpoint leaves the
+    // old snapshot+WAL authoritative, so the statement still succeeds.
+    (void)Checkpoint();
+  }
+  return Status::OK();
+}
+
+Status DurableStore::JournalStatement(const std::string& text) {
+  return Append(EncodeStatementRecord(text))
+      .WithContext("journaling statement");
+}
+
+Status DurableStore::JournalModelBlob(const std::string& name,
+                                      const std::string& pmml) {
+  return Append(EncodeModelRecord(name, pmml))
+      .WithContext("journaling model '" + name + "'");
+}
+
+Status DurableStore::Checkpoint() {
+  DMX_ASSIGN_OR_RETURN(std::vector<StoreRecord> entries,
+                       client_->CaptureSnapshot());
+  uint64_t new_seq = seq_ + 1;
+
+  // 1. Snapshot: write-temp -> fsync -> atomic rename.
+  std::string snapshot;
+  for (const StoreRecord& entry : entries) {
+    std::string payload =
+        entry.kind == 'M' ? EncodeModelRecord(entry.name, entry.data)
+                          : EncodeTableRecord(entry.name, entry.meta,
+                                              entry.data);
+    AppendRecordTo(&snapshot, payload);
+  }
+  AppendRecordTo(&snapshot, "E");
+  DMX_RETURN_IF_ERROR(
+      env_->AtomicWriteFile(SnapshotPath(new_seq), snapshot)
+          .WithContext("writing snapshot " + FormatSeq(new_seq)));
+
+  // 2. Commit point: the MANIFEST rename flips recovery to the new epoch.
+  std::string manifest;
+  AppendRecordTo(&manifest,
+                 std::string(kManifestMagic) + std::to_string(new_seq));
+  DMX_RETURN_IF_ERROR(env_->AtomicWriteFile(ManifestPath(), manifest)
+                          .WithContext("committing manifest"));
+
+  // 3. Retire the old epoch (best effort; stale files are swept on open).
+  if (wal_ != nullptr) {
+    (void)wal_->Close();
+    wal_.reset();
+  }
+  uint64_t old_seq = seq_;
+  seq_ = new_seq;
+  wal_records_ = 0;
+  if (env_->FileExists(WalPath(old_seq))) (void)env_->DeleteFile(WalPath(old_seq));
+  if (old_seq > 0 && env_->FileExists(SnapshotPath(old_seq))) {
+    (void)env_->DeleteFile(SnapshotPath(old_seq));
+  }
+  return Status::OK();
+}
+
+}  // namespace dmx::store

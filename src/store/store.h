@@ -1,0 +1,133 @@
+// DurableStore: crash-safe persistence for the provider's catalogs, making
+// mining models and tables genuinely first-class *database* objects (paper
+// §2) — they survive process death.
+//
+// Layout of a store directory:
+//
+//   MANIFEST            one record: "DMXMANIFEST <seq>" (atomic-renamed)
+//   snapshot-<seq>      full catalog image: table ('T') and model ('M')
+//                       entries, terminated by an 'E' record; written to a
+//                       .tmp file, fsynced, then atomically renamed
+//   wal-<seq>.log       statements journaled since snapshot <seq>; every
+//                       append is fsynced before the caller sees success
+//
+// Recovery: pick the newest valid snapshot (MANIFEST fast path, directory
+// scan fallback), apply its entries, then replay the matching WAL. A torn
+// final WAL record is truncated silently; damage earlier in a file surfaces
+// as kCorruption. The store is policy-free about *what* the records mean —
+// a StoreClient (the provider) applies and captures catalog state.
+
+#ifndef DMX_STORE_STORE_H_
+#define DMX_STORE_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+#include "store/log_format.h"
+
+namespace dmx::store {
+
+/// One snapshot entry / decoded WAL payload.
+struct StoreRecord {
+  char kind = 0;      ///< 'S' statement, 'M' model blob, 'T' table, 'E' end.
+  std::string name;   ///< Object name ('M'/'T').
+  std::string meta;   ///< 'T': serialized schema; else empty.
+  std::string data;   ///< 'S': statement text; 'M': PMML; 'T': CSV.
+};
+
+std::string EncodeStatementRecord(std::string_view text);
+std::string EncodeModelRecord(std::string_view name, std::string_view pmml);
+std::string EncodeTableRecord(std::string_view name, std::string_view meta,
+                              std::string_view csv);
+Result<StoreRecord> DecodeStoreRecord(std::string_view payload);
+
+/// \brief Applies recovered records to, and captures snapshots from, the
+/// catalog. Implemented by the provider.
+class StoreClient {
+ public:
+  virtual ~StoreClient() = default;
+
+  /// Re-executes one journaled DDL/DML statement.
+  virtual Status ApplyStatement(const std::string& text) = 0;
+
+  /// Installs a model from its serialized form, replacing any same-named one.
+  virtual Status ApplyModelBlob(const std::string& name,
+                                const std::string& pmml) = 0;
+
+  /// Installs a table snapshot, replacing any same-named one.
+  virtual Status ApplyTableSnapshot(const StoreRecord& record) = 0;
+
+  /// Serializes the whole catalog (tables then models) for a snapshot.
+  virtual Result<std::vector<StoreRecord>> CaptureSnapshot() = 0;
+};
+
+struct StoreOptions {
+  Env* env = nullptr;  ///< nullptr: Env::Default().
+  /// Checkpoint automatically once this many WAL records accumulate
+  /// (0 disables auto-checkpointing).
+  uint64_t auto_checkpoint_interval = 0;
+};
+
+struct RecoveryStats {
+  uint64_t snapshot_seq = 0;
+  uint64_t snapshot_entries = 0;
+  uint64_t replayed_statements = 0;
+  uint64_t replayed_blobs = 0;
+  bool torn_tail_truncated = false;
+};
+
+class DurableStore {
+ public:
+  /// Opens (creating if needed) the store at `dir` and recovers its contents
+  /// into `client`. The client must outlive the store.
+  static Result<std::unique_ptr<DurableStore>> Open(const std::string& dir,
+                                                    StoreClient* client,
+                                                    StoreOptions options = {});
+
+  /// Appends one record to the WAL and fsyncs it. On success the statement
+  /// is durable. May trigger an auto-checkpoint (whose failure is not the
+  /// statement's failure: the WAL record is already safe, so it is swallowed
+  /// and retried at the next interval).
+  Status JournalStatement(const std::string& text);
+  Status JournalModelBlob(const std::string& name, const std::string& pmml);
+
+  /// Snapshots the catalog and rotates the WAL. Crash-safe at every step:
+  /// until the MANIFEST rename commits, recovery uses the old snapshot+WAL.
+  Status Checkpoint();
+
+  const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+  uint64_t snapshot_seq() const { return seq_; }
+  /// Records in the active WAL (recovered + newly journaled).
+  uint64_t wal_records() const { return wal_records_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  DurableStore(std::string dir, StoreClient* client, StoreOptions options);
+
+  Status Recover();
+  Status Append(std::string_view payload);
+  Status EnsureWalWriter();
+  std::string SnapshotPath(uint64_t seq) const;
+  std::string WalPath(uint64_t seq) const;
+  std::string ManifestPath() const;
+  /// Best-effort removal of *.tmp and files from other snapshot epochs.
+  void CleanStaleFiles();
+
+  std::string dir_;
+  StoreClient* client_;
+  StoreOptions options_;
+  Env* env_;
+  uint64_t seq_ = 0;
+  uint64_t wal_records_ = 0;
+  std::unique_ptr<RecordWriter> wal_;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace dmx::store
+
+#endif  // DMX_STORE_STORE_H_

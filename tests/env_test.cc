@@ -1,0 +1,134 @@
+// Env: POSIX primitives (write/read/rename/truncate/list) and the
+// FaultInjectionEnv contract the crash-recovery suite depends on — the Nth
+// mutating op fails, everything after it fails too, torn writes persist a
+// prefix, and ENOSPC surfaces as kResourceExhausted.
+
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+namespace dmx {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/env_test_" + name;
+}
+
+TEST(EnvTest, WriteReadRoundTrip) {
+  Env* env = Env::Default();
+  std::string path = TestPath("roundtrip.txt");
+  ASSERT_TRUE(env->WriteStringToFile(path, "hello\0world", true).ok());
+  auto read = env->ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, std::string("hello\0world"));
+  EXPECT_TRUE(env->FileExists(path));
+  auto size = env->GetFileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, read->size());
+  ASSERT_TRUE(env->DeleteFile(path).ok());
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(EnvTest, MissingFileIsNotFound) {
+  Env* env = Env::Default();
+  auto read = env->ReadFileToString(TestPath("does_not_exist"));
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(read.status().message().find("does_not_exist"),
+            std::string::npos);
+}
+
+TEST(EnvTest, AppendModeExtends) {
+  Env* env = Env::Default();
+  std::string path = TestPath("append.txt");
+  ASSERT_TRUE(env->WriteStringToFile(path, "one", true).ok());
+  {
+    auto file = env->NewWritableFile(path, /*append=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append("two").ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+  EXPECT_EQ(*env->ReadFileToString(path), "onetwo");
+  (void)env->DeleteFile(path);
+}
+
+TEST(EnvTest, AtomicWriteReplaces) {
+  Env* env = Env::Default();
+  std::string path = TestPath("atomic.txt");
+  ASSERT_TRUE(env->AtomicWriteFile(path, "v1").ok());
+  ASSERT_TRUE(env->AtomicWriteFile(path, "v2").ok());
+  EXPECT_EQ(*env->ReadFileToString(path), "v2");
+  EXPECT_FALSE(env->FileExists(path + ".tmp"));
+  (void)env->DeleteFile(path);
+}
+
+TEST(EnvTest, TruncateAndListDir) {
+  Env* env = Env::Default();
+  std::string dir = TestPath("dir");
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  ASSERT_TRUE(env->CreateDir(dir).ok());  // idempotent
+  ASSERT_TRUE(env->WriteStringToFile(dir + "/a", "abcdef", true).ok());
+  ASSERT_TRUE(env->TruncateFile(dir + "/a", 3).ok());
+  EXPECT_EQ(*env->ReadFileToString(dir + "/a"), "abc");
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok());
+  ASSERT_EQ(names->size(), 1u);
+  EXPECT_EQ((*names)[0], "a");
+  (void)env->DeleteFile(dir + "/a");
+}
+
+TEST(FaultInjectionTest, FailsNthOpAndEveryOpAfter) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TestPath("fault_nth.txt");
+  // WriteStringToFile = open + append + sync + close = 4 ops; fail the sync.
+  env.ArmFault(2, FaultInjectionEnv::FaultKind::kIOError);
+  Status status = env.WriteStringToFile(path, "data", true);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_TRUE(env.fault_fired());
+  // The process is "dead": later mutating ops fail too.
+  EXPECT_FALSE(env.WriteStringToFile(path, "more", true).ok());
+  EXPECT_FALSE(env.RenameFile(path, path + ".x").ok());
+  // Reads still pass through.
+  EXPECT_TRUE(env.ReadFileToString(path).ok());
+  env.Disarm();
+  EXPECT_TRUE(env.WriteStringToFile(path, "after", true).ok());
+  (void)Env::Default()->DeleteFile(path);
+}
+
+TEST(FaultInjectionTest, CountsOpsWithoutFailing) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TestPath("fault_count.txt");
+  env.ArmFault(INT64_MAX, FaultInjectionEnv::FaultKind::kIOError);
+  ASSERT_TRUE(env.WriteStringToFile(path, "data", true).ok());
+  EXPECT_EQ(env.op_count(), 4);  // open + append + sync + close
+  EXPECT_FALSE(env.fault_fired());
+  (void)Env::Default()->DeleteFile(path);
+}
+
+TEST(FaultInjectionTest, TornWritePersistsPrefix) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TestPath("fault_torn.txt");
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, "", true).ok());
+  env.ArmFault(1, FaultInjectionEnv::FaultKind::kTornWrite);  // fail append
+  Status status = env.WriteStringToFile(path, "0123456789", true);
+  ASSERT_FALSE(status.ok());
+  auto left_behind = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(left_behind.ok());
+  EXPECT_EQ(*left_behind, "01234");  // half the record reached the disk
+  (void)Env::Default()->DeleteFile(path);
+}
+
+TEST(FaultInjectionTest, NoSpaceSurfacesResourceExhausted) {
+  FaultInjectionEnv env(Env::Default());
+  std::string path = TestPath("fault_enospc.txt");
+  env.ArmFault(1, FaultInjectionEnv::FaultKind::kNoSpace);
+  Status status = env.WriteStringToFile(path, "data", true);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(status.IsResourceExhausted());
+  (void)Env::Default()->DeleteFile(path);
+}
+
+}  // namespace
+}  // namespace dmx

@@ -16,54 +16,6 @@
 namespace dmx {
 namespace {
 
-struct ServiceCase {
-  const char* service;
-  const char* create;
-};
-
-// Per-service model definitions over the shared warehouse schema.
-constexpr ServiceCase kServices[] = {
-    {"Decision_Trees", R"(
-       CREATE MINING MODEL [P] (
-         [Customer ID] LONG KEY,
-         [Gender] TEXT DISCRETE,
-         [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT,
-         [Product Purchases] TABLE(
-           [Product Name] TEXT KEY,
-           [Product Type] TEXT DISCRETE RELATED TO [Product Name])
-       ) USING Decision_Trees(MINIMUM_SUPPORT = 15.0))"},
-    {"Naive_Bayes", R"(
-       CREATE MINING MODEL [P] (
-         [Customer ID] LONG KEY,
-         [Gender] TEXT DISCRETE,
-         [Age] DOUBLE DISCRETIZED(EQUAL_RANGES, 5) PREDICT,
-         [Product Purchases] TABLE(
-           [Product Name] TEXT KEY,
-           [Product Type] TEXT DISCRETE RELATED TO [Product Name])
-       ) USING Naive_Bayes)"},
-    {"Clustering", R"(
-       CREATE MINING MODEL [P] (
-         [Customer ID] LONG KEY,
-         [Age] DOUBLE CONTINUOUS,
-         [Income] DOUBLE CONTINUOUS,
-         [Customer Loyalty] LONG DISCRETE PREDICT
-       ) USING Clustering(CLUSTER_COUNT = 3, SEED = 11))"},
-    {"Association_Rules", R"(
-       CREATE MINING MODEL [P] (
-         [Customer ID] LONG KEY,
-         [Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT
-       ) USING Association_Rules(MINIMUM_SUPPORT = 0.05,
-                                 MINIMUM_PROBABILITY = 0.3))"},
-    {"Linear_Regression", R"(
-       CREATE MINING MODEL [P] (
-         [Customer ID] LONG KEY,
-         [Gender] TEXT DISCRETE,
-         [Customer Loyalty] LONG ORDERED,
-         [Income] DOUBLE CONTINUOUS,
-         [Age] DOUBLE CONTINUOUS PREDICT
-       ) USING Linear_Regression)"},
-};
-
 constexpr const char* kInsert = R"(
   INSERT INTO [P]
   SHAPE {SELECT [Customer ID], [Gender], [Age], [Income], [Customer Loyalty]
@@ -98,6 +50,88 @@ constexpr const char* kQueryBasket = R"(
      APPEND ({SELECT [CustID], [Product Name] FROM Sales ORDER BY [CustID]}
              RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t)";
 
+// Sequence models need the purchase timestamps in both training and
+// prediction casesets.
+constexpr const char* kInsertSequence = R"(
+  INSERT INTO [P]
+  SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+  APPEND ({SELECT [CustID], [Product Name], [Purchase Time] FROM Sales
+           ORDER BY [CustID]}
+          RELATE [Customer ID] TO [CustID]) AS [Product Purchases])";
+
+constexpr const char* kQuerySequence = R"(
+  SELECT FLATTENED t.[Customer ID], Predict([Product Purchases], 3) AS R
+  FROM [P]
+  NATURAL PREDICTION JOIN
+    (SHAPE {SELECT [Customer ID] FROM Customers ORDER BY [Customer ID]}
+     APPEND ({SELECT [CustID], [Product Name], [Purchase Time] FROM Sales
+              ORDER BY [CustID]}
+             RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t)";
+
+struct ServiceCase {
+  const char* service;
+  const char* create;
+  const char* insert;  ///< nullptr: the shared kInsert.
+  const char* query;   ///< nullptr: kQueryScalar.
+};
+
+// Per-service model definitions over the shared warehouse schema. Every
+// service the registry exposes must appear here (enforced below).
+constexpr ServiceCase kServices[] = {
+    {"Decision_Trees", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Gender] TEXT DISCRETE,
+         [Age] DOUBLE DISCRETIZED(EQUAL_FREQUENCIES, 4) PREDICT,
+         [Product Purchases] TABLE(
+           [Product Name] TEXT KEY,
+           [Product Type] TEXT DISCRETE RELATED TO [Product Name])
+       ) USING Decision_Trees(MINIMUM_SUPPORT = 15.0))",
+     nullptr, nullptr},
+    {"Naive_Bayes", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Gender] TEXT DISCRETE,
+         [Age] DOUBLE DISCRETIZED(EQUAL_RANGES, 5) PREDICT,
+         [Product Purchases] TABLE(
+           [Product Name] TEXT KEY,
+           [Product Type] TEXT DISCRETE RELATED TO [Product Name])
+       ) USING Naive_Bayes)",
+     nullptr, nullptr},
+    {"Clustering", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Age] DOUBLE CONTINUOUS,
+         [Income] DOUBLE CONTINUOUS,
+         [Customer Loyalty] LONG DISCRETE PREDICT
+       ) USING Clustering(CLUSTER_COUNT = 3, SEED = 11))",
+     nullptr, kQueryLoyalty},
+    {"Association_Rules", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Product Purchases] TABLE([Product Name] TEXT KEY) PREDICT
+       ) USING Association_Rules(MINIMUM_SUPPORT = 0.05,
+                                 MINIMUM_PROBABILITY = 0.3))",
+     nullptr, kQueryBasket},
+    {"Linear_Regression", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Gender] TEXT DISCRETE,
+         [Customer Loyalty] LONG ORDERED,
+         [Income] DOUBLE CONTINUOUS,
+         [Age] DOUBLE CONTINUOUS PREDICT
+       ) USING Linear_Regression)",
+     nullptr, nullptr},
+    {"Sequence_Analysis", R"(
+       CREATE MINING MODEL [P] (
+         [Customer ID] LONG KEY,
+         [Product Purchases] TABLE(
+           [Product Name] TEXT KEY,
+           [Purchase Time] DOUBLE SEQUENCE_TIME) PREDICT
+       ) USING Sequence_Analysis)",
+     kInsertSequence, kQuerySequence},
+};
+
 class PmmlRoundTrip
     : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
 
@@ -112,12 +146,10 @@ TEST_P(PmmlRoundTrip, PredictionsSurviveSaveAndLoad) {
   ASSERT_TRUE(datagen::PopulateWarehouse(original.database(), config).ok());
   auto conn = original.Connect();
   ASSERT_TRUE(conn->Execute(sc.create).ok());
-  auto insert = conn->Execute(kInsert);
+  auto insert = conn->Execute(sc.insert != nullptr ? sc.insert : kInsert);
   ASSERT_TRUE(insert.ok()) << insert.status().ToString();
 
-  const char* query = kQueryScalar;
-  if (std::string(sc.service) == "Clustering") query = kQueryLoyalty;
-  if (std::string(sc.service) == "Association_Rules") query = kQueryBasket;
+  const char* query = sc.query != nullptr ? sc.query : kQueryScalar;
   auto before = conn->Execute(query);
   ASSERT_TRUE(before.ok()) << before.status().ToString();
 
@@ -164,7 +196,21 @@ TEST_P(PmmlRoundTrip, PredictionsSurviveSaveAndLoad) {
 
 INSTANTIATE_TEST_SUITE_P(
     ServicesAndSeeds, PmmlRoundTrip,
-    ::testing::Combine(::testing::Range(0, 5), ::testing::Values(42u, 77u)));
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(42u, 77u)));
+
+// The round-trip table above must not silently fall behind the registry:
+// every service ListServices reports needs a ServiceCase entry.
+TEST(PmmlTest, RoundTripCoversEveryRegisteredService) {
+  Provider provider;
+  for (const std::string& name : provider.services()->ListServices()) {
+    bool covered = false;
+    for (const ServiceCase& sc : kServices) {
+      if (name == sc.service) covered = true;
+    }
+    EXPECT_TRUE(covered) << "service '" << name
+                         << "' has no PMML round-trip case";
+  }
+}
 
 TEST(PmmlTest, FileRoundTripAndRefreshAfterLoad) {
   Provider original;

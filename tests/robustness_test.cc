@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
 #include "common/random.h"
 #include "common/tokenizer.h"
 #include "core/provider.h"
@@ -13,24 +18,29 @@
 namespace dmx {
 namespace {
 
-const char* kSeedStatements[] = {
-    "SELECT [Customer ID], [Gender] FROM Customers ORDER BY [Customer ID]",
-    "CREATE MINING MODEL [F] ([Customer ID] LONG KEY, [Gender] TEXT DISCRETE,"
-    " [Age] DOUBLE DISCRETIZED PREDICT) USING Naive_Bayes",
-    "INSERT INTO [F] SELECT [Customer ID], [Gender], [Age] FROM Customers",
-    "INSERT INTO [F] SHAPE {SELECT [Customer ID], [Gender], [Age] FROM "
-    "Customers ORDER BY [Customer ID]} APPEND ({SELECT [CustID], "
-    "[Product Name] FROM Sales ORDER BY [CustID]} RELATE [Customer ID] TO "
-    "[CustID]) AS [P]",
-    "SELECT t.[Customer ID], Predict([Age]) FROM [F] NATURAL PREDICTION JOIN "
-    "(SELECT [Customer ID], [Gender] FROM Customers) AS t "
-    "WHERE PredictProbability([Age]) > 0.1",
-    "SELECT * FROM [F].CONTENT WHERE NODE_TYPE = 'Leaf'",
-    "EXPORT MINING MODEL [F] TO '/tmp/robustness.xml'",
-    "DELETE FROM [F]",
-    "DROP MINING MODEL [F]",
-    "SELECT Region, COUNT(*) AS N FROM Customers GROUP BY Region",
-};
+// Built at runtime so file-touching seeds (EXPORT/IMPORT) target a per-test
+// temp path instead of a hard-coded shared location.
+std::vector<std::string> SeedStatements(const std::string& xml_path) {
+  return {
+      "SELECT [Customer ID], [Gender] FROM Customers ORDER BY [Customer ID]",
+      "CREATE MINING MODEL [F] ([Customer ID] LONG KEY, [Gender] TEXT "
+      "DISCRETE, [Age] DOUBLE DISCRETIZED PREDICT) USING Naive_Bayes",
+      "INSERT INTO [F] SELECT [Customer ID], [Gender], [Age] FROM Customers",
+      "INSERT INTO [F] SHAPE {SELECT [Customer ID], [Gender], [Age] FROM "
+      "Customers ORDER BY [Customer ID]} APPEND ({SELECT [CustID], "
+      "[Product Name] FROM Sales ORDER BY [CustID]} RELATE [Customer ID] TO "
+      "[CustID]) AS [P]",
+      "SELECT t.[Customer ID], Predict([Age]) FROM [F] NATURAL PREDICTION "
+      "JOIN (SELECT [Customer ID], [Gender] FROM Customers) AS t "
+      "WHERE PredictProbability([Age]) > 0.1",
+      "SELECT * FROM [F].CONTENT WHERE NODE_TYPE = 'Leaf'",
+      "EXPORT MINING MODEL [F] TO '" + xml_path + "'",
+      "IMPORT MINING MODEL FROM '" + xml_path + "'",
+      "DELETE FROM [F]",
+      "DROP MINING MODEL [F]",
+      "SELECT Region, COUNT(*) AS N FROM Customers GROUP BY Region",
+  };
+}
 
 // Rebuilds statement text from a token list (lossy but lexically valid).
 std::string Detokenize(const std::vector<Token>& tokens) {
@@ -53,16 +63,15 @@ std::string Detokenize(const std::vector<Token>& tokens) {
 
 class RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(RobustnessTest, MutatedStatementsNeverCrash) {
-  Provider provider;
-  datagen::WarehouseConfig config;
-  config.num_customers = 30;
-  ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
-  auto conn = provider.Connect();
-
-  Rng rng(GetParam());
+// Runs the mutation sweep against `provider`; every statement — pristine or
+// mutated — must return a Status, never crash or hang. (void so ASSERT_*
+// can bail out.)
+void RunMutationSweep(Provider* provider, uint64_t rng_seed,
+                      const std::string& xml_path) {
+  auto conn = provider->Connect();
+  Rng rng(rng_seed);
   int executed = 0;
-  for (const char* seed : kSeedStatements) {
+  for (const std::string& seed : SeedStatements(xml_path)) {
     // The pristine statement must not crash either (it may or may not
     // succeed depending on the order models were created/dropped).
     (void)conn->Execute(seed);
@@ -99,7 +108,54 @@ TEST_P(RobustnessTest, MutatedStatementsNeverCrash) {
       ++executed;
     }
   }
-  EXPECT_EQ(executed, 400);
+  EXPECT_EQ(executed, 440);
+}
+
+TEST_P(RobustnessTest, MutatedStatementsNeverCrash) {
+  Provider provider;
+  datagen::WarehouseConfig config;
+  config.num_customers = 30;
+  ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
+  std::string xml = ::testing::TempDir() + "/robustness_" +
+                    std::to_string(GetParam()) + ".xml";
+  RunMutationSweep(&provider, GetParam(), xml);
+  (void)std::remove(xml.c_str());
+}
+
+// The same sweep with a durable store attached: journaling must not change
+// crash behaviour, and whatever survived the fuzzing must recover cleanly.
+TEST_P(RobustnessTest, MutatedStatementsNeverCrashWithStore) {
+  std::string dir =
+      ::testing::TempDir() + "/robustness_store_" + std::to_string(GetParam());
+  {
+    Env* env = Env::Default();
+    auto names = env->ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& f : *names) (void)env->DeleteFile(dir + "/" + f);
+    }
+  }
+  std::string xml = ::testing::TempDir() + "/robustness_store_" +
+                    std::to_string(GetParam()) + ".xml";
+  {
+    Provider provider;
+    datagen::WarehouseConfig config;
+    config.num_customers = 30;
+    ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
+    store::StoreOptions options;
+    options.auto_checkpoint_interval = 16;
+    ASSERT_TRUE(provider.OpenStore(dir, options).ok());
+    RunMutationSweep(&provider, GetParam(), xml);
+  }
+  // The journal a fuzzing session leaves behind must always be replayable.
+  // Journaled statements may read the out-of-band warehouse preload, so —
+  // like dmxsh --warehouse --store — recreate it before opening the store.
+  Provider reopened;
+  datagen::WarehouseConfig config;
+  config.num_customers = 30;
+  ASSERT_TRUE(datagen::PopulateWarehouse(reopened.database(), config).ok());
+  auto status = reopened.OpenStore(dir);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  (void)std::remove(xml.c_str());
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,

@@ -36,6 +36,49 @@ TEST(StatusTest, EveryCodeHasAName) {
   }
 }
 
+TEST(StatusTest, DurabilityCodes) {
+  Status corruption = Corruption() << "bad checksum at offset " << 12;
+  EXPECT_TRUE(corruption.IsCorruption());
+  EXPECT_EQ(corruption.code(), StatusCode::kCorruption);
+  EXPECT_EQ(corruption.ToString(), "Corruption: bad checksum at offset 12");
+
+  Status full = ResourceExhausted() << "disk full";
+  EXPECT_TRUE(full.IsResourceExhausted());
+  EXPECT_EQ(full.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(full.ToString(), "Resource exhausted: disk full");
+
+  EXPECT_TRUE(Status(IOError() << "x").IsIOError());
+  EXPECT_FALSE(corruption.IsIOError());
+  EXPECT_FALSE(full.IsCorruption());
+}
+
+TEST(StatusTest, WithContextChainsFrames) {
+  Status inner = IOError() << "write 'wal.log': No space left";
+  Status mid = inner.WithContext("journaling statement");
+  Status outer = mid.WithContext("opening store '/tmp/s'");
+
+  // The code and root message are preserved; frames accumulate inner-first.
+  EXPECT_EQ(outer.code(), StatusCode::kIOError);
+  EXPECT_EQ(outer.message(), "write 'wal.log': No space left");
+  ASSERT_EQ(outer.context().size(), 2u);
+  EXPECT_EQ(outer.context()[0], "journaling statement");
+  EXPECT_EQ(outer.context()[1], "opening store '/tmp/s'");
+  EXPECT_EQ(outer.ToString(),
+            "IO error: write 'wal.log': No space left"
+            "; while journaling statement"
+            "; while opening store '/tmp/s'");
+
+  // Chaining copies: the originals are untouched.
+  EXPECT_TRUE(inner.context().empty());
+  ASSERT_EQ(mid.context().size(), 1u);
+}
+
+TEST(StatusTest, WithContextOnOkIsOk) {
+  Status s = Status::OK().WithContext("should not matter");
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
 TEST(StatusTest, CopyIsCheapAndShared) {
   Status a = IOError() << "disk on fire";
   Status b = a;

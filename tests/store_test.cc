@@ -1,0 +1,465 @@
+// Durable store: statements journaled through a provider survive process
+// death. Covers the WAL/snapshot round trip, checkpoint rotation, torn-tail
+// vs mid-log corruption handling, IMPORT blob journaling, and the crash-point
+// sweep — a fault injected at EVERY mutating I/O op must leave a state that
+// recovers to exactly the successfully-executed statement prefix.
+
+#include "store/store.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/provider.h"
+#include "relational/database.h"
+#include "store/log_format.h"
+
+namespace dmx {
+namespace {
+
+// A fixed script exercising every journaled path: SQL DDL/DML, model DDL,
+// training, retraining after DELETE FROM, and incremental data arrival.
+const std::vector<std::string>& Script() {
+  static const std::vector<std::string> kScript = {
+      "CREATE TABLE People (Id LONG, Age DOUBLE, Income DOUBLE, "
+      "Loyalty LONG)",
+      "INSERT INTO People VALUES (1, 25, 100, 0), (2, 30, 210, 1), "
+      "(3, 45, 300, 1), (4, 22, 90, 0), (5, 60, 400, 1), (6, 35, 150, 0)",
+      "CREATE MINING MODEL [M] ([Id] LONG KEY, [Age] DOUBLE CONTINUOUS, "
+      "[Income] DOUBLE CONTINUOUS, [Loyalty] LONG DISCRETE PREDICT) "
+      "USING Clustering(CLUSTER_COUNT = 2, SEED = 7)",
+      "INSERT INTO [M] SELECT [Id], [Age], [Income], [Loyalty] FROM People",
+      "INSERT INTO People VALUES (7, 28, 120, 0), (8, 52, 380, 1)",
+      "DELETE FROM [M]",
+      "INSERT INTO [M] SELECT [Id], [Age], [Income], [Loyalty] FROM People",
+  };
+  return kScript;
+}
+
+constexpr const char* kPredictQuery =
+    "SELECT t.[Id], Predict([Loyalty]) AS P, PredictProbability([Loyalty]) "
+    "AS Q FROM [M] NATURAL PREDICTION JOIN "
+    "(SELECT [Id], [Age], [Income] FROM People) AS t";
+
+// Serializes everything observable about a provider: table contents, model
+// inventory (with case counts), and — when [M] is trained — its predictions.
+// Two providers with equal StateStrings are behaviourally identical.
+std::string StateString(Provider* provider) {
+  std::string out;
+  std::vector<std::string> tables = provider->database()->ListTables();
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& name : tables) {
+    auto table = provider->database()->GetTable(name);
+    if (!table.ok()) return "table error: " + table.status().ToString();
+    out += "table " + name + "\n" +
+           rel::ToCsvString(*(*table)->schema(), (*table)->rows());
+  }
+  std::vector<std::string> models = provider->models()->ListModels();
+  std::sort(models.begin(), models.end());
+  auto conn = provider->Connect();
+  for (const std::string& name : models) {
+    auto model = provider->models()->GetModel(name);
+    if (!model.ok()) return "model error: " + model.status().ToString();
+    out += "model " + name + " cases=" +
+           std::to_string((*model)->case_count()) + "\n";
+    if ((*model)->is_trained() && name == "M") {
+      auto rowset = conn->Execute(kPredictQuery);
+      if (!rowset.ok()) {
+        return "predict error: " + rowset.status().ToString();
+      }
+      out += rowset->ToString();
+    }
+  }
+  return out;
+}
+
+// Executes the first `count` script statements on a fresh in-memory provider
+// — the oracle a recovered store is compared against.
+std::string OracleState(size_t count) {
+  Provider provider;
+  auto conn = provider.Connect();
+  for (size_t i = 0; i < count; ++i) {
+    auto result = conn->Execute(Script()[i]);
+    EXPECT_TRUE(result.ok())
+        << "oracle statement " << i << ": " << result.status().ToString();
+  }
+  return StateString(&provider);
+}
+
+std::string StoreDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/store_test_" + name;
+  // Tests reuse names across runs; start from an empty directory.
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& f : *names) (void)env->DeleteFile(dir + "/" + f);
+  }
+  return dir;
+}
+
+// Returns the path of the single wal-*.log file in `dir`.
+std::string FindWal(const std::string& dir) {
+  auto names = Env::Default()->ListDir(dir);
+  EXPECT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    if (name.rfind("wal-", 0) == 0) return dir + "/" + name;
+  }
+  ADD_FAILURE() << "no WAL file in " << dir;
+  return "";
+}
+
+std::string FindSnapshot(const std::string& dir) {
+  auto names = Env::Default()->ListDir(dir);
+  EXPECT_TRUE(names.ok());
+  for (const std::string& name : *names) {
+    if (name.rfind("snapshot-", 0) == 0) return dir + "/" + name;
+  }
+  ADD_FAILURE() << "no snapshot file in " << dir;
+  return "";
+}
+
+TEST(StoreTest, StatePersistsAcrossReopen) {
+  std::string dir = StoreDir("reopen");
+  std::string before;
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      auto result = conn->Execute(statement);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+    before = StateString(&provider);
+  }  // Dies without a checkpoint: recovery must come purely from the WAL.
+
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  const store::RecoveryStats& stats = reopened.store()->recovery_stats();
+  EXPECT_EQ(stats.replayed_statements, Script().size());
+  EXPECT_FALSE(stats.torn_tail_truncated);
+  EXPECT_EQ(StateString(&reopened), before);
+  EXPECT_EQ(before, OracleState(Script().size()));
+}
+
+TEST(StoreTest, CheckpointRotatesWalAndSpeedsRecovery) {
+  std::string dir = StoreDir("checkpoint");
+  std::string before;
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+    ASSERT_TRUE(provider.Checkpoint().ok());
+    EXPECT_EQ(provider.store()->wal_records(), 0u);
+    // Post-checkpoint statements land in the rotated WAL.
+    ASSERT_TRUE(
+        conn->Execute("INSERT INTO People VALUES (9, 41, 260, 1)").ok());
+    before = StateString(&provider);
+  }
+
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  const store::RecoveryStats& stats = reopened.store()->recovery_stats();
+  EXPECT_GT(stats.snapshot_seq, 0u);
+  EXPECT_GT(stats.snapshot_entries, 0u);
+  EXPECT_EQ(stats.replayed_statements, 1u);  // only the post-checkpoint row
+  EXPECT_EQ(StateString(&reopened), before);
+
+  // A second checkpoint bumps the sequence and still round-trips.
+  ASSERT_TRUE(reopened.Checkpoint().ok());
+  Provider again;
+  ASSERT_TRUE(again.OpenStore(dir).ok());
+  EXPECT_GT(again.store()->recovery_stats().snapshot_seq, stats.snapshot_seq);
+  EXPECT_EQ(StateString(&again), before);
+}
+
+TEST(StoreTest, TornWalTailIsTruncatedSilently) {
+  std::string dir = StoreDir("torn");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+  }
+  // Simulate a crash mid-append: a record header with no payload behind it.
+  std::string wal = FindWal(dir);
+  std::string tail;
+  store::PutFixed32(&tail, 1000);  // claims 1000 payload bytes
+  store::PutFixed32(&tail, 0xdeadbeef);
+  tail += "only a few";
+  {
+    auto file = Env::Default()->NewWritableFile(wal, /*append=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(tail).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  EXPECT_TRUE(reopened.store()->recovery_stats().torn_tail_truncated);
+  EXPECT_EQ(reopened.store()->recovery_stats().replayed_statements, 4u);
+  EXPECT_EQ(StateString(&reopened), OracleState(4));
+
+  // The truncation repaired the file: a third open sees a clean log.
+  Provider third;
+  ASSERT_TRUE(third.OpenStore(dir).ok());
+  EXPECT_FALSE(third.store()->recovery_stats().torn_tail_truncated);
+  EXPECT_EQ(StateString(&third), OracleState(4));
+}
+
+TEST(StoreTest, MidLogDamageSurfacesCorruption) {
+  std::string dir = StoreDir("midlog");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+  }
+  // Flip a byte inside the FIRST record's payload — damage followed by more
+  // records is not a torn tail and must not be silently dropped.
+  std::string wal = FindWal(dir);
+  auto data = Env::Default()->ReadFileToString(wal);
+  ASSERT_TRUE(data.ok());
+  ASSERT_GT(data->size(), 16u);
+  (*data)[10] ^= 0x40;
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(wal, *data, true).ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST(StoreTest, SnapshotDamageSurfacesCorruption) {
+  std::string dir = StoreDir("badsnap");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+    ASSERT_TRUE(provider.Checkpoint().ok());
+  }
+  std::string snapshot = FindSnapshot(dir);
+  auto data = Env::Default()->ReadFileToString(snapshot);
+  ASSERT_TRUE(data.ok());
+  (*data)[data->size() / 2] ^= 0x01;
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(snapshot, *data, true).ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+}
+
+TEST(StoreTest, ImportedModelSurvivesSourceFileDeletion) {
+  // Train and export from a store-less provider.
+  std::string xml = ::testing::TempDir() + "/store_test_import.xml";
+  {
+    Provider trainer;
+    auto conn = trainer.Connect();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+    ASSERT_TRUE(
+        conn->Execute("EXPORT MINING MODEL [M] TO '" + xml + "'").ok());
+  }
+
+  std::string dir = StoreDir("import");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    auto result =
+        conn->Execute("IMPORT MINING MODEL FROM '" + xml + "'");
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+  }
+  // The journal must not depend on the exported file still existing.
+  ASSERT_TRUE(Env::Default()->DeleteFile(xml).ok());
+
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  EXPECT_EQ(reopened.store()->recovery_stats().replayed_blobs, 1u);
+  auto model = reopened.models()->GetModel("M");
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE((*model)->is_trained());
+  EXPECT_DOUBLE_EQ((*model)->case_count(), 6.0);
+}
+
+TEST(StoreTest, RecoveredStateReplacesPreloadedObjects) {
+  std::string dir = StoreDir("authoritative");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+    ASSERT_TRUE(provider.Checkpoint().ok());
+  }
+  // A provider that already has a conflicting People table (e.g. dmxsh
+  // --warehouse preload) — the recovered snapshot wins.
+  Provider reopened;
+  auto conn = reopened.Connect();
+  ASSERT_TRUE(conn->Execute("CREATE TABLE People (Id LONG)").ok());
+  ASSERT_TRUE(conn->Execute("INSERT INTO People VALUES (99)").ok());
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  EXPECT_EQ(StateString(&reopened), OracleState(2));
+}
+
+// ---------------------------------------------------------------------------
+// Crash-point sweep — the acceptance criterion. With FaultInjectionEnv
+// failing at every successive write/fsync/rename/... offset (and as a torn
+// write, and as ENOSPC), reopening the store must always succeed with a
+// clean env and recover EXACTLY the successfully-executed statement prefix:
+// never a partial statement, never a crash, never kCorruption.
+// ---------------------------------------------------------------------------
+
+class CrashPointSweep
+    : public ::testing::TestWithParam<FaultInjectionEnv::FaultKind> {};
+
+const char* KindName(FaultInjectionEnv::FaultKind kind) {
+  switch (kind) {
+    case FaultInjectionEnv::FaultKind::kIOError: return "IOError";
+    case FaultInjectionEnv::FaultKind::kTornWrite: return "TornWrite";
+    case FaultInjectionEnv::FaultKind::kNoSpace: return "NoSpace";
+  }
+  return "Unknown";
+}
+
+TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
+  const FaultInjectionEnv::FaultKind kind = GetParam();
+  // The three kinds run as separate concurrent ctest processes — keep their
+  // scratch directories disjoint.
+  const std::string tag = KindName(kind);
+
+  // Pass 1: count the mutating ops of a fault-free run.
+  int64_t total_ops = 0;
+  {
+    std::string dir = StoreDir("sweep_count_" + tag);
+    FaultInjectionEnv env(Env::Default());
+    env.ArmFault(INT64_MAX, kind);
+    store::StoreOptions options;
+    options.env = &env;
+    options.auto_checkpoint_interval = 4;  // exercise mid-run checkpoints
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir, options).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+    total_ops = env.op_count();
+    ASSERT_FALSE(env.fault_fired());
+  }
+  ASSERT_GT(total_ops, 10);
+
+  // Cache oracle states — StateString per statement prefix.
+  std::vector<std::string> oracle(Script().size() + 1);
+  for (size_t i = 0; i <= Script().size(); ++i) oracle[i] = OracleState(i);
+
+  // Pass 2: fail at every offset.
+  for (int64_t fail_at = 0; fail_at < total_ops; ++fail_at) {
+    SCOPED_TRACE("fail_at=" + std::to_string(fail_at));
+    std::string dir = StoreDir("sweep_" + tag);
+    FaultInjectionEnv env(Env::Default());
+    env.ArmFault(fail_at, kind);
+    store::StoreOptions options;
+    options.env = &env;
+    options.auto_checkpoint_interval = 4;
+
+    size_t ok_prefix = 0;
+    {
+      Provider provider;
+      if (provider.OpenStore(dir, options).ok()) {
+        auto conn = provider.Connect();
+        for (const std::string& statement : Script()) {
+          if (!conn->Execute(statement).ok()) break;
+          ++ok_prefix;
+        }
+      }
+    }
+
+    // Reopen with a healthy filesystem: recovery must succeed — an injected
+    // crash or ENOSPC is never corruption — and land on the state of a
+    // statement PREFIX. The failing statement itself may or may not be
+    // durable (its WAL bytes can reach the disk even when the fsync reports
+    // the fault), but a statement must never be half-applied.
+    Provider reopened;
+    Status status = reopened.OpenStore(dir);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    std::string recovered = StateString(&reopened);
+    size_t next = std::min(ok_prefix + 1, Script().size());
+    EXPECT_TRUE(recovered == oracle[ok_prefix] || recovered == oracle[next])
+        << "ok_prefix=" << ok_prefix << "\nrecovered:\n"
+        << recovered << "\nexpected either prefix " << ok_prefix << ":\n"
+        << oracle[ok_prefix] << "\nor prefix " << next << ":\n"
+        << oracle[next];
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultKinds, CrashPointSweep,
+    ::testing::Values(FaultInjectionEnv::FaultKind::kIOError,
+                      FaultInjectionEnv::FaultKind::kTornWrite,
+                      FaultInjectionEnv::FaultKind::kNoSpace),
+    [](const ::testing::TestParamInfo<FaultInjectionEnv::FaultKind>& info) {
+      return KindName(info.param);
+    });
+
+// Record framing unit coverage: ParseLog's three verdicts.
+TEST(LogFormatTest, ParseLogVerdicts) {
+  std::string log;
+  store::AppendRecordTo(&log, "alpha");
+  store::AppendRecordTo(&log, "beta");
+
+  auto clean = store::ParseLog(log);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_FALSE(clean->torn_tail);
+  ASSERT_EQ(clean->records.size(), 2u);
+  EXPECT_EQ(clean->records[0], "alpha");
+  EXPECT_EQ(clean->records[1], "beta");
+  EXPECT_EQ(clean->valid_bytes, log.size());
+
+  // Every strict prefix that cuts into the second record is a torn tail
+  // preserving record one.
+  for (size_t cut = clean->valid_bytes - 1; cut > 13; --cut) {
+    auto torn = store::ParseLog(std::string_view(log).substr(0, cut));
+    ASSERT_TRUE(torn.ok()) << "cut=" << cut;
+    EXPECT_TRUE(torn->torn_tail);
+    ASSERT_EQ(torn->records.size(), 1u);
+    EXPECT_EQ(torn->records[0], "alpha");
+  }
+
+  // A corrupted first record with a healthy record after it is mid-log
+  // damage.
+  std::string damaged = log;
+  damaged[9] ^= 0x01;  // inside "alpha"'s payload
+  auto corrupt = store::ParseLog(damaged);
+  ASSERT_FALSE(corrupt.ok());
+  EXPECT_EQ(corrupt.status().code(), StatusCode::kCorruption);
+
+  // The same damage on the FINAL record is indistinguishable from a torn
+  // write and recovers silently.
+  std::string tail_damaged = log;
+  tail_damaged[tail_damaged.size() - 1] ^= 0x01;
+  auto tail = store::ParseLog(tail_damaged);
+  ASSERT_TRUE(tail.ok());
+  EXPECT_TRUE(tail->torn_tail);
+  ASSERT_EQ(tail->records.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dmx

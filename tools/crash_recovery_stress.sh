@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Crash-recovery stress for the durable store: run an idempotent training
+# workload through dmxsh --store, SIGKILL the shell at staggered points
+# mid-session, reopen after every kill, and finally assert that the table
+# and the trained model recovered with working predictions.
+#
+#   tools/crash_recovery_stress.sh <path-to-dmxsh> [rounds]
+set -u
+
+DMXSH="${1:?usage: crash_recovery_stress.sh <path-to-dmxsh> [rounds]}"
+ROUNDS="${2:-8}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+STORE="$WORK/store"
+ROWS=200
+
+# Idempotent workload: every statement either applies or fails harmlessly
+# against recovered state, so the script can be replayed after any kill
+# point and always converge to the same catalog.
+workload() {
+  echo "DROP MINING MODEL [M];"  # error on the first run; fine
+  echo "CREATE TABLE T (Id LONG, Age DOUBLE, Loyalty LONG);"  # ditto later
+  echo "DELETE FROM T;"
+  for i in $(seq 1 "$ROWS"); do
+    echo "INSERT INTO T VALUES ($i, $((20 + i % 50)), $((i % 2)));"
+  done
+  echo "CREATE MINING MODEL [M] ([Id] LONG KEY, [Age] DOUBLE CONTINUOUS," \
+       "[Loyalty] LONG DISCRETE PREDICT)" \
+       "USING Clustering(CLUSTER_COUNT = 2, SEED = 3);"
+  echo "INSERT INTO [M] SELECT [Id], [Age], [Loyalty] FROM T;"
+}
+
+fail() {
+  echo "FAIL: $1" >&2
+  exit 1
+}
+
+echo "== kill-replay loop ($ROUNDS rounds) =="
+for round in $(seq 1 "$ROUNDS"); do
+  workload | "$DMXSH" --store "$STORE" --quiet >"$WORK/run.log" 2>&1 &
+  pid=$!
+  # Stagger the kill so different rounds die in different phases: journal
+  # appends, auto-checkpoints, model training.
+  sleep "0.0${round}"
+  kill -9 "$pid" 2>/dev/null
+  wait "$pid" 2>/dev/null
+  # Reopening after the kill must never report corruption.
+  out="$(echo '\quit' | "$DMXSH" --store "$STORE" 2>&1)" ||
+    fail "round $round: reopen exited non-zero:
+$out"
+  case "$out" in
+    *Corruption*) fail "round $round: reopen reported corruption:
+$out" ;;
+  esac
+  echo "round $round: killed pid $pid, reopen OK"
+done
+
+echo "== final clean run =="
+workload | "$DMXSH" --store "$STORE" --quiet >"$WORK/final.log" 2>&1 ||
+  fail "final workload run exited non-zero: $(cat "$WORK/final.log")"
+
+echo "== verification =="
+verify="$(echo "SELECT t.[Id], Predict([Loyalty]) AS L FROM [M] \
+NATURAL PREDICTION JOIN (SELECT [Id], [Age] FROM T) AS t;" |
+  "$DMXSH" --store "$STORE" --quiet 2>&1)" ||
+  fail "verification run exited non-zero:
+$verify"
+case "$verify" in
+  *Corruption*) fail "verification reported corruption:
+$verify" ;;
+  *"($ROWS rows"*) ;;
+  *) fail "expected predictions for $ROWS rows, got:
+$verify" ;;
+esac
+
+echo "PASS: store recovered through $ROUNDS kills; predictions for $ROWS rows"

@@ -3,14 +3,19 @@
 // Reads DMX / SQL statements (terminated by ';') from stdin and prints the
 // resulting rowsets, the way a consumer talks to the provider in Figure 1.
 //
-//   dmxsh [--warehouse N] [--paper-example] [--quiet]
+//   dmxsh [--warehouse N] [--paper-example] [--store DIR] [--quiet]
 //
 //   --warehouse N     preload the synthetic customer warehouse (N customers)
 //   --paper-example   preload the paper's Table 1 micro-warehouse
+//   --store DIR       durable catalog store: recover DIR's snapshot + WAL on
+//                     startup, journal every DDL/DML statement, checkpoint on
+//                     clean exit — a killed shell reopens with all models
+//                     trained
 //   --quiet           suppress the banner and prompts (for piped scripts)
 //
 // Shell commands (no ';'):
-//   \models   \services   \tables   \columns <model>   \help   \quit
+//   \models   \services   \tables   \columns <model>   \checkpoint
+//   \help   \quit
 
 #include <cctype>
 #include <cstring>
@@ -38,8 +43,21 @@ void PrintHelp() {
       "  \\functions   prediction UDFs\n"
       "  \\tables      base tables\n"
       "  \\columns m   column rowset of model m\n"
+      "  \\checkpoint  snapshot the catalog and rotate the WAL (--store)\n"
       "  \\help        this text\n"
       "  \\quit        exit\n";
+}
+
+// Errors render with their full context chain, innermost cause first:
+//   IO error: write 'wal-000001.log': No space left on device
+//     while journaling statement
+void PrintStatus(const dmx::Status& status) {
+  std::cout << dmx::StatusCodeToString(status.code());
+  if (!status.message().empty()) std::cout << ": " << status.message();
+  std::cout << "\n";
+  for (const std::string& frame : status.context()) {
+    std::cout << "  while " << frame << "\n";
+  }
 }
 
 void PrintRowset(const dmx::Rowset& rowset) {
@@ -81,10 +99,18 @@ bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
     if (rowset.ok()) {
       PrintRowset(*rowset);
     } else {
-      std::cout << rowset.status().ToString() << "\n";
+      PrintStatus(rowset.status());
     }
   };
-  if (line == "\\models") {
+  if (line == "\\checkpoint") {
+    auto status = conn->provider()->Checkpoint();
+    if (status.ok()) {
+      std::cout << "checkpoint written (snapshot "
+                << conn->provider()->store()->snapshot_seq() << ")\n";
+    } else {
+      PrintStatus(status);
+    }
+  } else if (line == "\\models") {
     show(dmx::SchemaRowsetKind::kMiningModels);
   } else if (line == "\\services") {
     show(dmx::SchemaRowsetKind::kMiningServices);
@@ -113,6 +139,7 @@ int main(int argc, char** argv) {
   bool quiet = false;
   int warehouse = 0;
   bool paper_example = false;
+  std::string store_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
@@ -120,8 +147,11 @@ int main(int argc, char** argv) {
       paper_example = true;
     } else if (std::strcmp(argv[i], "--warehouse") == 0 && i + 1 < argc) {
       warehouse = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
     } else {
-      std::cerr << "usage: dmxsh [--warehouse N] [--paper-example] [--quiet]\n";
+      std::cerr << "usage: dmxsh [--warehouse N] [--paper-example] "
+                   "[--store DIR] [--quiet]\n";
       return 2;
     }
   }
@@ -140,6 +170,29 @@ int main(int argc, char** argv) {
     if (!status.ok()) {
       std::cerr << status.ToString() << "\n";
       return 1;
+    }
+  }
+  // The store is opened *after* any warehouse preload, so recovered state
+  // (which is authoritative) replaces preloaded tables it also covers.
+  if (!store_dir.empty()) {
+    dmx::store::StoreOptions options;
+    options.auto_checkpoint_interval = 64;
+    auto status = provider.OpenStore(store_dir, options);
+    if (!status.ok()) {
+      PrintStatus(status);
+      return 1;
+    }
+    if (!quiet) {
+      const dmx::store::RecoveryStats& stats =
+          provider.store()->recovery_stats();
+      std::cout << "(store '" << store_dir << "' opened: snapshot "
+                << stats.snapshot_seq << " with " << stats.snapshot_entries
+                << " entries, " << stats.replayed_statements
+                << " statements + " << stats.replayed_blobs
+                << " model blobs replayed"
+                << (stats.torn_tail_truncated ? ", torn WAL tail truncated"
+                                              : "")
+                << ")\n";
     }
   }
   auto conn = provider.Connect();
@@ -176,10 +229,13 @@ int main(int argc, char** argv) {
     if (TryAnalyzeCommand(conn.get(), command)) continue;
     auto result = conn->Execute(command);
     if (!result.ok()) {
-      std::cout << result.status().ToString() << "\n";
+      PrintStatus(result.status());
       continue;
     }
     PrintRowset(*result);
   }
+  // Clean exit: checkpoint so the next open skips WAL replay. Best effort —
+  // the WAL already holds everything.
+  if (provider.store() != nullptr) (void)provider.Checkpoint();
   return 0;
 }
