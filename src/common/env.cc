@@ -133,6 +133,18 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status SyncDir(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return ErrnoStatus(errno, "open dir", path);
+    if (::fsync(fd) != 0) {
+      int err = errno;
+      ::close(fd);
+      return ErrnoStatus(err, "fsync dir", path);
+    }
+    if (::close(fd) != 0) return ErrnoStatus(errno, "close dir", path);
+    return Status::OK();
+  }
+
   Result<std::vector<std::string>> ListDir(const std::string& path) override {
     DIR* dir = ::opendir(path.c_str());
     if (dir == nullptr) return ErrnoStatus(errno, "opendir", path);
@@ -166,7 +178,16 @@ Status Env::WriteStringToFile(const std::string& path, std::string_view data,
 Status Env::AtomicWriteFile(const std::string& path, std::string_view data) {
   std::string tmp = path + ".tmp";
   DMX_RETURN_IF_ERROR(WriteStringToFile(tmp, data, /*sync=*/true));
-  return RenameFile(tmp, path);
+  DMX_RETURN_IF_ERROR(RenameFile(tmp, path));
+  // The rename is not durable until the parent directory is synced; callers
+  // (e.g. Checkpoint) delete superseded files right after this returns, so
+  // skipping the sync could leave a MANIFEST pointing at deleted files after
+  // power loss.
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos
+                        ? "."
+                        : (slash == 0 ? "/" : path.substr(0, slash));
+  return SyncDir(dir);
 }
 
 // ---------------------------------------------------------------------------
@@ -266,6 +287,11 @@ Status FaultInjectionEnv::TruncateFile(const std::string& path,
 Status FaultInjectionEnv::CreateDir(const std::string& path) {
   DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
   return base_->CreateDir(path);
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& path) {
+  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  return base_->SyncDir(path);
 }
 
 }  // namespace dmx

@@ -60,6 +60,11 @@ class Env {
   /// Creates a directory; succeeds if it already exists.
   virtual Status CreateDir(const std::string& path) = 0;
 
+  /// fsyncs a directory, making entry creates/renames/deletes inside it
+  /// durable — POSIX does not guarantee a rename survives power loss until
+  /// its parent directory is synced.
+  virtual Status SyncDir(const std::string& path) = 0;
+
   /// Entry names (no "."/"..") of a directory.
   virtual Result<std::vector<std::string>> ListDir(const std::string& path) = 0;
 
@@ -70,15 +75,17 @@ class Env {
   Status WriteStringToFile(const std::string& path, std::string_view data,
                            bool sync = true);
 
-  /// Durable replace: write `path`.tmp, fsync, close, rename over `path`.
-  /// A crash at any point leaves either the old file or the new file.
+  /// Durable replace: write `path`.tmp, fsync, close, rename over `path`,
+  /// fsync the parent directory. A crash at any point leaves either the old
+  /// file or the new file, and on success the replacement itself is durable.
   Status AtomicWriteFile(const std::string& path, std::string_view data);
 };
 
 /// \brief Deterministic fault injection around a base Env.
 ///
 /// Mutating operations (write-open, append, sync, close, rename, delete,
-/// truncate, mkdir) are counted once armed; the `fail_at`-th operation fails
+/// truncate, mkdir, dir-sync) are counted once armed; the `fail_at`-th
+/// operation fails
 /// with the configured fault, and — like a crashed process — every mutating
 /// operation after it fails too. Reads always pass through.
 class FaultInjectionEnv : public Env {
@@ -123,6 +130,7 @@ class FaultInjectionEnv : public Env {
   Status DeleteFile(const std::string& path) override;
   Status TruncateFile(const std::string& path, uint64_t size) override;
   Status CreateDir(const std::string& path) override;
+  Status SyncDir(const std::string& path) override;
   Result<std::vector<std::string>> ListDir(const std::string& path) override {
     return base_->ListDir(path);
   }

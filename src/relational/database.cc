@@ -3,7 +3,7 @@
 #include <cctype>
 #include <charconv>
 #include <cstdlib>
-#include <sstream>
+#include <string_view>
 
 namespace dmx::rel {
 
@@ -52,7 +52,10 @@ std::vector<std::string> Database::ListTables() const {
 namespace {
 
 void WriteCsvField(const std::string& field, std::string* out) {
-  bool needs_quotes = field.find_first_of(",\"\n\r") != std::string::npos;
+  // Empty strings are written quoted ("") so the reader can tell them apart
+  // from NULL, which is an unquoted empty cell.
+  bool needs_quotes =
+      field.empty() || field.find_first_of(",\"\n\r") != std::string::npos;
   if (!needs_quotes) {
     *out += field;
     return;
@@ -65,37 +68,65 @@ void WriteCsvField(const std::string& field, std::string* out) {
   *out += '"';
 }
 
-// Splits one CSV record; handles quoted fields with embedded separators.
-std::vector<std::string> SplitCsvLine(const std::string& line) {
-  std::vector<std::string> fields;
-  std::string field;
+/// One parsed cell. `quoted` distinguishes "" (empty string) from an
+/// unquoted empty cell (NULL).
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+// Streaming CSV record reader: quote state is tracked across the whole
+// input, so quoted fields may contain embedded newlines (and commas and
+// escaped quotes). Records end at an unquoted '\n' or EOF; unquoted '\r' is
+// dropped (CRLF endings); blank lines are skipped.
+std::vector<std::vector<CsvField>> ParseCsvRecords(std::string_view data) {
+  std::vector<std::vector<CsvField>> records;
+  std::vector<CsvField> record;
+  CsvField field;
   bool in_quotes = false;
-  for (size_t i = 0; i < line.size(); ++i) {
-    char c = line[i];
+  auto end_field = [&] {
+    record.push_back(std::move(field));
+    field = CsvField{};
+  };
+  auto end_record = [&] {
+    end_field();
+    // A blank line parses as a single unquoted empty field: not a record.
+    if (record.size() == 1 && !record[0].quoted && record[0].text.empty()) {
+      record.clear();
+      return;
+    }
+    records.push_back(std::move(record));
+    record.clear();
+  };
+  for (size_t i = 0; i < data.size(); ++i) {
+    char c = data[i];
     if (in_quotes) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field += '"';
+        if (i + 1 < data.size() && data[i + 1] == '"') {
+          field.text += '"';
           ++i;
         } else {
           in_quotes = false;
         }
       } else {
-        field += c;
+        field.text += c;
       }
     } else if (c == '"') {
       in_quotes = true;
+      field.quoted = true;
     } else if (c == ',') {
-      fields.push_back(std::move(field));
-      field.clear();
+      end_field();
+    } else if (c == '\n') {
+      end_record();
     } else if (c == '\r') {
-      // Ignore CR of CRLF endings.
+      // CR of a CRLF ending; a literal CR inside a field arrives quoted.
     } else {
-      field += c;
+      field.text += c;
     }
   }
-  fields.push_back(std::move(field));
-  return fields;
+  // Input not ending in '\n': flush the final record.
+  if (!field.text.empty() || field.quoted || !record.empty()) end_record();
+  return records;
 }
 
 bool ParseLong(const std::string& s, int64_t* out) {
@@ -154,23 +185,22 @@ Status SaveCsv(const Rowset& rowset, const std::string& path, Env* env) {
 
 Result<Rowset> ParseCsvString(const std::string& data,
                               std::shared_ptr<const Schema> schema) {
-  std::istringstream in(data);
-  std::string line;
-  if (!std::getline(in, line)) {
+  std::vector<std::vector<CsvField>> records = ParseCsvRecords(data);
+  if (records.empty()) {
     return IOError() << "CSV data is empty (no header row)";
   }
-  std::vector<std::string> header = SplitCsvLine(line);
-  std::vector<std::vector<std::string>> raw_rows;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    std::vector<std::string> fields = SplitCsvLine(line);
-    if (fields.size() != header.size()) {
-      return IOError() << "CSV row " << raw_rows.size() + 2 << " has "
-                       << fields.size() << " fields, header has "
+  const std::vector<CsvField>& header = records[0];
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != header.size()) {
+      return IOError() << "CSV record " << r + 1 << " has "
+                       << records[r].size() << " fields, header has "
                        << header.size();
     }
-    raw_rows.push_back(std::move(fields));
   }
+  // An unquoted empty cell is NULL; a quoted one ("") is an empty string.
+  auto is_null = [](const CsvField& cell) {
+    return !cell.quoted && cell.text.empty();
+  };
 
   if (schema == nullptr) {
     // Infer per-column types from the data.
@@ -180,14 +210,14 @@ Result<Rowset> ParseCsvString(const std::string& data,
       bool all_long = true;
       bool all_double = true;
       bool any_value = false;
-      for (const auto& row : raw_rows) {
-        const std::string& cell = row[c];
-        if (cell.empty()) continue;
+      for (size_t r = 1; r < records.size(); ++r) {
+        const CsvField& cell = records[r][c];
+        if (is_null(cell)) continue;
         any_value = true;
         int64_t l;
         double d;
-        if (!ParseLong(cell, &l)) all_long = false;
-        if (!ParseDouble(cell, &d)) all_double = false;
+        if (!ParseLong(cell.text, &l)) all_long = false;
+        if (!ParseDouble(cell.text, &d)) all_double = false;
         if (!all_long && !all_double) break;
       }
       DataType type = DataType::kText;
@@ -196,7 +226,7 @@ Result<Rowset> ParseCsvString(const std::string& data,
       } else if (any_value && all_double) {
         type = DataType::kDouble;
       }
-      columns.emplace_back(header[c], type);
+      columns.emplace_back(header[c].text, type);
     }
     schema = Schema::Make(std::move(columns));
   } else {
@@ -208,12 +238,13 @@ Result<Rowset> ParseCsvString(const std::string& data,
   }
 
   Rowset out(schema);
-  for (auto& raw : raw_rows) {
+  for (size_t r = 1; r < records.size(); ++r) {
+    const std::vector<CsvField>& raw = records[r];
     Row row;
     row.reserve(raw.size());
     for (size_t c = 0; c < raw.size(); ++c) {
-      const std::string& cell = raw[c];
-      if (cell.empty()) {
+      const std::string& cell = raw[c].text;
+      if (is_null(raw[c])) {
         row.push_back(Value::Null());
         continue;
       }

@@ -56,9 +56,11 @@ Status SaveCsv(const Table& table, const std::string& path,
 Status SaveCsv(const Rowset& rowset, const std::string& path,
                Env* env = nullptr);
 
-/// Parses CSV text into a rowset. When `schema` is null, column types are
-/// inferred per column: LONG if every non-empty cell parses as an integer,
-/// else DOUBLE if numeric, else TEXT. Empty cells load as NULL.
+/// Parses CSV text into a rowset. Quoted fields may span newlines. When
+/// `schema` is null, column types are inferred per column: LONG if every
+/// non-NULL cell parses as an integer, else DOUBLE if numeric, else TEXT.
+/// Unquoted empty cells load as NULL; quoted empty cells ("") are empty
+/// strings.
 Result<Rowset> ParseCsvString(const std::string& data,
                               std::shared_ptr<const Schema> schema = nullptr);
 

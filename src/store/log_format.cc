@@ -36,9 +36,39 @@ bool GetLengthPrefixed(std::string_view* src, std::string_view* out) {
   return true;
 }
 
+namespace {
+
+// LevelDB-style CRC masking: rotate and add a constant so the stored value
+// is never the raw CRC of its input. Combined with covering the length word,
+// this guarantees a run of zero bytes (block preallocation surviving a
+// crash) can never frame as a valid record — CRC32C of an empty payload is
+// 0, which an unmasked, payload-only checksum would accept.
+constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+/// Checksum of one record: masked CRC32C over the 4 length bytes followed by
+/// the payload.
+uint32_t RecordCrc(uint32_t size, std::string_view payload) {
+  std::string size_bytes;
+  PutFixed32(&size_bytes, size);
+  uint32_t crc = Crc32cExtend(0, size_bytes.data(), size_bytes.size());
+  crc = Crc32cExtend(crc, payload.data(), payload.size());
+  return MaskCrc(crc);
+}
+
+bool AllZero(std::string_view data) {
+  return data.find_first_not_of('\0') == std::string_view::npos;
+}
+
+}  // namespace
+
 void AppendRecordTo(std::string* dst, std::string_view payload) {
-  PutFixed32(dst, static_cast<uint32_t>(payload.size()));
-  PutFixed32(dst, Crc32c(payload));
+  uint32_t size = static_cast<uint32_t>(payload.size());
+  PutFixed32(dst, size);
+  PutFixed32(dst, RecordCrc(size, payload));
   dst->append(payload.data(), payload.size());
 }
 
@@ -66,9 +96,15 @@ Result<ReadLogResult> ParseLog(std::string_view data) {
     }
     std::string_view payload = rest.substr(0, size);
     uint64_t next = offset + 8 + size;
-    if (Crc32c(payload) != crc) {
+    if (RecordCrc(size, payload) != crc) {
       if (next >= total) {
         // Checksum failure on the final record: torn write.
+        out.torn_tail = true;
+        return out;
+      }
+      if (AllZero(data.substr(offset))) {
+        // A zero-filled run to EOF is preallocated blocks left behind by a
+        // crash, not damage to written records: torn tail, truncate it.
         out.torn_tail = true;
         return out;
       }

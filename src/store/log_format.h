@@ -1,14 +1,20 @@
 // Record framing shared by the durable store's WAL, snapshot and manifest
 // files. Each record is:
 //
-//   [u32 payload_size][u32 crc32c(payload)][payload bytes]     (little-endian)
+//   [u32 payload_size][u32 masked_crc][payload bytes]          (little-endian)
+//
+// where masked_crc is a LevelDB-style masked CRC32C over the length word and
+// the payload. Masking plus header coverage means no all-zero byte run can
+// frame as a valid record, so zero-filled preallocated blocks left by a
+// crash are detected instead of parsing as empty records.
 //
 // A reader distinguishes two failure shapes:
 //   * torn tail — damage confined to the final record (short header, short
-//     payload, or a checksum mismatch on the last record): the write was
-//     interrupted; the log is valid up to the previous record.
-//   * mid-log corruption — a bad record followed by further bytes: the file
-//     was damaged after the fact; surfaced as kCorruption.
+//     payload, a checksum mismatch on the last record, or a zero-filled run
+//     extending to EOF): the write was interrupted; the log is valid up to
+//     the previous record.
+//   * mid-log corruption — a bad record followed by further non-zero bytes:
+//     the file was damaged after the fact; surfaced as kCorruption.
 
 #ifndef DMX_STORE_LOG_FORMAT_H_
 #define DMX_STORE_LOG_FORMAT_H_

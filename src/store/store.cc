@@ -235,9 +235,14 @@ void DurableStore::CleanStaleFiles() {
 
 Status DurableStore::EnsureWalWriter() {
   if (wal_ != nullptr) return Status::OK();
-  DMX_ASSIGN_OR_RETURN(
-      std::unique_ptr<WritableFile> file,
-      env_->NewWritableFile(WalPath(seq_), /*append=*/true));
+  const std::string path = WalPath(seq_);
+  const bool created = !env_->FileExists(path);
+  DMX_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                       env_->NewWritableFile(path, /*append=*/true));
+  // A freshly created WAL's directory entry must be durable before records
+  // are fsynced into it — otherwise a crash can lose the whole file even
+  // though every append reported success.
+  if (created) DMX_RETURN_IF_ERROR(env_->SyncDir(dir_));
   wal_ = std::make_unique<RecordWriter>(std::move(file));
   return Status::OK();
 }

@@ -77,6 +77,25 @@ TEST(EnvTest, TruncateAndListDir) {
   (void)env->DeleteFile(dir + "/a");
 }
 
+TEST(EnvTest, SyncDirChecksTheDirectory) {
+  Env* env = Env::Default();
+  std::string dir = TestPath("syncdir");
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  EXPECT_TRUE(env->SyncDir(dir).ok());
+  EXPECT_FALSE(env->SyncDir(TestPath("syncdir_missing")).ok());
+}
+
+TEST(FaultInjectionTest, DirSyncIsAMutatingOp) {
+  FaultInjectionEnv env(Env::Default());
+  std::string dir = TestPath("fault_syncdir");
+  ASSERT_TRUE(Env::Default()->CreateDir(dir).ok());
+  env.ArmFault(0, FaultInjectionEnv::FaultKind::kIOError);
+  EXPECT_FALSE(env.SyncDir(dir).ok());
+  EXPECT_TRUE(env.fault_fired());
+  env.Disarm();
+  EXPECT_TRUE(env.SyncDir(dir).ok());
+}
+
 TEST(FaultInjectionTest, FailsNthOpAndEveryOpAfter) {
   FaultInjectionEnv env(Env::Default());
   std::string path = TestPath("fault_nth.txt");

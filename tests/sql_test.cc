@@ -259,6 +259,33 @@ TEST_F(SqlTest, CsvQuotingAndNulls) {
   std::remove(path.c_str());
 }
 
+TEST_F(SqlTest, CsvNewlinesAndEmptyStringsRoundTrip) {
+  auto schema = Schema::Make(
+      {ColumnDef("A", DataType::kText), ColumnDef("B", DataType::kText)});
+  std::vector<Row> rows;
+  rows.push_back({Value::Text("line one\nline two"), Value::Text("")});
+  rows.push_back({Value::Text("with \"quotes\"\r\nand a CRLF"), Value::Null()});
+  std::string csv = ToCsvString(*schema, rows);
+
+  auto loaded = ParseCsvString(csv, schema);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rows(), 2u);
+  // Embedded newlines survive: the quoted field spans CSV lines.
+  EXPECT_TRUE(loaded->Get(0, "A")->Equals(Value::Text("line one\nline two")));
+  EXPECT_TRUE(
+      loaded->Get(1, "A")->Equals(Value::Text("with \"quotes\"\r\nand a CRLF")));
+  // Empty string round-trips as "" while NULL stays NULL.
+  EXPECT_TRUE(loaded->Get(0, "B")->Equals(Value::Text("")));
+  EXPECT_TRUE(loaded->Get(1, "B")->is_null());
+
+  // Type inference sees the quoted empty cell as a text value, not a gap.
+  auto inferred = ParseCsvString(csv);
+  ASSERT_TRUE(inferred.ok());
+  EXPECT_EQ(inferred->schema()->column(1).type, DataType::kText);
+  EXPECT_TRUE(inferred->Get(0, "B")->Equals(Value::Text("")));
+  EXPECT_TRUE(inferred->Get(1, "B")->is_null());
+}
+
 TEST_F(SqlTest, CsvTypeInference) {
   std::string path = ::testing::TempDir() + "/sql_test_infer.csv";
   {

@@ -215,6 +215,68 @@ TEST(StoreTest, TornWalTailIsTruncatedSilently) {
   EXPECT_EQ(StateString(&third), OracleState(4));
 }
 
+TEST(StoreTest, ZeroFilledWalTailIsTornTail) {
+  std::string dir = StoreDir("zerotail");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 4; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+  }
+  // Block preallocation after power loss: the WAL gains a run of zero bytes
+  // past the last fsynced record. Must recover silently, not kCorruption.
+  std::string wal = FindWal(dir);
+  {
+    auto file = Env::Default()->NewWritableFile(wal, /*append=*/true);
+    ASSERT_TRUE(file.ok());
+    ASSERT_TRUE((*file)->Append(std::string(64, '\0')).ok());
+    ASSERT_TRUE((*file)->Close().ok());
+  }
+
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir).ok());
+  EXPECT_TRUE(reopened.store()->recovery_stats().torn_tail_truncated);
+  EXPECT_EQ(reopened.store()->recovery_stats().replayed_statements, 4u);
+  EXPECT_EQ(StateString(&reopened), OracleState(4));
+}
+
+TEST(StoreTest, SnapshotRoundTripsNewlineAndEmptyCells) {
+  std::string dir = StoreDir("newline_cells");
+  std::string before;
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto schema = Schema::Make({ColumnDef("Id", DataType::kLong),
+                                ColumnDef("Body", DataType::kText)});
+    auto table = provider.database()->CreateTable("Notes", schema);
+    ASSERT_TRUE(table.ok());
+    std::vector<Row> rows;
+    rows.push_back({Value::Long(1),
+                    Value::Text("line one\nline \"two\", with comma")});
+    rows.push_back({Value::Long(2), Value::Text("")});
+    rows.push_back({Value::Long(3), Value::Null()});
+    ASSERT_TRUE((*table)->InsertAll(std::move(rows)).ok());
+    ASSERT_TRUE(provider.Checkpoint().ok());
+    before = StateString(&provider);
+  }
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(StateString(&reopened), before);
+  auto table = reopened.database()->GetTable("Notes");
+  ASSERT_TRUE(table.ok());
+  const std::vector<Row>& rows = (*table)->rows();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_TRUE(
+      rows[0][1].Equals(Value::Text("line one\nline \"two\", with comma")));
+  // Empty string and NULL stay distinct across checkpoint + recovery.
+  EXPECT_TRUE(rows[1][1].Equals(Value::Text("")));
+  EXPECT_TRUE(rows[2][1].is_null());
+}
+
 TEST(StoreTest, MidLogDamageSurfacesCorruption) {
   std::string dir = StoreDir("midlog");
   {
@@ -459,6 +521,22 @@ TEST(LogFormatTest, ParseLogVerdicts) {
   ASSERT_TRUE(tail.ok());
   EXPECT_TRUE(tail->torn_tail);
   ASSERT_EQ(tail->records.size(), 1u);
+
+  // A zero-filled tail (preallocated blocks after power loss) must never
+  // frame as valid empty records — the masked, header-covering CRC rejects
+  // it — and, running to EOF, it is a torn tail, not corruption.
+  std::string zero_tail = log + std::string(32, '\0');
+  auto zeros = store::ParseLog(zero_tail);
+  ASSERT_TRUE(zeros.ok());
+  EXPECT_TRUE(zeros->torn_tail);
+  ASSERT_EQ(zeros->records.size(), 2u);
+  EXPECT_EQ(zeros->valid_bytes, log.size());
+
+  // An all-zero file is an empty torn log, not a log of empty records.
+  auto all_zero = store::ParseLog(std::string(24, '\0'));
+  ASSERT_TRUE(all_zero.ok());
+  EXPECT_TRUE(all_zero->torn_tail);
+  EXPECT_TRUE(all_zero->records.empty());
 }
 
 }  // namespace

@@ -194,6 +194,16 @@ int main(int argc, char** argv) {
                                               : "")
                 << ")\n";
     }
+    // Preloaded tables exist only in memory — checkpoint at once so the
+    // store is self-contained and a later `dmxsh --store` WITHOUT the
+    // preload flags still recovers every journaled statement.
+    if (paper_example || warehouse > 0) {
+      auto status = provider.Checkpoint();
+      if (!status.ok()) {
+        PrintStatus(status.WithContext("checkpointing preloaded tables"));
+        return 1;
+      }
+    }
   }
   auto conn = provider.Connect();
 
