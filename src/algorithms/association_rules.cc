@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/exec_guard.h"
+
 namespace dmx {
 
 namespace {
@@ -61,6 +63,7 @@ std::string AssociationModel::ItemName(const AttributeSet& attrs,
 Result<CasePrediction> AssociationModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   // Intern the case's items (only ones the model has seen matter).
   std::unordered_map<Item, int, ItemHash> lookup;
@@ -329,6 +332,9 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
     // Candidate generation: join sets sharing the first size-2 items.
     std::vector<std::vector<int>> candidates;
     for (size_t i = 0; i < level.size(); ++i) {
+      // Candidate generation is quadratic in the level width — the classic
+      // apriori blow-up — so it checkpoints per outer row.
+      DMX_RETURN_IF_ERROR(GuardCheck());
       for (size_t j = i + 1; j < level.size(); ++j) {
         if (!std::equal(level[i].begin(), level[i].end() - 1,
                         level[j].begin())) {
@@ -352,6 +358,7 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
     // Count candidates.
     std::vector<double> counts(candidates.size(), 0.0);
     for (size_t t = 0; t < transactions.size(); ++t) {
+      if ((t & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       if (transactions[t].size() < static_cast<size_t>(size)) continue;
       for (size_t ci = 0; ci < candidates.size(); ++ci) {
         if (IsSubset(candidates[ci], transactions[t])) {

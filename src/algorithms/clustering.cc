@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/exec_guard.h"
 #include "common/random.h"
 #include "common/string_util.h"
 
@@ -116,6 +117,7 @@ std::vector<double> ClusteringModel::Responsibilities(const AttributeSet& attrs,
 Result<CasePrediction> ClusteringModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   std::vector<double> resp = Responsibilities(attrs, input,
                                               /*use_outputs=*/false);
@@ -339,6 +341,7 @@ Result<std::unique_ptr<TrainedModel>> ClusteringService::Train(
     // --- M step: rebuild cluster statistics from responsibilities ---
     clusters.assign(num_clusters, ClusteringModel::ClusterStats());
     for (size_t i = 0; i < n; ++i) {
+      if ((i & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       const DataCase& c = cases[i];
       for (size_t j = 0; j < num_clusters; ++j) {
         double r = resp[i][j] * c.weight;
@@ -381,6 +384,7 @@ Result<std::unique_ptr<TrainedModel>> ClusteringService::Train(
     ClusteringModel snapshot(clusters, total_weight, alpha);
     double ll = 0;
     for (size_t i = 0; i < n; ++i) {
+      if ((i & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       std::vector<double> log_like(num_clusters);
       double max_log = -std::numeric_limits<double>::infinity();
       for (size_t j = 0; j < num_clusters; ++j) {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 
+#include "common/exec_guard.h"
 #include "common/string_util.h"
 
 namespace dmx {
@@ -46,7 +47,7 @@ class TreeBuilder {
         score_threshold_(score_threshold),
         max_thresholds_(max_thresholds) {}
 
-  DecisionTreeModel::TargetTree Build() {
+  Result<DecisionTreeModel::TargetTree> Build() {
     DecisionTreeModel::TargetTree tree;
     tree.target = target_;
     tree.regression = regression_;
@@ -59,6 +60,9 @@ class TreeBuilder {
     }
     nodes_.clear();
     BuildNode(all, 0);
+    // A tripped guard stops the recursion early; surface the trip instead of
+    // returning a half-grown tree.
+    DMX_RETURN_IF_ERROR(guard_status_);
     tree.nodes = std::move(nodes_);
     return tree;
   }
@@ -291,6 +295,11 @@ class TreeBuilder {
     nodes_.emplace_back();
     FillStats(members, &nodes_[index]);
 
+    // One guard checkpoint per node keeps the overhead proportional to tree
+    // size, not case count; a trip prunes the rest of the recursion.
+    if (guard_status_.ok()) guard_status_ = GuardCheck();
+    if (!guard_status_.ok()) return index;
+
     if (depth >= max_depth_ ||
         nodes_[index].support < 2 * min_support_) {
       return index;
@@ -327,6 +336,7 @@ class TreeBuilder {
   double score_threshold_;
   int max_thresholds_;
   std::vector<DecisionTreeModel::Node> nodes_;
+  Status guard_status_ = Status::OK();
 };
 
 }  // namespace
@@ -376,6 +386,7 @@ Result<CasePrediction> DecisionTreeModel::Predict(
     const PredictOptions& options) const {
   CasePrediction out;
   for (const TargetTree& tree : trees_) {
+    DMX_RETURN_IF_ERROR(GuardCheck());
     const Attribute& target = attrs.attributes[tree.target];
     AttributePrediction prediction;
     if (tree.nodes.empty()) {
@@ -547,7 +558,8 @@ Result<std::unique_ptr<TrainedModel>> DecisionTreeService::Train(
     TreeBuilder builder(attrs, cases, target, regression,
                         static_cast<int>(max_depth), min_support,
                         score_threshold, static_cast<int>(max_thresholds));
-    trees.push_back(builder.Build());
+    DMX_ASSIGN_OR_RETURN(DecisionTreeModel::TargetTree tree, builder.Build());
+    trees.push_back(std::move(tree));
   }
   return std::unique_ptr<TrainedModel>(
       new DecisionTreeModel(std::move(trees), total_weight));

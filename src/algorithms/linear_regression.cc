@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/exec_guard.h"
 #include "common/string_util.h"
 
 namespace dmx {
@@ -187,6 +188,7 @@ Result<CasePrediction> LinearRegressionModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
   (void)options;
+  DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   std::vector<double> x = FeatureVector(input);
   for (const TargetRegression& reg : targets_) {
@@ -306,7 +308,9 @@ Result<std::unique_ptr<TrainedModel>> LinearRegressionService::Train(
     const ParamMap& params) const {
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
+  size_t n = 0;
   for (const DataCase& c : cases) {
+    if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
   return model;

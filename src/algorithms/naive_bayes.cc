@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/exec_guard.h"
+
 namespace dmx {
 
 namespace {
@@ -109,6 +111,7 @@ Status NaiveBayesModel::ConsumeCase(const AttributeSet& attrs,
 Result<CasePrediction> NaiveBayesModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   for (const TargetStats& stats : targets_) {
     const Attribute& target = attrs.attributes[stats.target];
@@ -330,7 +333,9 @@ Result<std::unique_ptr<TrainedModel>> NaiveBayesService::Train(
     const ParamMap& params) const {
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
+  size_t n = 0;
   for (const DataCase& c : cases) {
+    if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
   return model;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/exec_guard.h"
+
 namespace dmx {
 
 namespace {
@@ -83,6 +85,7 @@ Status MarkovSequenceModel::ConsumeCase(const AttributeSet& attrs,
 Result<CasePrediction> MarkovSequenceModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   for (const Chain& chain : chains_) {
     const NestedGroup& group = attrs.groups[chain.group];
@@ -237,7 +240,9 @@ Result<std::unique_ptr<TrainedModel>> SequenceAnalysisService::Train(
     const ParamMap& params) const {
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
+  size_t n = 0;
   for (const DataCase& c : cases) {
+    if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
   return model;

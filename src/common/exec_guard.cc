@@ -1,0 +1,73 @@
+#include "common/exec_guard.h"
+
+namespace dmx {
+
+namespace {
+
+thread_local ExecGuard* g_current_guard = nullptr;
+
+}  // namespace
+
+ExecGuard::ExecGuard(const ExecLimits& limits) : limits_(limits) {
+  if (limits_.deadline_ms > 0) {
+    has_deadline_ = true;
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::milliseconds(limits_.deadline_ms);
+  }
+}
+
+Status ExecGuard::Check() {
+  if (limits_.cancel != nullptr && limits_.cancel->cancelled()) {
+    return Cancelled() << "statement cancelled by caller";
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    return DeadlineExceeded() << "statement deadline of " << limits_.deadline_ms
+                              << " ms exceeded";
+  }
+  return Status::OK();
+}
+
+Status ExecGuard::ChargeOutputRows(uint64_t n) {
+  output_rows_ += n;
+  if (limits_.max_output_rows > 0 && output_rows_ > limits_.max_output_rows) {
+    return ResourceExhausted() << "statement output exceeds the budget of "
+                               << limits_.max_output_rows << " rows";
+  }
+  return Check();
+}
+
+Status ExecGuard::ChargeWorkingSet(uint64_t n) {
+  working_set_rows_ += n;
+  if (limits_.max_working_set_rows > 0 &&
+      working_set_rows_ > limits_.max_working_set_rows) {
+    return ResourceExhausted()
+           << "statement working set exceeds the budget of "
+           << limits_.max_working_set_rows << " rows";
+  }
+  return Check();
+}
+
+ExecGuardScope::ExecGuardScope(ExecGuard* guard) : previous_(g_current_guard) {
+  g_current_guard = guard;
+}
+
+ExecGuardScope::~ExecGuardScope() { g_current_guard = previous_; }
+
+ExecGuard* CurrentExecGuard() { return g_current_guard; }
+
+Status GuardCheck() {
+  ExecGuard* guard = g_current_guard;
+  return guard != nullptr ? guard->Check() : Status::OK();
+}
+
+Status GuardChargeOutputRows(uint64_t n) {
+  ExecGuard* guard = g_current_guard;
+  return guard != nullptr ? guard->ChargeOutputRows(n) : Status::OK();
+}
+
+Status GuardChargeWorkingSet(uint64_t n) {
+  ExecGuard* guard = g_current_guard;
+  return guard != nullptr ? guard->ChargeWorkingSet(n) : Status::OK();
+}
+
+}  // namespace dmx

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "Corruption";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
     case StatusCode::kInternal:
       return "Internal error";
   }

@@ -30,6 +30,8 @@ enum class StatusCode {
   kIOError,           ///< Filesystem / serialization failure.
   kCorruption,        ///< Stored data failed a checksum / format check.
   kResourceExhausted, ///< Out of a finite resource (disk space, quota).
+  kCancelled,         ///< Statement cancelled cooperatively by the caller.
+  kDeadlineExceeded,  ///< Statement overran its wall-clock deadline.
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -83,6 +85,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
   }
 
  private:
@@ -146,6 +152,12 @@ inline internal::StatusBuilder Corruption() {
 }
 inline internal::StatusBuilder ResourceExhausted() {
   return internal::StatusBuilder(StatusCode::kResourceExhausted);
+}
+inline internal::StatusBuilder Cancelled() {
+  return internal::StatusBuilder(StatusCode::kCancelled);
+}
+inline internal::StatusBuilder DeadlineExceeded() {
+  return internal::StatusBuilder(StatusCode::kDeadlineExceeded);
 }
 inline internal::StatusBuilder Internal() {
   return internal::StatusBuilder(StatusCode::kInternal);

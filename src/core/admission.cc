@@ -1,0 +1,63 @@
+#include "core/admission.h"
+
+namespace dmx {
+
+namespace {
+
+/// Queued waiters poll their guard at this cadence so cancellation and
+/// deadlines trip promptly even though nothing notifies the condvar.
+constexpr std::chrono::milliseconds kQueuePollInterval{5};
+
+}  // namespace
+
+void AdmissionController::SetLimits(uint32_t max_active, uint32_t max_queued) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    max_active_ = max_active;
+    max_queued_ = max_queued;
+  }
+  // A raised cap may free waiters immediately.
+  slot_freed_.notify_all();
+}
+
+Status AdmissionController::Admit(ExecGuard* guard) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (max_active_ == 0 || active_ < max_active_) {
+    ++active_;
+    return Status::OK();
+  }
+  if (queued_ >= max_queued_) {
+    return ResourceExhausted()
+           << "too many concurrent statements (" << active_ << " executing, "
+           << queued_ << " queued); retry later";
+  }
+  ++queued_;
+  while (max_active_ != 0 && active_ >= max_active_) {
+    slot_freed_.wait_for(lock, kQueuePollInterval);
+    if (guard != nullptr) {
+      Status trip = guard->Check();
+      if (!trip.ok()) {
+        --queued_;
+        return trip.WithContext("waiting for statement admission");
+      }
+    }
+  }
+  --queued_;
+  ++active_;
+  return Status::OK();
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (active_ > 0) --active_;
+  }
+  slot_freed_.notify_one();
+}
+
+uint32_t AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+}  // namespace dmx

@@ -1,0 +1,68 @@
+// Admission control: a provider-level cap on concurrently executing
+// statements with a bounded wait queue. Beyond the queue, statements fail
+// fast with kResourceExhausted instead of piling up — the DBMS-grade
+// behaviour under overload the paper's server-object model assumes.
+
+#ifndef DMX_CORE_ADMISSION_H_
+#define DMX_CORE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "common/exec_guard.h"
+#include "common/status.h"
+
+namespace dmx {
+
+/// \brief Counting gate in front of statement execution. Thread-safe.
+///
+/// `max_active == 0` disables admission control entirely (the default — a
+/// single-session provider pays nothing). With a cap set, up to `max_active`
+/// statements execute at once; up to `max_queued` more wait for a slot, and
+/// anything beyond that is rejected immediately.
+class AdmissionController {
+ public:
+  void SetLimits(uint32_t max_active, uint32_t max_queued);
+
+  /// Acquires an execution slot. Blocks in the wait queue when the provider
+  /// is saturated; while queued, `guard` (may be nullptr) is polled so a
+  /// cancellation or deadline trips the wait instead of the statement
+  /// occupying a queue slot forever. Returns kResourceExhausted when the
+  /// queue itself is full.
+  Status Admit(ExecGuard* guard);
+
+  /// Releases a slot acquired by a successful Admit().
+  void Release();
+
+  /// Statements currently executing (diagnostics / tests).
+  uint32_t active() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  uint32_t max_active_ = 0;  ///< 0: unlimited.
+  uint32_t max_queued_ = 0;
+  uint32_t active_ = 0;
+  uint32_t queued_ = 0;
+};
+
+/// RAII release of an admission slot.
+class AdmissionSlot {
+ public:
+  explicit AdmissionSlot(AdmissionController* controller)
+      : controller_(controller) {}
+  ~AdmissionSlot() {
+    if (controller_ != nullptr) controller_->Release();
+  }
+
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+
+ private:
+  AdmissionController* controller_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_CORE_ADMISSION_H_

@@ -1,5 +1,7 @@
 #include "core/mining_model.h"
 
+#include "common/exec_guard.h"
+
 namespace dmx {
 
 MiningModel::MiningModel(ModelDefinition definition,
@@ -25,6 +27,7 @@ Status MiningModel::InsertCases(RowsetReader* reader,
       // Bootstrap: buffer a prefix to pin bucket bounds and dictionaries.
       std::vector<Row> bootstrap;
       while (bootstrap.size() < kBootstrapCases) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
         DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
         if (!has) break;
         DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
@@ -42,6 +45,7 @@ Status MiningModel::InsertCases(RowsetReader* reader,
     // Stream the remainder (or, on refresh, the whole caseset) one case at a
     // time — the paper's consumption model; nothing is cached.
     while (true) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
       if (!has) break;
       DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
@@ -61,6 +65,9 @@ Status MiningModel::InsertCases(RowsetReader* reader,
   DMX_RETURN_IF_ERROR(service_->ValidateBinding(attrs_));
   case_cache_.reserve(case_cache_.size() + rows.num_rows());
   for (const Row& row : rows.rows()) {
+    // The case cache is the dominant memory cost of non-incremental training;
+    // each retained case counts against the working-set budget.
+    DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(1));
     DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(row, &attrs_));
     case_cache_.push_back(std::move(c));
   }

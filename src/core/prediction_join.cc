@@ -1,5 +1,6 @@
 #include "core/prediction_join.h"
 
+#include "common/exec_guard.h"
 #include "core/case_binder.h"
 #include "core/caseset_source.h"
 #include "core/dmx_analyzer.h"
@@ -111,6 +112,7 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
   size_t limit = stmt.top.has_value() ? static_cast<size_t>(*stmt.top)
                                       : source.num_rows();
   for (size_t r = 0; r < source.num_rows() && out.num_rows() < limit; ++r) {
+    DMX_RETURN_IF_ERROR(GuardCheck());
     const Row& source_row = source.rows()[r];
     DMX_ASSIGN_OR_RETURN(DataCase input,
                          binder.BindCase(source_row, model->attributes()));
@@ -150,6 +152,7 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
       DMX_ASSIGN_OR_RETURN(Value v, EvaluateDmxExpr(item.expr, ctx));
       out_row.push_back(std::move(v));
     }
+    DMX_RETURN_IF_ERROR(GuardChargeOutputRows(1));
     DMX_RETURN_IF_ERROR(out.Append(std::move(out_row)));
   }
   if (stmt.flattened) return FlattenRowset(out);

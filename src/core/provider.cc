@@ -1,13 +1,15 @@
 #include "core/provider.h"
 
 #include <cassert>
+#include <chrono>
+#include <mutex>
+#include <optional>
 #include <string_view>
 #include <utility>
 #include <variant>
 
 #include "algorithms/builtin_services.h"
 #include "core/caseset_source.h"
-#include "core/dmx_parser.h"
 #include "core/prediction_join.h"
 #include "pmml/pmml.h"
 #include "relational/sql_executor.h"
@@ -52,6 +54,22 @@ Result<std::shared_ptr<const Schema>> DecodeSchema(const std::string& meta) {
   return Schema::Make(std::move(columns));
 }
 
+/// Acquires `lock` (shared or unique over the catalog mutex) while honouring
+/// the statement's guard: a waiter whose deadline lapses or whose token is
+/// cancelled gives up instead of queueing on the mutex forever.
+template <typename Lock>
+Status LockCatalogWithGuard(Lock* lock, ExecGuard* guard) {
+  if (!guard->has_deadline() && guard->cancel_token() == nullptr) {
+    lock->lock();
+    return Status::OK();
+  }
+  while (!lock->try_lock_for(std::chrono::milliseconds(5))) {
+    Status trip = guard->Check();
+    if (!trip.ok()) return trip.WithContext("waiting for the catalog lock");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 /// Bridges the durable store to the provider's catalogs: replays journaled
@@ -63,9 +81,10 @@ class Provider::CatalogStoreClient : public store::StoreClient {
 
   Status ApplyStatement(const std::string& text) override {
     // Recovery runs before the store is attached to the provider, so this
-    // Execute cannot re-journal the statement.
-    Connection conn(provider_);
-    return conn.Execute(text).status();
+    // Execute cannot re-journal the statement. The internal connection also
+    // skips locks and guards: OpenStore already owns the catalogs.
+    std::unique_ptr<Connection> conn = provider_->ConnectInternal();
+    return conn->Execute(text).status();
   }
 
   Status ApplyModelBlob(const std::string& name,
@@ -133,17 +152,31 @@ std::unique_ptr<Connection> Provider::Connect() {
   return std::make_unique<Connection>(this);
 }
 
+std::unique_ptr<Connection> Provider::ConnectInternal() {
+  return std::unique_ptr<Connection>(
+      new Connection(this, /*internal=*/true));
+}
+
+void Provider::SetAdmissionLimits(uint32_t max_active, uint32_t max_queued) {
+  admission_.SetLimits(max_active, max_queued);
+}
+
 Status Provider::OpenStore(const std::string& store_dir,
                            store::StoreOptions options) {
-  if (store_ != nullptr) {
-    return InvalidState() << "a store is already attached (at '"
-                          << store_->dir() << "')";
+  // Exclusive: recovery rewrites the catalogs, and the one-shot check below
+  // must not race with a concurrent OpenStore or statement.
+  std::unique_lock<std::shared_timed_mutex> lock(catalog_mu_);
+  if (store_client_ != nullptr) {
+    return InvalidState()
+           << "OpenStore may be called at most once per provider"
+           << (store_ != nullptr ? " (a store is already attached at '" +
+                                       store_->dir() + "')"
+                                 : "");
   }
   store_client_ = std::make_unique<CatalogStoreClient>(this);
   Result<std::unique_ptr<store::DurableStore>> store =
       store::DurableStore::Open(store_dir, store_client_.get(), options);
   if (!store.ok()) {
-    store_client_.reset();
     return store.status();
   }
   store_ = std::move(store).value();
@@ -151,6 +184,9 @@ Status Provider::OpenStore(const std::string& store_dir,
 }
 
 Status Provider::Checkpoint() {
+  // Exclusive: a snapshot must capture a statement-consistent catalog image
+  // and must never interleave with WAL appends.
+  std::unique_lock<std::shared_timed_mutex> lock(catalog_mu_);
   if (store_ == nullptr) {
     return InvalidState() << "no durable store attached";
   }
@@ -162,27 +198,77 @@ namespace {
 /// Journals one successfully executed statement; no-op without a store. A
 /// journal failure means the in-memory effect is NOT durable — it is
 /// surfaced to the caller, who sees the pre-statement state after a reopen.
+/// Callers hold the catalog lock exclusively (all mutating statements do),
+/// which serializes WAL appends across sessions.
 Status JournalStatement(Provider* provider, const std::string& text) {
   if (provider->store() == nullptr) return Status::OK();
   return provider->store()->JournalStatement(text);
 }
 
-/// True when a successfully executed SQL statement mutated the catalog
-/// (everything except SELECT) and must therefore be journaled.
-bool IsMutatingSql(const std::string& command) {
-  Result<rel::SqlStatement> parsed = rel::ParseSql(command);
-  return parsed.ok() &&
-         !std::holds_alternative<rel::SelectStatement>(*parsed);
-}
-
 }  // namespace
 
 Result<Rowset> Connection::Execute(const std::string& command) {
-  DMX_ASSIGN_OR_RETURN(DmxParseResult parsed, ParseDmx(command));
+  Result<DmxParseResult> parsed = ParseDmx(command);
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("parsing statement");
+  }
+
+  // SQL text is parsed once here; the parse both classifies the lock mode
+  // and feeds execution in Dispatch.
+  std::optional<rel::SqlStatement> sql;
+  if (parsed->is_sql) {
+    Result<rel::SqlStatement> sql_parsed = rel::ParseSql(command);
+    if (!sql_parsed.ok()) {
+      return sql_parsed.status().WithContext("parsing statement");
+    }
+    sql = std::move(*sql_parsed);
+  }
+
+  if (internal_) {
+    // Recovery replay: OpenStore holds the catalogs exclusively already.
+    return Dispatch(*parsed, sql, command, nullptr);
+  }
+
+  ExecGuard guard(limits_);
+  // Admission before locks: a saturated provider rejects (or queues) the
+  // statement without touching the catalog mutex.
+  DMX_RETURN_IF_ERROR(provider_->admission_.Admit(&guard));
+  AdmissionSlot slot(&provider_->admission_);
+  ExecGuardScope scope(&guard);
+
+  // Lock regime: reads share the catalogs, everything that can mutate them
+  // is exclusive. DELETE FROM is ambiguous (model or table) and mutates
+  // either way; EXPORT only reads catalog state.
+  bool read_only;
+  if (parsed->is_sql) {
+    read_only = std::holds_alternative<rel::SelectStatement>(*sql);
+  } else {
+    const DmxStatement& statement = *parsed->statement;
+    read_only = std::holds_alternative<PredictionJoinStatement>(statement) ||
+                std::holds_alternative<SelectContentStatement>(statement) ||
+                std::holds_alternative<ExportModelStatement>(statement);
+  }
+
+  if (read_only) {
+    std::shared_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_,
+                                                   std::defer_lock);
+    DMX_RETURN_IF_ERROR(LockCatalogWithGuard(&lock, &guard));
+    return Dispatch(*parsed, sql, command, &guard);
+  }
+  std::unique_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_,
+                                                 std::defer_lock);
+  DMX_RETURN_IF_ERROR(LockCatalogWithGuard(&lock, &guard));
+  return Dispatch(*parsed, sql, command, &guard);
+}
+
+Result<Rowset> Connection::Dispatch(DmxParseResult& parsed,
+                                    std::optional<rel::SqlStatement>& sql,
+                                    const std::string& command,
+                                    const ExecGuard* guard) {
   if (parsed.is_sql) {
     DMX_ASSIGN_OR_RETURN(Rowset rowset,
-                         rel::ExecuteSql(provider_->database(), command));
-    if (provider_->store() != nullptr && IsMutatingSql(command)) {
+                         rel::Execute(provider_->database(), *sql));
+    if (!std::holds_alternative<rel::SelectStatement>(*sql)) {
       DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
     }
     return rowset;
@@ -200,17 +286,51 @@ Result<Rowset> Connection::Execute(const std::string& command) {
   if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(MiningModel * model,
                          provider_->models()->GetModel(insert->model_name));
-    DMX_ASSIGN_OR_RETURN(
-        std::unique_ptr<RowsetReader> reader,
-        OpenCasesetSource(*provider_->database(), insert->source));
-    DMX_RETURN_IF_ERROR(model->InsertCases(
-        reader.get(), insert->columns.empty() ? nullptr : &insert->columns));
+    // A tripping guard can abort training mid-stream, so snapshot enough
+    // state to leave the catalog looking untouched. Unguarded statements
+    // skip the snapshot cost entirely.
+    const bool guarded = guard != nullptr && guard->armed();
+    const bool was_trained = model->is_trained();
+    std::string backup;
+    if (guarded && was_trained) {
+      DMX_ASSIGN_OR_RETURN(backup, SerializeModel(*model));
+    }
+    Status trained = [&]() -> Status {
+      DMX_ASSIGN_OR_RETURN(
+          std::unique_ptr<RowsetReader> reader,
+          OpenCasesetSource(*provider_->database(), insert->source));
+      return model->InsertCases(
+          reader.get(), insert->columns.empty() ? nullptr : &insert->columns);
+    }();
+    if (!trained.ok()) {
+      if (guarded) {
+        // Unwind: restore the pre-statement model (trained state from the
+        // serialized backup, untrained back to its pristine definition).
+        if (was_trained) {
+          Result<std::unique_ptr<MiningModel>> restored =
+              DeserializeModel(backup, *provider_->services());
+          if (restored.ok()) {
+            (void)provider_->models()->DropModel(insert->model_name);
+            (void)provider_->models()->AdoptModel(std::move(*restored));
+          }
+        } else {
+          (void)model->Reset();
+        }
+      }
+      return trained.WithContext("training model '" + insert->model_name +
+                                 "'");
+    }
     DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
     return Rowset();
   }
   if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
-    return ExecutePredictionJoin(*provider_->database(), provider_->models(),
-                                 *join);
+    Result<Rowset> rowset = ExecutePredictionJoin(*provider_->database(),
+                                                  provider_->models(), *join);
+    if (!rowset.ok()) {
+      return rowset.status().WithContext("predicting with model '" +
+                                         join->model_name + "'");
+    }
+    return rowset;
   }
   if (auto* content = std::get_if<SelectContentStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(const MiningModel* model,
@@ -223,6 +343,7 @@ Result<Rowset> Connection::Execute(const std::string& command) {
     DMX_RETURN_IF_ERROR(rel::BindExpr(content->where.get(), scope));
     Rowset filtered(rowset.schema());
     for (Row& row : rowset.mutable_rows()) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(bool keep,
                            rel::EvalPredicate(*content->where, row));
       if (keep) DMX_RETURN_IF_ERROR(filtered.Append(std::move(row)));
@@ -278,6 +399,7 @@ Result<Rowset> Connection::Execute(const std::string& command) {
 Result<Rowset> Connection::GetSchemaRowset(SchemaRowsetKind kind,
                                            const std::string& model_filter)
     const {
+  std::shared_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_);
   return dmx::GetSchemaRowset(kind, *provider_->services(),
                               *provider_->models(), model_filter);
 }

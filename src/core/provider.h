@@ -9,19 +9,32 @@
 //   conn->Execute("CREATE MINING MODEL ...");
 //   conn->Execute("INSERT INTO [Age Prediction] (...) SHAPE {...} ...");
 //   auto rowset = conn->Execute("SELECT ... PREDICTION JOIN ...");
+//
+// The provider is a *server* object: Connection::Execute is safe to call
+// from many threads against one Provider. A catalog-level reader/writer lock
+// regime serializes DDL/DML against concurrent reads (see DESIGN.md
+// "Concurrency & execution guards"), every statement runs under an ExecGuard
+// (deadline, cancellation, row budgets — ExecLimits per connection), and an
+// optional admission cap bounds how many statements execute at once.
 
 #ifndef DMX_CORE_PROVIDER_H_
 #define DMX_CORE_PROVIDER_H_
 
 #include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 
 #include "common/env.h"
+#include "common/exec_guard.h"
 #include "common/rowset.h"
+#include "core/admission.h"
 #include "core/catalog.h"
+#include "core/dmx_parser.h"
 #include "core/schema_rowsets.h"
 #include "model/service_registry.h"
 #include "relational/database.h"
+#include "relational/sql_ast.h"
 #include "store/store.h"
 
 namespace dmx {
@@ -35,6 +48,9 @@ class Provider {
   Provider();
   ~Provider();  // out-of-line: CatalogStoreClient is defined in provider.cc
 
+  /// Direct catalog accessors. These bypass the statement lock regime — in a
+  /// multi-threaded setting, mutate catalogs through Connection::Execute and
+  /// keep direct access to configuration time.
   rel::Database* database() { return &database_; }
   const rel::Database& database() const { return database_; }
   ServiceRegistry* services() { return &services_; }
@@ -42,16 +58,24 @@ class Provider {
   ModelCatalog* models() { return &models_; }
   const ModelCatalog& models() const { return models_; }
 
-  /// Opens a session. Connections are lightweight views onto the provider.
+  /// Opens a session. Connections are lightweight views onto the provider;
+  /// each carries its own ExecLimits. A connection itself is not thread-safe
+  /// (its limits are plain fields) — open one per thread.
   std::unique_ptr<Connection> Connect();
+
+  /// \brief Caps concurrent statement execution: at most `max_active`
+  /// statements run at once, up to `max_queued` more wait for a slot, and
+  /// anything beyond fails fast with kResourceExhausted. `max_active == 0`
+  /// (the default) disables admission control.
+  void SetAdmissionLimits(uint32_t max_active, uint32_t max_queued);
 
   /// \brief Attaches a durable store rooted at `store_dir` (created if
   /// missing): recovers any existing snapshot + WAL into this provider's
   /// catalogs, then journals every subsequent successful DDL/DML statement.
   ///
-  /// Call once, before serving traffic. Pre-existing in-memory objects that
-  /// collide with recovered ones are replaced by the recovered state (the
-  /// store is authoritative).
+  /// Call once, before serving traffic: a second call — whether or not the
+  /// first succeeded against the same directory — returns kInvalidState and
+  /// leaves the attached store untouched.
   Status OpenStore(const std::string& store_dir,
                    store::StoreOptions options = {});
 
@@ -59,14 +83,27 @@ class Provider {
   store::DurableStore* store() { return store_.get(); }
 
   /// Forces a snapshot + WAL rotation (InvalidState without a store).
+  /// Serialized against all statement execution.
   Status Checkpoint();
 
  private:
+  friend class Connection;
   class CatalogStoreClient;
+
+  /// Recovery-replay session: bypasses locks, guards and admission (the
+  /// caller — OpenStore — already holds the catalogs exclusively).
+  std::unique_ptr<Connection> ConnectInternal();
 
   rel::Database database_;
   ServiceRegistry services_;
   ModelCatalog models_;
+
+  /// Catalog-level lock: DDL/DML and store maintenance take it exclusively,
+  /// SELECT / PREDICTION JOIN / schema rowsets take it shared. Timed so
+  /// writers blocked behind long readers can honour their deadline.
+  std::shared_timed_mutex catalog_mu_;
+  AdmissionController admission_;
+
   std::unique_ptr<CatalogStoreClient> store_client_;
   std::unique_ptr<store::DurableStore> store_;
 };
@@ -77,16 +114,40 @@ class Connection {
   explicit Connection(Provider* provider) : provider_(provider) {}
 
   /// Executes one DMX or SQL statement. DDL/DML return an empty rowset.
+  /// Thread-safe with respect to other connections on the same provider;
+  /// runs under this connection's ExecLimits.
   Result<Rowset> Execute(const std::string& command);
 
-  /// Provider self-description (paper §3's schema rowsets).
+  /// Provider self-description (paper §3's schema rowsets). Takes the
+  /// catalog lock shared, like any other read.
   Result<Rowset> GetSchemaRowset(SchemaRowsetKind kind,
                                  const std::string& model_filter = "") const;
+
+  /// Execution limits armed for every subsequent Execute on this connection
+  /// (deadline, cancellation token, row budgets). Default: no limits.
+  void set_limits(ExecLimits limits) { limits_ = std::move(limits); }
+  const ExecLimits& limits() const { return limits_; }
 
   Provider* provider() { return provider_; }
 
  private:
+  friend class Provider;
+
+  Connection(Provider* provider, bool internal)
+      : provider_(provider), internal_(internal) {}
+
+  /// Dispatches one parsed statement against the catalogs. Caller holds the
+  /// appropriate catalog lock (or is the recovery path, which owns them).
+  /// `sql` carries the relational parse when `parsed.is_sql` (so SQL text is
+  /// parsed exactly once per Execute).
+  Result<Rowset> Dispatch(DmxParseResult& parsed,
+                          std::optional<rel::SqlStatement>& sql,
+                          const std::string& command, const ExecGuard* guard);
+
   Provider* provider_;
+  ExecLimits limits_;
+  /// Recovery-replay connection: skips locks, guards and admission.
+  bool internal_ = false;
 };
 
 }  // namespace dmx

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/exec_guard.h"
 #include "relational/sql_parser.h"
 
 namespace dmx::rel {
@@ -291,6 +292,7 @@ Result<Rowset> ExecuteAggregation(const SelectStatement& stmt,
   } else {
     std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> index;
     for (const Row& row : rows) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       Row key_values;
       key_values.reserve(keys.size());
       for (const ExprPtr& key : keys) {
@@ -305,6 +307,7 @@ Result<Rowset> ExecuteAggregation(const SelectStatement& stmt,
 
   Rowset out(Schema::Make(std::move(out_columns)));
   for (const auto& group : groups) {
+    DMX_RETURN_IF_ERROR(GuardChargeOutputRows(1));
     Row out_row;
     out_row.reserve(stmt.items.size());
     for (const SelectItem& item : stmt.items) {
@@ -395,6 +398,9 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
         DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*r, out));
         if (!pass) return Status::OK();
       }
+      // Joined rows are the statement's working set — a runaway cross join
+      // trips the budget here instead of exhausting memory.
+      DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(1));
       joined.push_back(std::move(out));
       return Status::OK();
     };
@@ -416,6 +422,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
         hash.emplace(std::move(key), &right_row);
       }
       for (const Row& left_row : rows) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
         Row key;
         key.reserve(analysis.equi.size());
         bool has_null = false;
@@ -433,6 +440,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     } else {
       // Nested-loop fallback for non-equi conditions.
       for (const Row& left_row : rows) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
         for (const Row& right_row : right->rows()) {
           DMX_RETURN_IF_ERROR(emit_if_match(left_row, right_row));
         }
@@ -452,6 +460,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     std::vector<Row> filtered;
     filtered.reserve(rows.size());
     for (Row& row : rows) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*stmt.where, row));
       if (pass) filtered.push_back(std::move(row));
     }
@@ -548,6 +557,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
 
   Rowset result(Schema::Make(std::move(out_columns)));
   for (const Row& row : rows) {
+    DMX_RETURN_IF_ERROR(GuardChargeOutputRows(1));
     Row out;
     out.reserve(projections.size());
     for (const ExprPtr& p : projections) {
@@ -581,8 +591,13 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
         positions.push_back(idx);
       }
     }
+    // Evaluate every row before inserting any, so a guard trip (or a bad
+    // expression) midway leaves the table untouched.
     Row empty;
+    std::vector<Row> staged;
+    staged.reserve(stmt->rows.size());
     for (const auto& exprs : stmt->rows) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       if (exprs.size() != positions.size()) {
         return InvalidArgument()
                << "INSERT row has " << exprs.size() << " values, expected "
@@ -592,6 +607,9 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
       for (size_t i = 0; i < exprs.size(); ++i) {
         DMX_ASSIGN_OR_RETURN(row[positions[i]], EvalExpr(*exprs[i], empty));
       }
+      staged.push_back(std::move(row));
+    }
+    for (Row& row : staged) {
       DMX_RETURN_IF_ERROR(table->Insert(std::move(row)));
     }
     return Rowset();
@@ -603,6 +621,7 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
   if (const auto* stmt = std::get_if<DeleteStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(Table * table, db->GetTable(stmt->table));
     if (stmt->where == nullptr) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       table->Clear();
       return Rowset();
     }
@@ -611,6 +630,7 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
     DMX_RETURN_IF_ERROR(BindExpr(stmt->where.get(), scope));
     std::vector<Row> kept;
     for (const Row& row : table->rows()) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(bool matches, EvalPredicate(*stmt->where, row));
       if (!matches) kept.push_back(row);
     }

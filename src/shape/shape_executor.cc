@@ -1,5 +1,6 @@
 #include "shape/shape_executor.h"
 
+#include "common/exec_guard.h"
 #include "relational/sql_executor.h"
 
 namespace dmx::shape {
@@ -26,6 +27,9 @@ Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
     const rel::Database& db, const ShapeStatement& stmt) {
   auto reader = std::unique_ptr<ShapedCaseReader>(new ShapedCaseReader());
   DMX_ASSIGN_OR_RETURN(reader->master_, rel::ExecuteSelect(db, stmt.master));
+  // The master rowset and every child index are resident until the caseset
+  // is consumed — that is the SHAPE statement's working set.
+  DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(reader->master_.num_rows()));
 
   std::vector<ColumnDef> out_columns = reader->master_.schema()->columns();
   for (const AppendClause& append : stmt.appends) {
@@ -42,8 +46,10 @@ Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
       index.parent_key_columns.push_back(parent_col);
       index.child_key_columns.push_back(child_col);
     }
+    DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(index.rowset.num_rows()));
     index.by_key.reserve(index.rowset.num_rows());
     for (size_t r = 0; r < index.rowset.num_rows(); ++r) {
+      if ((r & 1023) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       index.by_key.emplace(
           HashKey(index.rowset.rows()[r], index.child_key_columns), r);
     }
@@ -55,6 +61,7 @@ Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
 }
 
 Result<bool> ShapedCaseReader::Next(Row* row) {
+  DMX_RETURN_IF_ERROR(GuardCheck());
   if (pos_ >= master_.num_rows()) return false;
   const Row& parent = master_.rows()[pos_++];
   *row = parent;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "common/env.h"
 #include "datagen/warehouse.h"
 
 namespace dmx {
@@ -157,6 +158,51 @@ TEST_F(ProviderTest, MultipleConnectionsShareState) {
   Must("CREATE TABLE T (A LONG)");
   auto seen = conn2->Execute("SELECT * FROM T");
   EXPECT_TRUE(seen.ok());
+}
+
+TEST_F(ProviderTest, OpenStoreIsOneShot) {
+  std::string dir = ::testing::TempDir() + "/provider_open_store_once";
+  {
+    // Leftovers from a previous run would replay into the fresh provider.
+    auto names = Env::Default()->ListDir(dir);
+    if (names.ok()) {
+      for (const std::string& f : *names) {
+        (void)Env::Default()->DeleteFile(dir + "/" + f);
+      }
+    }
+  }
+  ASSERT_TRUE(provider_.OpenStore(dir).ok());
+
+  // A second open — same directory or another — must be rejected without
+  // touching the attached store.
+  Status again = provider_.OpenStore(dir);
+  EXPECT_TRUE(again.IsInvalidState()) << again.ToString();
+  Status other = provider_.OpenStore(::testing::TempDir() +
+                                     "/provider_open_store_other");
+  EXPECT_TRUE(other.IsInvalidState()) << other.ToString();
+
+  // The original store is still live and journaling.
+  ASSERT_NE(provider_.store(), nullptr);
+  Must("CREATE TABLE T (A LONG)");
+  EXPECT_TRUE(provider_.Checkpoint().ok());
+}
+
+TEST_F(ProviderTest, OpenStoreFailureStillCountsAsTheOneCall) {
+  // Point the store at a path that cannot be a directory.
+  std::string file_path = ::testing::TempDir() + "/provider_store_as_file";
+  FILE* f = std::fopen(file_path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a directory", f);
+  std::fclose(f);
+
+  Provider provider;
+  Status first = provider.OpenStore(file_path + "/sub");
+  EXPECT_FALSE(first.ok());
+  // Even after a failed open the provider refuses a retry: recovery may have
+  // partially replayed into the catalogs, so the provider is tainted.
+  Status retry = provider.OpenStore(::testing::TempDir() +
+                                    "/provider_store_retry");
+  EXPECT_TRUE(retry.IsInvalidState()) << retry.ToString();
 }
 
 }  // namespace

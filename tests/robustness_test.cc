@@ -67,8 +67,14 @@ class RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
 // mutated — must return a Status, never crash or hang. (void so ASSERT_*
 // can bail out.)
 void RunMutationSweep(Provider* provider, uint64_t rng_seed,
-                      const std::string& xml_path) {
+                      const std::string& xml_path,
+                      int64_t deadline_ms = 0) {
   auto conn = provider->Connect();
+  if (deadline_ms > 0) {
+    ExecLimits limits;
+    limits.deadline_ms = deadline_ms;
+    conn->set_limits(limits);
+  }
   Rng rng(rng_seed);
   int executed = 0;
   for (const std::string& seed : SeedStatements(xml_path)) {
@@ -119,6 +125,20 @@ TEST_P(RobustnessTest, MutatedStatementsNeverCrash) {
   std::string xml = ::testing::TempDir() + "/robustness_" +
                     std::to_string(GetParam()) + ".xml";
   RunMutationSweep(&provider, GetParam(), xml);
+  (void)std::remove(xml.c_str());
+}
+
+// The same sweep with a 50 ms statement deadline armed: deadline unwinds may
+// now fire at any guard checkpoint mid-statement, and none of them may crash
+// the provider or corrupt the catalogs for the statements that follow.
+TEST_P(RobustnessTest, MutatedStatementsNeverCrashWithDeadline) {
+  Provider provider;
+  datagen::WarehouseConfig config;
+  config.num_customers = 30;
+  ASSERT_TRUE(datagen::PopulateWarehouse(provider.database(), config).ok());
+  std::string xml = ::testing::TempDir() + "/robustness_deadline_" +
+                    std::to_string(GetParam()) + ".xml";
+  RunMutationSweep(&provider, GetParam(), xml, /*deadline_ms=*/50);
   (void)std::remove(xml.c_str());
 }
 

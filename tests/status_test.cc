@@ -52,6 +52,24 @@ TEST(StatusTest, DurabilityCodes) {
   EXPECT_FALSE(full.IsCorruption());
 }
 
+TEST(StatusTest, ExecutionGuardCodes) {
+  Status cancelled = Cancelled() << "statement cancelled by caller";
+  EXPECT_TRUE(cancelled.IsCancelled());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(),
+            "Cancelled: statement cancelled by caller");
+
+  Status late = DeadlineExceeded() << "statement deadline of 50 ms exceeded";
+  EXPECT_TRUE(late.IsDeadlineExceeded());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(),
+            "Deadline exceeded: statement deadline of 50 ms exceeded");
+
+  EXPECT_FALSE(cancelled.IsDeadlineExceeded());
+  EXPECT_FALSE(late.IsCancelled());
+  EXPECT_FALSE(Status(ResourceExhausted() << "x").IsCancelled());
+}
+
 TEST(StatusTest, WithContextChainsFrames) {
   Status inner = IOError() << "write 'wal.log': No space left";
   Status mid = inner.WithContext("journaling statement");

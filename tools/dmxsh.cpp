@@ -3,7 +3,8 @@
 // Reads DMX / SQL statements (terminated by ';') from stdin and prints the
 // resulting rowsets, the way a consumer talks to the provider in Figure 1.
 //
-//   dmxsh [--warehouse N] [--paper-example] [--store DIR] [--quiet]
+//   dmxsh [--warehouse N] [--paper-example] [--store DIR] [--timeout MS]
+//         [--quiet]
 //
 //   --warehouse N     preload the synthetic customer warehouse (N customers)
 //   --paper-example   preload the paper's Table 1 micro-warehouse
@@ -11,13 +12,17 @@
 //                     startup, journal every DDL/DML statement, checkpoint on
 //                     clean exit — a killed shell reopens with all models
 //                     trained
+//   --timeout MS      arm a wall-clock deadline of MS milliseconds on every
+//                     statement; a statement that overruns it fails with
+//                     "Deadline exceeded" and leaves the catalogs unchanged
 //   --quiet           suppress the banner and prompts (for piped scripts)
 //
 // Shell commands (no ';'):
 //   \models   \services   \tables   \columns <model>   \checkpoint
-//   \help   \quit
+//   \timeout <ms>   \help   \quit
 
 #include <cctype>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
@@ -44,6 +49,7 @@ void PrintHelp() {
       "  \\tables      base tables\n"
       "  \\columns m   column rowset of model m\n"
       "  \\checkpoint  snapshot the catalog and rotate the WAL (--store)\n"
+      "  \\timeout ms  deadline per statement in milliseconds (0 disarms)\n"
       "  \\help        this text\n"
       "  \\quit        exit\n";
 }
@@ -123,6 +129,20 @@ bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
     }
   } else if (line.rfind("\\columns ", 0) == 0) {
     show(dmx::SchemaRowsetKind::kMiningColumns, line.substr(9));
+  } else if (line.rfind("\\timeout ", 0) == 0) {
+    long ms = std::atol(line.c_str() + 9);
+    if (ms < 0) {
+      std::cout << "\\timeout expects a millisecond count >= 0\n";
+    } else {
+      dmx::ExecLimits limits = conn->limits();
+      limits.deadline_ms = ms;
+      conn->set_limits(limits);
+      if (ms == 0) {
+        std::cout << "statement deadline disarmed\n";
+      } else {
+        std::cout << "statement deadline set to " << ms << " ms\n";
+      }
+    }
   } else if (line == "\\help") {
     PrintHelp();
   } else if (line == "\\quit" || line == "\\q") {
@@ -140,6 +160,7 @@ int main(int argc, char** argv) {
   int warehouse = 0;
   bool paper_example = false;
   std::string store_dir;
+  long timeout_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
@@ -149,9 +170,15 @@ int main(int argc, char** argv) {
       warehouse = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout") == 0 && i + 1 < argc) {
+      timeout_ms = std::atol(argv[++i]);
+      if (timeout_ms < 0) {
+        std::cerr << "--timeout expects a millisecond count >= 0\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: dmxsh [--warehouse N] [--paper-example] "
-                   "[--store DIR] [--quiet]\n";
+                   "[--store DIR] [--timeout MS] [--quiet]\n";
       return 2;
     }
   }
@@ -206,6 +233,11 @@ int main(int argc, char** argv) {
     }
   }
   auto conn = provider.Connect();
+  if (timeout_ms > 0) {
+    dmx::ExecLimits limits;
+    limits.deadline_ms = timeout_ms;
+    conn->set_limits(limits);
+  }
 
   if (!quiet) {
     std::cout << "OpenDMX shell -- data mining as first-class SQL objects\n"
