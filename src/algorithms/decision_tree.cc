@@ -532,6 +532,10 @@ DecisionTreeService::DecisionTreeService() {
   };
 }
 
+// Guarding is delegated to TreeBuilder::BuildNode, which checkpoints once
+// per emitted node (overhead proportional to tree size) and prunes the
+// remaining recursion when the guard trips.
+// dmx-lint: allow(guarded-loops)
 Result<std::unique_ptr<TrainedModel>> DecisionTreeService::Train(
     const AttributeSet& attrs, const std::vector<DataCase>& cases,
     const ParamMap& params) const {

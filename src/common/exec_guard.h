@@ -11,7 +11,13 @@
 //
 // Threading model: an ExecGuard belongs to the single thread executing the
 // statement; only the CancelToken is shared across threads (it is how one
-// session aborts another's statement) and is therefore atomic.
+// session aborts another's statement) and is therefore atomic. Nothing here
+// holds a lock, so the thread-safety analysis has no capabilities to track —
+// the guard's contract is enforced by construction (thread-local install via
+// ExecGuardScope) rather than by GUARDED_BY. Lock-aware callers are the other
+// way around: the provider's guard-polling lock loops carry TRY_ACQUIRE
+// annotations and consult Check() between attempts (DESIGN.md "Static
+// enforcement").
 
 #ifndef DMX_COMMON_EXEC_GUARD_H_
 #define DMX_COMMON_EXEC_GUARD_H_

@@ -1,0 +1,182 @@
+// Annotated synchronization wrappers: the only place in the tree that may
+// touch raw std synchronization primitives (enforced by tools/dmx_lint.py
+// rule raw-sync-primitive). Everything else locks through these types so
+// clang's -Wthread-safety can prove the DESIGN.md §9 lock regime:
+//
+//   Mutex / MutexLock        plain exclusive lock (admission, store).
+//   SharedMutex              reader/writer lock, timed (the catalog lock);
+//     WriterMutexLock /      DDL/DML take it exclusive, reads take it
+//     ReaderMutexLock        shared.
+//   CondVar                  condition variable bound to a Mutex at the wait
+//                            call (absl::CondVar style).
+//
+// The Assert*Held methods are compile-time assertions only (ASSERT_CAPABILITY
+// tells the analysis a lock is held on paths that provably own it, e.g.
+// recovery replay under OpenStore's exclusive lock); they have no runtime
+// effect because the std primitives cannot portably self-identify an owner.
+
+#ifndef DMX_COMMON_MUTEX_H_
+#define DMX_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+
+namespace dmx {
+
+class CondVar;
+
+/// \brief Exclusive lock wrapping std::mutex, carrying the capability
+/// annotations the raw type lacks.
+class DMX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DMX_ACQUIRE() { mu_.lock(); }
+  void Unlock() DMX_RELEASE() { mu_.unlock(); }
+
+  /// Compile-time claim that this thread holds the lock (no runtime check).
+  void AssertHeld() const DMX_ASSERT_CAPABILITY(this) {}
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// \brief RAII exclusive lock over a Mutex.
+class DMX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DMX_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DMX_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// \brief Condition variable used with Mutex. The mutex is named at each wait
+/// call (absl::CondVar style) so the REQUIRES annotation can bind to it.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, waits up to `timeout` (or a notification),
+  /// and re-acquires `mu` before returning.
+  void WaitFor(Mutex* mu, std::chrono::milliseconds timeout)
+      DMX_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait_for(lock, timeout);
+    lock.release();  // Ownership stays with the caller's scope.
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// \brief Reader/writer lock wrapping std::shared_timed_mutex. Timed so
+/// writers blocked behind long readers can poll their ExecGuard deadline
+/// (provider.cc's guard-aware acquisition loop).
+class DMX_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() DMX_ACQUIRE() { mu_.lock(); }
+  bool TryLockFor(std::chrono::milliseconds timeout) DMX_TRY_ACQUIRE(true) {
+    return mu_.try_lock_for(timeout);
+  }
+  void Unlock() DMX_RELEASE() { mu_.unlock(); }
+
+  void LockShared() DMX_ACQUIRE_SHARED() { mu_.lock_shared(); }
+  bool TryLockSharedFor(std::chrono::milliseconds timeout)
+      DMX_TRY_ACQUIRE_SHARED(true) {
+    return mu_.try_lock_shared_for(timeout);
+  }
+  void UnlockShared() DMX_RELEASE_SHARED() { mu_.unlock_shared(); }
+
+  /// Compile-time claim that this thread holds the lock exclusively. Used by
+  /// the recovery-replay path, which runs under OpenStore's exclusive lock
+  /// but re-enters Execute through an internal connection.
+  void AssertHeld() const DMX_ASSERT_CAPABILITY(this) {}
+  /// Compile-time claim that this thread holds at least a shared lock.
+  void AssertReaderHeld() const DMX_ASSERT_SHARED_CAPABILITY(this) {}
+
+ private:
+  std::shared_timed_mutex mu_;
+};
+
+/// \brief RAII exclusive lock over a SharedMutex.
+class DMX_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) DMX_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  ~WriterMutexLock() DMX_RELEASE() { mu_->Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII shared lock over a SharedMutex.
+class DMX_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) DMX_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_->LockShared();
+  }
+  ~ReaderMutexLock() DMX_RELEASE() { mu_->UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII *adoption* of an exclusive SharedMutex lock acquired out of
+/// line (the guard-polling acquisition loop): the constructor requires the
+/// lock already held; the destructor releases it.
+class DMX_SCOPED_CAPABILITY AdoptedWriterLock {
+ public:
+  explicit AdoptedWriterLock(SharedMutex* mu) DMX_REQUIRES(mu) : mu_(mu) {}
+  ~AdoptedWriterLock() DMX_RELEASE() { mu_->Unlock(); }
+
+  AdoptedWriterLock(const AdoptedWriterLock&) = delete;
+  AdoptedWriterLock& operator=(const AdoptedWriterLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+/// \brief RAII adoption of a shared SharedMutex lock acquired out of line.
+class DMX_SCOPED_CAPABILITY AdoptedReaderLock {
+ public:
+  explicit AdoptedReaderLock(SharedMutex* mu) DMX_REQUIRES_SHARED(mu)
+      : mu_(mu) {}
+  ~AdoptedReaderLock() DMX_RELEASE() { mu_->UnlockShared(); }
+
+  AdoptedReaderLock(const AdoptedReaderLock&) = delete;
+  AdoptedReaderLock& operator=(const AdoptedReaderLock&) = delete;
+
+ private:
+  SharedMutex* const mu_;
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_MUTEX_H_

@@ -41,7 +41,12 @@ const char* StatusCodeToString(StatusCode code);
 /// \brief Outcome of a fallible operation: OK, or a code plus message.
 ///
 /// Statuses are cheap to copy in the OK case (no allocation).
-class Status {
+///
+/// The type is [[nodiscard]]: a call site that receives a Status must test
+/// it, propagate it, or explicitly drop it with a `(void)` cast (reserved
+/// for documented best-effort paths). DMX_WERROR builds turn a silently
+/// ignored Status into a compile error (-Werror=unused-result).
+class [[nodiscard]] Status {
  public:
   Status() = default;  // OK
   Status(StatusCode code, std::string message)
@@ -164,8 +169,10 @@ inline internal::StatusBuilder Internal() {
 }
 
 /// \brief A value of type T, or the Status explaining why there is none.
+/// [[nodiscard]] for the same reason Status is: dropping one silently
+/// swallows the error explaining the missing value.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis macro shims (abseil/LevelDB idiom): the lock
+// regime documented in DESIGN.md §9 is stated in these attributes and checked
+// at compile time by clang's -Wthread-safety. Off clang (GCC, MSVC) every
+// macro expands to nothing, so the annotations cost other toolchains nothing.
+//
+// Vocabulary (see https://clang.llvm.org/docs/ThreadSafetyAnalysis.html):
+//   DMX_CAPABILITY        marks a class as a lockable capability (Mutex).
+//   DMX_SCOPED_CAPABILITY marks an RAII class that acquires on construction
+//                         and releases on destruction (MutexLock).
+//   DMX_GUARDED_BY(mu)    a field that may only be touched while holding mu.
+//   DMX_PT_GUARDED_BY(mu) a pointer field whose *pointee* is guarded by mu.
+//   DMX_REQUIRES(mu)      callers must hold mu exclusively.
+//   DMX_REQUIRES_SHARED(mu) callers must hold mu at least shared.
+//   DMX_ACQUIRE / DMX_ACQUIRE_SHARED / DMX_RELEASE / DMX_RELEASE_SHARED /
+//   DMX_RELEASE_GENERIC   lock-transition annotations on mutex methods.
+//   DMX_TRY_ACQUIRE(b, mu)  acquires mu iff the function returns `b`.
+//   DMX_EXCLUDES(mu)      caller must NOT hold mu (non-reentrancy).
+//   DMX_ASSERT_CAPABILITY(mu) runtime assertion telling the analysis mu is
+//                         held — the escape hatch for paths that provably own
+//                         a lock the analysis cannot see (recovery replay).
+//   DMX_NO_THREAD_SAFETY_ANALYSIS  opt a function out entirely. Allowed only
+//                         inside the wrapper seam (common/mutex.h); the
+//                         project linter forbids it elsewhere.
+
+#ifndef DMX_COMMON_THREAD_ANNOTATIONS_H_
+#define DMX_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define DMX_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define DMX_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off clang
+#endif
+
+#define DMX_CAPABILITY(x) DMX_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+#define DMX_SCOPED_CAPABILITY DMX_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+#define DMX_GUARDED_BY(x) DMX_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+#define DMX_PT_GUARDED_BY(x) DMX_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+#define DMX_REQUIRES(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+#define DMX_REQUIRES_SHARED(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(requires_shared_capability(__VA_ARGS__))
+
+#define DMX_ACQUIRE(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+#define DMX_ACQUIRE_SHARED(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(acquire_shared_capability(__VA_ARGS__))
+
+#define DMX_RELEASE(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+#define DMX_RELEASE_SHARED(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(release_shared_capability(__VA_ARGS__))
+
+#define DMX_RELEASE_GENERIC(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(release_generic_capability(__VA_ARGS__))
+
+#define DMX_TRY_ACQUIRE(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+#define DMX_TRY_ACQUIRE_SHARED(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_shared_capability(__VA_ARGS__))
+
+#define DMX_EXCLUDES(...) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+#define DMX_ASSERT_CAPABILITY(x) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+#define DMX_ASSERT_SHARED_CAPABILITY(x) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
+#define DMX_RETURN_CAPABILITY(x) \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+#define DMX_NO_THREAD_SAFETY_ANALYSIS \
+  DMX_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+#endif  // DMX_COMMON_THREAD_ANNOTATIONS_H_

@@ -1,5 +1,7 @@
 #include "core/admission.h"
 
+#include <chrono>
+
 namespace dmx {
 
 namespace {
@@ -12,16 +14,16 @@ constexpr std::chrono::milliseconds kQueuePollInterval{5};
 
 void AdmissionController::SetLimits(uint32_t max_active, uint32_t max_queued) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     max_active_ = max_active;
     max_queued_ = max_queued;
   }
   // A raised cap may free waiters immediately.
-  slot_freed_.notify_all();
+  slot_freed_.NotifyAll();
 }
 
 Status AdmissionController::Admit(ExecGuard* guard) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (max_active_ == 0 || active_ < max_active_) {
     ++active_;
     return Status::OK();
@@ -33,7 +35,7 @@ Status AdmissionController::Admit(ExecGuard* guard) {
   }
   ++queued_;
   while (max_active_ != 0 && active_ >= max_active_) {
-    slot_freed_.wait_for(lock, kQueuePollInterval);
+    slot_freed_.WaitFor(&mu_, kQueuePollInterval);
     if (guard != nullptr) {
       Status trip = guard->Check();
       if (!trip.ok()) {
@@ -49,14 +51,14 @@ Status AdmissionController::Admit(ExecGuard* guard) {
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (active_ > 0) --active_;
   }
-  slot_freed_.notify_one();
+  slot_freed_.NotifyOne();
 }
 
 uint32_t AdmissionController::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return active_;
 }
 

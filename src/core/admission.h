@@ -6,16 +6,17 @@
 #ifndef DMX_CORE_ADMISSION_H_
 #define DMX_CORE_ADMISSION_H_
 
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 
 #include "common/exec_guard.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace dmx {
 
-/// \brief Counting gate in front of statement execution. Thread-safe.
+/// \brief Counting gate in front of statement execution. Thread-safe: every
+/// counter is GUARDED_BY(mu_), checked by clang -Wthread-safety.
 ///
 /// `max_active == 0` disables admission control entirely (the default — a
 /// single-session provider pays nothing). With a cap set, up to `max_active`
@@ -23,28 +24,28 @@ namespace dmx {
 /// anything beyond that is rejected immediately.
 class AdmissionController {
  public:
-  void SetLimits(uint32_t max_active, uint32_t max_queued);
+  void SetLimits(uint32_t max_active, uint32_t max_queued) DMX_EXCLUDES(mu_);
 
   /// Acquires an execution slot. Blocks in the wait queue when the provider
   /// is saturated; while queued, `guard` (may be nullptr) is polled so a
   /// cancellation or deadline trips the wait instead of the statement
   /// occupying a queue slot forever. Returns kResourceExhausted when the
   /// queue itself is full.
-  Status Admit(ExecGuard* guard);
+  Status Admit(ExecGuard* guard) DMX_EXCLUDES(mu_);
 
   /// Releases a slot acquired by a successful Admit().
-  void Release();
+  void Release() DMX_EXCLUDES(mu_);
 
   /// Statements currently executing (diagnostics / tests).
-  uint32_t active() const;
+  uint32_t active() const DMX_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable slot_freed_;
-  uint32_t max_active_ = 0;  ///< 0: unlimited.
-  uint32_t max_queued_ = 0;
-  uint32_t active_ = 0;
-  uint32_t queued_ = 0;
+  mutable Mutex mu_;
+  CondVar slot_freed_;
+  uint32_t max_active_ DMX_GUARDED_BY(mu_) = 0;  ///< 0: unlimited.
+  uint32_t max_queued_ DMX_GUARDED_BY(mu_) = 0;
+  uint32_t active_ DMX_GUARDED_BY(mu_) = 0;
+  uint32_t queued_ DMX_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII release of an admission slot.

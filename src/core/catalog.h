@@ -17,6 +17,12 @@
 namespace dmx {
 
 /// \brief Case-insensitive name -> MiningModel map.
+///
+/// Not internally synchronized: the catalog is a plain container. The
+/// provider declares its instance GUARDED_BY(catalog_mu_), so every access
+/// from statement execution is compiler-checked to hold the catalog lock
+/// (shared for lookups, exclusive for CREATE/DROP/ADOPT); standalone use in
+/// tests is single-threaded.
 class ModelCatalog {
  public:
   /// CREATE MINING MODEL: validates the definition, resolves the service

@@ -118,6 +118,27 @@ void CheckColumnLevel(const std::vector<ModelColumn>& columns,
                         : "keep one KEY and make the others attributes";
   }
 
+  // duplicate-qualifier: at most one qualifier of each kind per target
+  // column. The second PROBABILITY OF x (say) could only shadow or disagree
+  // with the first, so every repeat is flagged.
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].role != ContentRole::kQualifier) continue;
+    for (size_t j = 0; j < i; ++j) {
+      if (columns[j].role == ContentRole::kQualifier &&
+          columns[j].qualifier == columns[i].qualifier &&
+          EqualsCi(columns[j].related_to, columns[i].related_to)) {
+        diags->Error(rules::kDuplicateQualifier, columns[i].span,
+                     std::string(QualifierKindToString(columns[i].qualifier)) +
+                         " OF '" + columns[i].related_to +
+                         "' is already declared by column '" +
+                         columns[j].name + "'; '" + columns[i].name +
+                         "' duplicates it")
+            .fix_hint = "keep one qualifier of each kind per target column";
+        break;
+      }
+    }
+  }
+
   const ModelColumn* sequence_time = nullptr;
   for (const ModelColumn& col : columns) {
     switch (col.role) {
@@ -440,6 +461,33 @@ void CheckPredictionJoin(const PredictionJoinStatement& stmt,
       as_expr.path = *side;
       as_expr.span = stmt.model_span;
       CheckModelPathExpr(as_expr, def, diags);
+
+      // predict-input: binding a PREDICT column from the source means the
+      // statement supplies the very value it asks the model to predict —
+      // usually a copy-paste of the training column list. A RELATED TO
+      // column depending on the target legitimizes it (the known value
+      // conditions its dependents), as does plain PREDICT usage when the
+      // caller wants the input treated as evidence.
+      if (side->size() != 2) continue;
+      const ModelColumn* bound = FindColumnCi(def.columns, (*side)[1]);
+      if (bound == nullptr || !bound->is_output()) continue;
+      bool related_covers = false;
+      for (const ModelColumn& other : def.columns) {
+        if (other.role == ContentRole::kRelation &&
+            EqualsCi(other.related_to, bound->name)) {
+          related_covers = true;
+          break;
+        }
+      }
+      if (!related_covers) {
+        diags->Warn(rules::kPredictInput, stmt.model_span,
+                    "ON binds PREDICT column '" + bound->name +
+                        "' from the source: the join supplies the value the "
+                        "model is asked to predict")
+            .fix_hint = "drop '" + bound->name +
+                        "' from ON (read it with Predict(...)), or add a "
+                        "RELATED TO column if feeding it back is intended";
+      }
     }
   }
 }

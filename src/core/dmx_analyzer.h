@@ -54,12 +54,19 @@ inline constexpr const char kPredictPresence[] = "predict-presence";
 inline constexpr const char kUnknownService[] = "unknown-service";
 inline constexpr const char kUnknownModel[] = "unknown-model";
 inline constexpr const char kUnknownColumn[] = "unknown-column";
+/// Two qualifier columns of the same kind (PROBABILITY OF, SUPPORT OF, ...)
+/// modifying the same sibling column: the second binding is ambiguous.
+inline constexpr const char kDuplicateQualifier[] = "duplicate-qualifier";
 // Warnings.
 inline constexpr const char kUnusedColumn[] = "unused-column";
 inline constexpr const char kShadowedAlias[] = "shadowed-alias";
 inline constexpr const char kQualifierOfInput[] = "qualifier-of-input";
 inline constexpr const char kSequenceTimeCaseLevel[] =
     "sequence-time-case-level";
+/// A prediction join's ON clause feeds a model PREDICT column from the
+/// source — the statement supplies the very value it asks the model to
+/// predict — without a RELATED TO column declaring that dependence.
+inline constexpr const char kPredictInput[] = "predict-input";
 }  // namespace rules
 
 enum class DiagSeverity { kError, kWarning };

@@ -10,8 +10,10 @@ namespace dmx {
 
 namespace {
 
-// One flattening step: unnests the single TABLE column at `column`.
-Rowset FlattenOneColumn(const Rowset& input, size_t column) {
+// One flattening step: unnests the single TABLE column at `column`. Fails
+// (rather than silently dropping the row) when a nested table's arity does
+// not match the schema the outer column declares.
+Result<Rowset> FlattenOneColumn(const Rowset& input, size_t column) {
   const Schema& schema = *input.schema();
   const ColumnDef& table_col = schema.column(column);
   std::vector<ColumnDef> columns;
@@ -46,7 +48,10 @@ Rowset FlattenOneColumn(const Rowset& input, size_t column) {
           flat.insert(flat.end(), nested.begin(), nested.end());
         }
       }
-      (void)out.Append(std::move(flat));
+      DMX_RETURN_IF_ERROR(
+          out.Append(std::move(flat))
+              .WithContext("flattening nested table column '" +
+                           table_col.name + "'"));
     }
   }
   return out;
@@ -66,7 +71,8 @@ Result<Rowset> FlattenRowset(const Rowset& input) {
       }
     }
     if (table_column < 0) return current;
-    current = FlattenOneColumn(current, static_cast<size_t>(table_column));
+    DMX_ASSIGN_OR_RETURN(
+        current, FlattenOneColumn(current, static_cast<size_t>(table_column)));
   }
 }
 

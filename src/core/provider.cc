@@ -2,13 +2,13 @@
 
 #include <cassert>
 #include <chrono>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <utility>
 #include <variant>
 
 #include "algorithms/builtin_services.h"
+#include "common/mutex.h"
 #include "core/caseset_source.h"
 #include "core/prediction_join.h"
 #include "pmml/pmml.h"
@@ -54,27 +54,52 @@ Result<std::shared_ptr<const Schema>> DecodeSchema(const std::string& meta) {
   return Schema::Make(std::move(columns));
 }
 
-/// Acquires `lock` (shared or unique over the catalog mutex) while honouring
-/// the statement's guard: a waiter whose deadline lapses or whose token is
-/// cancelled gives up instead of queueing on the mutex forever.
-template <typename Lock>
-Status LockCatalogWithGuard(Lock* lock, ExecGuard* guard) {
+/// Acquires `mu` exclusively while honouring the statement's guard: a waiter
+/// whose deadline lapses or whose token is cancelled gives up (returning
+/// false with `*trip` set) instead of queueing on the mutex forever. The
+/// TRY_ACQUIRE annotation tells the analysis the lock is held iff this
+/// returns true.
+bool LockExclusiveWithGuard(SharedMutex* mu, ExecGuard* guard, Status* trip)
+    DMX_TRY_ACQUIRE(true, mu) {
   if (!guard->has_deadline() && guard->cancel_token() == nullptr) {
-    lock->lock();
-    return Status::OK();
+    mu->Lock();
+    return true;
   }
-  while (!lock->try_lock_for(std::chrono::milliseconds(5))) {
-    Status trip = guard->Check();
-    if (!trip.ok()) return trip.WithContext("waiting for the catalog lock");
+  while (!mu->TryLockFor(std::chrono::milliseconds(5))) {
+    Status check = guard->Check();
+    if (!check.ok()) {
+      *trip = check.WithContext("waiting for the catalog lock");
+      return false;
+    }
   }
-  return Status::OK();
+  return true;
+}
+
+/// Shared-mode counterpart of LockExclusiveWithGuard.
+bool LockSharedWithGuard(SharedMutex* mu, ExecGuard* guard, Status* trip)
+    DMX_TRY_ACQUIRE_SHARED(true, mu) {
+  if (!guard->has_deadline() && guard->cancel_token() == nullptr) {
+    mu->LockShared();
+    return true;
+  }
+  while (!mu->TryLockSharedFor(std::chrono::milliseconds(5))) {
+    Status check = guard->Check();
+    if (!check.ok()) {
+      *trip = check.WithContext("waiting for the catalog lock");
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace
 
 /// Bridges the durable store to the provider's catalogs: replays journaled
 /// statements / model blobs on recovery and serializes the whole catalog
-/// (tables as CSV, models as PMML) for snapshots.
+/// (tables as CSV, models as PMML) for snapshots. Every entry point runs on
+/// a thread that already owns the catalog lock exclusively (OpenStore during
+/// recovery, a mutating statement or Checkpoint during snapshots), which the
+/// AssertHeld calls make visible to the thread-safety analysis.
 class Provider::CatalogStoreClient : public store::StoreClient {
  public:
   explicit CatalogStoreClient(Provider* provider) : provider_(provider) {}
@@ -82,28 +107,32 @@ class Provider::CatalogStoreClient : public store::StoreClient {
   Status ApplyStatement(const std::string& text) override {
     // Recovery runs before the store is attached to the provider, so this
     // Execute cannot re-journal the statement. The internal connection also
-    // skips locks and guards: OpenStore already owns the catalogs.
+    // skips guards and admission, and asserts (rather than takes) the
+    // catalog lock: OpenStore already owns it.
     std::unique_ptr<Connection> conn = provider_->ConnectInternal();
-    return conn->Execute(text).status();
+    return conn->Execute(text).status().WithContext(
+        "re-executing recovered statement");
   }
 
   Status ApplyModelBlob(const std::string& name,
                         const std::string& pmml) override {
+    provider_->catalog_mu_.AssertHeld();
     DMX_ASSIGN_OR_RETURN(std::unique_ptr<MiningModel> model,
-                         DeserializeModel(pmml, *provider_->services()));
+                         DeserializeModel(pmml, provider_->services_));
     // The store is authoritative: replace any same-named in-memory model.
-    if (provider_->models()->HasModel(name)) {
-      DMX_RETURN_IF_ERROR(provider_->models()->DropModel(name));
+    if (provider_->models_.HasModel(name)) {
+      DMX_RETURN_IF_ERROR(provider_->models_.DropModel(name));
     }
-    return provider_->models()->AdoptModel(std::move(model));
+    return provider_->models_.AdoptModel(std::move(model));
   }
 
   Status ApplyTableSnapshot(const store::StoreRecord& record) override {
+    provider_->catalog_mu_.AssertHeld();
     DMX_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
                          DecodeSchema(record.meta));
     DMX_ASSIGN_OR_RETURN(Rowset rowset,
                          rel::ParseCsvString(record.data, schema));
-    rel::Database* db = provider_->database();
+    rel::Database* db = &provider_->database_;
     if (db->HasTable(record.name)) {
       DMX_RETURN_IF_ERROR(db->DropTable(record.name));
     }
@@ -113,10 +142,11 @@ class Provider::CatalogStoreClient : public store::StoreClient {
   }
 
   Result<std::vector<store::StoreRecord>> CaptureSnapshot() override {
+    provider_->catalog_mu_.AssertHeld();
     std::vector<store::StoreRecord> out;
-    for (const std::string& name : provider_->database()->ListTables()) {
+    for (const std::string& name : provider_->database_.ListTables()) {
       DMX_ASSIGN_OR_RETURN(rel::Table * table,
-                           provider_->database()->GetTable(name));
+                           provider_->database_.GetTable(name));
       store::StoreRecord record;
       record.kind = 'T';
       record.name = table->name();
@@ -124,9 +154,9 @@ class Provider::CatalogStoreClient : public store::StoreClient {
       record.data = rel::ToCsvString(*table->schema(), table->rows());
       out.push_back(std::move(record));
     }
-    for (const std::string& name : provider_->models()->ListModels()) {
+    for (const std::string& name : provider_->models_.ListModels()) {
       DMX_ASSIGN_OR_RETURN(MiningModel * model,
-                           provider_->models()->GetModel(name));
+                           provider_->models_.GetModel(name));
       store::StoreRecord record;
       record.kind = 'M';
       record.name = model->definition().model_name;
@@ -165,7 +195,7 @@ Status Provider::OpenStore(const std::string& store_dir,
                            store::StoreOptions options) {
   // Exclusive: recovery rewrites the catalogs, and the one-shot check below
   // must not race with a concurrent OpenStore or statement.
-  std::unique_lock<std::shared_timed_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   if (store_client_ != nullptr) {
     return InvalidState()
            << "OpenStore may be called at most once per provider"
@@ -177,7 +207,7 @@ Status Provider::OpenStore(const std::string& store_dir,
   Result<std::unique_ptr<store::DurableStore>> store =
       store::DurableStore::Open(store_dir, store_client_.get(), options);
   if (!store.ok()) {
-    return store.status();
+    return store.status().WithContext("attaching durable store");
   }
   store_ = std::move(store).value();
   return Status::OK();
@@ -186,26 +216,17 @@ Status Provider::OpenStore(const std::string& store_dir,
 Status Provider::Checkpoint() {
   // Exclusive: a snapshot must capture a statement-consistent catalog image
   // and must never interleave with WAL appends.
-  std::unique_lock<std::shared_timed_mutex> lock(catalog_mu_);
+  WriterMutexLock lock(&catalog_mu_);
   if (store_ == nullptr) {
     return InvalidState() << "no durable store attached";
   }
   return store_->Checkpoint();
 }
 
-namespace {
-
-/// Journals one successfully executed statement; no-op without a store. A
-/// journal failure means the in-memory effect is NOT durable — it is
-/// surfaced to the caller, who sees the pre-statement state after a reopen.
-/// Callers hold the catalog lock exclusively (all mutating statements do),
-/// which serializes WAL appends across sessions.
-Status JournalStatement(Provider* provider, const std::string& text) {
-  if (provider->store() == nullptr) return Status::OK();
-  return provider->store()->JournalStatement(text);
+Status Provider::JournalStatementLocked(const std::string& text) {
+  if (store_ == nullptr) return Status::OK();
+  return store_->JournalStatement(text);
 }
-
-}  // namespace
 
 Result<Rowset> Connection::Execute(const std::string& command) {
   Result<DmxParseResult> parsed = ParseDmx(command);
@@ -224,18 +245,6 @@ Result<Rowset> Connection::Execute(const std::string& command) {
     sql = std::move(*sql_parsed);
   }
 
-  if (internal_) {
-    // Recovery replay: OpenStore holds the catalogs exclusively already.
-    return Dispatch(*parsed, sql, command, nullptr);
-  }
-
-  ExecGuard guard(limits_);
-  // Admission before locks: a saturated provider rejects (or queues) the
-  // statement without touching the catalog mutex.
-  DMX_RETURN_IF_ERROR(provider_->admission_.Admit(&guard));
-  AdmissionSlot slot(&provider_->admission_);
-  ExecGuardScope scope(&guard);
-
   // Lock regime: reads share the catalogs, everything that can mutate them
   // is exclusive. DELETE FROM is ambiguous (model or table) and mutates
   // either way; EXPORT only reads catalog state.
@@ -249,83 +258,47 @@ Result<Rowset> Connection::Execute(const std::string& command) {
                 std::holds_alternative<ExportModelStatement>(statement);
   }
 
-  if (read_only) {
-    std::shared_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_,
-                                                   std::defer_lock);
-    DMX_RETURN_IF_ERROR(LockCatalogWithGuard(&lock, &guard));
-    return Dispatch(*parsed, sql, command, &guard);
+  if (internal_) {
+    // Recovery replay: OpenStore holds the catalog lock exclusively; assert
+    // that ownership to the analysis instead of self-deadlocking on it.
+    provider_->catalog_mu_.AssertHeld();
+    if (read_only) return DispatchRead(*parsed, sql);
+    return DispatchWrite(*parsed, sql, command, nullptr);
   }
-  std::unique_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_,
-                                                 std::defer_lock);
-  DMX_RETURN_IF_ERROR(LockCatalogWithGuard(&lock, &guard));
-  return Dispatch(*parsed, sql, command, &guard);
+
+  ExecGuard guard(limits_);
+  // Admission before locks: a saturated provider rejects (or queues) the
+  // statement without touching the catalog mutex.
+  DMX_RETURN_IF_ERROR(provider_->admission_.Admit(&guard));
+  AdmissionSlot slot(&provider_->admission_);
+  ExecGuardScope scope(&guard);
+
+  if (read_only) {
+    Status trip;
+    if (!LockSharedWithGuard(&provider_->catalog_mu_, &guard, &trip)) {
+      return trip;
+    }
+    AdoptedReaderLock lock(&provider_->catalog_mu_);
+    return DispatchRead(*parsed, sql);
+  }
+  Status trip;
+  if (!LockExclusiveWithGuard(&provider_->catalog_mu_, &guard, &trip)) {
+    return trip;
+  }
+  AdoptedWriterLock lock(&provider_->catalog_mu_);
+  return DispatchWrite(*parsed, sql, command, &guard);
 }
 
-Result<Rowset> Connection::Dispatch(DmxParseResult& parsed,
-                                    std::optional<rel::SqlStatement>& sql,
-                                    const std::string& command,
-                                    const ExecGuard* guard) {
+Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
+                                        std::optional<rel::SqlStatement>& sql) {
   if (parsed.is_sql) {
-    DMX_ASSIGN_OR_RETURN(Rowset rowset,
-                         rel::Execute(provider_->database(), *sql));
-    if (!std::holds_alternative<rel::SelectStatement>(*sql)) {
-      DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
-    }
-    return rowset;
+    return rel::Execute(&provider_->database_, *sql);
   }
   DmxStatement& statement = *parsed.statement;
 
-  if (auto* create = std::get_if<CreateModelStatement>(&statement)) {
-    DMX_RETURN_IF_ERROR(provider_->models()
-                            ->CreateModel(std::move(create->definition),
-                                          *provider_->services())
-                            .status());
-    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
-    return Rowset();
-  }
-  if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
-    DMX_ASSIGN_OR_RETURN(MiningModel * model,
-                         provider_->models()->GetModel(insert->model_name));
-    // A tripping guard can abort training mid-stream, so snapshot enough
-    // state to leave the catalog looking untouched. Unguarded statements
-    // skip the snapshot cost entirely.
-    const bool guarded = guard != nullptr && guard->armed();
-    const bool was_trained = model->is_trained();
-    std::string backup;
-    if (guarded && was_trained) {
-      DMX_ASSIGN_OR_RETURN(backup, SerializeModel(*model));
-    }
-    Status trained = [&]() -> Status {
-      DMX_ASSIGN_OR_RETURN(
-          std::unique_ptr<RowsetReader> reader,
-          OpenCasesetSource(*provider_->database(), insert->source));
-      return model->InsertCases(
-          reader.get(), insert->columns.empty() ? nullptr : &insert->columns);
-    }();
-    if (!trained.ok()) {
-      if (guarded) {
-        // Unwind: restore the pre-statement model (trained state from the
-        // serialized backup, untrained back to its pristine definition).
-        if (was_trained) {
-          Result<std::unique_ptr<MiningModel>> restored =
-              DeserializeModel(backup, *provider_->services());
-          if (restored.ok()) {
-            (void)provider_->models()->DropModel(insert->model_name);
-            (void)provider_->models()->AdoptModel(std::move(*restored));
-          }
-        } else {
-          (void)model->Reset();
-        }
-      }
-      return trained.WithContext("training model '" + insert->model_name +
-                                 "'");
-    }
-    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
-    return Rowset();
-  }
   if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
-    Result<Rowset> rowset = ExecutePredictionJoin(*provider_->database(),
-                                                  provider_->models(), *join);
+    Result<Rowset> rowset = ExecutePredictionJoin(
+        provider_->database_, &provider_->models_, *join);
     if (!rowset.ok()) {
       return rowset.status().WithContext("predicting with model '" +
                                          join->model_name + "'");
@@ -334,7 +307,7 @@ Result<Rowset> Connection::Dispatch(DmxParseResult& parsed,
   }
   if (auto* content = std::get_if<SelectContentStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(const MiningModel* model,
-                         provider_->models()->GetModel(content->model_name));
+                         provider_->models_.GetModel(content->model_name));
     DMX_ASSIGN_OR_RETURN(Rowset rowset, GetContentRowset(*model));
     if (content->where == nullptr) return rowset;
     // Filter in place over the content rowset's own columns.
@@ -350,46 +323,109 @@ Result<Rowset> Connection::Dispatch(DmxParseResult& parsed,
     }
     return filtered;
   }
-  if (auto* del = std::get_if<DeleteFromModelStatement>(&statement)) {
-    // DELETE FROM is shared syntax: models win, tables fall through.
-    if (provider_->models()->HasModel(del->model_name)) {
-      DMX_ASSIGN_OR_RETURN(MiningModel * model,
-                           provider_->models()->GetModel(del->model_name));
-      DMX_RETURN_IF_ERROR(model->Reset());
-    } else {
-      DMX_RETURN_IF_ERROR(
-          rel::ExecuteSql(provider_->database(), command).status());
-    }
-    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
-    return Rowset();
-  }
-  if (auto* drop = std::get_if<DropModelStatement>(&statement)) {
-    DMX_RETURN_IF_ERROR(provider_->models()->DropModel(drop->model_name));
-    DMX_RETURN_IF_ERROR(JournalStatement(provider_, command));
-    return Rowset();
-  }
   if (auto* export_stmt = std::get_if<ExportModelStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(
         const MiningModel* model,
-        provider_->models()->GetModel(export_stmt->model_name));
+        provider_->models_.GetModel(export_stmt->model_name));
     // Reads catalog state only — nothing to journal.
     DMX_RETURN_IF_ERROR(SaveModelToFile(*model, export_stmt->path));
+    return Rowset();
+  }
+  return Internal() << "read-only dispatch of a mutating DMX statement";
+}
+
+Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
+                                         std::optional<rel::SqlStatement>& sql,
+                                         const std::string& command,
+                                         const ExecGuard* guard) {
+  if (parsed.is_sql) {
+    DMX_ASSIGN_OR_RETURN(Rowset rowset,
+                         rel::Execute(&provider_->database_, *sql));
+    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    return rowset;
+  }
+  DmxStatement& statement = *parsed.statement;
+
+  if (auto* create = std::get_if<CreateModelStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(provider_->models_
+                            .CreateModel(std::move(create->definition),
+                                         provider_->services_)
+                            .status());
+    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    return Rowset();
+  }
+  if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(MiningModel * model,
+                         provider_->models_.GetModel(insert->model_name));
+    // A tripping guard can abort training mid-stream, so snapshot enough
+    // state to leave the catalog looking untouched. Unguarded statements
+    // skip the snapshot cost entirely.
+    const bool guarded = guard != nullptr && guard->armed();
+    const bool was_trained = model->is_trained();
+    std::string backup;
+    if (guarded && was_trained) {
+      DMX_ASSIGN_OR_RETURN(backup, SerializeModel(*model));
+    }
+    Status trained = [&]() -> Status {
+      DMX_ASSIGN_OR_RETURN(
+          std::unique_ptr<RowsetReader> reader,
+          OpenCasesetSource(provider_->database_, insert->source));
+      return model->InsertCases(
+          reader.get(), insert->columns.empty() ? nullptr : &insert->columns);
+    }();
+    if (!trained.ok()) {
+      if (guarded) {
+        // Unwind: restore the pre-statement model (trained state from the
+        // serialized backup, untrained back to its pristine definition).
+        if (was_trained) {
+          Result<std::unique_ptr<MiningModel>> restored =
+              DeserializeModel(backup, provider_->services_);
+          if (restored.ok()) {
+            (void)provider_->models_.DropModel(insert->model_name);
+            (void)provider_->models_.AdoptModel(std::move(*restored));
+          }
+        } else {
+          (void)model->Reset();
+        }
+      }
+      return trained.WithContext("training model '" + insert->model_name +
+                                 "'");
+    }
+    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    return Rowset();
+  }
+  if (auto* del = std::get_if<DeleteFromModelStatement>(&statement)) {
+    // DELETE FROM is shared syntax: models win, tables fall through.
+    if (provider_->models_.HasModel(del->model_name)) {
+      DMX_ASSIGN_OR_RETURN(MiningModel * model,
+                           provider_->models_.GetModel(del->model_name));
+      DMX_RETURN_IF_ERROR(model->Reset());
+    } else {
+      DMX_RETURN_IF_ERROR(
+          rel::ExecuteSql(&provider_->database_, command).status());
+    }
+    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    return Rowset();
+  }
+  if (auto* drop = std::get_if<DropModelStatement>(&statement)) {
+    DMX_RETURN_IF_ERROR(provider_->models_.DropModel(drop->model_name));
+    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
     return Rowset();
   }
   if (auto* import_stmt = std::get_if<ImportModelStatement>(&statement)) {
     DMX_ASSIGN_OR_RETURN(
         std::unique_ptr<MiningModel> model,
-        LoadModelFromFile(import_stmt->path, *provider_->services()));
+        LoadModelFromFile(import_stmt->path, provider_->services_));
     std::string name = model->definition().model_name;
     std::string pmml;
-    if (provider_->store() != nullptr) {
+    if (provider_->store_ != nullptr) {
       // Journal the serialized model itself, not the IMPORT statement:
       // replay must not depend on the external file still existing.
       DMX_ASSIGN_OR_RETURN(pmml, SerializeModel(*model));
     }
-    DMX_RETURN_IF_ERROR(provider_->models()->AdoptModel(std::move(model)));
-    if (provider_->store() != nullptr) {
-      DMX_RETURN_IF_ERROR(provider_->store()->JournalModelBlob(name, pmml));
+    DMX_RETURN_IF_ERROR(provider_->models_.AdoptModel(std::move(model)));
+    if (provider_->store_ != nullptr) {
+      DMX_RETURN_IF_ERROR(provider_->store_->JournalModelBlob(name, pmml));
     }
     return Rowset();
   }
@@ -399,9 +435,9 @@ Result<Rowset> Connection::Dispatch(DmxParseResult& parsed,
 Result<Rowset> Connection::GetSchemaRowset(SchemaRowsetKind kind,
                                            const std::string& model_filter)
     const {
-  std::shared_lock<std::shared_timed_mutex> lock(provider_->catalog_mu_);
-  return dmx::GetSchemaRowset(kind, *provider_->services(),
-                              *provider_->models(), model_filter);
+  ReaderMutexLock lock(&provider_->catalog_mu_);
+  return dmx::GetSchemaRowset(kind, provider_->services_, provider_->models_,
+                              model_filter);
 }
 
 }  // namespace dmx

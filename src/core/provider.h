@@ -13,21 +13,25 @@
 // The provider is a *server* object: Connection::Execute is safe to call
 // from many threads against one Provider. A catalog-level reader/writer lock
 // regime serializes DDL/DML against concurrent reads (see DESIGN.md
-// "Concurrency & execution guards"), every statement runs under an ExecGuard
-// (deadline, cancellation, row budgets — ExecLimits per connection), and an
-// optional admission cap bounds how many statements execute at once.
+// "Concurrency & execution guards" and "Static enforcement"), every
+// statement runs under an ExecGuard (deadline, cancellation, row budgets —
+// ExecLimits per connection), and an optional admission cap bounds how many
+// statements execute at once. The lock regime is compiler-enforced: every
+// catalog field is GUARDED_BY(catalog_mu_) and the read/write dispatch paths
+// carry REQUIRES_SHARED / REQUIRES annotations checked by -Wthread-safety.
 
 #ifndef DMX_CORE_PROVIDER_H_
 #define DMX_CORE_PROVIDER_H_
 
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 
 #include "common/env.h"
 #include "common/exec_guard.h"
+#include "common/mutex.h"
 #include "common/rowset.h"
+#include "common/thread_annotations.h"
 #include "core/admission.h"
 #include "core/catalog.h"
 #include "core/dmx_parser.h"
@@ -48,15 +52,17 @@ class Provider {
   Provider();
   ~Provider();  // out-of-line: CatalogStoreClient is defined in provider.cc
 
-  /// Direct catalog accessors. These bypass the statement lock regime — in a
-  /// multi-threaded setting, mutate catalogs through Connection::Execute and
-  /// keep direct access to configuration time.
+  /// Direct catalog accessors. These return the address of guarded state
+  /// without taking the lock — the pointer escape the thread-safety analysis
+  /// cannot track. They exist for *configuration time* (populating tables,
+  /// inspecting catalogs in tests) before concurrent traffic starts; in a
+  /// multi-threaded setting, mutate catalogs through Connection::Execute.
   rel::Database* database() { return &database_; }
-  const rel::Database& database() const { return database_; }
+  const rel::Database* database() const { return &database_; }
   ServiceRegistry* services() { return &services_; }
-  const ServiceRegistry& services() const { return services_; }
+  const ServiceRegistry* services() const { return &services_; }
   ModelCatalog* models() { return &models_; }
-  const ModelCatalog& models() const { return models_; }
+  const ModelCatalog* models() const { return &models_; }
 
   /// Opens a session. Connections are lightweight views onto the provider;
   /// each carries its own ExecLimits. A connection itself is not thread-safe
@@ -77,35 +83,50 @@ class Provider {
   /// first succeeded against the same directory — returns kInvalidState and
   /// leaves the attached store untouched.
   Status OpenStore(const std::string& store_dir,
-                   store::StoreOptions options = {});
+                   store::StoreOptions options = {})
+      DMX_EXCLUDES(catalog_mu_);
 
-  /// The attached store, or nullptr when running purely in memory.
-  store::DurableStore* store() { return store_.get(); }
+  /// The attached store, or nullptr when running purely in memory. Takes the
+  /// catalog lock shared for the read; the DurableStore itself is
+  /// thread-safe, so the returned pointer may be used without it.
+  store::DurableStore* store() DMX_EXCLUDES(catalog_mu_) {
+    ReaderMutexLock lock(&catalog_mu_);
+    return store_.get();
+  }
 
   /// Forces a snapshot + WAL rotation (InvalidState without a store).
   /// Serialized against all statement execution.
-  Status Checkpoint();
+  Status Checkpoint() DMX_EXCLUDES(catalog_mu_);
 
  private:
   friend class Connection;
   class CatalogStoreClient;
 
-  /// Recovery-replay session: bypasses locks, guards and admission (the
-  /// caller — OpenStore — already holds the catalogs exclusively).
+  /// Recovery-replay session: bypasses guards and admission, and instead of
+  /// locking *asserts* the catalog lock (the caller — OpenStore — already
+  /// holds it exclusively; re-locking would self-deadlock).
   std::unique_ptr<Connection> ConnectInternal();
 
-  rel::Database database_;
-  ServiceRegistry services_;
-  ModelCatalog models_;
+  /// Journals one successfully executed statement; no-op without a store.
+  /// A journal failure means the in-memory effect is NOT durable — it is
+  /// surfaced to the caller, who sees the pre-statement state after reopen.
+  /// The exclusive catalog lock serializes WAL appends across sessions.
+  Status JournalStatementLocked(const std::string& text)
+      DMX_REQUIRES(catalog_mu_);
 
   /// Catalog-level lock: DDL/DML and store maintenance take it exclusively,
   /// SELECT / PREDICTION JOIN / schema rowsets take it shared. Timed so
   /// writers blocked behind long readers can honour their deadline.
-  std::shared_timed_mutex catalog_mu_;
-  AdmissionController admission_;
+  mutable SharedMutex catalog_mu_;
+  AdmissionController admission_;  // Internally synchronized.
 
-  std::unique_ptr<CatalogStoreClient> store_client_;
-  std::unique_ptr<store::DurableStore> store_;
+  rel::Database database_ DMX_GUARDED_BY(catalog_mu_);
+  ServiceRegistry services_ DMX_GUARDED_BY(catalog_mu_);
+  ModelCatalog models_ DMX_GUARDED_BY(catalog_mu_);
+
+  std::unique_ptr<CatalogStoreClient> store_client_
+      DMX_GUARDED_BY(catalog_mu_);
+  std::unique_ptr<store::DurableStore> store_ DMX_GUARDED_BY(catalog_mu_);
 };
 
 /// \brief One session: the command execution surface.
@@ -136,17 +157,26 @@ class Connection {
   Connection(Provider* provider, bool internal)
       : provider_(provider), internal_(internal) {}
 
-  /// Dispatches one parsed statement against the catalogs. Caller holds the
-  /// appropriate catalog lock (or is the recovery path, which owns them).
+  /// Dispatches one parsed read-only statement (SELECT, PREDICTION JOIN,
+  /// CONTENT, EXPORT) against the catalogs under at least a shared lock.
   /// `sql` carries the relational parse when `parsed.is_sql` (so SQL text is
   /// parsed exactly once per Execute).
-  Result<Rowset> Dispatch(DmxParseResult& parsed,
-                          std::optional<rel::SqlStatement>& sql,
-                          const std::string& command, const ExecGuard* guard);
+  Result<Rowset> DispatchRead(DmxParseResult& parsed,
+                              std::optional<rel::SqlStatement>& sql)
+      DMX_REQUIRES_SHARED(provider_->catalog_mu_);
+
+  /// Dispatches one parsed mutating statement (DDL/DML/IMPORT) under the
+  /// exclusive lock; journals it to the store on success.
+  Result<Rowset> DispatchWrite(DmxParseResult& parsed,
+                               std::optional<rel::SqlStatement>& sql,
+                               const std::string& command,
+                               const ExecGuard* guard)
+      DMX_REQUIRES(provider_->catalog_mu_);
 
   Provider* provider_;
   ExecLimits limits_;
-  /// Recovery-replay connection: skips locks, guards and admission.
+  /// Recovery-replay connection: skips guards and admission; asserts (rather
+  /// than takes) the exclusive catalog lock its caller holds.
   bool internal_ = false;
 };
 

@@ -4,7 +4,7 @@ namespace dmx {
 
 namespace {
 
-Rowset MiningServicesRowset(const ServiceRegistry& services) {
+Result<Rowset> MiningServicesRowset(const ServiceRegistry& services) {
   auto schema = Schema::Make({{"SERVICE_NAME", DataType::kText},
                               {"SERVICE_DISPLAY_NAME", DataType::kText},
                               {"SERVICE_DESCRIPTION", DataType::kText},
@@ -19,21 +19,22 @@ Rowset MiningServicesRowset(const ServiceRegistry& services) {
   Rowset out(schema);
   for (const std::string& name : services.ListServices()) {
     const ServiceCapabilities& caps = services.Find(name).value()->capabilities();
-    (void)out.Append({Value::Text(caps.name), Value::Text(caps.display_name),
-                      Value::Text(caps.description),
-                      Value::Bool(caps.supports_prediction),
-                      Value::Bool(caps.is_segmentation),
-                      Value::Bool(caps.supports_association),
-                      Value::Bool(caps.supports_incremental),
-                      Value::Bool(caps.supports_continuous_targets),
-                      Value::Bool(caps.supports_discrete_targets),
-                      Value::Bool(caps.supports_table_prediction),
-                      Value::Bool(caps.supports_sequence_analysis)});
+    DMX_RETURN_IF_ERROR(
+        out.Append({Value::Text(caps.name), Value::Text(caps.display_name),
+                    Value::Text(caps.description),
+                    Value::Bool(caps.supports_prediction),
+                    Value::Bool(caps.is_segmentation),
+                    Value::Bool(caps.supports_association),
+                    Value::Bool(caps.supports_incremental),
+                    Value::Bool(caps.supports_continuous_targets),
+                    Value::Bool(caps.supports_discrete_targets),
+                    Value::Bool(caps.supports_table_prediction),
+                    Value::Bool(caps.supports_sequence_analysis)}));
   }
   return out;
 }
 
-Rowset ServiceParametersRowset(const ServiceRegistry& services) {
+Result<Rowset> ServiceParametersRowset(const ServiceRegistry& services) {
   auto schema = Schema::Make({{"SERVICE_NAME", DataType::kText},
                               {"PARAMETER_NAME", DataType::kText},
                               {"PARAMETER_DESCRIPTION", DataType::kText},
@@ -42,15 +43,16 @@ Rowset ServiceParametersRowset(const ServiceRegistry& services) {
   for (const std::string& name : services.ListServices()) {
     const ServiceCapabilities& caps = services.Find(name).value()->capabilities();
     for (const ServiceParameter& param : caps.parameters) {
-      (void)out.Append({Value::Text(caps.name), Value::Text(param.name),
-                        Value::Text(param.description),
-                        Value::Text(param.default_value.ToString())});
+      DMX_RETURN_IF_ERROR(
+          out.Append({Value::Text(caps.name), Value::Text(param.name),
+                      Value::Text(param.description),
+                      Value::Text(param.default_value.ToString())}));
     }
   }
   return out;
 }
 
-Rowset MiningModelsRowset(const ModelCatalog& models) {
+Result<Rowset> MiningModelsRowset(const ModelCatalog& models) {
   auto schema = Schema::Make({{"MODEL_NAME", DataType::kText},
                               {"SERVICE_NAME", DataType::kText},
                               {"IS_POPULATED", DataType::kBool},
@@ -66,12 +68,12 @@ Rowset MiningModelsRowset(const ModelCatalog& models) {
       if (!outputs.empty()) outputs += ", ";
       outputs += col.name;
     }
-    (void)out.Append({Value::Text(model.definition().model_name),
-                      Value::Text(model.definition().service_name),
-                      Value::Bool(model.is_trained()),
-                      Value::Double(model.case_count()),
-                      Value::Text(outputs),
-                      Value::Text(model.definition().ToDmx())});
+    DMX_RETURN_IF_ERROR(
+        out.Append({Value::Text(model.definition().model_name),
+                    Value::Text(model.definition().service_name),
+                    Value::Bool(model.is_trained()),
+                    Value::Double(model.case_count()), Value::Text(outputs),
+                    Value::Text(model.definition().ToDmx())}));
   }
   return out;
 }
@@ -104,17 +106,18 @@ std::string ContentTypeString(const ModelColumn& col) {
   return "?";
 }
 
-void AppendColumnRows(const std::string& model_name, const ModelColumn& col,
-                      const std::string& parent, Rowset* out) {
-  (void)out->Append(
+Status AppendColumnRows(const std::string& model_name, const ModelColumn& col,
+                        const std::string& parent, Rowset* out) {
+  DMX_RETURN_IF_ERROR(out->Append(
       {Value::Text(model_name), Value::Text(col.name), Value::Text(parent),
        Value::Text(DataTypeToString(col.data_type)),
        Value::Text(ContentTypeString(col)), Value::Text(UsageString(col)),
        Value::Text(col.related_to),
-       Value::Text(DistributionHintToString(col.distribution))});
+       Value::Text(DistributionHintToString(col.distribution))}));
   for (const ModelColumn& nested : col.nested) {
-    AppendColumnRows(model_name, nested, col.name, out);
+    DMX_RETURN_IF_ERROR(AppendColumnRows(model_name, nested, col.name, out));
   }
+  return Status::OK();
 }
 
 Result<Rowset> MiningColumnsRowset(const ModelCatalog& models,
@@ -132,7 +135,8 @@ Result<Rowset> MiningColumnsRowset(const ModelCatalog& models,
     if (!filter.empty() && !EqualsCi(filter, name)) continue;
     DMX_ASSIGN_OR_RETURN(const MiningModel* model, models.GetModel(name));
     for (const ModelColumn& col : model->definition().columns) {
-      AppendColumnRows(model->definition().model_name, col, "", &out);
+      DMX_RETURN_IF_ERROR(
+          AppendColumnRows(model->definition().model_name, col, "", &out));
     }
   }
   return out;
@@ -174,7 +178,7 @@ Status AppendContentRows(const MiningModel& model, Rowset* out) {
   return Status::OK();
 }
 
-Rowset MiningFunctionsRowset() {
+Result<Rowset> MiningFunctionsRowset() {
   auto schema = Schema::Make({{"FUNCTION_NAME", DataType::kText},
                               {"RETURNS", DataType::kText},
                               {"SYNTAX", DataType::kText},
@@ -217,8 +221,9 @@ Rowset MiningFunctionsRowset() {
   };
   Rowset out(schema);
   for (const FunctionRow& f : kFunctions) {
-    (void)out.Append({Value::Text(f.name), Value::Text(f.returns),
-                      Value::Text(f.syntax), Value::Text(f.description)});
+    DMX_RETURN_IF_ERROR(
+        out.Append({Value::Text(f.name), Value::Text(f.returns),
+                    Value::Text(f.syntax), Value::Text(f.description)}));
   }
   return out;
 }

@@ -114,7 +114,13 @@ std::string DurableStore::ManifestPath() const { return dir_ + "/MANIFEST"; }
 Result<std::unique_ptr<DurableStore>> DurableStore::Open(
     const std::string& dir, StoreClient* client, StoreOptions options) {
   std::unique_ptr<DurableStore> store(new DurableStore(dir, client, options));
-  Status status = store->Recover();
+  Status status;
+  {
+    // The store is not published yet, so there is no contention — the lock
+    // is taken purely to satisfy Recover's REQUIRES(mu_) contract.
+    MutexLock lock(&store->mu_);
+    status = store->Recover();
+  }
   if (!status.ok()) {
     return status.WithContext("opening store '" + dir + "'");
   }
@@ -151,7 +157,10 @@ Status DurableStore::Recover() {
 
   if (seq_ > 0) {
     Result<ReadLogResult> snapshot = ReadLogFile(env_, SnapshotPath(seq_));
-    if (!snapshot.ok()) return snapshot.status();
+    if (!snapshot.ok()) {
+      return snapshot.status().WithContext("reading snapshot '" +
+                                           SnapshotPath(seq_) + "'");
+    }
     bool terminated = !snapshot->records.empty() &&
                       !snapshot->torn_tail &&
                       snapshot->records.back() == "E";
@@ -256,23 +265,30 @@ Status DurableStore::Append(std::string_view payload) {
       wal_records_ >= options_.auto_checkpoint_interval) {
     // The record above is already durable; a failed checkpoint leaves the
     // old snapshot+WAL authoritative, so the statement still succeeds.
-    (void)Checkpoint();
+    (void)CheckpointLocked();
   }
   return Status::OK();
 }
 
 Status DurableStore::JournalStatement(const std::string& text) {
+  MutexLock lock(&mu_);
   return Append(EncodeStatementRecord(text))
       .WithContext("journaling statement");
 }
 
 Status DurableStore::JournalModelBlob(const std::string& name,
                                       const std::string& pmml) {
+  MutexLock lock(&mu_);
   return Append(EncodeModelRecord(name, pmml))
       .WithContext("journaling model '" + name + "'");
 }
 
 Status DurableStore::Checkpoint() {
+  MutexLock lock(&mu_);
+  return CheckpointLocked();
+}
+
+Status DurableStore::CheckpointLocked() {
   DMX_ASSIGN_OR_RETURN(std::vector<StoreRecord> entries,
                        client_->CaptureSnapshot());
   uint64_t new_seq = seq_ + 1;

@@ -27,7 +27,9 @@
 #include <vector>
 
 #include "common/env.h"
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "store/log_format.h"
 
 namespace dmx::store {
@@ -81,6 +83,11 @@ struct RecoveryStats {
   bool torn_tail_truncated = false;
 };
 
+/// Thread-safety: the provider already serializes every journaling statement
+/// under its exclusive catalog lock, but the store carries its own Mutex so
+/// the WAL/epoch invariants (`wal_`, `seq_`, `wal_records_` move together)
+/// are machine-checked rather than inherited by convention — and so direct
+/// store users (tests, tools) get the same guarantee without a provider.
 class DurableStore {
  public:
   /// Opens (creating if needed) the store at `dir` and recovers its contents
@@ -93,38 +100,53 @@ class DurableStore {
   /// is durable. May trigger an auto-checkpoint (whose failure is not the
   /// statement's failure: the WAL record is already safe, so it is swallowed
   /// and retried at the next interval).
-  Status JournalStatement(const std::string& text);
-  Status JournalModelBlob(const std::string& name, const std::string& pmml);
+  Status JournalStatement(const std::string& text) DMX_EXCLUDES(mu_);
+  Status JournalModelBlob(const std::string& name, const std::string& pmml)
+      DMX_EXCLUDES(mu_);
 
   /// Snapshots the catalog and rotates the WAL. Crash-safe at every step:
   /// until the MANIFEST rename commits, recovery uses the old snapshot+WAL.
-  Status Checkpoint();
+  Status Checkpoint() DMX_EXCLUDES(mu_);
 
+  /// Stats of the Open-time recovery pass. Written once before the store is
+  /// published, immutable afterwards — hence not guarded.
   const RecoveryStats& recovery_stats() const { return recovery_stats_; }
-  uint64_t snapshot_seq() const { return seq_; }
+  uint64_t snapshot_seq() const DMX_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return seq_;
+  }
   /// Records in the active WAL (recovered + newly journaled).
-  uint64_t wal_records() const { return wal_records_; }
+  uint64_t wal_records() const DMX_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return wal_records_;
+  }
   const std::string& dir() const { return dir_; }
 
  private:
   DurableStore(std::string dir, StoreClient* client, StoreOptions options);
 
-  Status Recover();
-  Status Append(std::string_view payload);
-  Status EnsureWalWriter();
+  Status Recover() DMX_REQUIRES(mu_);
+  Status Append(std::string_view payload) DMX_REQUIRES(mu_);
+  Status EnsureWalWriter() DMX_REQUIRES(mu_);
+  /// Checkpoint body; split out so Append's auto-checkpoint can run without
+  /// re-locking.
+  Status CheckpointLocked() DMX_REQUIRES(mu_);
   std::string SnapshotPath(uint64_t seq) const;
   std::string WalPath(uint64_t seq) const;
   std::string ManifestPath() const;
   /// Best-effort removal of *.tmp and files from other snapshot epochs.
-  void CleanStaleFiles();
+  void CleanStaleFiles() DMX_REQUIRES(mu_);
 
-  std::string dir_;
-  StoreClient* client_;
-  StoreOptions options_;
-  Env* env_;
-  uint64_t seq_ = 0;
-  uint64_t wal_records_ = 0;
-  std::unique_ptr<RecordWriter> wal_;
+  const std::string dir_;
+  StoreClient* const client_;
+  const StoreOptions options_;
+  Env* const env_;
+
+  /// Serializes WAL appends and epoch rotation.
+  mutable Mutex mu_;
+  uint64_t seq_ DMX_GUARDED_BY(mu_) = 0;
+  uint64_t wal_records_ DMX_GUARDED_BY(mu_) = 0;
+  std::unique_ptr<RecordWriter> wal_ DMX_GUARDED_BY(mu_);
   RecoveryStats recovery_stats_;
 };
 

@@ -108,6 +108,11 @@ const DefinitionCase kDefinitionCases[] = {
     {"NoPredictColumnWarns",
      "CREATE MINING MODEL m (k LONG KEY, a TEXT DISCRETE) USING Clustering",
      rules::kPredictPresence, DiagSeverity::kWarning, "m"},
+    {"DuplicateQualifier",
+     "CREATE MINING MODEL m (k LONG KEY, a TEXT DISCRETE PREDICT, "
+     "p1 DOUBLE PROBABILITY OF a, p2 DOUBLE PROBABILITY OF a) "
+     "USING Naive_Bayes",
+     rules::kDuplicateQualifier, DiagSeverity::kError, "p2 DOUBLE"},
 };
 
 class DefinitionRules : public ::testing::TestWithParam<DefinitionCase> {};
@@ -373,6 +378,53 @@ TEST_F(StatementRules, SegmentationModelsExemptFromPredictPresence) {
       "SELECT Cluster() FROM [Seg] NATURAL PREDICTION JOIN "
       "(SELECT 1 FROM t) AS s");
   EXPECT_FALSE(report.HasRule(rules::kPredictPresence)) << report.ToString();
+}
+
+// One qualifier of each kind per target column: PROBABILITY OF a twice is a
+// duplicate-qualifier error, but PROBABILITY OF a + SUPPORT OF a is fine.
+TEST_F(StatementRules, DistinctQualifierKindsOnOneTargetAreAllowed) {
+  AnalysisReport report = Analyze(
+      "CREATE MINING MODEL mq (k LONG KEY, a TEXT DISCRETE PREDICT, "
+      "p DOUBLE PROBABILITY OF a, s DOUBLE SUPPORT OF a) USING Naive_Bayes");
+  EXPECT_FALSE(report.HasRule(rules::kDuplicateQualifier))
+      << report.ToString();
+}
+
+// ON clauses that feed a PREDICT column from the source supply the very
+// value the model is asked to predict — almost always a copy-paste of the
+// training column list.
+TEST_F(StatementRules, PredictColumnFedInOnClauseWarns) {
+  const std::string text =
+      "SELECT Predict([Age]) FROM [M] PREDICTION JOIN "
+      "(SELECT a, g FROM t) AS s ON [M].[Age] = s.a";
+  AnalysisReport report = Analyze(text);
+  const Diagnostic* diag = FindRule(report, rules::kPredictInput);
+  ASSERT_NE(diag, nullptr) << report.ToString(text);
+  EXPECT_EQ(diag->severity, DiagSeverity::kWarning);
+  // A warning, not an error: the statement stays executable.
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(StatementRules, InputColumnInOnClauseDoesNotWarn) {
+  AnalysisReport report = Analyze(
+      "SELECT Predict([Age]) FROM [M] PREDICTION JOIN "
+      "(SELECT a, g FROM t) AS s ON [M].[Gender] = s.g");
+  EXPECT_FALSE(report.HasRule(rules::kPredictInput)) << report.ToString();
+}
+
+// A RELATED TO column depending on the PREDICT target legitimizes feeding
+// it back: the known value conditions its dependents.
+TEST_F(StatementRules, RelatedToColumnSilencesPredictInput) {
+  ASSERT_TRUE(conn_
+                  ->Execute("CREATE MINING MODEL [Cond] ([Id] LONG KEY, "
+                            "[Age] DOUBLE DISCRETIZED PREDICT, "
+                            "[AgeBand] TEXT DISCRETE RELATED TO [Age]) "
+                            "USING Naive_Bayes")
+                  .ok());
+  AnalysisReport report = Analyze(
+      "SELECT Predict([Age]) FROM [Cond] PREDICTION JOIN "
+      "(SELECT a FROM t) AS s ON [Cond].[Age] = s.a");
+  EXPECT_FALSE(report.HasRule(rules::kPredictInput)) << report.ToString();
 }
 
 // The catalog path rejects invalid definitions with the accumulated report,

@@ -180,6 +180,28 @@ TEST_F(PredictionJoinTest, FlattenRowsetHandlesEmptyTables) {
   EXPECT_TRUE(flat->at(0, 1).is_null());  // empty table -> one NULL row
 }
 
+// Regression: a nested table whose actual width disagrees with the schema the
+// outer TABLE column declares used to be *silently dropped* during FLATTENED
+// expansion (the Append failure was discarded). It must surface as an error.
+TEST_F(PredictionJoinTest, FlattenRowsetRejectsArityMismatchedNestedTable) {
+  auto declared = Schema::Make({{"K", DataType::kLong}});
+  auto actual = Schema::Make({{"K", DataType::kLong}, {"V", DataType::kText}});
+  Rowset input(
+      Schema::Make({{"Id", DataType::kLong}, ColumnDef("T", declared)}));
+  ASSERT_TRUE(input
+                  .Append({Value::Long(1),
+                           Value::Table(NestedTable::Make(
+                               actual, {{Value::Long(7), Value::Text("x")}}))})
+                  .ok());
+  auto flat = FlattenRowset(input);
+  ASSERT_FALSE(flat.ok());
+  EXPECT_EQ(flat.status().code(), StatusCode::kInvalidArgument)
+      << flat.status().ToString();
+  EXPECT_NE(flat.status().ToString().find("flattening nested table"),
+            std::string::npos)
+      << flat.status().ToString();
+}
+
 TEST_F(PredictionJoinTest, PredictOnTableColumnErrorsForThisService) {
   // Naive_Bayes predicts scalars; [Product Purchases] is not a target.
   Status s = Fails(std::string(R"(

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""dmx_lint: the project-invariant linter.
+
+Checks invariants that neither the compiler nor clang-tidy can express,
+because they are *project* rules, not language rules (DESIGN.md "Static
+enforcement"):
+
+  guarded-loops       Every training/prediction entry point in
+                      src/algorithms/*.cc (Train / Predict / ConsumeCase /
+                      InsertCases) that contains a for/while loop must call a
+                      guard checkpoint (GuardCheck / GuardChargeOutputRows /
+                      GuardChargeWorkingSet) somewhere in its body — otherwise
+                      deadlines and cancellation cannot trip inside it.
+
+  raw-sync-primitive  Raw std synchronization primitives (std::mutex,
+                      std::shared_timed_mutex, condition_variable, lock
+                      adapters) and raw file streams (fopen, std::ofstream,
+                      ...) are forbidden in src/ and tools/ outside the two
+                      seams: src/common/mutex.h (annotated wrappers the
+                      thread-safety analysis understands) and
+                      src/common/env.cc (the fault-injectable I/O layer).
+
+  status-context      In cross-layer boundary files, `return <expr>.status();`
+                      must attach a WithContext frame — a Status that crosses
+                      a subsystem boundary without context is undiagnosable
+                      by the time it reaches the user.
+
+  bad-suppression     A `dmx-lint: allow(...)` comment naming an unknown rule
+                      id (catches typos that would otherwise silently
+                      suppress nothing).
+
+Suppression: append `// dmx-lint: allow(<rule-id>)` to the violating line, or
+put it on the line immediately above (with a comment explaining why). Every
+suppression must name a known rule id.
+
+Usage:
+  tools/dmx_lint.py [--root DIR]   lint the tree rooted at DIR (default: the
+                                   repository containing this script);
+                                   exit 1 if any violation is found
+  tools/dmx_lint.py --self-test    lint each fixture tree under
+                                   tools/lint_fixtures/ and verify it yields
+                                   exactly the violations its EXPECT file
+                                   declares; exit 1 on any mismatch
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# ---------------------------------------------------------------------------
+# Rule ids (stable: referenced by allow() comments, EXPECT files and docs).
+# ---------------------------------------------------------------------------
+
+GUARDED_LOOPS = "guarded-loops"
+RAW_SYNC_PRIMITIVE = "raw-sync-primitive"
+STATUS_CONTEXT = "status-context"
+BAD_SUPPRESSION = "bad-suppression"
+
+ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, STATUS_CONTEXT,
+             BAD_SUPPRESSION)
+
+# Files the status-context rule applies to: the cross-layer boundaries where
+# a Status hops subsystems (core <-> store, core <-> relational, UI <-> core).
+BOUNDARY_FILES = (
+    "src/core/provider.cc",
+    "src/core/prediction_join.cc",
+    "src/core/caseset_source.cc",
+    "src/core/schema_rowsets.cc",
+    "src/store/store.cc",
+)
+
+# The only files allowed to touch raw sync/file primitives.
+RAW_PRIMITIVE_SEAMS = (
+    "src/common/mutex.h",
+    "src/common/env.cc",
+)
+
+# Training / prediction entry points the guarded-loops rule inspects.
+ENTRY_POINT_RE = re.compile(
+    r"^[A-Za-z_][\w:<>,&*\s]*\b(?:\w+::)(Train|Predict|ConsumeCase|"
+    r"InsertCases)\s*\(", re.MULTILINE)
+
+LOOP_RE = re.compile(r"\b(?:for|while)\s*\(")
+GUARD_CALL_RE = re.compile(
+    r"\bGuard(?:Check|ChargeOutputRows|ChargeWorkingSet)\s*\(")
+
+RAW_PRIMITIVE_RE = re.compile(
+    r"std::(?:recursive_|timed_|shared_|shared_timed_)?mutex\b"
+    r"|std::condition_variable(?:_any)?\b"
+    r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bfopen\s*\("
+    r"|std::[oif]?fstream\b")
+
+SUPPRESS_RE = re.compile(r"//\s*dmx-lint:\s*allow\(([a-z-]+)\)")
+
+
+class Violation:
+    def __init__(self, rule, path, line, message):
+        self.rule = rule
+        self.path = path  # repo-relative, forward slashes
+        self.line = line  # 1-based
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Source scrubbing: blank out comments and string/char literals so rule
+# regexes never match inside them. Line structure (offsets, count) is kept.
+# ---------------------------------------------------------------------------
+
+def scrub(text):
+    out = []
+    i, n = 0, len(text)
+    state = None  # None | "line" | "block" | '"' | "'"
+    while i < n:
+        c = text[i]
+        two = text[i:i + 2]
+        if state is None:
+            if two == "//":
+                state = "line"
+                out.append("  ")
+                i += 2
+            elif two == "/*":
+                state = "block"
+                out.append("  ")
+                i += 2
+            elif c in "\"'":
+                state = c
+                out.append(c)
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line":
+            if c == "\n":
+                state = None
+                out.append(c)
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block":
+            if two == "*/":
+                state = None
+                out.append("  ")
+                i += 2
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+        else:  # inside a string or char literal
+            if two == "\\" + state or two == "\\\\":
+                out.append("  ")
+                i += 2
+            elif c == state:
+                state = None
+                out.append(c)
+                i += 1
+            else:
+                out.append(c if c == "\n" else " ")
+                i += 1
+    return "".join(out)
+
+
+def find_matching_brace(text, open_index):
+    """Index just past the `}` matching the `{` at open_index, or len(text)."""
+    depth = 0
+    for i in range(open_index, len(text)):
+        if text[i] == "{":
+            depth += 1
+        elif text[i] == "}":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+# ---------------------------------------------------------------------------
+# Rules. Each takes (relpath, raw_lines, scrubbed_text) and yields Violations.
+# ---------------------------------------------------------------------------
+
+def check_guarded_loops(relpath, lines, scrubbed):
+    if not re.fullmatch(r"src/algorithms/[^/]+\.cc", relpath):
+        return
+    for match in ENTRY_POINT_RE.finditer(scrubbed):
+        if match.start() != 0 and scrubbed[match.start() - 1] != "\n":
+            continue  # not at the start of a line: not a definition
+        name = match.group(1)
+        def_line = scrubbed.count("\n", 0, match.start()) + 1
+        open_brace = scrubbed.find("{", match.end())
+        semi = scrubbed.find(";", match.end())
+        if open_brace < 0 or (0 <= semi < open_brace):
+            continue  # declaration, not a definition
+        body = scrubbed[open_brace:find_matching_brace(scrubbed, open_brace)]
+        if LOOP_RE.search(body) and not GUARD_CALL_RE.search(body):
+            yield Violation(
+                GUARDED_LOOPS, relpath, def_line,
+                f"{name}() contains a loop but never calls GuardCheck/"
+                "GuardCharge*; deadlines and cancellation cannot trip here")
+
+
+def check_raw_sync_primitive(relpath, lines, scrubbed):
+    if relpath in RAW_PRIMITIVE_SEAMS:
+        return
+    if not (relpath.startswith("src/") or relpath.startswith("tools/")):
+        return
+    for line_no, line in enumerate(scrubbed.split("\n"), start=1):
+        match = RAW_PRIMITIVE_RE.search(line)
+        if match:
+            yield Violation(
+                RAW_SYNC_PRIMITIVE, relpath, line_no,
+                f"raw primitive '{match.group(0).strip()}' outside the "
+                "common/mutex.h / common/env.cc seams; use the annotated "
+                "wrappers or Env")
+
+
+def check_status_context(relpath, lines, scrubbed):
+    if relpath not in BOUNDARY_FILES:
+        return
+    # Walk `return ... ;` statements (joined across lines) in scrubbed text.
+    for match in re.finditer(r"\breturn\b([^;]*);", scrubbed):
+        stmt = match.group(1)
+        if ".status()" in stmt and ".WithContext(" not in stmt:
+            line_no = scrubbed.count("\n", 0, match.start()) + 1
+            yield Violation(
+                STATUS_CONTEXT, relpath, line_no,
+                "a Status crossing this boundary must carry .WithContext(...) "
+                "so the failure is diagnosable downstream")
+
+
+RULE_CHECKS = (check_guarded_loops, check_raw_sync_primitive,
+               check_status_context)
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def lint_file(root, path):
+    relpath = path.relative_to(root).as_posix()
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.split("\n")
+    scrubbed = scrub(text)
+
+    # Suppressions: rule -> set of line numbers it silences (the comment's
+    # own line and the one below it).
+    suppressed = {}
+    violations = []
+    for line_no, line in enumerate(lines, start=1):
+        for rule in SUPPRESS_RE.findall(line):
+            if rule not in ALL_RULES:
+                violations.append(Violation(
+                    BAD_SUPPRESSION, relpath, line_no,
+                    f"allow() names unknown rule '{rule}' (known: "
+                    f"{', '.join(ALL_RULES)})"))
+                continue
+            suppressed.setdefault(rule, set()).update((line_no, line_no + 1))
+
+    for check in RULE_CHECKS:
+        for violation in check(relpath, lines, scrubbed):
+            if violation.line in suppressed.get(violation.rule, ()):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_tree(root):
+    violations = []
+    for subdir in ("src", "tools"):
+        base = root / subdir
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".cc", ".h", ".cpp") and path.is_file():
+                if "lint_fixtures" in path.relative_to(root).parts:
+                    continue  # fixtures are deliberately in violation
+                violations.extend(lint_file(root, path))
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every directory under tools/lint_fixtures/ is a miniature tree
+# whose EXPECT file lists the exact violations it must produce, one per line
+# as `<rule-id>:<relpath>:<line>`, or the single word `clean`.
+# ---------------------------------------------------------------------------
+
+def self_test(fixtures_dir):
+    if not fixtures_dir.is_dir():
+        print(f"dmx_lint: no fixtures at {fixtures_dir}", file=sys.stderr)
+        return 1
+    failures = 0
+    cases = sorted(p for p in fixtures_dir.iterdir() if p.is_dir())
+    if not cases:
+        print("dmx_lint: fixture directory is empty", file=sys.stderr)
+        return 1
+    for case in cases:
+        expect_file = case / "EXPECT"
+        if not expect_file.is_file():
+            print(f"FAIL {case.name}: missing EXPECT file")
+            failures += 1
+            continue
+        expected = set()
+        for line in expect_file.read_text().splitlines():
+            line = line.strip()
+            if line and not line.startswith("#") and line != "clean":
+                expected.add(line)
+        actual = {
+            f"{v.rule}:{v.path}:{v.line}" for v in lint_tree(case)
+        }
+        if actual == expected:
+            print(f"PASS {case.name}: "
+                  f"{len(actual) or 'no'} violation(s), as expected")
+        else:
+            failures += 1
+            print(f"FAIL {case.name}:")
+            for missing in sorted(expected - actual):
+                print(f"  expected but not reported: {missing}")
+            for extra in sorted(actual - expected):
+                print(f"  reported but not expected: {extra}")
+    if failures:
+        print(f"dmx_lint self-test: {failures}/{len(cases)} case(s) failed")
+        return 1
+    print(f"dmx_lint self-test: all {len(cases)} case(s) passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="tree to lint (default: this repository)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the rules against the seeded fixtures")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(Path(__file__).resolve().parent / "lint_fixtures")
+
+    violations = lint_tree(args.root)
+    for violation in violations:
+        print(violation)
+    if violations:
+        print(f"dmx_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("dmx_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -276,8 +276,16 @@ int main(int argc, char** argv) {
     }
     PrintRowset(*result);
   }
-  // Clean exit: checkpoint so the next open skips WAL replay. Best effort —
-  // the WAL already holds everything.
-  if (provider.store() != nullptr) (void)provider.Checkpoint();
+  // Clean exit: checkpoint so the next open skips WAL replay. The WAL already
+  // holds everything, so a failure is not data loss — but it is worth a
+  // warning, since it usually means the store directory has gone bad.
+  if (provider.store() != nullptr) {
+    dmx::Status checkpoint = provider.Checkpoint();
+    if (!checkpoint.ok()) {
+      std::cerr << "warning: exit checkpoint failed (WAL remains "
+                   "authoritative): "
+                << checkpoint.ToString() << "\n";
+    }
+  }
   return 0;
 }

@@ -1,0 +1,10 @@
+// Fixture: an allow() comment naming a rule that does not exist. Must trip
+// bad-suppression — a typo here would otherwise silently suppress nothing.
+#include "common/status.h"
+
+namespace dmx {
+
+// dmx-lint: allow(guraded-loops)
+inline int Answer() { return 42; }
+
+}  // namespace dmx

@@ -1,0 +1,20 @@
+// Fixture: a guarded training loop and a string literal that *mentions*
+// std::mutex (the scrubber must not lint inside literals or comments —
+// neither must "fopen(" here, nor the std::ofstream below).
+#include "common/exec_guard.h"
+#include "common/status.h"
+
+namespace dmx {
+
+Result<int> ToyService::Train(const std::vector<DataCase>& cases) {
+  int sum = 0;
+  for (const DataCase& c : cases) {
+    DMX_RETURN_IF_ERROR(GuardCheck());
+    sum += static_cast<int>(c.weight);
+  }
+  const char* doc = "never use std::mutex or std::ofstream directly";
+  (void)doc;
+  return sum;
+}
+
+}  // namespace dmx

@@ -1,0 +1,15 @@
+// Fixture: a training entry point that loops over cases without ever
+// consulting the execution guard. Must trip guarded-loops at the definition.
+#include "common/status.h"
+
+namespace dmx {
+
+Result<int> ToyService::Train(const std::vector<DataCase>& cases) {
+  int sum = 0;
+  for (const DataCase& c : cases) {
+    sum += static_cast<int>(c.weight);  // unbounded work, no GuardCheck
+  }
+  return sum;
+}
+
+}  // namespace dmx

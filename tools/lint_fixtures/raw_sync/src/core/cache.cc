@@ -1,0 +1,13 @@
+// Fixture: a raw std::mutex outside the common/mutex.h seam. Must trip
+// raw-sync-primitive — the wrapper types carry the thread-safety
+// annotations; raw primitives are invisible to the analysis.
+#include <mutex>
+
+namespace dmx {
+
+class Cache {
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace dmx

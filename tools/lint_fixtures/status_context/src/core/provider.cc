@@ -1,0 +1,11 @@
+// Fixture: a Status returned across the core boundary without WithContext.
+// Must trip status-context (this path is in the boundary-file list).
+#include "common/status.h"
+
+namespace dmx {
+
+Status ReplayOne(Connection* conn, const std::string& text) {
+  return conn->Execute(text).status();
+}
+
+}  // namespace dmx

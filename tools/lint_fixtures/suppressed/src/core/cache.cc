@@ -1,0 +1,14 @@
+// Fixture: the same raw-mutex violation as the raw_sync case, but carrying a
+// correctly spelled allow() on the preceding line. Must lint clean.
+#include <mutex>
+
+namespace dmx {
+
+class Cache {
+ private:
+  // Justified exception for the fixture's sake.
+  // dmx-lint: allow(raw-sync-primitive)
+  std::mutex mu_;
+};
+
+}  // namespace dmx

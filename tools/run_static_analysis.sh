@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
 # Static analysis driver for OpenDMX.
 #
-# Two gates, both expected to pass clean:
-#   1. A full -Werror build (-Wall -Wextra -Wpedantic, DMX_WERROR=ON).
-#   2. clang-tidy over every translation unit, using the curated check set
-#      in .clang-tidy with WarningsAsErrors enabled.
+# Four gates, all expected to pass clean:
+#   1. The project-invariant linter (tools/dmx_lint.py): guard checkpoints in
+#      algorithm loops, no raw sync/file primitives outside the seams,
+#      WithContext on boundary Status returns — plus its own self-test
+#      against the seeded fixtures.
+#   2. A full -Werror build (-Wall -Wextra -Wpedantic, DMX_WERROR=ON, which
+#      also promotes ignored [[nodiscard]] Status/Result to errors).
+#   3. Clang Thread Safety Analysis: a clang build with
+#      -Werror=thread-safety, verifying the lock regime annotations
+#      (GUARDED_BY / REQUIRES / ...) machine-check. Skipped without clang.
+#   4. clang-tidy over every translation unit, using the curated check set
+#      in .clang-tidy with WarningsAsErrors enabled. Skipped without
+#      clang-tidy.
 #
-# Gate 2 is skipped (with a notice) when clang-tidy is not installed, so the
-# script stays usable in minimal containers; CI installs clang-tidy and runs
-# both gates.
+# The clang gates are skipped (with a notice) in minimal containers; CI
+# installs clang and runs everything.
 #
 # Usage: tools/run_static_analysis.sh [build-dir]   (default: build-lint)
 
@@ -17,7 +25,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-lint}"
 
-echo "== Gate 1: -Werror build =="
+echo "== Gate 1: dmx_lint (project invariants) =="
+python3 tools/dmx_lint.py --self-test
+python3 tools/dmx_lint.py
+
+echo
+echo "== Gate 2: -Werror build =="
 cmake -B "$BUILD_DIR" -S . \
   -DDMX_WERROR=ON \
   -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
@@ -25,7 +38,21 @@ cmake --build "$BUILD_DIR" -j "$(nproc)"
 echo "-Werror build: clean"
 
 echo
-echo "== Gate 2: clang-tidy =="
+echo "== Gate 3: clang thread-safety analysis =="
+CLANGXX="$(command -v clang++ || true)"
+if [[ -z "$CLANGXX" ]]; then
+  echo "clang++ not found on PATH; skipping thread-safety gate." >&2
+  echo "Install clang (or run in CI) for full coverage." >&2
+else
+  cmake -B "$BUILD_DIR-tsa" -S . \
+    -DCMAKE_CXX_COMPILER="$CLANGXX" \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety" >/dev/null
+  cmake --build "$BUILD_DIR-tsa" -j "$(nproc)"
+  echo "thread-safety analysis: clean"
+fi
+
+echo
+echo "== Gate 4: clang-tidy =="
 TIDY="$(command -v clang-tidy || true)"
 if [[ -z "$TIDY" ]]; then
   echo "clang-tidy not found on PATH; skipping tidy gate." >&2
