@@ -1,0 +1,256 @@
+// Cooperative scheduler implementation. See det_sched.h for the model.
+//
+// This file (with lockdep.cc) is a sanctioned raw-primitive seam: the
+// scheduler parks and wakes the scenario's threads with a raw mutex +
+// condition_variable of its own — routing those through dmx::Mutex would
+// recurse into these very hooks.
+
+#include "common/det_sched.h"
+
+#ifdef DMX_DEBUG_LOCKS
+
+#include <condition_variable>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+namespace dmx::detsched {
+
+namespace {
+
+/// Thrown to unwind a parked thread once the run has failed (deadlock /
+/// step budget); caught by the worker wrapper in RunScenario.
+struct AbortRun {};
+
+constexpr int kNobody = -1;
+
+/// Fairness backstop for poll loops (guard-polling TryLockFor, admission's
+/// WaitFor poll): a thread that keeps hitting voluntary yield points while
+/// continuously scheduled is rotated out after this many consecutive yields,
+/// without charging the preemption bound. Deterministic — a counter, not a
+/// clock — so schedule hashes stay a pure function of the seed.
+constexpr uint32_t kSpinYieldLimit = 8;
+
+class Scheduler {
+ public:
+  Scheduler(const Options& options, size_t num_threads)
+      : bound_(options.preemption_bound),
+        max_steps_(options.max_steps),
+        rng_(options.seed != 0 ? options.seed : 0x9E3779B97F4A7C15ull),
+        threads_(num_threads) {}
+
+  /// Parks until every thread has attached, then until scheduled.
+  void Attach(int id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[id].attached = true;
+    if (++attached_ == threads_.size()) {
+      current_ = 0;  // deterministic start: body 0 runs first
+      cv_.notify_all();
+    }
+    cv_.wait(lock, [&] { return failed_ || current_ == id; });
+    if (failed_) throw AbortRun{};
+  }
+
+  void Finish(int id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    threads_[id].finished = true;
+    PickNextLocked(id, /*caller_runnable=*/false);
+    cv_.notify_all();
+  }
+
+  /// Voluntary yield: may preempt (bound permitting), else keeps running.
+  void Yield(int id) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (failed_) return;  // failure mode: run free so threads can unwind
+    ++threads_[id].spin;
+    PickNextLocked(id, /*caller_runnable=*/true);
+    if (current_ == id) return;
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return failed_ || current_ == id; });
+  }
+
+  /// Failed blocking acquisition: park marked contended until rescheduled.
+  void Contended(int id, const void* lock_addr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (failed_) throw AbortRun{};
+    threads_[id].contended_on = lock_addr;
+    threads_[id].block_epoch = progress_;
+    threads_[id].spin = 0;  // parked: others will run
+    PickNextLocked(id, /*caller_runnable=*/false);
+    cv_.notify_all();
+    cv_.wait(lock, [&] { return failed_ || current_ == id; });
+    threads_[id].contended_on = nullptr;
+    if (failed_) throw AbortRun{};
+  }
+
+  void NoteProgress() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++progress_;
+  }
+
+  RunResult Result() {
+    std::unique_lock<std::mutex> lock(mu_);
+    RunResult result;
+    result.ok = !failed_;
+    result.failure = failure_;
+    result.schedule_hash = hash_;
+    result.steps = steps_;
+    result.preemptions = preemptions_;
+    return result;
+  }
+
+ private:
+  struct ThreadState {
+    bool attached = false;
+    bool finished = false;
+    const void* contended_on = nullptr;
+    uint64_t block_epoch = 0;  ///< progress_ when it last failed its try.
+    uint32_t spin = 0;  ///< Consecutive voluntary yields while scheduled.
+  };
+
+  uint64_t NextRand() {
+    rng_ ^= rng_ >> 12;
+    rng_ ^= rng_ << 25;
+    rng_ ^= rng_ >> 27;
+    return rng_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  void FailLocked(std::string why) {
+    failed_ = true;
+    failure_ = std::move(why);
+    current_ = kNobody;
+    cv_.notify_all();
+  }
+
+  /// One scheduling decision. `caller` just yielded; it may keep running
+  /// only when `caller_runnable`. Requires mu_.
+  void PickNextLocked(int caller, bool caller_runnable) {
+    if (failed_) return;
+    // Eligible = live threads that could make progress if scheduled: not
+    // contended, or contended but some lock was released/acquired since
+    // they last retried (their retry might now succeed).
+    std::vector<int> eligible;
+    bool any_live = false;
+    for (size_t i = 0; i < threads_.size(); ++i) {
+      const ThreadState& t = threads_[i];
+      if (!t.attached || t.finished) continue;
+      any_live = true;
+      if (t.contended_on == nullptr || t.block_epoch != progress_) {
+        eligible.push_back(static_cast<int>(i));
+      }
+    }
+    if (!any_live) {
+      current_ = kNobody;  // scenario complete
+      return;
+    }
+    if (eligible.empty()) {
+      // Every live thread is parked on a lock and nothing has been
+      // released since each last retried: no schedule can make progress.
+      std::ostringstream msg;
+      msg << "deadlock: every live thread is blocked on a lock";
+      for (size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].attached && !threads_[i].finished) {
+          msg << "\n  thread " << i << " blocked on lock @"
+              << threads_[i].contended_on;
+        }
+      }
+      FailLocked(msg.str());
+      return;
+    }
+    if (++steps_ > max_steps_) {
+      FailLocked("step budget exceeded (" + std::to_string(max_steps_) +
+                 " scheduling decisions): livelock or runaway scenario");
+      return;
+    }
+
+    int next;
+    if (caller_runnable) {
+      std::vector<int> others;
+      for (int id : eligible) {
+        if (id != caller) others.push_back(id);
+      }
+      // A thread stuck in a poll loop (spin >= limit) is rotated out for
+      // free: without this, an exhausted preemption budget would pin a
+      // guard-polling waiter forever (livelock, not a real deadlock).
+      const bool forced = threads_[caller].spin >= kSpinYieldLimit;
+      if (!others.empty() &&
+          (forced || (preemptions_ < bound_ && NextRand() % 2 == 0))) {
+        next = others[NextRand() % others.size()];
+        if (!forced) ++preemptions_;
+        threads_[caller].spin = 0;  // rescheduled later with a fresh slice
+      } else {
+        next = caller;
+      }
+    } else {
+      next = eligible[NextRand() % eligible.size()];
+    }
+    current_ = next;
+    hash_ = (hash_ ^ static_cast<uint64_t>(next + 1)) * 0x100000001B3ull;
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int bound_;
+  const uint64_t max_steps_;
+  uint64_t rng_;
+  std::vector<ThreadState> threads_;
+  size_t attached_ = 0;
+  int current_ = kNobody;
+  bool failed_ = false;
+  std::string failure_;
+  uint64_t progress_ = 0;
+  uint64_t steps_ = 0;
+  int preemptions_ = 0;
+  uint64_t hash_ = 0xCBF29CE484222325ull;  // FNV-1a offset basis
+};
+
+thread_local Scheduler* tls_sched = nullptr;
+thread_local int tls_id = -1;
+
+}  // namespace
+
+RunResult RunScenario(const Options& options,
+                      std::vector<std::function<void()>> bodies) {
+  static std::mutex process_exclusive;  // one scenario at a time
+  std::unique_lock<std::mutex> exclusive(process_exclusive);
+
+  Scheduler sched(options, bodies.size());
+  std::vector<std::thread> workers;
+  workers.reserve(bodies.size());
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    workers.emplace_back([&sched, i, body = std::move(bodies[i])] {
+      tls_sched = &sched;
+      tls_id = static_cast<int>(i);
+      try {
+        sched.Attach(static_cast<int>(i));
+        body();
+      } catch (const AbortRun&) {
+        // The run failed (deadlock / step budget); unwound cleanly.
+      }
+      tls_sched = nullptr;
+      tls_id = -1;
+      sched.Finish(static_cast<int>(i));
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  return sched.Result();
+}
+
+bool Active() { return tls_sched != nullptr; }
+
+void SchedulePoint() {
+  if (tls_sched != nullptr) tls_sched->Yield(tls_id);
+}
+
+void ContendedYield(const void* lock) {
+  if (tls_sched != nullptr) tls_sched->Contended(tls_id, lock);
+}
+
+void NoteProgress() {
+  if (tls_sched != nullptr) tls_sched->NoteProgress();
+}
+
+}  // namespace dmx::detsched
+
+#endif  // DMX_DEBUG_LOCKS

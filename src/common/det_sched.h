@@ -1,0 +1,98 @@
+// det-sched: a test-only cooperative scheduler for bounded systematic
+// exploration of multi-threaded scenarios (loom / PCT lineage). Exists only
+// under -DDMX_DEBUG_LOCKS=ON, like lockdep.
+//
+// Model: RunScenario spawns one OS thread per body, but only ONE is ever
+// runnable at a time. Control changes hands exclusively at the yield points
+// the mutex wrappers inject (before acquisitions, after releases, around
+// CondVar waits), so the entire interleaving is decided by this scheduler —
+// and the decisions are a pure function of the seed. Same seed => same
+// schedule, byte for byte (the schedule hash in RunResult proves it).
+//
+// Scheduling policy: a seeded PRNG picks the next thread at every decision
+// point, with a *preemption bound* — the scheduler switches away from a
+// runnable thread at most `preemption_bound` times per run (switches forced
+// by blocking or completion are free). Small preemption bounds are known to
+// expose most real concurrency bugs (PCT), and the bound keeps the schedule
+// space small enough to sweep hundreds of seeds per test.
+//
+// Blocking: while a scheduler is active, the wrappers never block on a raw
+// mutex (that would hang the whole cooperative world). A blocking Lock()
+// becomes try_lock + ContendedYield loop: the thread parks in the scheduler
+// marked "contended on L" and retries when next scheduled. Deadlock is
+// therefore *detected*, not suffered: if every live thread is contended and
+// no lock has been released since each last retried, no schedule can make
+// progress — the run fails with a diagnostic naming each thread and the
+// lock it is blocked on, parked threads unwind (an internal exception the
+// worker wrapper catches), and RunScenario returns the failure. A step
+// budget backstops try-lock livelocks the precise check cannot see.
+//
+// Timed waits (CondVar::WaitFor, TryLockFor) take their timeout path at the
+// scheduler's discretion: a timed wait is modelled as "may resume at any
+// scheduled point" — sound, because spurious wakeups and timeouts make that
+// exact behaviour legal for the real primitives.
+//
+// Fairness: a thread that keeps hitting voluntary yield points while
+// continuously scheduled (a guard-polling try-lock loop, admission's condvar
+// poll) is rotated out after a fixed number of consecutive yields without
+// charging the preemption bound — a deterministic backstop so poll loops
+// cannot pin the scheduler once the preemption budget is spent.
+
+#ifndef DMX_COMMON_DET_SCHED_H_
+#define DMX_COMMON_DET_SCHED_H_
+
+#ifdef DMX_DEBUG_LOCKS
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace dmx::detsched {
+
+struct Options {
+  uint64_t seed = 1;
+  /// Voluntary context switches the scheduler may inject per run.
+  int preemption_bound = 3;
+  /// Scheduling decisions before the run is declared stuck (livelock
+  /// backstop for try-lock loops the precise deadlock check cannot see).
+  uint64_t max_steps = 2'000'000;
+};
+
+struct RunResult {
+  bool ok = false;
+  std::string failure;       ///< Empty when ok; else the diagnostic.
+  uint64_t schedule_hash = 0;  ///< FNV-1a over the decision trace.
+  uint64_t steps = 0;          ///< Scheduling decisions taken.
+  uint32_t preemptions = 0;    ///< Voluntary switches actually injected.
+};
+
+/// Runs `bodies` (one thread each) to completion under the cooperative
+/// scheduler and returns the outcome. Bodies start only after every thread
+/// has registered (deterministic start order: body 0 runs first). At most
+/// one scenario may run at a time per process.
+RunResult RunScenario(const Options& options,
+                      std::vector<std::function<void()>> bodies);
+
+/// True when the calling thread is managed by an active scenario — the
+/// mutex wrappers consult this to route blocking through the scheduler.
+bool Active();
+
+/// Voluntary yield point (before acquisitions, after releases, timed
+/// waits). May transfer control to another thread, preemption bound
+/// permitting.
+void SchedulePoint();
+
+/// A blocking acquisition attempt failed: park marked "contended on
+/// `lock`" until scheduled again (deadlock-checked). Unwinds via an
+/// internal exception if the run has failed.
+void ContendedYield(const void* lock);
+
+/// Records that lock state changed (successful acquire or release) — the
+/// progress signal the deadlock check keys on.
+void NoteProgress();
+
+}  // namespace dmx::detsched
+
+#endif  // DMX_DEBUG_LOCKS
+#endif  // DMX_COMMON_DET_SCHED_H_

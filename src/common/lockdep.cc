@@ -1,0 +1,299 @@
+// Lock-order graph implementation. See lockdep.h for the model.
+//
+// This file (with det_sched.cc) is a sanctioned raw-primitive seam: the
+// graph's own mutex cannot be a dmx::Mutex — its hooks would re-enter
+// lockdep. The internal mutex is a leaf: nothing is called while holding it.
+
+#include "common/lockdep.h"
+
+#ifdef DMX_DEBUG_LOCKS
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace dmx::lockdep {
+
+namespace {
+
+struct LockClass {
+  std::string name;
+  LockKind kind;
+  std::string site;  // file:line of the construction site
+};
+
+struct EdgeWitness {
+  // First observation of from -> to: where `from` was held and `to` acquired.
+  std::string from_loc;
+  std::string to_loc;
+  AcqMode to_mode;
+};
+
+constexpr uint64_t EdgeKey(uint32_t from, uint32_t to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
+struct Graph {
+  std::mutex mu;
+  std::vector<LockClass> classes;
+  std::unordered_map<std::string, uint32_t> class_by_key;
+  std::unordered_map<uint32_t, std::vector<uint32_t>> adjacency;
+  std::unordered_map<uint64_t, EdgeWitness> edges;
+  // Pairs already reported, so one inversion produces one diagnostic.
+  std::unordered_set<uint64_t> reported;
+  ViolationHandler handler;
+  uint64_t violations = 0;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph();  // leaked: locks outlive static destructors
+  return *g;
+}
+
+struct HeldLock {
+  const void* lock;
+  uint32_t cls;
+  AcqMode mode;
+  std::string loc;  // acquisition source span
+};
+
+thread_local std::vector<HeldLock>* tls_held = nullptr;
+
+std::vector<HeldLock>& held() {
+  if (tls_held == nullptr) tls_held = new std::vector<HeldLock>();
+  return *tls_held;
+}
+
+std::string FormatLoc(const std::source_location& loc) {
+  std::string file = loc.file_name();
+  size_t slash = file.find_last_of('/');
+  if (slash != std::string::npos) file = file.substr(slash + 1);
+  return file + ":" + std::to_string(loc.line());
+}
+
+const char* ModeName(AcqMode mode) {
+  return mode == AcqMode::kExclusive ? "exclusive" : "shared";
+}
+
+// Reports under graph().mu NOT held (the handler may re-enter lockdep).
+void Report(std::string rule, std::string message) {
+  ViolationHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(graph().mu);
+    ++graph().violations;
+    handler = graph().handler;
+  }
+  if (handler) {
+    handler(Violation{std::move(rule), std::move(message)});
+    return;
+  }
+  std::fprintf(stderr, "lockdep FATAL [%s]\n%s\n", rule.c_str(),
+               message.c_str());
+  std::abort();
+}
+
+/// True when `to` can already reach `from` in the ordering graph — adding
+/// from -> to would close a cycle. Iterative DFS; caller holds graph().mu.
+bool Reaches(const Graph& g, uint32_t start, uint32_t target,
+             std::vector<uint32_t>* path) {
+  std::vector<std::pair<uint32_t, size_t>> stack;  // (node, next child idx)
+  std::unordered_set<uint32_t> visited;
+  stack.emplace_back(start, 0);
+  visited.insert(start);
+  while (!stack.empty()) {
+    auto& [node, child] = stack.back();
+    if (node == target) {
+      path->clear();
+      for (const auto& frame : stack) path->push_back(frame.first);
+      return true;
+    }
+    auto it = g.adjacency.find(node);
+    if (it == g.adjacency.end() || child >= it->second.size()) {
+      stack.pop_back();
+      continue;
+    }
+    uint32_t next = it->second[child++];
+    if (visited.insert(next).second) stack.emplace_back(next, 0);
+  }
+  return false;
+}
+
+std::string DescribeClass(const Graph& g, uint32_t cls) {
+  const LockClass& c = g.classes[cls];
+  return "'" + c.name + "' (defined at " + c.site + ")";
+}
+
+// Lock-taking wrapper for call sites that do not already hold graph().mu.
+std::string DescribeClassSafe(uint32_t cls) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return DescribeClass(g, cls);
+}
+
+}  // namespace
+
+uint32_t RegisterLockClass(const char* name, LockKind kind,
+                           const std::source_location& site) {
+  std::string span = FormatLoc(site);
+  std::string key = name != nullptr ? std::string("n:") + name : "s:" + span;
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  auto it = g.class_by_key.find(key);
+  if (it != g.class_by_key.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(g.classes.size());
+  LockClass cls;
+  cls.name = name != nullptr
+                 ? std::string(name)
+                 : std::string(kind == LockKind::kMutex ? "mutex" : "rwlock") +
+                       "@" + span;
+  cls.kind = kind;
+  cls.site = span;
+  g.classes.push_back(std::move(cls));
+  g.class_by_key.emplace(std::move(key), id);
+  return id;
+}
+
+std::string LockClassName(uint32_t cls) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (cls >= g.classes.size()) return "<unregistered>";
+  return g.classes[cls].name;
+}
+
+void PreAcquire(const void* lock, uint32_t cls, AcqMode mode, bool try_lock,
+                const std::source_location& loc) {
+  (void)lock;
+  std::vector<HeldLock>& stack = held();
+  if (stack.empty()) return;
+  const std::string span = FormatLoc(loc);
+
+  // Same-class re-acquisition: self-deadlock for a Mutex; for a SharedMutex
+  // even shared/shared nesting can deadlock behind a queued writer.
+  for (const HeldLock& h : stack) {
+    if (h.cls != cls) continue;
+    std::ostringstream msg;
+    msg << "recursive acquisition of lock class " << DescribeClassSafe(cls)
+        << ":\n  already held ("
+        << ModeName(h.mode) << ") since " << h.loc << "\n  re-acquired ("
+        << ModeName(mode) << (try_lock ? ", try" : "") << ") at " << span;
+    Report("recursive-acquisition", msg.str());
+    return;  // don't also record self-edges
+  }
+
+  // A bounded try cannot be the waiting leg of a deadlock: no incoming edge.
+  if (try_lock) return;
+
+  struct Inversion {
+    std::string message;
+  };
+  std::vector<Inversion> inversions;
+  {
+    Graph& g = graph();
+    std::lock_guard<std::mutex> graph_lock(g.mu);
+    for (const HeldLock& h : stack) {
+      uint64_t key = EdgeKey(h.cls, cls);
+      if (g.edges.count(key) != 0) continue;  // edge already validated
+      std::vector<uint32_t> path;
+      if (Reaches(g, cls, h.cls, &path) &&
+          g.reported.insert(key).second) {
+        std::ostringstream msg;
+        msg << "lock-order inversion between "
+            << DescribeClass(g, h.cls) << " and " << DescribeClass(g, cls)
+            << ":\n  this thread holds '" << g.classes[h.cls].name << "' ("
+            << ModeName(h.mode) << ", acquired at " << h.loc
+            << ") and is acquiring '" << g.classes[cls].name << "' ("
+            << ModeName(mode) << ") at " << span
+            << "\n  but the opposite order was previously observed:";
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+          auto w = g.edges.find(EdgeKey(path[i], path[i + 1]));
+          msg << "\n    '" << g.classes[path[i]].name << "' -> '"
+              << g.classes[path[i + 1]].name << "'";
+          if (w != g.edges.end()) {
+            msg << " (held at " << w->second.from_loc << ", acquired "
+                << ModeName(w->second.to_mode) << " at " << w->second.to_loc
+                << ")";
+          }
+        }
+        msg << "\n  a schedule interleaving these two orders deadlocks";
+        inversions.push_back(Inversion{msg.str()});
+      }
+      // Record the edge either way: one report per inverted pair.
+      g.edges.emplace(key, EdgeWitness{h.loc, span, mode});
+      g.adjacency[h.cls].push_back(cls);
+    }
+  }
+  for (Inversion& inv : inversions) {
+    Report("lock-order-inversion", std::move(inv.message));
+  }
+}
+
+void PostAcquire(const void* lock, uint32_t cls, AcqMode mode,
+                 const std::source_location& loc) {
+  held().push_back(HeldLock{lock, cls, mode, FormatLoc(loc)});
+}
+
+void OnRelease(const void* lock) {
+  std::vector<HeldLock>& stack = held();
+  for (size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1].lock == lock) {
+      stack.erase(stack.begin() + static_cast<ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  Report("unheld-release",
+         "a lock is being released by a thread that never acquired it");
+}
+
+void AssertHeld(const void* lock, uint32_t cls, AcqMode min_mode) {
+  for (const HeldLock& h : held()) {
+    if (h.lock != lock) continue;
+    if (min_mode == AcqMode::kShared || h.mode == AcqMode::kExclusive) {
+      return;
+    }
+    std::ostringstream msg;
+    msg << "AssertHeld(" << ModeName(min_mode) << ") on lock class "
+        << DescribeClassSafe(cls) << " held only " << ModeName(h.mode)
+        << " (acquired at " << h.loc << ")";
+    Report("unheld-assert", msg.str());
+    return;
+  }
+  std::ostringstream msg;
+  msg << "AssertHeld(" << ModeName(min_mode) << ") on lock class "
+      << DescribeClassSafe(cls)
+      << " which the calling thread does not hold";
+  Report("unheld-assert", msg.str());
+}
+
+int HeldCount() { return static_cast<int>(held().size()); }
+
+ViolationHandler SetViolationHandler(ViolationHandler handler) {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  ViolationHandler previous = std::move(g.handler);
+  g.handler = std::move(handler);
+  return previous;
+}
+
+uint64_t violation_count() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  return g.violations;
+}
+
+void ResetGraphForTest() {
+  Graph& g = graph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.adjacency.clear();
+  g.edges.clear();
+  g.reported.clear();
+  g.violations = 0;
+}
+
+}  // namespace dmx::lockdep
+
+#endif  // DMX_DEBUG_LOCKS

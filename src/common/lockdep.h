@@ -1,0 +1,112 @@
+// Runtime lock-order verification (lockdep): the dynamic half of the
+// DESIGN.md §9 concurrency regime, complementing the compile-time Clang
+// Thread Safety proofs of §10 (which check per-function capabilities but
+// cannot see acquisition *order* across the Provider -> AdmissionController
+// -> DurableStore hierarchy).
+//
+// Every Mutex / SharedMutex registers a *lock class* at construction — keyed
+// by the explicit name passed to the constructor, or by the construction
+// site (file:line) for unnamed locks — so all instances born at one site
+// share ordering state, the way Linux lockdep keys by lock-site. On every
+// blocking acquisition the held-set of the current thread contributes edges
+// (held-class -> acquired-class) to a global ordering graph; the first time
+// an edge would close a cycle, a would-deadlock diagnostic is emitted with
+// both lock-class names and the source spans of the two acquisitions — on
+// ANY interleaving that merely *observes* both orders, not just the one that
+// actually deadlocks.
+//
+// Edge semantics:
+//   * try-acquisitions (TryLockFor / TryLockSharedFor) never add an incoming
+//     edge: a bounded try cannot block forever, so it cannot contribute the
+//     waiting leg of a deadlock. Once *held*, a try-acquired lock does emit
+//     outgoing edges like any other.
+//   * reader/writer modes are recorded but treated conservatively as
+//     ordering-relevant in both directions: a shared holder can block an
+//     exclusive waiter (and vice versa), so shared edges participate in
+//     cycles. Same-class re-acquisition in any mode is flagged (a reader
+//     re-entering a SharedMutex can deadlock behind a queued writer).
+//
+// The held-set doubles as a real owner table: under DMX_DEBUG_LOCKS the
+// formerly compile-time-only Mutex::AssertHeld / SharedMutex::AssertHeld /
+// AssertReaderHeld become genuine per-thread ownership checks.
+//
+// Violations are fatal by default (report to stderr, abort). Tests install a
+// handler via SetViolationHandler to capture reports instead.
+//
+// Everything in this header exists only under -DDMX_DEBUG_LOCKS=ON (the
+// CMake option of the same name); a normal build never includes these hooks
+// and the mutex wrappers compile exactly as before — zero overhead when off.
+
+#ifndef DMX_COMMON_LOCKDEP_H_
+#define DMX_COMMON_LOCKDEP_H_
+
+#ifdef DMX_DEBUG_LOCKS
+
+#include <cstdint>
+#include <functional>
+#include <source_location>
+#include <string>
+
+namespace dmx::lockdep {
+
+enum class LockKind { kMutex, kSharedMutex };
+enum class AcqMode { kExclusive, kShared };
+
+/// One diagnostic. `rule` is a stable id:
+///   lock-order-inversion   adding this acquisition edge closes a cycle
+///   recursive-acquisition  a class already in the held-set is re-acquired
+///   unheld-assert          AssertHeld / AssertReaderHeld on a lock the
+///                          calling thread does not own (in that mode)
+///   unheld-release         Unlock of a lock the thread never acquired
+struct Violation {
+  std::string rule;
+  std::string message;  ///< Full human-readable diagnostic, multi-line.
+};
+
+/// Registers (or looks up) the lock class for a construction site. `name`
+/// may be nullptr: the class is then keyed and named by `site` (file:line).
+uint32_t RegisterLockClass(const char* name, LockKind kind,
+                           const std::source_location& site);
+
+/// The registered display name of a class ("provider.catalog_mu" or
+/// "mutex.h site provider.h:120").
+std::string LockClassName(uint32_t cls);
+
+/// Called before a blocking (or try) acquisition attempt. Records ordering
+/// edges from every held class to `cls`, checks them against the global
+/// graph and reports the first inversion ever observed. Try acquisitions
+/// skip edge recording (they cannot block forever).
+void PreAcquire(const void* lock, uint32_t cls, AcqMode mode, bool try_lock,
+                const std::source_location& loc);
+
+/// Called after a successful acquisition: pushes onto the thread's held-set.
+void PostAcquire(const void* lock, uint32_t cls, AcqMode mode,
+                 const std::source_location& loc);
+
+/// Called before release: pops the lock from the thread's held-set.
+void OnRelease(const void* lock);
+
+/// Real owner check: the calling thread must hold `lock` (at least in
+/// `min_mode`; kShared accepts an exclusive hold too).
+void AssertHeld(const void* lock, uint32_t cls, AcqMode min_mode);
+
+/// Locks the calling thread currently holds (tests / diagnostics).
+int HeldCount();
+
+/// Installs a handler receiving every violation instead of the default
+/// print-and-abort. Pass nullptr to restore fatal behaviour. Returns the
+/// previous handler.
+using ViolationHandler = std::function<void(const Violation&)>;
+ViolationHandler SetViolationHandler(ViolationHandler handler);
+
+/// Total violations reported since process start (or the last reset).
+uint64_t violation_count();
+
+/// Test hook: forgets all recorded edges and the violation count (lock
+/// classes persist — they may be referenced by live locks).
+void ResetGraphForTest();
+
+}  // namespace dmx::lockdep
+
+#endif  // DMX_DEBUG_LOCKS
+#endif  // DMX_COMMON_LOCKDEP_H_

@@ -40,7 +40,7 @@ class AdmissionController {
   uint32_t active() const DMX_EXCLUDES(mu_);
 
  private:
-  mutable Mutex mu_;
+  mutable Mutex mu_{"admission.mu"};
   CondVar slot_freed_;
   uint32_t max_active_ DMX_GUARDED_BY(mu_) = 0;  ///< 0: unlimited.
   uint32_t max_queued_ DMX_GUARDED_BY(mu_) = 0;

@@ -117,7 +117,7 @@ class Provider {
   /// Catalog-level lock: DDL/DML and store maintenance take it exclusively,
   /// SELECT / PREDICTION JOIN / schema rowsets take it shared. Timed so
   /// writers blocked behind long readers can honour their deadline.
-  mutable SharedMutex catalog_mu_;
+  mutable SharedMutex catalog_mu_{"provider.catalog_mu"};
   AdmissionController admission_;  // Internally synchronized.
 
   rel::Database database_ DMX_GUARDED_BY(catalog_mu_);

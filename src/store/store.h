@@ -143,7 +143,7 @@ class DurableStore {
   Env* const env_;
 
   /// Serializes WAL appends and epoch rotation.
-  mutable Mutex mu_;
+  mutable Mutex mu_{"store.mu"};
   uint64_t seq_ DMX_GUARDED_BY(mu_) = 0;
   uint64_t wal_records_ DMX_GUARDED_BY(mu_) = 0;
   std::unique_ptr<RecordWriter> wal_ DMX_GUARDED_BY(mu_);

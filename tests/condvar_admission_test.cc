@@ -1,0 +1,221 @@
+// CondVar timing semantics and AdmissionController queue behaviour under
+// real contention (DESIGN.md §9). These tests assert wall-clock bounds, so
+// the binary is registered SERIAL — it never races a `ctest -j` storm.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/exec_guard.h"
+#include "common/mutex.h"
+#include "core/admission.h"
+
+namespace dmx {
+namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
+
+int64_t ElapsedMs(steady_clock::time_point start) {
+  return std::chrono::duration_cast<milliseconds>(steady_clock::now() - start)
+      .count();
+}
+
+// With nobody notifying, WaitFor must come back via the timeout — close to
+// the requested budget, not instantly (spurious wakeups are legal but a
+// systematic early return would turn every poll loop into a spin).
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  constexpr int64_t kTimeoutMs = 60;
+
+  mu.Lock();
+  const auto start = steady_clock::now();
+  int64_t waited = 0;
+  // Tolerate spurious wakeups: keep waiting until the budget has truly
+  // elapsed, like every real WaitFor condition loop does.
+  while ((waited = ElapsedMs(start)) < kTimeoutMs) {
+    cv.WaitFor(&mu, milliseconds(kTimeoutMs - waited));
+  }
+  mu.AssertHeld();  // WaitFor re-acquires before returning
+  mu.Unlock();
+
+  EXPECT_GE(waited, kTimeoutMs);
+}
+
+// A notify must win the race against a long timeout: the waiter wakes when
+// the flag flips, orders of magnitude before the 10 s budget.
+TEST(CondVarTest, NotifyWakesWaiterBeforeTimeout) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread notifier([&] {
+    std::this_thread::sleep_for(milliseconds(20));
+    {
+      MutexLock lock(&mu);
+      ready = true;
+    }
+    cv.NotifyOne();
+  });
+
+  const auto start = steady_clock::now();
+  mu.Lock();
+  while (!ready) {
+    cv.WaitFor(&mu, milliseconds(10'000));
+    ASSERT_LT(ElapsedMs(start), 5'000) << "waiter slept through the notify";
+  }
+  mu.Unlock();
+  notifier.join();
+  EXPECT_LT(ElapsedMs(start), 5'000);
+}
+
+// NotifyAll releases every parked waiter, not just one.
+TEST(CondVarTest, NotifyAllWakesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  std::atomic<int> awake{0};
+
+  constexpr int kWaiters = 4;
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      mu.Lock();
+      while (!go) cv.WaitFor(&mu, milliseconds(10'000));
+      mu.Unlock();
+      awake.fetch_add(1);
+    });
+  }
+
+  std::this_thread::sleep_for(milliseconds(20));
+  {
+    MutexLock lock(&mu);
+    go = true;
+  }
+  cv.NotifyAll();
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(awake.load(), kWaiters);
+}
+
+// Queue drain under contention: with 2 slots and a queue of 6, all 8
+// statements are admitted exactly once, the queue drains in full, and the
+// observed concurrency never exceeds the cap (atomic high-water mark).
+TEST(AdmissionQueueTest, DrainsQueueWithoutExceedingCap) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/2, /*max_queued=*/6);
+
+  constexpr int kStatements = 8;
+  std::atomic<int> admitted{0};
+  std::atomic<int> concurrent{0};
+  std::atomic<int> high_water{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kStatements; ++i) {
+    threads.emplace_back([&] {
+      Status status = admission.Admit(/*guard=*/nullptr);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+      admitted.fetch_add(1);
+      int now = concurrent.fetch_add(1) + 1;
+      int seen = high_water.load();
+      while (now > seen && !high_water.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(milliseconds(10));  // hold the slot
+      concurrent.fetch_sub(1);
+      admission.Release();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  EXPECT_EQ(admitted.load(), kStatements);  // queue drained in full
+  EXPECT_LE(high_water.load(), 2);
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+// Beyond the queue the controller fails fast instead of piling up.
+TEST(AdmissionQueueTest, RejectsBeyondQueueCapacity) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/1, /*max_queued=*/1);
+
+  ASSERT_TRUE(admission.Admit(nullptr).ok());  // occupies the only slot
+
+  std::atomic<bool> queued_done{false};
+  std::thread queued([&] {
+    Status status = admission.Admit(nullptr);  // parks in the queue
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    admission.Release();
+    queued_done.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(30));  // let it reach the queue
+
+  Status overflow = admission.Admit(nullptr);
+  EXPECT_TRUE(overflow.IsResourceExhausted()) << overflow.ToString();
+
+  admission.Release();  // frees the slot; the queued waiter takes it
+  queued.join();
+  EXPECT_TRUE(queued_done.load());
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+// A cancelled statement leaves the queue (kCancelled, slot intact) instead
+// of occupying it forever — the guard is polled while waiting.
+TEST(AdmissionQueueTest, CancelWhileQueuedLeavesTheQueue) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/1, /*max_queued=*/2);
+
+  ASSERT_TRUE(admission.Admit(nullptr).ok());  // saturate
+
+  ExecLimits limits;
+  limits.cancel = std::make_shared<CancelToken>();
+  ExecGuard guard(limits);
+  std::atomic<bool> cancelled_seen{false};
+  std::thread waiter([&] {
+    Status status = admission.Admit(&guard);
+    EXPECT_TRUE(status.IsCancelled()) << status.ToString();
+    cancelled_seen.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  limits.cancel->Cancel();
+  waiter.join();
+  ASSERT_TRUE(cancelled_seen.load());
+
+  // The departed waiter freed its queue slot: the queue accepts new
+  // waiters again, and the active slot was never released by the trip.
+  std::thread reuse([&] { EXPECT_TRUE(admission.Admit(nullptr).ok()); });
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(admission.active(), 1u);  // still just the original holder
+  admission.Release();
+  reuse.join();
+  admission.Release();
+}
+
+// Raising the cap mid-wait frees queued statements immediately (SetLimits
+// notifies the condvar) — no 5 ms poll lag pile-up, no lost wakeups.
+TEST(AdmissionQueueTest, RaisingTheCapFreesWaiters) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/1, /*max_queued=*/4);
+
+  ASSERT_TRUE(admission.Admit(nullptr).ok());
+  std::atomic<int> through{0};
+  std::vector<std::thread> waiters;
+  for (int i = 0; i < 3; ++i) {
+    waiters.emplace_back([&] {
+      Status status = admission.Admit(nullptr);
+      EXPECT_TRUE(status.ok()) << status.ToString();
+      through.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_EQ(through.load(), 0);  // all parked behind the cap of 1
+
+  admission.SetLimits(/*max_active=*/4, /*max_queued=*/4);
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(through.load(), 3);
+  for (int i = 0; i < 4; ++i) admission.Release();
+}
+
+}  // namespace
+}  // namespace dmx

@@ -1,0 +1,227 @@
+// Runtime lockdep (DESIGN.md §11): the lock-order graph must report a
+// would-deadlock inversion the FIRST time the inverted order is observed —
+// on any interleaving, including fully sequential ones where no thread ever
+// blocks — with both lock-class names and the acquisition source spans.
+// Requires -DDMX_DEBUG_LOCKS=ON; a plain build compiles the single skip stub.
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+
+#ifndef DMX_DEBUG_LOCKS
+
+namespace dmx {
+namespace {
+
+TEST(LockdepTest, RequiresDebugLocksBuild) {
+  GTEST_SKIP() << "lockdep exists only under -DDMX_DEBUG_LOCKS=ON "
+                  "(cmake -B build-lockdep -DDMX_DEBUG_LOCKS=ON)";
+}
+
+}  // namespace
+}  // namespace dmx
+
+#else  // DMX_DEBUG_LOCKS
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/lockdep.h"
+
+namespace dmx {
+namespace {
+
+/// Captures violations instead of the default print-and-abort, and isolates
+/// each test's ordering state (edges, reported pairs, counters) from the
+/// rest of the binary. Lock classes persist process-wide by design, so every
+/// test names its locks uniquely.
+class LockdepTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lockdep::ResetGraphForTest();
+    previous_ = lockdep::SetViolationHandler(
+        [this](const lockdep::Violation& violation) {
+          captured_.push_back(violation);
+        });
+  }
+
+  void TearDown() override {
+    lockdep::SetViolationHandler(std::move(previous_));
+    lockdep::ResetGraphForTest();
+  }
+
+  /// All captured messages for `rule`, concatenated (order-independent).
+  std::string MessagesFor(const std::string& rule) const {
+    std::string joined;
+    for (const lockdep::Violation& violation : captured_) {
+      if (violation.rule == rule) joined += violation.message + "\n";
+    }
+    return joined;
+  }
+
+  std::vector<lockdep::Violation> captured_;
+  lockdep::ViolationHandler previous_;
+};
+
+// The seeded inversion of the acceptance criteria: thread 1 establishes
+// A -> B, thread 2 (running only after thread 1 fully finished — the locks
+// are never even contended) acquires B -> A. lockdep must report the
+// inversion anyway, naming both classes and where each acquisition happened.
+TEST_F(LockdepTest, ReportsInversionAcrossDisjointThreads) {
+  Mutex a("inv.A");
+  Mutex b("inv.B");
+
+  std::thread first([&] {
+    MutexLock hold_a(&a);
+    MutexLock hold_b(&b);
+  });
+  first.join();
+  ASSERT_TRUE(captured_.empty()) << captured_.front().message;
+
+  std::thread second([&] {
+    MutexLock hold_b(&b);
+    MutexLock hold_a(&a);  // inverted: closes the cycle A -> B -> A
+  });
+  second.join();
+
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].rule, "lock-order-inversion");
+  const std::string& message = captured_[0].message;
+  EXPECT_NE(message.find("inv.A"), std::string::npos) << message;
+  EXPECT_NE(message.find("inv.B"), std::string::npos) << message;
+  // Both the held-at and acquiring-at spans point into this file.
+  EXPECT_NE(message.find("lockdep_test.cc"), std::string::npos) << message;
+  EXPECT_EQ(lockdep::violation_count(), 1u);
+}
+
+// One report per inverted pair: re-running the inverted order must not
+// produce a second diagnostic.
+TEST_F(LockdepTest, ReportsEachInvertedPairOnce) {
+  Mutex a("once.A");
+  Mutex b("once.B");
+  {
+    MutexLock hold_a(&a);
+    MutexLock hold_b(&b);
+  }
+  for (int round = 0; round < 3; ++round) {
+    MutexLock hold_b(&b);
+    MutexLock hold_a(&a);
+  }
+  EXPECT_EQ(captured_.size(), 1u);
+}
+
+// Reader/writer edges participate in cycles: shared-then-exclusive on one
+// thread and exclusive-then-shared on another can deadlock just like two
+// exclusive orders (a queued writer blocks the second reader).
+TEST_F(LockdepTest, SharedAcquisitionsParticipateInOrdering) {
+  SharedMutex rw("rw.S");
+  Mutex m("rw.M");
+
+  std::thread first([&] {
+    ReaderMutexLock hold_shared(&rw);
+    MutexLock hold_m(&m);
+  });
+  first.join();
+  std::thread second([&] {
+    MutexLock hold_m(&m);
+    ReaderMutexLock hold_shared(&rw);  // inverted, shared mode
+  });
+  second.join();
+
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].rule, "lock-order-inversion");
+  EXPECT_NE(captured_[0].message.find("shared"), std::string::npos)
+      << captured_[0].message;
+}
+
+// A bounded try-acquisition cannot be the waiting leg of a deadlock, so it
+// must not record an incoming edge: try(A->B) then blocking(B->A) is clean.
+TEST_F(LockdepTest, TryLockAddsNoIncomingEdge) {
+  Mutex a("try.A");
+  SharedMutex b("try.B");
+  {
+    MutexLock hold_a(&a);
+    ASSERT_TRUE(b.TryLockFor(std::chrono::milliseconds(10)));
+    b.Unlock();
+  }
+  {
+    WriterMutexLock hold_b(&b);
+    MutexLock hold_a(&a);  // records B -> A; no A -> B edge exists
+  }
+  EXPECT_TRUE(captured_.empty())
+      << captured_.front().rule << ": " << captured_.front().message;
+}
+
+// Same-class re-acquisition is self-deadlock-shaped even across instances:
+// two locks born with the same class name ordered against each other means
+// some pair of instances can be taken in both orders.
+TEST_F(LockdepTest, FlagsSameClassNesting) {
+  Mutex first_twin("twin");
+  Mutex second_twin("twin");
+  MutexLock hold_first(&first_twin);
+  MutexLock hold_second(&second_twin);
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].rule, "recursive-acquisition");
+  EXPECT_NE(captured_[0].message.find("twin"), std::string::npos)
+      << captured_[0].message;
+}
+
+// AssertHeld is a real per-thread ownership check under DMX_DEBUG_LOCKS,
+// not just a compile-time claim.
+TEST_F(LockdepTest, AssertHeldChecksRealOwnership) {
+  Mutex m("assert.M");
+  m.AssertHeld();  // not held: must report
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].rule, "unheld-assert");
+
+  m.Lock();
+  m.AssertHeld();  // held: clean
+  m.Unlock();
+  EXPECT_EQ(captured_.size(), 1u);
+
+  // Held by ANOTHER thread is still "not held" for the asserting thread.
+  m.Lock();
+  std::thread other([&] { m.AssertHeld(); });
+  other.join();
+  m.Unlock();
+  EXPECT_EQ(captured_.size(), 2u);
+}
+
+// A shared hold satisfies AssertReaderHeld but not the exclusive AssertHeld.
+TEST_F(LockdepTest, SharedHoldIsNotExclusiveOwnership) {
+  SharedMutex rw("assert.S");
+  ReaderMutexLock hold_shared(&rw);
+  rw.AssertReaderHeld();
+  EXPECT_TRUE(captured_.empty());
+  rw.AssertHeld();
+  ASSERT_EQ(captured_.size(), 1u);
+  EXPECT_EQ(captured_[0].rule, "unheld-assert");
+  EXPECT_NE(captured_[0].message.find("shared"), std::string::npos)
+      << captured_[0].message;
+}
+
+// The held-set tracks nested scopes and drains back to empty — the owner
+// table AssertHeld reads must not leak entries across statements.
+TEST_F(LockdepTest, HeldSetTracksScopes) {
+  Mutex m("held.M");
+  SharedMutex rw("held.S");
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+  {
+    MutexLock hold_m(&m);
+    EXPECT_EQ(lockdep::HeldCount(), 1);
+    {
+      ReaderMutexLock hold_shared(&rw);
+      EXPECT_EQ(lockdep::HeldCount(), 2);
+    }
+    EXPECT_EQ(lockdep::HeldCount(), 1);
+  }
+  EXPECT_EQ(lockdep::HeldCount(), 0);
+  EXPECT_TRUE(captured_.empty());
+}
+
+}  // namespace
+}  // namespace dmx
+
+#endif  // DMX_DEBUG_LOCKS

@@ -20,6 +20,13 @@ enforcement"):
                       thread-safety analysis understands) and
                       src/common/env.cc (the fault-injectable I/O layer).
 
+  raw-sleep           std::this_thread::sleep_for / sleep_until and usleep
+                      are forbidden in src/ and tools/: waiting must go
+                      through CondVar or guard deadlines so the deterministic
+                      scheduler (common/det_sched.h) can control time and
+                      deadlines/cancellation can trip the wait. Tests may
+                      sleep (tests/ is outside the linted tree).
+
   status-context      In cross-layer boundary files, `return <expr>.status();`
                       must attach a WithContext frame — a Status that crosses
                       a subsystem boundary without context is undiagnosable
@@ -54,10 +61,11 @@ from pathlib import Path
 
 GUARDED_LOOPS = "guarded-loops"
 RAW_SYNC_PRIMITIVE = "raw-sync-primitive"
+RAW_SLEEP = "raw-sleep"
 STATUS_CONTEXT = "status-context"
 BAD_SUPPRESSION = "bad-suppression"
 
-ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, STATUS_CONTEXT,
+ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, RAW_SLEEP, STATUS_CONTEXT,
              BAD_SUPPRESSION)
 
 # Files the status-context rule applies to: the cross-layer boundaries where
@@ -70,10 +78,14 @@ BOUNDARY_FILES = (
     "src/store/store.cc",
 )
 
-# The only files allowed to touch raw sync/file primitives.
+# The only files allowed to touch raw sync/file primitives. lockdep and
+# det-sched are the DMX_DEBUG_LOCKS instrumentation behind the mutex.h seam:
+# their internal state cannot use dmx::Mutex (its hooks would re-enter them).
 RAW_PRIMITIVE_SEAMS = (
     "src/common/mutex.h",
     "src/common/env.cc",
+    "src/common/lockdep.cc",
+    "src/common/det_sched.cc",
 )
 
 # Training / prediction entry points the guarded-loops rule inspects.
@@ -91,6 +103,10 @@ RAW_PRIMITIVE_RE = re.compile(
     r"|std::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
     r"|\bfopen\s*\("
     r"|std::[oif]?fstream\b")
+
+RAW_SLEEP_RE = re.compile(
+    r"std::this_thread::sleep_(?:for|until)\s*\("
+    r"|\busleep\s*\(")
 
 SUPPRESS_RE = re.compile(r"//\s*dmx-lint:\s*allow\(([a-z-]+)\)")
 
@@ -215,6 +231,19 @@ def check_raw_sync_primitive(relpath, lines, scrubbed):
                 "wrappers or Env")
 
 
+def check_raw_sleep(relpath, lines, scrubbed):
+    if not (relpath.startswith("src/") or relpath.startswith("tools/")):
+        return
+    for line_no, line in enumerate(scrubbed.split("\n"), start=1):
+        match = RAW_SLEEP_RE.search(line)
+        if match:
+            yield Violation(
+                RAW_SLEEP, relpath, line_no,
+                f"raw sleep '{match.group(0).strip().rstrip('(').strip()}' "
+                "in production code; wait on a CondVar or a guard deadline "
+                "so det-sched can control time and cancellation can trip")
+
+
 def check_status_context(relpath, lines, scrubbed):
     if relpath not in BOUNDARY_FILES:
         return
@@ -230,7 +259,7 @@ def check_status_context(relpath, lines, scrubbed):
 
 
 RULE_CHECKS = (check_guarded_loops, check_raw_sync_primitive,
-               check_status_context)
+               check_raw_sleep, check_status_context)
 
 
 # ---------------------------------------------------------------------------

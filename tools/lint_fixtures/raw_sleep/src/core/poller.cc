@@ -1,0 +1,32 @@
+// Fixture: raw sleeps in production code. Waiting must go through CondVar
+// or guard deadlines so det-sched can control time.
+#include <chrono>
+#include <thread>
+
+namespace dmx {
+
+void PollForSlot() {
+  while (true) {
+    // A poll loop burning wall-clock time the deterministic scheduler
+    // cannot control:
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+void Backoff(int attempt) {
+  // usleep is just as invisible to det-sched as std::this_thread.
+  (void)attempt;
+  // NOLINTNEXTLINE
+  usleep(1000);
+}
+
+void NotViolations() {
+  // std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const char* doc = "call std::this_thread::sleep_for to reproduce";
+  (void)doc;
+  // Measured spin is fine when justified and suppressed:
+  std::this_thread::sleep_until(  // dmx-lint: allow(raw-sleep)
+      std::chrono::steady_clock::now());
+}
+
+}  // namespace dmx

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Runs the concurrency benchmark (bench/bench_concurrency.cc) and captures
+# the google-benchmark JSON as BENCH_concurrency.json — the machine-readable
+# ops/s record (items_per_second) for tracking lock-regime throughput across
+# PRs. The console table still prints for humans.
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    configured build directory (default: build)
+#   OUTPUT_JSON  where to write the JSON (default: BENCH_concurrency.json
+#                in the repository root)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUTPUT_JSON="${2:-$REPO_ROOT/BENCH_concurrency.json}"
+
+if [[ ! -d "$BUILD_DIR" ]]; then
+  echo "run_bench: build directory '$BUILD_DIR' not found;" \
+       "configure with: cmake -B '$BUILD_DIR' -S '$REPO_ROOT'" >&2
+  exit 1
+fi
+
+cmake --build "$BUILD_DIR" --target bench_concurrency -j "$(nproc)"
+
+"$BUILD_DIR/bench/bench_concurrency" \
+  --benchmark_format=console \
+  --benchmark_out="$OUTPUT_JSON" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2s
+
+echo "run_bench: wrote $OUTPUT_JSON"
