@@ -1,0 +1,100 @@
+// Grammar-aware input generation and mutation for the DMX fuzzers.
+//
+// libFuzzer's byte-level mutations almost never get past the tokenizer of a
+// language like DMX; the interesting bugs live behind CREATE MINING MODEL
+// column specs, SHAPE nesting and prediction-join select lists. This module
+// therefore speaks the grammar: it can synthesize whole statements from the
+// provider's actual production rules (templates over keyword / identifier /
+// literal dictionaries matched to the harness catalog in fuzz_targets.cc),
+// and it can mutate an existing statement at the token level — swap an
+// identifier for another catalog name, replace a literal with a boundary
+// value, duplicate or drop a comma-separated element, wrap an expression in
+// one more function call — so that most mutants still lex and many still
+// parse, which is exactly where the differential oracle has power.
+//
+// Everything is deterministic: all randomness flows from an explicit seed
+// (libFuzzer hands one to LLVMFuzzerCustomMutator), so any crashing input
+// replays bit-for-bit.
+
+#ifndef DMX_FUZZ_DMX_GRAMMAR_H_
+#define DMX_FUZZ_DMX_GRAMMAR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmx::fuzz {
+
+/// splitmix64: tiny, seedable, and good enough for mutation decisions.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint32_t Below(uint32_t n) { return static_cast<uint32_t>(Next() % n); }
+
+  /// True with probability pct/100.
+  bool Chance(uint32_t pct) { return Below(100) < pct; }
+
+  /// Picks one element of a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[Below(static_cast<uint32_t>(v.size()))];
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// DMX / SQL keywords the mutator may splice in (statement heads, clause
+/// keywords, column-spec vocabulary).
+const std::vector<std::string>& KeywordDictionary();
+
+/// Identifiers matched to the harness catalog built by fuzz_targets.cc:
+/// table names, column names, the pre-trained model, service names — plus a
+/// few names that deliberately resolve to nothing.
+const std::vector<std::string>& IdentifierDictionary();
+
+/// Boundary-ish literals rendered as DMX source text: 0, -1, INT64 edges,
+/// doubles at the overflow cliff, empty / quote-heavy strings.
+std::string RandomLiteral(Rng& rng);
+
+/// Synthesizes one statement from the full grammar: CREATE MINING MODEL
+/// (nested TABLE columns, RELATED TO, qualifiers — some intentionally
+/// rule-violating), INSERT INTO (column-list, SELECT and SHAPE..APPEND
+/// sources), PREDICTION JOIN (NATURAL and ON forms), CONTENT selects, DROP /
+/// DELETE, and plain SQL. Never generates EXPORT / IMPORT / OPENROWSET (the
+/// harness refuses statements that touch the file system).
+std::string GenerateStatement(Rng& rng);
+
+/// Durable-safe subset for the store-recovery fuzzer: only statements whose
+/// effects the journal captures (SQL DDL/DML, model DDL, training, DELETE
+/// FROM). No reads — they cannot change what recovery must reproduce.
+std::string GenerateDurableStatement(Rng& rng);
+
+/// Grammar-aware mutation of statement text in place (the custom-mutator
+/// contract: `data[0,size)` holds the input, the result — at most
+/// `max_size` bytes — is written back, and the new size returned). Roughly:
+/// 60% token-level edits, 25% fresh generation, 15% raw byte noise so the
+/// lexer's error paths stay exercised too.
+size_t MutateStatement(uint8_t* data, size_t size, size_t max_size,
+                       uint64_t seed);
+
+/// Mutator for fuzz_store_recovery inputs: "FAULT <op> <kind>" header line
+/// followed by one durable statement per line. Mutates the fault point /
+/// kind and the statement lines (via the grammar), keeping the shape valid
+/// most of the time.
+size_t MutateRecoveryInput(uint8_t* data, size_t size, size_t max_size,
+                           uint64_t seed);
+
+}  // namespace dmx::fuzz
+
+#endif  // DMX_FUZZ_DMX_GRAMMAR_H_

@@ -1,0 +1,25 @@
+// Fuzz target: crash-recovery oracle. Input is a "FAULT <op> <kind>" header
+// followed by one durable statement per line; the harness executes the
+// script against a store with the fault armed, reopens, and requires the
+// recovered catalog to equal an exact successfully-executed prefix.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/dmx_grammar.h"
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  dmx::fuzz::CheckResult result = dmx::fuzz::CheckStoreRecovery(input);
+  if (!result.ok) {
+    dmx::fuzz::ReportFailure("store_recovery", data, size, result.error);
+  }
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return dmx::fuzz::MutateRecoveryInput(data, size, max_size, seed);
+}

@@ -1,0 +1,448 @@
+#include "fuzz/fuzz_targets.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <vector>
+
+#include "common/env.h"
+#include "common/tokenizer.h"
+#include "core/dmx_analyzer.h"
+#include "core/mining_model.h"
+#include "core/provider.h"
+#include "relational/database.h"
+#include "relational/sql_parser.h"
+
+namespace dmx::fuzz {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared harness plumbing.
+// ---------------------------------------------------------------------------
+
+/// Upper-cased copy for case-insensitive substring scans.
+std::string ToUpper(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::toupper(c));
+  });
+  return out;
+}
+
+/// Statements that touch the file system are out of scope for fuzzing: they
+/// are slow, they litter the disk, and their failure modes are the I/O
+/// fuzzer's job (fuzz_store_recovery owns fault injection).
+bool TouchesFileSystem(std::string_view text) {
+  std::string upper = ToUpper(text);
+  return upper.find("EXPORT") != std::string::npos ||
+         upper.find("IMPORT") != std::string::npos ||
+         upper.find("OPENROWSET") != std::string::npos;
+}
+
+}  // namespace
+
+/// The fixed fuzzing catalog (mirrored by the dictionaries in
+/// dmx_grammar.cc): two tables, a trained model [M], an untrained model [U].
+/// Built fresh per input so executor side effects never leak between runs.
+void PopulateFuzzCatalog(Provider* provider) {
+  static const char* kSetup[] = {
+      "CREATE TABLE People (Id LONG, Age DOUBLE, Income DOUBLE, City TEXT, "
+      "Loyalty LONG)",
+      "INSERT INTO People VALUES (1, 25, 100, 'Oslo', 0), "
+      "(2, 30, 210, 'Rome', 1), (3, 45, 300, 'Oslo', 1), "
+      "(4, 22, 90, 'Bern', 0), (5, 60, 400, 'Rome', 1), "
+      "(6, 35, 150, 'Bern', 0)",
+      "CREATE TABLE Pets (Owner LONG, Pet TEXT)",
+      "INSERT INTO Pets VALUES (1, 'cat'), (2, 'dog'), (3, 'fish')",
+      "CREATE MINING MODEL [M] ([Id] LONG KEY, [Age] DOUBLE CONTINUOUS, "
+      "[Income] DOUBLE CONTINUOUS, [Loyalty] LONG DISCRETE PREDICT) "
+      "USING Clustering(CLUSTER_COUNT = 2, SEED = 7)",
+      "INSERT INTO [M] SELECT [Id], [Age], [Income], [Loyalty] FROM People",
+      "CREATE MINING MODEL [U] ([Id] LONG KEY, [Age] DOUBLE CONTINUOUS, "
+      "[Loyalty] LONG DISCRETE PREDICT) USING Naive_Bayes",
+  };
+  auto conn = provider->Connect();
+  for (const char* stmt : kSetup) {
+    auto result = conn->Execute(stmt);
+    if (!result.ok()) {
+      std::fprintf(stderr, "fuzz catalog setup failed: %s\n  %s\n",
+                   result.status().ToString().c_str(), stmt);
+      std::abort();  // Harness bug, not a finding: fail loudly.
+    }
+  }
+}
+
+namespace {
+
+/// True for codes a statement may legitimately fail with. kInternal is the
+/// library's "invariant broken" signal and is always a finding; everything
+/// else in the closed set is a clean, caller-attributable outcome.
+bool IsCleanFailure(StatusCode code) {
+  return static_cast<int>(code) >= 0 &&
+         static_cast<int>(code) < kStatusCodeCount &&
+         code != StatusCode::kInternal;
+}
+
+/// Every diagnostic must carry a registered rule id — the analyzer cannot
+/// invent rule names the coverage meta-test does not know about.
+bool IsKnownRule(const std::string& rule) {
+  for (const char* known : rules::kAll) {
+    if (rule == known) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Divergence allowlist (DESIGN.md §12 carries the same table). An entry
+// means: the analyzer intentionally rejects statements of this class even
+// though the executor accepts them — the analyzer is a *lint* layer and is
+// allowed to be stricter than the engine, but each such gap must be named.
+// ---------------------------------------------------------------------------
+
+const DivergenceRule kDivergenceAllowlist[] = {
+    {rules::kUnknownColumn,
+     "INSERT column lists are lint-checked against the model, but the "
+     "executor binds by position and legally ignores a redundant list"},
+    {rules::kPredictInput,
+     "feeding a PREDICT column from the source is suspicious (lint) yet "
+     "well-defined at execution: the engine treats it as evidence"},
+    {nullptr, nullptr},
+};
+
+bool IsAllowlistedDivergence(std::string_view rule) {
+  for (const DivergenceRule* entry = kDivergenceAllowlist; entry->rule;
+       ++entry) {
+    if (rule == entry->rule) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Target 1: differential analyzer / executor oracle.
+// ---------------------------------------------------------------------------
+
+CheckResult CheckDmxStatement(std::string_view text) {
+  if (text.size() > 4096) return CheckResult::Pass();
+  if (TouchesFileSystem(text)) return CheckResult::Pass();
+  std::string statement(text);
+
+  Provider provider;
+  PopulateFuzzCatalog(&provider);
+
+  DmxAnalyzer analyzer(AnalyzerContext{provider.models(), provider.services(),
+                                       provider.database()});
+  AnalysisReport report = analyzer.AnalyzeText(statement);
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (!IsKnownRule(diag.rule)) {
+      return CheckResult::Fail("analyzer emitted unregistered rule id '" +
+                               diag.rule + "' for: " + statement);
+    }
+  }
+
+  auto conn = provider.Connect();
+  ExecLimits limits;
+  limits.max_output_rows = 1 << 14;
+  limits.max_working_set_rows = 1 << 16;  // Deterministic runaway bound.
+  conn->set_limits(limits);
+  auto result = conn->Execute(statement);
+  StatusCode exec_code =
+      result.ok() ? StatusCode::kOk : result.status().code();
+
+  if (!result.ok() && !IsCleanFailure(exec_code)) {
+    return CheckResult::Fail("executor returned " +
+                             std::string(StatusCodeToString(exec_code)) +
+                             " (" + result.status().ToString() +
+                             ") for: " + statement);
+  }
+
+  if (report.error_count() == 0) {
+    // Analyzer-clean statements may still fail semantically (kNotFound,
+    // kBindError, ...) but must get PAST parsing: a parse error here means
+    // the analyzer and executor disagree about the language itself.
+    if (!result.ok() && exec_code == StatusCode::kParseError) {
+      return CheckResult::Fail(
+          "analyzer found no issues but the executor failed to parse (" +
+          result.status().ToString() + "): " + statement);
+    }
+    return CheckResult::Pass();
+  }
+
+  // Analyzer-rejected statement: the executor accepting it is a divergence
+  // unless every tripped error rule is allowlisted.
+  if (result.ok()) {
+    for (const Diagnostic& diag : report.diagnostics) {
+      if (diag.severity != DiagSeverity::kError) continue;
+      if (!IsAllowlistedDivergence(diag.rule)) {
+        return CheckResult::Fail(
+            "analyzer rejected (rule '" + diag.rule +
+            "') but the executor succeeded: " + statement);
+      }
+    }
+  }
+  return CheckResult::Pass();
+}
+
+// ---------------------------------------------------------------------------
+// Target 2: crash-recovery oracle.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Everything recovery must reproduce: table contents plus model inventory
+/// with training status. (Prediction equality on recovered models is
+/// store_test's slower job; journaling correctness shows up here already.)
+std::string CatalogStateString(Provider* provider) {
+  std::string out;
+  std::vector<std::string> tables = provider->database()->ListTables();
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& name : tables) {
+    auto table = provider->database()->GetTable(name);
+    if (!table.ok()) return "table error: " + table.status().ToString();
+    out += "table " + name + "\n" +
+           rel::ToCsvString(*(*table)->schema(), (*table)->rows());
+  }
+  std::vector<std::string> models = provider->models()->ListModels();
+  std::sort(models.begin(), models.end());
+  for (const std::string& name : models) {
+    auto model = provider->models()->GetModel(name);
+    if (!model.ok()) return "model error: " + model.status().ToString();
+    out += "model " + name +
+           " trained=" + ((*model)->is_trained() ? "1" : "0") +
+           " cases=" + std::to_string((*model)->case_count()) + "\n";
+  }
+  return out;
+}
+
+/// Executes one line of the recovery script. "CHECKPOINT" forces a snapshot
+/// rotation (a no-op success on the storeless oracle provider).
+Status RunScriptLine(Provider* provider, Connection* conn,
+                     const std::string& line, bool has_store) {
+  if (line == "CHECKPOINT") {
+    if (!has_store) return Status::OK();
+    return provider->Checkpoint();
+  }
+  return conn->Execute(line).status();
+}
+
+/// Scratch directory for this process's store fuzzing, wiped per run.
+std::string ScratchStoreDir() {
+  static const std::string kDir = [] {
+    const char* base = std::getenv("DMX_FUZZ_TMPDIR");
+    std::string dir = std::string(base ? base : "/tmp") +
+                      "/dmx_fuzz_store_" + std::to_string(getpid());
+    return dir;
+  }();
+  Env* env = Env::Default();
+  (void)env->CreateDir(kDir);
+  auto names = env->ListDir(kDir);
+  if (names.ok()) {
+    for (const std::string& f : *names) (void)env->DeleteFile(kDir + "/" + f);
+  }
+  return kDir;
+}
+
+}  // namespace
+
+CheckResult CheckStoreRecovery(std::string_view input) {
+  if (input.size() > 8192) return CheckResult::Pass();
+
+  // Parse "FAULT <op_index> <kind>" + statement lines.
+  std::string text(input);
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start <= text.size()) {
+    size_t nl = text.find('\n', start);
+    std::string line = nl == std::string::npos
+                           ? text.substr(start)
+                           : text.substr(start, nl - start);
+    if (!line.empty() && line.size() <= 1024) lines.push_back(line);
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  if (lines.empty() || lines[0].rfind("FAULT ", 0) != 0) {
+    return CheckResult::Pass();  // Malformed header: not an interesting input.
+  }
+  int64_t fail_at = 0;
+  char kind_buf[16] = {0};
+  if (std::sscanf(lines[0].c_str(), "FAULT %ld %15s", &fail_at, kind_buf) !=
+          2 ||
+      fail_at < 0) {
+    return CheckResult::Pass();
+  }
+  FaultInjectionEnv::FaultKind kind;
+  std::string kind_name(kind_buf);
+  if (kind_name == "io") {
+    kind = FaultInjectionEnv::FaultKind::kIOError;
+  } else if (kind_name == "torn") {
+    kind = FaultInjectionEnv::FaultKind::kTornWrite;
+  } else if (kind_name == "nospace") {
+    kind = FaultInjectionEnv::FaultKind::kNoSpace;
+  } else {
+    return CheckResult::Pass();
+  }
+
+  std::vector<std::string> script(lines.begin() + 1, lines.end());
+  if (script.size() > 12) script.resize(12);
+  // The durable grammar never emits file-system statements, but mutated
+  // corpus bytes might; those belong to other targets.
+  for (const std::string& stmt : script) {
+    if (TouchesFileSystem(stmt)) return CheckResult::Pass();
+  }
+
+  // Pass 1 — fault-free in-memory oracle: which statements succeed, and what
+  // the catalog looks like after each successful prefix.
+  std::vector<bool> oracle_ok;
+  std::vector<std::string> prefix_state;  // [k] = state after k successes.
+  {
+    Provider oracle;
+    auto conn = oracle.Connect();
+    prefix_state.push_back(CatalogStateString(&oracle));
+    for (const std::string& stmt : script) {
+      Status s = RunScriptLine(&oracle, conn.get(), stmt, false);
+      oracle_ok.push_back(s.ok());
+      if (s.ok()) prefix_state.push_back(CatalogStateString(&oracle));
+    }
+  }
+
+  // Pass 2 — the same script against a durable store with the fault armed.
+  std::string dir = ScratchStoreDir();
+  FaultInjectionEnv faulty(Env::Default());
+  size_t successes = 0;
+  bool crashed = false;
+  bool crashed_stmt_oracle_ok = false;
+  {
+    Provider provider;
+    store::StoreOptions options;
+    options.env = &faulty;
+    Status open = provider.OpenStore(dir, options);
+    if (!open.ok()) {
+      return CheckResult::Fail("clean OpenStore failed: " + open.ToString());
+    }
+    faulty.ArmFault(fail_at, kind);
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < script.size(); ++i) {
+      Status s = RunScriptLine(&provider, conn.get(), script[i], true);
+      if (s.ok() != oracle_ok[i]) {
+        // Outcome changed under the fault — the "process dies" here.
+        if (s.ok()) {
+          return CheckResult::Fail(
+              "statement succeeded under fault but fails cleanly: " +
+              script[i]);
+        }
+        if (s.code() == StatusCode::kInternal) {
+          return CheckResult::Fail("fault surfaced as kInternal (" +
+                                   s.ToString() + ") for: " + script[i]);
+        }
+        crashed = true;
+        crashed_stmt_oracle_ok = oracle_ok[i];
+        break;
+      }
+      if (s.ok()) ++successes;
+    }
+  }
+  faulty.Disarm();
+
+  // Pass 3 — reopen with a clean Env: recovery must reconstruct exactly the
+  // executed prefix (or prefix + 1 when the crashing statement's WAL append
+  // survived even though the statement reported failure).
+  Provider recovered;
+  Status reopen = recovered.OpenStore(dir);
+  if (!reopen.ok()) {
+    return CheckResult::Fail("recovery failed after fault at op " +
+                             std::to_string(fail_at) + " (" + kind_name +
+                             "): " + reopen.ToString());
+  }
+  std::string state = CatalogStateString(&recovered);
+  if (state == prefix_state[successes]) return CheckResult::Pass();
+  if (crashed && crashed_stmt_oracle_ok &&
+      successes + 1 < prefix_state.size() &&
+      state == prefix_state[successes + 1]) {
+    return CheckResult::Pass();
+  }
+  std::string detail =
+      "recovered state matches no valid statement prefix (executed " +
+      std::to_string(successes) + " of " + std::to_string(script.size()) +
+      ", fault at op " + std::to_string(fail_at) + " " + kind_name +
+      ", crashed=" + (crashed ? "yes" : "no") +
+      " crashed_stmt_oracle_ok=" + (crashed_stmt_oracle_ok ? "yes" : "no") +
+      ")\n--- recovered ---\n" + state + "--- expected (prefix " +
+      std::to_string(successes) + ") ---\n" + prefix_state[successes];
+  if (successes + 1 < prefix_state.size()) {
+    detail += "--- expected (prefix " + std::to_string(successes + 1) +
+              ") ---\n" + prefix_state[successes + 1];
+  }
+  return CheckResult::Fail(detail);
+}
+
+// ---------------------------------------------------------------------------
+// Target 3: tokenizer / parser / analyzer robustness.
+// ---------------------------------------------------------------------------
+
+CheckResult CheckTokenizerParser(std::string_view text) {
+  if (text.size() > (1u << 16)) return CheckResult::Pass();
+  std::string statement(text);
+
+  auto tokens = Tokenize(statement);
+  if (!tokens.ok() && !IsCleanFailure(tokens.status().code())) {
+    return CheckResult::Fail("tokenizer returned " +
+                             tokens.status().ToString());
+  }
+
+  auto dmx = ParseDmx(statement);
+  if (!dmx.ok() && !IsCleanFailure(dmx.status().code())) {
+    return CheckResult::Fail("ParseDmx returned " + dmx.status().ToString());
+  }
+
+  auto sql = rel::ParseSql(statement);
+  if (!sql.ok() && !IsCleanFailure(sql.status().code())) {
+    return CheckResult::Fail("ParseSql returned " + sql.status().ToString());
+  }
+
+  // Context-free analysis must hold the same contract and only speak in
+  // registered rule ids.
+  AnalysisReport report = DmxAnalyzer().AnalyzeText(statement);
+  for (const Diagnostic& diag : report.diagnostics) {
+    if (!IsKnownRule(diag.rule)) {
+      return CheckResult::Fail("analyzer emitted unregistered rule id '" +
+                               diag.rule + "'");
+    }
+  }
+  // Rendering diagnostics resolves spans against the source; it must be
+  // robust for arbitrary byte inputs too.
+  (void)report.ToString(statement);
+  return CheckResult::Pass();
+}
+
+// ---------------------------------------------------------------------------
+// Crash escalation shared by the fuzz entry points.
+// ---------------------------------------------------------------------------
+
+void ReportFailure(const char* target, const uint8_t* data, size_t size,
+                   const std::string& error) {
+  // FNV-1a so the reproducer file name is stable for identical inputs.
+  uint64_t hash = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    hash = (hash ^ data[i]) * 1099511628211ULL;
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "crash-%s-%016lx", target,
+                static_cast<unsigned long>(hash));
+  std::ofstream out(name, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  out.close();
+  std::fprintf(stderr,
+               "\n=== %s oracle failure ===\n%s\nreproducer saved to %s "
+               "(%zu bytes)\n",
+               target, error.c_str(), name, size);
+  std::abort();
+}
+
+}  // namespace dmx::fuzz

@@ -1,0 +1,98 @@
+// Fuzz harness: the checks behind the three fuzz targets, shared between the
+// libFuzzer / standalone entry points (fuzz_*.cc) and the committed
+// crash-regression replay (tests/fuzz_regression_test.cc, a plain ctest in
+// the default build).
+//
+// Each Check* function runs one fuzz input through its oracle and returns a
+// CheckResult instead of aborting, so the regression test can report a
+// failure through gtest while the fuzz entry points escalate it to a crash
+// the fuzzing engine records.
+//
+// The oracles (DESIGN.md §12):
+//
+//  * CheckDmxStatement — differential analyzer/executor consistency on one
+//    catalog: statements the DmxAnalyzer passes must never make
+//    Connection::Execute crash or return kInternal (clean semantic failures
+//    like kNotFound are fine); statements the analyzer rejects must also be
+//    rejected by the executor, divergences allowlisted per rule id.
+//  * CheckStoreRecovery — a statement sequence under an injected I/O fault,
+//    then reopen: the recovered catalog must equal the in-memory oracle
+//    state after exactly the successfully-executed statement prefix.
+//  * CheckTokenizerParser — raw bytes through tokenizer, both parsers and
+//    the analyzer: every outcome is a well-formed non-kInternal Status (deep
+//    nesting included: kInvalidArgument, never a stack overflow), and every
+//    diagnostic carries a registered rule id.
+
+#ifndef DMX_FUZZ_FUZZ_TARGETS_H_
+#define DMX_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace dmx {
+class Provider;
+}  // namespace dmx
+
+namespace dmx::fuzz {
+
+/// Outcome of one oracle run. `ok` is also true for inputs the harness
+/// chooses to skip (oversized, file-system statements); skipping is never a
+/// finding.
+struct CheckResult {
+  bool ok = true;
+  std::string error;
+
+  static CheckResult Pass() { return {}; }
+  static CheckResult Fail(std::string why) { return {false, std::move(why)}; }
+};
+
+/// \brief One allowlisted analyzer/executor divergence. An analyzer-rejected
+/// statement that the executor accepts is a finding unless EVERY error rule
+/// it trips appears here; each entry documents why the divergence is
+/// intended (mirrored in DESIGN.md §12).
+struct DivergenceRule {
+  const char* rule;  ///< rules:: identifier from dmx_analyzer.h.
+  const char* why;   ///< One-line justification.
+};
+
+/// Allowlist, terminated by a {nullptr, nullptr} entry.
+extern const DivergenceRule kDivergenceAllowlist[];
+
+/// True when `rule` appears in kDivergenceAllowlist.
+bool IsAllowlistedDivergence(std::string_view rule);
+
+/// Differential analyzer/executor oracle over one statement text.
+CheckResult CheckDmxStatement(std::string_view text);
+
+/// Builds the fixed fuzzing catalog on a fresh provider: tables People /
+/// Pets, trained model [M], untrained model [U] — the world the grammar
+/// dictionaries (dmx_grammar.cc) and the rule-coverage meta-test
+/// (tests/rule_coverage_test.cc) are written against. Aborts on failure
+/// (harness bug, not a finding).
+void PopulateFuzzCatalog(Provider* provider);
+
+/// Crash-recovery oracle. Input format (line-oriented text):
+///   FAULT <op_index> <io|torn|nospace>
+///   <statement>
+///   ...
+/// The fault arms after the store is opened; execution stops at the first
+/// statement whose outcome differs from the fault-free oracle run (the
+/// "crash"), the store is reopened with a clean Env, and the recovered
+/// catalog must match the oracle state after the executed prefix (or prefix
+/// + 1 when the WAL append outlived the failing statement).
+CheckResult CheckStoreRecovery(std::string_view input);
+
+/// Tokenizer / parser / analyzer robustness over raw bytes.
+CheckResult CheckTokenizerParser(std::string_view text);
+
+/// Crash escalation for the fuzz entry points: prints `error`, saves the
+/// offending input as crash-<hash> in the working directory (so a standalone
+/// run preserves the reproducer exactly like libFuzzer does), and aborts.
+[[noreturn]] void ReportFailure(const char* target, const uint8_t* data,
+                                size_t size, const std::string& error);
+
+}  // namespace dmx::fuzz
+
+#endif  // DMX_FUZZ_FUZZ_TARGETS_H_

@@ -1,0 +1,26 @@
+// Fuzz target: tokenizer / parser / analyzer robustness on raw bytes. Any
+// input must come back as a clean non-kInternal Status — deep nesting
+// included (bounded recursion yields kInvalidArgument, never a stack
+// overflow). The mutator still prefers grammar-shaped inputs so parse
+// coverage goes deep, but the harness accepts arbitrary bytes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "fuzz/dmx_grammar.h"
+#include "fuzz/fuzz_targets.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  dmx::fuzz::CheckResult result = dmx::fuzz::CheckTokenizerParser(text);
+  if (!result.ok) {
+    dmx::fuzz::ReportFailure("tokenizer_parser", data, size, result.error);
+  }
+  return 0;
+}
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  return dmx::fuzz::MutateStatement(data, size, max_size, seed);
+}

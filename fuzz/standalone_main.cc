@@ -1,0 +1,159 @@
+// Standalone fuzzing driver: a libFuzzer-compatible main() for toolchains
+// without -fsanitize=fuzzer (this repo's baseline is GCC). It speaks enough
+// of the libFuzzer command line for tools/run_fuzz.sh and CI to treat both
+// engines identically:
+//
+//   fuzz_target corpus_dir [file...] -runs=N -max_len=M -seed=S
+//               -max_total_time=SECONDS
+//
+// Files and corpus entries are replayed first (so crash regressions
+// reproduce exactly); with -runs / -max_total_time the driver then loops:
+// pick a corpus entry, mutate it through the target's grammar-aware
+// LLVMFuzzerCustomMutator, execute. New inputs are kept in memory as
+// mutation bases; there is no coverage feedback — grammar awareness is what
+// keeps the walk productive. Crashes abort with a reproducer file written by
+// the harness (fuzz_targets.cc), same contract as libFuzzer.
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed);
+
+namespace {
+
+bool ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+bool IsDirectory(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> ListFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::string cmd = "ls -1 '" + dir + "' 2>/dev/null";
+  // popen keeps this file dependency-free; corpus dirs are trusted local
+  // paths supplied by run_fuzz.sh or the developer.
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (!pipe) return files;
+  char line[4096];
+  while (std::fgets(line, sizeof(line), pipe)) {
+    size_t len = std::strlen(line);
+    while (len > 0 && (line[len - 1] == '\n' || line[len - 1] == '\r')) {
+      line[--len] = '\0';
+    }
+    if (len > 0) files.push_back(dir + "/" + line);
+  }
+  ::pclose(pipe);
+  return files;
+}
+
+uint64_t ParseFlag(const char* arg, const char* name, uint64_t fallback) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return fallback;
+  return static_cast<uint64_t>(std::strtoull(arg + len + 1, nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t runs = 0;
+  uint64_t max_len = 4096;
+  uint64_t seed = 0;
+  uint64_t max_total_time = 0;  // Seconds; 0 = unlimited.
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (arg[0] == '-') {
+      runs = ParseFlag(arg, "-runs", runs);
+      max_len = ParseFlag(arg, "-max_len", max_len);
+      seed = ParseFlag(arg, "-seed", seed);
+      max_total_time = ParseFlag(arg, "-max_total_time", max_total_time);
+      continue;  // Unknown flags are accepted and ignored, like libFuzzer.
+    }
+    paths.push_back(arg);
+  }
+
+  // Load the corpus: directories shallowly, files directly.
+  std::vector<std::vector<uint8_t>> corpus;
+  for (const std::string& path : paths) {
+    if (IsDirectory(path)) {
+      for (const std::string& file : ListFiles(path)) {
+        std::vector<uint8_t> data;
+        if (ReadFile(file, &data)) corpus.push_back(std::move(data));
+      }
+    } else {
+      std::vector<uint8_t> data;
+      if (!ReadFile(path, &data)) {
+        std::fprintf(stderr, "cannot read %s\n", path.c_str());
+        return 1;
+      }
+      corpus.push_back(std::move(data));
+    }
+  }
+
+  // Replay phase: every corpus entry must pass its oracle.
+  for (const auto& input : corpus) {
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+  }
+  std::fprintf(stderr, "standalone: replayed %zu corpus inputs OK\n",
+               corpus.size());
+  if (runs == 0 && max_total_time == 0) return 0;
+
+  // Mutation phase. splitmix64 over the -seed flag keeps runs reproducible.
+  uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ULL;
+  auto next_rand = [&state]() {
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  auto start = std::chrono::steady_clock::now();
+  std::vector<uint8_t> buf(max_len);
+  uint64_t executed = 0;
+  for (uint64_t run = 0; runs == 0 || run < runs; ++run) {
+    if (max_total_time > 0 &&
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - start)
+                .count() >= static_cast<int64_t>(max_total_time)) {
+      break;
+    }
+    size_t size = 0;
+    if (!corpus.empty()) {
+      const auto& base = corpus[next_rand() % corpus.size()];
+      size = base.size() < max_len ? base.size() : max_len;
+      std::memcpy(buf.data(), base.data(), size);
+    }
+    size = LLVMFuzzerCustomMutator(buf.data(), size, max_len,
+                                   static_cast<unsigned int>(next_rand()));
+    LLVMFuzzerTestOneInput(buf.data(), size);
+    ++executed;
+    // Keep a bounded pool of recent mutants as future mutation bases: a
+    // poor man's corpus evolution without coverage feedback.
+    if (corpus.size() < 512 && (next_rand() % 8) == 0) {
+      corpus.emplace_back(buf.begin(), buf.begin() + size);
+    }
+    if (executed % 5000 == 0) {
+      std::fprintf(stderr, "standalone: %lu runs, corpus %zu\n",
+                   static_cast<unsigned long>(executed), corpus.size());
+    }
+  }
+  std::fprintf(stderr, "standalone: done, %lu mutation runs, no failures\n",
+               static_cast<unsigned long>(executed));
+  return 0;
+}

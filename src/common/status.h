@@ -35,6 +35,14 @@ enum class StatusCode {
   kInternal,          ///< Invariant violation inside the library.
 };
 
+/// Number of StatusCode values, kOk included. The codes are a CLOSED set:
+/// the fuzzer's differential oracle and the exhaustiveness test in
+/// status_test.cc rely on every value in [0, kStatusCodeCount) having a
+/// distinct name and well-defined semantics. Append new codes before
+/// kInternal's successor and keep this in sync (the test catches drift).
+inline constexpr int kStatusCodeCount =
+    static_cast<int>(StatusCode::kInternal) + 1;
+
 /// Returns a short human-readable name ("Parse error", ...) for a code.
 const char* StatusCodeToString(StatusCode code);
 

@@ -1,6 +1,8 @@
 #include "common/tokenizer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 namespace dmx {
@@ -30,6 +32,26 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     if (i + 1 < n && ((c == '-' && input[i + 1] == '-') ||
                       (c == '/' && input[i + 1] == '/'))) {
       while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    // Block comments: "/* ... */" (no nesting, as in SQL). Running off the
+    // end of the input is an error: silently treating the tail as comment
+    // would hide whatever statement text the comment swallowed.
+    if (i + 1 < n && c == '/' && input[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      bool closed = false;
+      while (i + 1 < n) {
+        if (input[i] == '*' && input[i + 1] == '/') {
+          i += 2;
+          closed = true;
+          break;
+        }
+        ++i;
+      }
+      if (!closed) {
+        return ParseError() << "unterminated block comment at offset " << start;
+      }
       continue;
     }
     Token token;
@@ -110,11 +132,25 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       }
       std::string text(input.substr(start, i - start));
       if (is_double) {
+        errno = 0;
+        double value = std::strtod(text.c_str(), nullptr);
+        // ERANGE also covers denormal underflow, which rounds fine; only an
+        // overflow to infinity loses the literal's meaning.
+        if (errno == ERANGE && std::isinf(value)) {
+          return ParseError() << "numeric literal '" << text
+                              << "' overflows a DOUBLE at offset " << start;
+        }
         token.kind = TokenKind::kDouble;
-        token.double_value = std::strtod(text.c_str(), nullptr);
+        token.double_value = value;
       } else {
+        errno = 0;
+        int64_t value = std::strtoll(text.c_str(), nullptr, 10);
+        if (errno == ERANGE) {
+          return ParseError() << "integer literal '" << text
+                              << "' overflows a LONG at offset " << start;
+        }
         token.kind = TokenKind::kLong;
-        token.long_value = std::strtoll(text.c_str(), nullptr, 10);
+        token.long_value = value;
       }
       token.text = std::move(text);
       out.push_back(std::move(token));
@@ -202,6 +238,14 @@ Result<std::string> TokenStream::ExpectIdentifier(std::string_view what) {
     return ErrorHere(std::string("expected ") + std::string(what));
   }
   return Next().text;
+}
+
+Status TokenStream::RecursionScope::Check() const {
+  if (stream_->depth_ <= kMaxRecursionDepth) return Status::OK();
+  const Token& t = stream_->Peek();
+  return InvalidArgument() << "statement nests more than "
+                           << kMaxRecursionDepth
+                           << " levels deep at offset " << t.offset;
 }
 
 Status TokenStream::ErrorHere(std::string_view message) const {

@@ -88,9 +88,39 @@ class TokenStream {
   /// ParseError annotated with the offending token.
   Status ErrorHere(std::string_view message) const;
 
+  /// Maximum grammar recursion depth (parenthesized expressions, nested
+  /// function calls, subqueries). Deep enough for any sane statement, small
+  /// enough that the recursive-descent parsers cannot overflow the stack —
+  /// fuzzed inputs like "((((..." fail cleanly instead of crashing.
+  static constexpr int kMaxRecursionDepth = 100;
+
+  /// \brief RAII depth frame for the recursive-descent parsers. Every
+  /// self-recursive production opens one and checks it:
+  ///
+  ///   TokenStream::RecursionScope depth(tokens);
+  ///   DMX_RETURN_IF_ERROR(depth.Check());
+  ///
+  /// Check() reports kInvalidArgument (with the current token's offset as
+  /// the source span) once the nesting exceeds kMaxRecursionDepth.
+  class RecursionScope {
+   public:
+    explicit RecursionScope(TokenStream* stream) : stream_(stream) {
+      ++stream_->depth_;
+    }
+    ~RecursionScope() { --stream_->depth_; }
+    RecursionScope(const RecursionScope&) = delete;
+    RecursionScope& operator=(const RecursionScope&) = delete;
+
+    Status Check() const;
+
+   private:
+    TokenStream* stream_;
+  };
+
  private:
   std::vector<Token> tokens_;
   size_t pos_ = 0;
+  int depth_ = 0;  ///< Live RecursionScope frames.
   Token end_;
 };
 

@@ -67,6 +67,21 @@ inline constexpr const char kSequenceTimeCaseLevel[] =
 /// source — the statement supplies the very value it asks the model to
 /// predict — without a RELATED TO column declaring that dependence.
 inline constexpr const char kPredictInput[] = "predict-input";
+
+/// Every rule id, errors then warnings. A new rule MUST be added here: the
+/// rule-coverage meta-test (tests/rule_coverage_test.cc) walks this array
+/// and fails unless some committed fuzz corpus seed triggers each entry, so
+/// rules cannot ship without fuzzer-visible coverage.
+inline constexpr const char* kAll[] = {
+    kParseError,     kKeyCount,        kTableNestedKey,
+    kNestingDepth,   kDuplicateColumn, kKeyPredict,
+    kRelatedToTarget, kQualifierTarget, kDistributionContinuous,
+    kNumericAttribute, kSequenceTime,   kPredictPresence,
+    kUnknownService, kUnknownModel,    kUnknownColumn,
+    kDuplicateQualifier,
+    kUnusedColumn,   kShadowedAlias,   kQualifierOfInput,
+    kSequenceTimeCaseLevel, kPredictInput,
+};
 }  // namespace rules
 
 enum class DiagSeverity { kError, kWarning };

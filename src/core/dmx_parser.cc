@@ -314,6 +314,11 @@ Result<InsertIntoStatement> ParseInsertInto(TokenStream* tokens) {
 // ---------------------------------------------------------------------------
 
 Result<DmxExpr> ParseDmxExpr(TokenStream* tokens) {
+  // Recurses through function-call arguments (Predict(Predict(...)); bound
+  // the depth so fuzzed nesting fails cleanly instead of overflowing the
+  // stack.
+  TokenStream::RecursionScope depth(tokens);
+  DMX_RETURN_IF_ERROR(depth.Check());
   DmxExpr expr;
   expr.span = TokenSpan(tokens->Peek());
   // Negative numeric literals.

@@ -391,7 +391,22 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
       return trained.WithContext("training model '" + insert->model_name +
                                  "'");
     }
-    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    if (provider_->store_ != nullptr &&
+        !model->service().capabilities().supports_incremental) {
+      // Non-incremental training is not a pure function of (catalog,
+      // statement): the retrain folds in the volatile case cache, which
+      // snapshots do not capture. Replaying the statement after a snapshot
+      // restore would retrain on the new rows alone and silently shrink the
+      // model (fuzz finding: fuzz/regressions/store_recovery/
+      // retrain-after-checkpoint). Journal the trained model itself — the
+      // IMPORT precedent — so recovery restores the exact post-statement
+      // state.
+      DMX_ASSIGN_OR_RETURN(std::string pmml, SerializeModel(*model));
+      DMX_RETURN_IF_ERROR(provider_->store_->JournalModelBlob(
+          model->definition().model_name, pmml));
+    } else {
+      DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    }
     return Rowset();
   }
   if (auto* del = std::get_if<DeleteFromModelStatement>(&statement)) {

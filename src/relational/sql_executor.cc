@@ -592,7 +592,10 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
       }
     }
     // Evaluate every row before inserting any, so a guard trip (or a bad
-    // expression) midway leaves the table untouched.
+    // expression) midway leaves the table untouched. VALUES rows have no row
+    // scope, so binding against an empty Scope turns any column reference
+    // into a clean BindError before evaluation.
+    Scope no_scope;
     Row empty;
     std::vector<Row> staged;
     staged.reserve(stmt->rows.size());
@@ -605,13 +608,14 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
       }
       Row row(schema.num_columns(), Value::Null());
       for (size_t i = 0; i < exprs.size(); ++i) {
+        DMX_RETURN_IF_ERROR(BindExpr(exprs[i].get(), no_scope));
         DMX_ASSIGN_OR_RETURN(row[positions[i]], EvalExpr(*exprs[i], empty));
       }
       staged.push_back(std::move(row));
     }
-    for (Row& row : staged) {
-      DMX_RETURN_IF_ERROR(table->Insert(std::move(row)));
-    }
+    // InsertAll is atomic: coercion failures surface before any row lands,
+    // so a failed INSERT has no side effects (the durability contract).
+    DMX_RETURN_IF_ERROR(table->InsertAll(std::move(staged)));
     return Rowset();
   }
   if (const auto* stmt = std::get_if<DropTableStatement>(&statement)) {

@@ -22,6 +22,11 @@ Result<ExprPtr> ParseOr(TokenStream* tokens);
 // primary := literal | columnref | '(' expr ')' | NOT primary | '-' primary
 //          | NULL
 Result<ExprPtr> ParsePrimary(TokenStream* tokens) {
+  // The expression grammar recurses back into itself through parentheses,
+  // unary operators and call arguments; bound the depth so "((((..." is a
+  // clean error, not a stack overflow.
+  TokenStream::RecursionScope depth(tokens);
+  DMX_RETURN_IF_ERROR(depth.Check());
   const Token& t = tokens->Peek();
   if (tokens->MatchPunct("(")) {
     DMX_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr(tokens));

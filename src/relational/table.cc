@@ -16,23 +16,34 @@ Status Table::ValidateSchema(const Schema& schema) {
   return Status::OK();
 }
 
-Status Table::Insert(Row row) {
-  if (row.size() != schema_->num_columns()) {
+Status Table::CoerceForInsert(Row* row) const {
+  if (row->size() != schema_->num_columns()) {
     return InvalidArgument() << "INSERT into '" << name_ << "': got "
-                             << row.size() << " values, expected "
+                             << row->size() << " values, expected "
                              << schema_->num_columns();
   }
-  for (size_t i = 0; i < row.size(); ++i) {
-    DMX_ASSIGN_OR_RETURN(row[i], row[i].CoerceTo(schema_->column(i).type));
+  for (size_t i = 0; i < row->size(); ++i) {
+    DMX_ASSIGN_OR_RETURN((*row)[i],
+                         (*row)[i].CoerceTo(schema_->column(i).type));
   }
+  return Status::OK();
+}
+
+Status Table::Insert(Row row) {
+  DMX_RETURN_IF_ERROR(CoerceForInsert(&row));
   rows_.push_back(std::move(row));
   return Status::OK();
 }
 
 Status Table::InsertAll(std::vector<Row> rows) {
+  // Coerce every row before appending any (see the header contract: failed
+  // statements must leave the table untouched).
+  for (Row& row : rows) {
+    DMX_RETURN_IF_ERROR(CoerceForInsert(&row));
+  }
   rows_.reserve(rows_.size() + rows.size());
   for (Row& row : rows) {
-    DMX_RETURN_IF_ERROR(Insert(std::move(row)));
+    rows_.push_back(std::move(row));
   }
   return Status::OK();
 }

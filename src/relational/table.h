@@ -34,7 +34,11 @@ class Table {
   /// Appends one row, coercing each cell to the declared column type.
   Status Insert(Row row);
 
-  /// Appends many rows (used by the data generator and CSV import).
+  /// Appends many rows atomically: every row is size-checked and coerced
+  /// before any is appended, so a bad row midway leaves the table untouched.
+  /// Statement-level atomicity is load-bearing for durability — the WAL
+  /// journals only successful statements, so a failed statement with partial
+  /// effects would make crash recovery diverge from the in-memory state.
   Status InsertAll(std::vector<Row> rows);
 
   void Clear() { rows_.clear(); }
@@ -43,6 +47,9 @@ class Table {
   Rowset ToRowset() const { return Rowset(schema_, rows_); }
 
  private:
+  /// Size-checks `row` and coerces each cell in place; mutates nothing else.
+  Status CoerceForInsert(Row* row) const;
+
   std::string name_;
   std::shared_ptr<const Schema> schema_;
   std::vector<Row> rows_;

@@ -346,9 +346,35 @@ TEST_F(StatementRules, ModelRootedPathsAreResolved) {
 }
 
 TEST_F(StatementRules, PredictionJoinAgainstNoOutputModel) {
-  ASSERT_TRUE(conn_
-                  ->Execute("CREATE MINING MODEL [NoOut] ([Id] LONG KEY, "
-                            "[Age] DOUBLE CONTINUOUS) USING Naive_Bayes")
+  // The executor now agrees with the analyzer that a no-output model on a
+  // non-segmentation service is an error at CREATE time (the catalog runs
+  // the analyzer with the service registry in context)...
+  auto create = conn_->Execute(
+      "CREATE MINING MODEL [NoOut] ([Id] LONG KEY, "
+      "[Age] DOUBLE CONTINUOUS) USING Naive_Bayes");
+  ASSERT_FALSE(create.ok());
+  EXPECT_NE(create.status().message().find(rules::kPredictPresence),
+            std::string::npos)
+      << create.status().ToString();
+
+  // ...so a degenerate no-output model can only enter the catalog sideways
+  // (a legacy import); adopt one directly to pin the join-time rule.
+  ModelDefinition def;
+  ModelColumn key;
+  key.name = "Id";
+  key.role = ContentRole::kKey;
+  ModelColumn age;
+  age.name = "Age";
+  age.data_type = DataType::kDouble;
+  age.attr_type = AttributeType::kContinuous;
+  def.model_name = "NoOut";
+  def.service_name = "Naive_Bayes";
+  def.columns = {key, age};
+  auto service = provider_.services()->Find("Naive_Bayes");
+  ASSERT_TRUE(service.ok());
+  ASSERT_TRUE(provider_.models()
+                  ->AdoptModel(std::make_unique<MiningModel>(
+                      std::move(def), *service, ParamMap{}))
                   .ok());
   AnalysisReport report = Analyze(
       "SELECT [Id] FROM [NoOut] NATURAL PREDICTION JOIN "

@@ -273,5 +273,33 @@ TEST(DmxExprTest, ToStringForms) {
   EXPECT_EQ(join.items[2].expr.ToString(), "$Probability");
 }
 
+TEST(DmxExprTest, DeepCallNestingFailsCleanly) {
+  // Predict(Predict(...(x)...)) past kMaxRecursionDepth must be rejected
+  // with kInvalidArgument, not a stack overflow.
+  std::string expr;
+  for (int i = 0; i < 200; ++i) expr += "Predict(";
+  expr += 'x';
+  for (int i = 0; i < 200; ++i) expr += ')';
+  auto result = ParseDmx("SELECT " + expr +
+                         " FROM m NATURAL PREDICTION JOIN (SELECT a FROM t) "
+                         "AS t");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("nests more than"),
+            std::string::npos)
+      << result.status().ToString();
+
+  // Fifty levels is fine.
+  std::string shallow;
+  for (int i = 0; i < 50; ++i) shallow += "Predict(";
+  shallow += 'x';
+  for (int i = 0; i < 50; ++i) shallow += ')';
+  EXPECT_FALSE(MustParse("SELECT " + shallow +
+                         " FROM m NATURAL PREDICTION JOIN (SELECT a FROM t) "
+                         "AS t")
+                   .is_sql);
+}
+
 }  // namespace
 }  // namespace dmx

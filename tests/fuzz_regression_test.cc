@@ -1,0 +1,107 @@
+// Crash-regression replay: every committed fuzz input — the seed corpus and
+// each fixed finding in fuzz/regressions/ — runs through its target's oracle
+// as a plain ctest in the DEFAULT build. A fuzz finding stays fixed without
+// anyone configuring -DDMX_FUZZ=ON, and a regression shows up here as an
+// ordinary test failure naming the input file.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/env.h"
+#include "core/dmx_analyzer.h"
+#include "fuzz/fuzz_targets.h"
+
+#ifndef DMX_SOURCE_DIR
+#error "tests/CMakeLists.txt must define DMX_SOURCE_DIR"
+#endif
+
+namespace dmx {
+namespace {
+
+using fuzz::CheckResult;
+
+/// Loads every file in <source>/fuzz/<kind>/<target> as (name, bytes).
+std::vector<std::pair<std::string, std::string>> LoadInputs(
+    const std::string& kind, const std::string& target) {
+  const std::string dir =
+      std::string(DMX_SOURCE_DIR) + "/fuzz/" + kind + "/" + target;
+  std::vector<std::pair<std::string, std::string>> inputs;
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  EXPECT_TRUE(names.ok()) << "missing corpus directory " << dir;
+  if (!names.ok()) return inputs;
+  for (const std::string& name : *names) {
+    auto data = env->ReadFileToString(dir + "/" + name);
+    EXPECT_TRUE(data.ok()) << data.status().ToString();
+    if (data.ok()) inputs.emplace_back(name, *std::move(data));
+  }
+  // Deterministic order regardless of directory enumeration.
+  std::sort(inputs.begin(), inputs.end());
+  EXPECT_FALSE(inputs.empty()) << dir << " holds no inputs";
+  return inputs;
+}
+
+void ReplayAll(const std::string& kind, const std::string& target,
+               CheckResult (*check)(std::string_view)) {
+  for (const auto& [name, data] : LoadInputs(kind, target)) {
+    CheckResult result = check(data);
+    EXPECT_TRUE(result.ok)
+        << "fuzz/" << kind << "/" << target << "/" << name << ":\n"
+        << result.error;
+  }
+}
+
+TEST(FuzzRegressionTest, DmxStatementSeedCorpus) {
+  ReplayAll("corpus", "dmx_statement", fuzz::CheckDmxStatement);
+}
+
+TEST(FuzzRegressionTest, DmxStatementFixedFindings) {
+  ReplayAll("regressions", "dmx_statement", fuzz::CheckDmxStatement);
+}
+
+TEST(FuzzRegressionTest, StoreRecoverySeedCorpus) {
+  ReplayAll("corpus", "store_recovery", fuzz::CheckStoreRecovery);
+}
+
+TEST(FuzzRegressionTest, StoreRecoveryFixedFindings) {
+  ReplayAll("regressions", "store_recovery", fuzz::CheckStoreRecovery);
+}
+
+TEST(FuzzRegressionTest, TokenizerParserSeedCorpus) {
+  ReplayAll("corpus", "tokenizer_parser", fuzz::CheckTokenizerParser);
+}
+
+TEST(FuzzRegressionTest, TokenizerParserFixedFindings) {
+  ReplayAll("regressions", "tokenizer_parser", fuzz::CheckTokenizerParser);
+}
+
+// The allowlist is the contract that every analyzer/executor divergence is
+// named and justified: entries must use registered rule ids and carry a
+// non-empty justification (DESIGN.md §12 mirrors the table).
+TEST(FuzzRegressionTest, DivergenceAllowlistIsWellFormed) {
+  size_t entries = 0;
+  for (const fuzz::DivergenceRule* entry = fuzz::kDivergenceAllowlist;
+       entry->rule != nullptr; ++entry) {
+    ++entries;
+    EXPECT_NE(std::string(entry->why), "") << entry->rule;
+    bool known = false;
+    for (const char* rule : rules::kAll) {
+      if (std::string(entry->rule) == rule) known = true;
+    }
+    EXPECT_TRUE(known) << "allowlist names unregistered rule '" << entry->rule
+                       << "'";
+    EXPECT_TRUE(fuzz::IsAllowlistedDivergence(entry->rule));
+  }
+  EXPECT_FALSE(fuzz::IsAllowlistedDivergence("key-count"))
+      << "core semantic rules must never be allowlisted";
+  EXPECT_FALSE(fuzz::IsAllowlistedDivergence("no-such-rule"));
+  EXPECT_LE(entries, 8u) << "allowlist growing past a handful of entries "
+                            "means divergences are being hidden, not fixed";
+}
+
+}  // namespace
+}  // namespace dmx

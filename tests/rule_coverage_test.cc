@@ -1,0 +1,111 @@
+// Rule-coverage meta-test: every analyzer rule id in rules::kAll must be
+// triggered by at least one committed fuzz corpus seed
+// (fuzz/corpus/dmx_statement/), analyzed against the same catalog the fuzz
+// harness builds. A rule added without a seed fails here — rules cannot
+// ship without fuzzer-visible coverage, and corpus rot (a seed drifting so
+// it no longer trips its rule) is caught the same way.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/env.h"
+#include "core/dmx_analyzer.h"
+#include "core/provider.h"
+#include "fuzz/fuzz_targets.h"
+
+#ifndef DMX_SOURCE_DIR
+#error "tests/CMakeLists.txt must define DMX_SOURCE_DIR"
+#endif
+
+namespace dmx {
+namespace {
+
+/// Rules no statement TEXT can trigger, each with the reason. They still
+/// must be covered — just programmatically, in NestingDepthCoveredByAst
+/// below — so this set shrinking or growing is a deliberate decision.
+const std::set<std::string>& TextUnreachableRules() {
+  // nesting-depth: the parser itself rejects TABLE columns inside nested
+  // tables ("nested tables cannot contain TABLE columns"), so only
+  // programmatic ASTs (the PMML import path) can exceed the depth limit.
+  static const std::set<std::string> kUnreachable = {rules::kNestingDepth};
+  return kUnreachable;
+}
+
+TEST(RuleCoverageTest, EveryRuleHasACorpusSeed) {
+  Provider provider;
+  fuzz::PopulateFuzzCatalog(&provider);
+  DmxAnalyzer analyzer(AnalyzerContext{provider.models(), provider.services(),
+                                       provider.database()});
+
+  const std::string dir =
+      std::string(DMX_SOURCE_DIR) + "/fuzz/corpus/dmx_statement";
+  Env* env = Env::Default();
+  auto names = env->ListDir(dir);
+  ASSERT_TRUE(names.ok()) << "missing seed corpus " << dir;
+
+  // rule id -> first seed file that triggers it.
+  std::map<std::string, std::string> covered;
+  for (const std::string& name : *names) {
+    auto data = env->ReadFileToString(dir + "/" + name);
+    ASSERT_TRUE(data.ok()) << data.status().ToString();
+    AnalysisReport report = analyzer.AnalyzeText(*data);
+    for (const Diagnostic& diag : report.diagnostics) {
+      covered.emplace(diag.rule, name);
+    }
+  }
+
+  for (const char* rule : rules::kAll) {
+    if (TextUnreachableRules().count(rule) > 0) continue;
+    EXPECT_TRUE(covered.count(rule) > 0)
+        << "no seed in " << dir << " triggers rule '" << rule
+        << "' — add one (see the rule-* naming convention)";
+  }
+
+  // The reverse direction: corpus seeds may only trip registered rules.
+  for (const auto& [rule, seed] : covered) {
+    bool known = false;
+    for (const char* r : rules::kAll) {
+      if (rule == r) known = true;
+    }
+    EXPECT_TRUE(known) << seed << " triggered unregistered rule '" << rule
+                       << "'";
+  }
+}
+
+// The one text-unreachable rule, pinned programmatically so the exemption
+// above cannot silently hide a regression in the rule itself.
+TEST(RuleCoverageTest, NestingDepthCoveredByAst) {
+  ModelColumn inner_key;
+  inner_key.name = "ik";
+  inner_key.role = ContentRole::kKey;
+  ModelColumn inner;
+  inner.name = "inner";
+  inner.role = ContentRole::kTable;
+  inner.data_type = DataType::kTable;
+  inner.nested.push_back(inner_key);
+  ModelColumn outer_key = inner_key;
+  outer_key.name = "ok";
+  ModelColumn outer;
+  outer.name = "outer";
+  outer.role = ContentRole::kTable;
+  outer.data_type = DataType::kTable;
+  outer.usage = PredictUsage::kPredict;
+  outer.nested.push_back(outer_key);
+  outer.nested.push_back(inner);
+  ModelColumn key;
+  key.name = "k";
+  key.role = ContentRole::kKey;
+  ModelDefinition def;
+  def.model_name = "deep";
+  def.service_name = "Naive_Bayes";
+  def.columns = {key, outer};
+
+  AnalysisReport report = DmxAnalyzer().AnalyzeDefinition(def);
+  EXPECT_TRUE(report.HasRule(rules::kNestingDepth)) << report.ToString();
+}
+
+}  // namespace
+}  // namespace dmx

@@ -193,6 +193,19 @@ TEST_F(SqlTest, ErrorPaths) {
   EXPECT_TRUE(Fails("CREATE TABLE People (X LONG)").code() ==
               StatusCode::kAlreadyExists);
   EXPECT_TRUE(Fails("INSERT INTO People VALUES (1)").ok() == false);
+  // A VALUES row has no row scope: column references bind-fail cleanly
+  // instead of reaching the evaluator unbound (fuzz finding; the reproducer
+  // lives in fuzz/regressions/dmx_statement/insert-values-column-ref).
+  EXPECT_TRUE(Fails("INSERT INTO People VALUES (5, Age, 30, 'Bern')")
+                  .IsBindError());
+  // Multi-row INSERT is atomic: a coercion failure in any row (here 'x' in
+  // the LONG Age column of the second row) leaves the table untouched —
+  // partial effects of failed statements would diverge from WAL recovery
+  // (fuzz finding: fuzz/regressions/store_recovery/partial-insert-leak).
+  EXPECT_FALSE(Fails("INSERT INTO People VALUES "
+                     "(5, 'Eve', 30, 'Bern'), (6, 'Fay', 'x', 'Rome')")
+                   .ok());
+  EXPECT_EQ(Must("SELECT * FROM People").num_rows(), 4u);
   // Ambiguous unqualified column across joined tables.
   Must("CREATE TABLE People2 (Id LONG)");
   Must("INSERT INTO People2 VALUES (1)");
@@ -284,6 +297,28 @@ TEST_F(SqlTest, CsvNewlinesAndEmptyStringsRoundTrip) {
   EXPECT_EQ(inferred->schema()->column(1).type, DataType::kText);
   EXPECT_TRUE(inferred->Get(0, "B")->Equals(Value::Text("")));
   EXPECT_TRUE(inferred->Get(1, "B")->is_null());
+}
+
+TEST_F(SqlTest, DeepParenNestingFailsCleanly) {
+  // 200 nested parens exceeds TokenStream::kMaxRecursionDepth: the parser
+  // must reject with kInvalidArgument instead of overflowing the stack.
+  std::string sql = "SELECT ";
+  for (int i = 0; i < 200; ++i) sql += '(';
+  sql += '1';
+  for (int i = 0; i < 200; ++i) sql += ')';
+  sql += " FROM People";
+  Status deep = Fails(sql);
+  EXPECT_EQ(deep.code(), StatusCode::kInvalidArgument) << deep.ToString();
+  EXPECT_NE(deep.message().find("nests more than"), std::string::npos)
+      << deep.ToString();
+
+  // Nesting at half the cap still parses: the limit only bites absurd depth.
+  std::string ok = "SELECT ";
+  for (int i = 0; i < 50; ++i) ok += '(';
+  ok += '1';
+  for (int i = 0; i < 50; ++i) ok += ')';
+  ok += " FROM People";
+  EXPECT_EQ(Must(ok).num_rows(), 4u);
 }
 
 TEST_F(SqlTest, CsvTypeInference) {

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 namespace dmx {
 namespace {
 
@@ -148,6 +151,74 @@ Status ReturnIfError(bool fail) {
 TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_TRUE(ReturnIfError(false).ok());
   EXPECT_EQ(ReturnIfError(true).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Closed-set exhaustiveness. The fuzzer's differential oracle classifies
+// every executor outcome by StatusCode, so the set must stay closed:
+// kStatusCodeCount tracks the enum, every value in range renders a DISTINCT
+// name, and everything outside the range is "Unknown".
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, CodeCountMatchesEnum) {
+  EXPECT_EQ(kStatusCodeCount, static_cast<int>(StatusCode::kInternal) + 1);
+  EXPECT_EQ(kStatusCodeCount, 14);
+  // One past the end is out of the closed set.
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(kStatusCodeCount)),
+               "Unknown");
+  EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(-1)), "Unknown");
+}
+
+TEST(StatusTest, EveryCodeRendersDistinctly) {
+  std::set<std::string> names;
+  for (int code = 0; code < kStatusCodeCount; ++code) {
+    std::string name = StatusCodeToString(static_cast<StatusCode>(code));
+    EXPECT_FALSE(name.empty());
+    EXPECT_NE(name, "Unknown") << "code " << code;
+    EXPECT_TRUE(names.insert(name).second)
+        << "code " << code << " shares the name '" << name << "'";
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kStatusCodeCount));
+}
+
+// Every non-OK code round-trips its identity through construction, the
+// predicate layer, ToString and a WithContext chain: the code and message
+// survive, frames render in order, and re-parsing ToString's prefix
+// recovers the code name.
+TEST(StatusTest, EveryCodeSurvivesWithContextRoundTrip) {
+  for (int code = 1; code < kStatusCodeCount; ++code) {
+    StatusCode sc = static_cast<StatusCode>(code);
+    Status base(sc, "payload " + std::to_string(code));
+    Status wrapped =
+        base.WithContext("inner frame").WithContext("outer frame");
+
+    EXPECT_EQ(wrapped.code(), sc);
+    EXPECT_EQ(wrapped.message(), base.message());
+    ASSERT_EQ(wrapped.context().size(), 2u);
+    EXPECT_EQ(wrapped.context()[0], "inner frame");
+    EXPECT_EQ(wrapped.context()[1], "outer frame");
+
+    std::string rendered = wrapped.ToString();
+    std::string expected_prefix =
+        std::string(StatusCodeToString(sc)) + ": payload " +
+        std::to_string(code);
+    EXPECT_EQ(rendered.rfind(expected_prefix, 0), 0u) << rendered;
+    EXPECT_NE(rendered.find("; while inner frame; while outer frame"),
+              std::string::npos)
+        << rendered;
+
+    // The original is untouched (WithContext copies).
+    EXPECT_TRUE(base.context().empty());
+  }
+}
+
+// OK is special-cased everywhere: WithContext must pass it through without
+// allocating a rep, keeping `return s.WithContext(...)` valid on every path.
+TEST(StatusTest, OkWithContextStaysOkAndFrameless) {
+  Status ok = Status::OK().WithContext("ignored");
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(ok.context().empty());
+  EXPECT_EQ(ok.ToString(), "OK");
 }
 
 }  // namespace

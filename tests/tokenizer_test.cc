@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 namespace dmx {
 namespace {
 
@@ -99,6 +101,99 @@ TEST(TokenStreamTest, ErrorsNameTheOffendingToken) {
   ts.Next();
   Status end = ts.ExpectPunct(")");
   EXPECT_NE(end.message().find("end of input"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened edge cases (fuzzer-found surface): unterminated constructs,
+// numeric overflow, block comments. Every malformed input must produce a
+// ParseError whose message carries the offset of the offending construct.
+// ---------------------------------------------------------------------------
+
+TEST(TokenizerTest, BlockComments) {
+  auto tokens = MustTokenize("SELECT /* anything\n * spanning lines */ x");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(tokens[0].IsKeyword("SELECT"));
+  EXPECT_EQ(tokens[1].text, "x");
+  // "/*/" does not self-close; "/**/" is an empty comment.
+  EXPECT_EQ(MustTokenize("a /**/ b").size(), 2u);
+  // A '*' immediately before the terminator stays a comment.
+  EXPECT_EQ(MustTokenize("a /* stars **/ b").size(), 2u);
+}
+
+struct BadLexCase {
+  const char* name;
+  const char* input;
+  const char* message_contains;  ///< Must appear in the ParseError message.
+  const char* offset_token;      ///< "offset <N>" expected in the message.
+};
+
+class TokenizerBadInputTest : public ::testing::TestWithParam<BadLexCase> {};
+
+TEST_P(TokenizerBadInputTest, ProducesParseErrorWithSpan) {
+  const BadLexCase& c = GetParam();
+  auto result = Tokenize(c.input);
+  ASSERT_FALSE(result.ok()) << "input: " << c.input;
+  EXPECT_TRUE(result.status().IsParseError()) << result.status().ToString();
+  const std::string& message = result.status().message();
+  EXPECT_NE(message.find(c.message_contains), std::string::npos) << message;
+  EXPECT_NE(message.find(std::string("offset ") + c.offset_token),
+            std::string::npos)
+      << message;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, TokenizerBadInputTest,
+    ::testing::Values(
+        BadLexCase{"UnterminatedString", "SELECT 'abc", "unterminated string",
+                   "7"},
+        BadLexCase{"UnterminatedStringWithEscape", "x 'it''s", "unterminated",
+                   "2"},
+        BadLexCase{"UnterminatedBracket", "SELECT [My Col", "unterminated",
+                   "7"},
+        BadLexCase{"UnterminatedBracketEscape", "[a]]", "unterminated", "0"},
+        BadLexCase{"UnterminatedBlockComment", "SELECT /* no end",
+                   "unterminated block comment", "7"},
+        BadLexCase{"BlockCommentAlmostClosed", "a /* b *", "unterminated",
+                   "2"},
+        BadLexCase{"LongOverflow", "SELECT 9223372036854775808",
+                   "overflows a LONG", "7"},
+        BadLexCase{"LongOverflowHuge",
+                   "SELECT 99999999999999999999999999999999",
+                   "overflows a LONG", "7"},
+        BadLexCase{"DoubleOverflow", "x 1e400000", "overflows a DOUBLE", "2"},
+        BadLexCase{"UnknownCharacter", "SELECT \x01", "unexpected character",
+                   "7"}),
+    [](const ::testing::TestParamInfo<BadLexCase>& info) {
+      return info.param.name;
+    });
+
+TEST(TokenizerTest, NumericBoundariesStillLex) {
+  // INT64_MAX lexes; INT64_MIN is '-' followed by 9223372036854775808 and
+  // overflows as a bare literal — callers negate smaller literals instead.
+  auto max = MustTokenize("9223372036854775807");
+  ASSERT_EQ(max.size(), 1u);
+  EXPECT_EQ(max[0].long_value, 9223372036854775807LL);
+  // Denormal underflow rounds, it does not error.
+  auto tiny = MustTokenize("1e-400");
+  ASSERT_EQ(tiny.size(), 1u);
+  EXPECT_EQ(tiny[0].kind, TokenKind::kDouble);
+}
+
+TEST(TokenStreamTest, RecursionScopeCapsDepth) {
+  TokenStream ts(MustTokenize("x"));
+  std::vector<std::unique_ptr<TokenStream::RecursionScope>> frames;
+  for (int i = 0; i < TokenStream::kMaxRecursionDepth; ++i) {
+    frames.push_back(std::make_unique<TokenStream::RecursionScope>(&ts));
+    EXPECT_TRUE(frames.back()->Check().ok()) << "depth " << i;
+  }
+  TokenStream::RecursionScope over(&ts);
+  Status deep = over.Check();
+  ASSERT_FALSE(deep.ok());
+  EXPECT_EQ(deep.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(deep.message().find("nests more than"), std::string::npos);
+  // Frames unwind: popping back under the cap is OK again.
+  frames.pop_back();
+  EXPECT_TRUE(over.Check().ok());
 }
 
 }  // namespace

@@ -27,6 +27,6 @@ cmake --build "$BUILD_DIR" --target bench_concurrency -j "$(nproc)"
   --benchmark_format=console \
   --benchmark_out="$OUTPUT_JSON" \
   --benchmark_out_format=json \
-  --benchmark_min_time=0.2s
+  --benchmark_min_time=0.2
 
 echo "run_bench: wrote $OUTPUT_JSON"

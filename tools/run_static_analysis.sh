@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Static analysis driver for OpenDMX.
 #
-# Five gates, all expected to pass clean:
+# Six gates, all expected to pass clean:
 #   1. The project-invariant linter (tools/dmx_lint.py): guard checkpoints in
 #      algorithm loops, no raw sync/file primitives outside the seams,
 #      WithContext on boundary Status returns — plus its own self-test
@@ -19,6 +19,11 @@
 #      graph, real Assert*Held ownership checks) plus the deterministic
 #      schedule explorer sweeping seed-enumerated interleavings. Any lock
 #      ordering the static gates cannot see trips here.
+#   6. Fuzz smoke (DESIGN.md §12): the three fuzz targets built under
+#      -DDMX_FUZZ=ON with ASan, each replaying the committed corpus and
+#      fixed findings plus a short grammar-mutation run. The full
+#      time-budgeted campaign lives in tools/run_fuzz.sh; this gate keeps
+#      the harness building and the oracles green.
 #
 # The clang gates are skipped (with a notice) in minimal containers; CI
 # installs clang and runs everything.
@@ -83,3 +88,8 @@ cmake -B "$BUILD_DIR-lockdep" -S . -DDMX_DEBUG_LOCKS=ON >/dev/null
 cmake --build "$BUILD_DIR-lockdep" -j "$(nproc)"
 ctest --test-dir "$BUILD_DIR-lockdep" --output-on-failure -j "$(nproc)"
 echo "lockdep suite: clean"
+
+echo
+echo "== Gate 6: fuzz smoke (corpus replay + short mutation run) =="
+tools/run_fuzz.sh "${FUZZ_SMOKE_SECONDS:-10}" "$BUILD_DIR-fuzz"
+echo "fuzz smoke: clean"
