@@ -557,6 +557,10 @@ size_t MutateRecoveryInput(uint8_t* data, size_t size, size_t max_size,
     static const char* kKinds[] = {"io", "torn", "nospace"};
     std::string header = "FAULT " + std::to_string(rng.Below(64)) + " " +
                          kKinds[rng.Below(3)];
+    // Sometimes scope the fault to a single shard's file (0 = catalog,
+    // i >= 1 = model shard m<i-1>) — the per-shard "one sick disk region"
+    // plan the recovery oracle verifies shard isolation against.
+    if (rng.Chance(40)) header += " shard=" + std::to_string(rng.Below(4));
     if (lines.empty() || lines[0].rfind("FAULT ", 0) != 0) {
       lines.insert(lines.begin(), header);
     } else {

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <map>
+#include <set>
 #include <vector>
 
 #include "common/env.h"
@@ -241,6 +243,15 @@ std::string ScratchStoreDir() {
   }();
   Env* env = Env::Default();
   (void)env->CreateDir(kDir);
+  // Wipe the quarantine subdirectory too — a shard quarantined by one
+  // iteration must not resurface as a degraded model in the next.
+  const std::string quarantine = kDir + "/quarantine";
+  auto qnames = env->ListDir(quarantine);
+  if (qnames.ok()) {
+    for (const std::string& f : *qnames) {
+      (void)env->DeleteFile(quarantine + "/" + f);
+    }
+  }
   auto names = env->ListDir(kDir);
   if (names.ok()) {
     for (const std::string& f : *names) (void)env->DeleteFile(kDir + "/" + f);
@@ -288,6 +299,30 @@ CheckResult CheckStoreRecovery(std::string_view input) {
     return CheckResult::Pass();
   }
 
+  // Optional "shard=<i>": scope the fault to one shard's file (0 = the
+  // catalog shard, i >= 1 = model shard m<i-1>). The sick file fails every
+  // mutating op from the armed offset on — one bad disk region — while the
+  // rest of the store stays healthy.
+  bool shard_scoped = false;
+  std::string path_filter;
+  size_t shard_pos = lines[0].find(" shard=");
+  if (shard_pos != std::string::npos) {
+    long shard_index = -1;
+    if (std::sscanf(lines[0].c_str() + shard_pos, " shard=%ld",
+                    &shard_index) != 1 ||
+        shard_index < 0 || shard_index > 64) {
+      return CheckResult::Pass();
+    }
+    shard_scoped = true;
+    if (shard_index == 0) {
+      path_filter = "/shard-catalog-";
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "/shard-m%06ld-", shard_index - 1);
+      path_filter = buf;
+    }
+  }
+
   std::vector<std::string> script(lines.begin() + 1, lines.end());
   if (script.size() > 12) script.resize(12);
   // The durable grammar never emits file-system statements, but mutated
@@ -312,11 +347,17 @@ CheckResult CheckStoreRecovery(std::string_view input) {
   }
 
   // Pass 2 — the same script against a durable store with the fault armed.
+  // Unscoped faults model a dying process: execution stops at the first
+  // divergence. Shard-scoped faults model one sick file: the run continues,
+  // statements on healthy shards keep succeeding, and `executed_ok` records
+  // which statements actually made it.
   std::string dir = ScratchStoreDir();
   FaultInjectionEnv faulty(Env::Default());
   size_t successes = 0;
   bool crashed = false;
   bool crashed_stmt_oracle_ok = false;
+  std::vector<bool> executed_ok(script.size(), false);
+  int64_t limbo = -1;  // first statement that failed only under the fault
   {
     Provider provider;
     store::StoreOptions options;
@@ -325,12 +366,14 @@ CheckResult CheckStoreRecovery(std::string_view input) {
     if (!open.ok()) {
       return CheckResult::Fail("clean OpenStore failed: " + open.ToString());
     }
+    if (shard_scoped) faulty.SetPathFilter(path_filter);
     faulty.ArmFault(fail_at, kind);
     auto conn = provider.Connect();
     for (size_t i = 0; i < script.size(); ++i) {
       Status s = RunScriptLine(&provider, conn.get(), script[i], true);
+      executed_ok[i] = s.ok();
       if (s.ok() != oracle_ok[i]) {
-        // Outcome changed under the fault — the "process dies" here.
+        // Outcome changed under the fault.
         if (s.ok()) {
           return CheckResult::Fail(
               "statement succeeded under fault but fails cleanly: " +
@@ -340,14 +383,19 @@ CheckResult CheckStoreRecovery(std::string_view input) {
           return CheckResult::Fail("fault surfaced as kInternal (" +
                                    s.ToString() + ") for: " + script[i]);
         }
-        crashed = true;
-        crashed_stmt_oracle_ok = oracle_ok[i];
-        break;
+        if (limbo < 0) limbo = static_cast<int64_t>(i);
+        if (!shard_scoped) {
+          // The "process dies" here.
+          crashed = true;
+          crashed_stmt_oracle_ok = oracle_ok[i];
+          break;
+        }
       }
       if (s.ok()) ++successes;
     }
   }
   faulty.Disarm();
+  faulty.ClearPathFilter();
 
   // Pass 3 — reopen with a clean Env: recovery must reconstruct exactly the
   // executed prefix (or prefix + 1 when the crashing statement's WAL append
@@ -360,6 +408,173 @@ CheckResult CheckStoreRecovery(std::string_view input) {
                              "): " + reopen.ToString());
   }
   std::string state = CatalogStateString(&recovered);
+
+  if (shard_scoped) {
+    // Per-shard acceptance. A sick file never corrupts the store: the
+    // catalog shard must not be quarantined by an injected fault, and any
+    // quarantined model shard must name its model (whose statements were
+    // orphaned by the sick file — e.g. its CREATE never reached the sick
+    // catalog WAL while the model's own shard kept journaling).
+    std::vector<std::string> quarantined_models;
+    for (const store::ShardStatus& row :
+         recovered.store()->GetStatus().shards) {
+      if (!row.quarantined) continue;
+      if (row.id == store::kCatalogShardId) {
+        return CheckResult::Fail(
+            "shard-scoped fault quarantined the catalog shard: " +
+            row.reason);
+      }
+      if (row.model.empty()) {
+        return CheckResult::Fail(
+            "shard-scoped fault quarantined an anonymous shard '" + row.id +
+            "': " + row.reason);
+      }
+      quarantined_models.push_back(row.model);
+    }
+
+    // A quarantined model holds some successful prefix of its own records —
+    // its exact content is the quarantine's business (Repair re-adopts it),
+    // so its catalog line is excluded from the state comparison. Tables are
+    // never routed through model shards, so everything else must match
+    // exactly.
+    auto strip_quarantined = [&](const std::string& in) {
+      if (quarantined_models.empty()) return in;
+      std::string out;
+      size_t at = 0;
+      while (at < in.size()) {
+        size_t nl = in.find('\n', at);
+        std::string line = nl == std::string::npos
+                               ? in.substr(at)
+                               : in.substr(at, nl - at);
+        bool drop = false;
+        for (const std::string& m : quarantined_models) {
+          if (line.rfind("model " + m + " ", 0) == 0) {
+            drop = true;
+            break;
+          }
+        }
+        if (!drop) out += line + "\n";
+        if (nl == std::string::npos) break;
+        at = nl + 1;
+      }
+      return out;
+    };
+    // Replays the script onto a fresh in-memory provider. Statements at
+    // index <= base are replayed unconditionally — a CHECKPOINT snapshots
+    // the *in-memory* state (journal failures still apply in memory), so
+    // once a snapshot commits, everything before it is durable regardless of
+    // how its journal append fared. Past the base only statements in
+    // `include` (the ones that actually succeeded) run.
+    auto replay_state = [&](int64_t base, const std::vector<bool>& include) {
+      Provider p;
+      auto conn = p.Connect();
+      for (size_t i = 0; i < script.size(); ++i) {
+        if (static_cast<int64_t>(i) > base && !include[i]) continue;
+        (void)RunScriptLine(&p, conn.get(), script[i], false);
+      }
+      return CatalogStateString(&p);
+    };
+
+    // Splits a catalog state into its "model <name> ..." lines (returned via
+    // *models, keyed by name) and everything else (tables), returned as the
+    // remainder string.
+    auto split_models = [](const std::string& in,
+                           std::map<std::string, std::string>* models) {
+      std::string rest;
+      size_t at = 0;
+      while (at < in.size()) {
+        size_t nl = in.find('\n', at);
+        std::string line = nl == std::string::npos
+                               ? in.substr(at)
+                               : in.substr(at, nl - at);
+        if (line.rfind("model ", 0) == 0) {
+          size_t tr = line.find(" trained=");
+          std::string name =
+              tr == std::string::npos ? line.substr(6) : line.substr(6, tr - 6);
+          (*models)[name] = line;
+        } else if (!line.empty()) {
+          rest += line + "\n";
+        }
+        if (nl == std::string::npos) break;
+        at = nl + 1;
+      }
+      return rest;
+    };
+
+    // Every model state the clean in-memory trajectory ever passed through.
+    // A sick catalog shard loses a model's CREATE while the model's own
+    // shard keeps journaling: journal failures still apply in memory, and a
+    // healthy shard's blob rotation snapshots that in-memory state — so
+    // recovery may resurrect a model the executed set never created
+    // ("orphan"). Its recovered line must match a state the model actually
+    // held at some point; tables and executed models still match exactly.
+    std::map<std::string, std::set<std::string>> trajectory_model_lines;
+    for (const std::string& ps : prefix_state) {
+      std::map<std::string, std::string> m;
+      split_models(ps, &m);
+      for (const auto& [name, line] : m) {
+        trajectory_model_lines[name].insert(line);
+      }
+    }
+    const bool catalog_sick = path_filter == "/shard-catalog-";
+
+    const std::string got = strip_quarantined(state);
+    std::map<std::string, std::string> got_models;
+    const std::string got_rest = split_models(got, &got_models);
+
+    auto accepts = [&](const std::string& expected) {
+      std::map<std::string, std::string> want_models;
+      if (split_models(expected, &want_models) != got_rest) return false;
+      for (const auto& [name, line] : want_models) {
+        auto it = got_models.find(name);
+        if (it == got_models.end() || it->second != line) return false;
+      }
+      for (const auto& [name, line] : got_models) {
+        if (want_models.count(name)) continue;
+        if (!catalog_sick) return false;  // orphans need a sick catalog
+        auto traj = trajectory_model_lines.find(name);
+        if (traj == trajectory_model_lines.end() || !traj->second.count(line)) {
+          return false;
+        }
+      }
+      return true;
+    };
+
+    // Candidates: exactly the statements that succeeded — or those plus the
+    // first fault-only failure (only the first fired op can straddle a
+    // durable append whose fsync reported the fault). Each set is also tried
+    // with every attempted CHECKPOINT as a snapshot base: a checkpoint's
+    // snapshot + manifest can commit (making the whole in-memory trajectory
+    // durable) and the statement still report an error when a later step,
+    // like rotating the sick shard's file, fails.
+    std::vector<int64_t> bases = {-1};
+    for (size_t i = 0; i < script.size(); ++i) {
+      std::string t = script[i];
+      while (!t.empty() && (t.back() == ' ' || t.back() == '\r')) t.pop_back();
+      if (t == "CHECKPOINT") bases.push_back(static_cast<int64_t>(i));
+    }
+    std::vector<bool> with_limbo = executed_ok;
+    if (limbo >= 0) with_limbo[static_cast<size_t>(limbo)] = true;
+    for (int64_t base : bases) {
+      if (accepts(strip_quarantined(replay_state(base, executed_ok)))) {
+        return CheckResult::Pass();
+      }
+      if (limbo >= 0 &&
+          accepts(strip_quarantined(replay_state(base, with_limbo)))) {
+        return CheckResult::Pass();
+      }
+    }
+    return CheckResult::Fail(
+        "recovered state matches no per-shard successful prefix (executed " +
+        std::to_string(successes) + " of " + std::to_string(script.size()) +
+        ", fault at op " + std::to_string(fail_at) + " " + kind_name +
+        " filter " + path_filter + ", " +
+        std::to_string(quarantined_models.size()) +
+        " quarantined)\n--- recovered ---\n" + got +
+        "--- expected (executed set) ---\n" +
+        strip_quarantined(replay_state(-1, executed_ok)));
+  }
+
   if (state == prefix_state[successes]) return CheckResult::Pass();
   if (crashed && crashed_stmt_oracle_ok &&
       successes + 1 < prefix_state.size() &&

@@ -74,14 +74,24 @@ CheckResult CheckDmxStatement(std::string_view text);
 void PopulateFuzzCatalog(Provider* provider);
 
 /// Crash-recovery oracle. Input format (line-oriented text):
-///   FAULT <op_index> <io|torn|nospace>
+///   FAULT <op_index> <io|torn|nospace> [shard=<i>]
 ///   <statement>
 ///   ...
-/// The fault arms after the store is opened; execution stops at the first
-/// statement whose outcome differs from the fault-free oracle run (the
-/// "crash"), the store is reopened with a clean Env, and the recovered
-/// catalog must match the oracle state after the executed prefix (or prefix
-/// + 1 when the WAL append outlived the failing statement).
+/// The fault arms after the store is opened. Without a shard token,
+/// execution stops at the first statement whose outcome differs from the
+/// fault-free oracle run (the "crash"), the store is reopened with a clean
+/// Env, and the recovered catalog must match the oracle state after the
+/// executed prefix (or prefix + 1 when the WAL append outlived the failing
+/// statement).
+///
+/// With "shard=<i>" the fault is scoped to one shard's file (0 = the
+/// catalog shard, i >= 1 = model shard m<i-1>), which stays persistently
+/// sick while every other file behaves — one bad disk region under the
+/// sharded WAL. Execution runs the whole script (statements on healthy
+/// shards keep succeeding); recovery must reproduce exactly the statements
+/// that succeeded (each shard's successful prefix, merged in execution
+/// order), with models whose shard was quarantined excluded from the
+/// comparison — their degraded state is the quarantine's contract.
 CheckResult CheckStoreRecovery(std::string_view input);
 
 /// Tokenizer / parser / analyzer robustness over raw bytes.

@@ -199,8 +199,8 @@ Status Env::AtomicWriteFile(const std::string& path, std::string_view data) {
 class FaultInjectionWritableFile : public WritableFile {
  public:
   FaultInjectionWritableFile(std::unique_ptr<WritableFile> base,
-                             FaultInjectionEnv* env)
-      : base_(std::move(base)), env_(env) {}
+                             FaultInjectionEnv* env, std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override;
   Status Sync() override;
@@ -209,11 +209,15 @@ class FaultInjectionWritableFile : public WritableFile {
  private:
   std::unique_ptr<WritableFile> base_;
   FaultInjectionEnv* env_;
+  std::string path_;
 };
 
-Status FaultInjectionEnv::MaybeFault(bool* torn) {
+Status FaultInjectionEnv::MaybeFault(const std::string& path, bool* torn) {
   if (torn != nullptr) *torn = false;
   if (!armed_) return Status::OK();
+  if (!path_filter_.empty() && path.find(path_filter_) == std::string::npos) {
+    return Status::OK();
+  }
   int64_t op = ops_++;
   if (!fired_ && op < fail_at_) return Status::OK();
   bool first = !fired_;
@@ -235,7 +239,7 @@ Status FaultInjectionEnv::MaybeFault(bool* torn) {
 
 Status FaultInjectionWritableFile::Append(std::string_view data) {
   bool torn = false;
-  Status fault = env_->MaybeFault(&torn);
+  Status fault = env_->MaybeFault(path_, &torn);
   if (fault.ok()) return base_->Append(data);
   // A torn write persists a prefix of the record before the "crash".
   if (torn && !data.empty()) {
@@ -246,12 +250,12 @@ Status FaultInjectionWritableFile::Append(std::string_view data) {
 }
 
 Status FaultInjectionWritableFile::Sync() {
-  DMX_RETURN_IF_ERROR(env_->MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(env_->MaybeFault(path_, nullptr));
   return base_->Sync();
 }
 
 Status FaultInjectionWritableFile::Close() {
-  Status fault = env_->MaybeFault(nullptr);
+  Status fault = env_->MaybeFault(path_, nullptr);
   // Always release the descriptor, even when reporting an injected failure.
   Status close_status = base_->Close();
   if (!fault.ok()) return fault;
@@ -260,37 +264,41 @@ Status FaultInjectionWritableFile::Close() {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
     const std::string& path, bool append) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(MaybeFault(path, nullptr));
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> base,
                        base_->NewWritableFile(path, append));
   return std::unique_ptr<WritableFile>(
-      std::make_unique<FaultInjectionWritableFile>(std::move(base), this));
+      std::make_unique<FaultInjectionWritableFile>(std::move(base), this,
+                                                   path));
 }
 
 Status FaultInjectionEnv::RenameFile(const std::string& from,
                                      const std::string& to) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  // Either endpoint matching the filter makes the rename a filtered op.
+  bool from_hits = path_filter_.empty() ||
+                   from.find(path_filter_) != std::string::npos;
+  DMX_RETURN_IF_ERROR(MaybeFault(from_hits ? from : to, nullptr));
   return base_->RenameFile(from, to);
 }
 
 Status FaultInjectionEnv::DeleteFile(const std::string& path) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(MaybeFault(path, nullptr));
   return base_->DeleteFile(path);
 }
 
 Status FaultInjectionEnv::TruncateFile(const std::string& path,
                                        uint64_t size) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(MaybeFault(path, nullptr));
   return base_->TruncateFile(path, size);
 }
 
 Status FaultInjectionEnv::CreateDir(const std::string& path) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(MaybeFault(path, nullptr));
   return base_->CreateDir(path);
 }
 
 Status FaultInjectionEnv::SyncDir(const std::string& path) {
-  DMX_RETURN_IF_ERROR(MaybeFault(nullptr));
+  DMX_RETURN_IF_ERROR(MaybeFault(path, nullptr));
   return base_->SyncDir(path);
 }
 

@@ -88,6 +88,13 @@ class Env {
 /// operation fails
 /// with the configured fault, and — like a crashed process — every mutating
 /// operation after it fails too. Reads always pass through.
+///
+/// With a path filter (SetPathFilter) only mutating operations whose path
+/// contains the filter substring are counted and failed; operations on other
+/// paths pass through untouched. That models a single sick file (one WAL
+/// shard on a bad sector) rather than a whole-process crash: the rest of the
+/// store keeps writing normally while every touch of the filtered path keeps
+/// failing.
 class FaultInjectionEnv : public Env {
  public:
   enum class FaultKind {
@@ -110,6 +117,16 @@ class FaultInjectionEnv : public Env {
     torn_pending_ = kind == FaultKind::kTornWrite;
   }
   void Disarm() { armed_ = false; }
+
+  /// Restricts counting/failing to mutating ops whose path contains
+  /// `substring`. An empty string (the default) matches every path. For a
+  /// rename both endpoints are tested. Survives ArmFault/Disarm; clear with
+  /// ClearPathFilter.
+  void SetPathFilter(std::string substring) {
+    path_filter_ = std::move(substring);
+  }
+  void ClearPathFilter() { path_filter_.clear(); }
+  const std::string& path_filter() const { return path_filter_; }
 
   /// Mutating operations observed since ArmFault.
   int64_t op_count() const { return ops_; }
@@ -138,11 +155,13 @@ class FaultInjectionEnv : public Env {
  private:
   friend class FaultInjectionWritableFile;
 
-  /// Counts one mutating op; non-OK when the fault (has) fired. Sets
-  /// `*torn` when this op should write a torn prefix before failing.
-  Status MaybeFault(bool* torn);
+  /// Counts one mutating op on `path`; non-OK when the fault (has) fired.
+  /// Sets `*torn` when this op should write a torn prefix before failing.
+  /// Ops whose path misses the filter are neither counted nor failed.
+  Status MaybeFault(const std::string& path, bool* torn);
 
   Env* base_;
+  std::string path_filter_;
   bool armed_ = false;
   int64_t fail_at_ = 0;
   FaultKind kind_ = FaultKind::kIOError;

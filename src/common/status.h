@@ -32,6 +32,7 @@ enum class StatusCode {
   kResourceExhausted, ///< Out of a finite resource (disk space, quota).
   kCancelled,         ///< Statement cancelled cooperatively by the caller.
   kDeadlineExceeded,  ///< Statement overran its wall-clock deadline.
+  kUnavailable,       ///< Object temporarily unserveable (degraded/quarantined).
   kInternal,          ///< Invariant violation inside the library.
 };
 
@@ -103,6 +104,7 @@ class [[nodiscard]] Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
  private:
   struct Rep {
@@ -171,6 +173,9 @@ inline internal::StatusBuilder Cancelled() {
 }
 inline internal::StatusBuilder DeadlineExceeded() {
   return internal::StatusBuilder(StatusCode::kDeadlineExceeded);
+}
+inline internal::StatusBuilder Unavailable() {
+  return internal::StatusBuilder(StatusCode::kUnavailable);
 }
 inline internal::StatusBuilder Internal() {
   return internal::StatusBuilder(StatusCode::kInternal);

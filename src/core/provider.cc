@@ -141,6 +141,59 @@ class Provider::CatalogStoreClient : public store::StoreClient {
     return table->InsertAll(std::move(rowset.mutable_rows()));
   }
 
+  // --- parallel-recovery seam: Prepare* run on the store's recovery worker
+  // threads while the OpenStore/Repair thread owns the catalog lock
+  // exclusively and blocks joining the pool. Reading the (unchanging,
+  // lock-protected-by-the-parked-owner) service registry is therefore safe,
+  // but neither the static analysis nor AssertHeld's per-thread ownership
+  // check can see that cross-thread ownership — hence the suppression.
+
+  Result<store::PreparedObject> PrepareModelBlob(const std::string& name,
+                                                 const std::string& pmml)
+      override DMX_NO_THREAD_SAFETY_ANALYSIS {
+    (void)name;
+    auto holder = std::make_shared<PreparedModel>();
+    DMX_ASSIGN_OR_RETURN(holder->model,
+                         DeserializeModel(pmml, provider_->services_));
+    return store::PreparedObject(std::move(holder));
+  }
+
+  Status ApplyPreparedModel(const std::string& name, const std::string& pmml,
+                            const store::PreparedObject& prepared) override {
+    if (prepared == nullptr) return ApplyModelBlob(name, pmml);
+    provider_->catalog_mu_.AssertHeld();
+    auto* holder = static_cast<PreparedModel*>(prepared.get());
+    if (holder->model == nullptr) return ApplyModelBlob(name, pmml);
+    if (provider_->models_.HasModel(name)) {
+      DMX_RETURN_IF_ERROR(provider_->models_.DropModel(name));
+    }
+    return provider_->models_.AdoptModel(std::move(holder->model));
+  }
+
+  Result<store::PreparedObject> PrepareTableSnapshot(
+      const store::StoreRecord& record) override {
+    // Pure parsing — touches no provider state, so it needs no lock claim.
+    auto holder = std::make_shared<PreparedTable>();
+    DMX_ASSIGN_OR_RETURN(holder->schema, DecodeSchema(record.meta));
+    DMX_ASSIGN_OR_RETURN(holder->rowset,
+                         rel::ParseCsvString(record.data, holder->schema));
+    return store::PreparedObject(std::move(holder));
+  }
+
+  Status ApplyPreparedTable(const store::StoreRecord& record,
+                            const store::PreparedObject& prepared) override {
+    if (prepared == nullptr) return ApplyTableSnapshot(record);
+    provider_->catalog_mu_.AssertHeld();
+    auto* holder = static_cast<PreparedTable*>(prepared.get());
+    rel::Database* db = &provider_->database_;
+    if (db->HasTable(record.name)) {
+      DMX_RETURN_IF_ERROR(db->DropTable(record.name));
+    }
+    DMX_ASSIGN_OR_RETURN(rel::Table * table,
+                         db->CreateTable(record.name, holder->schema));
+    return table->InsertAll(std::move(holder->rowset.mutable_rows()));
+  }
+
   Result<std::vector<store::StoreRecord>> CaptureSnapshot() override {
     provider_->catalog_mu_.AssertHeld();
     std::vector<store::StoreRecord> out;
@@ -167,6 +220,15 @@ class Provider::CatalogStoreClient : public store::StoreClient {
   }
 
  private:
+  /// Holders passed through the opaque PreparedObject seam.
+  struct PreparedModel {
+    std::unique_ptr<MiningModel> model;
+  };
+  struct PreparedTable {
+    std::shared_ptr<const Schema> schema;
+    Rowset rowset;
+  };
+
   Provider* provider_;
 };
 
@@ -210,7 +272,81 @@ Status Provider::OpenStore(const std::string& store_dir,
     return store.status().WithContext("attaching durable store");
   }
   store_ = std::move(store).value();
+  // Shards that failed recovery were quarantined rather than failing the
+  // open; degrade their models (and the whole store, for the catalog shard).
+  RefreshDegradedLocked();
   return Status::OK();
+}
+
+void Provider::RefreshDegradedLocked() {
+  degraded_models_.clear();
+  store_read_only_ = false;
+  if (store_ == nullptr) return;
+  store::StoreStatus status = store_->GetStatus();
+  for (const store::ShardStatus& shard : status.shards) {
+    if (!shard.quarantined) continue;
+    if (shard.id == store::kCatalogShardId) {
+      store_read_only_ = true;
+    } else if (!shard.model.empty()) {
+      degraded_models_[shard.model] = DegradedState{shard.id, shard.reason};
+    }
+  }
+}
+
+Status Provider::CheckModelServable(const std::string& name) const {
+  auto it = degraded_models_.find(name);
+  if (it == degraded_models_.end()) return Status::OK();
+  Status status = Unavailable() << "model '" << name
+                                << "' is degraded: " << it->second.reason;
+  return status.WithContext("quarantined shard '" + it->second.shard_id +
+                            "'");
+}
+
+Status Provider::CheckStoreWritable() const {
+  if (!store_read_only_) return Status::OK();
+  Status status = Unavailable()
+                  << "the store is read-only: its catalog shard failed "
+                     "recovery; repair the shard to restore writes";
+  return status.WithContext(std::string("quarantined shard '") +
+                            store::kCatalogShardId + "'");
+}
+
+Status Provider::Repair(const std::string& target,
+                        store::RepairStats* stats) {
+  // Exclusive for the same reason as OpenStore: the repair replays the
+  // shard's records into the catalogs through an internal connection.
+  WriterMutexLock lock(&catalog_mu_);
+  if (store_ == nullptr) {
+    return InvalidState() << "no durable store attached";
+  }
+  std::string shard_id;
+  store::StoreStatus status = store_->GetStatus();
+  for (const store::ShardStatus& shard : status.shards) {
+    if (shard.quarantined &&
+        (shard.id == target || (!shard.model.empty() &&
+                                shard.model == target))) {
+      shard_id = shard.id;
+      break;
+    }
+  }
+  if (shard_id.empty()) {
+    return NotFound() << "no quarantined shard or degraded model '" << target
+                      << "'";
+  }
+  DMX_RETURN_IF_ERROR(store_->Repair(shard_id, stats));
+  RefreshDegradedLocked();
+  return Status::OK();
+}
+
+std::vector<std::pair<std::string, std::string>> Provider::DegradedModels()
+    const {
+  ReaderMutexLock lock(&catalog_mu_);
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(degraded_models_.size());
+  for (const auto& [model, state] : degraded_models_) {
+    out.emplace_back(model, state.reason);
+  }
+  return out;
 }
 
 Status Provider::Checkpoint() {
@@ -296,6 +432,26 @@ Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
   }
   DmxStatement& statement = *parsed.statement;
 
+  // Degraded models answer kUnavailable (naming their quarantined shard)
+  // before name resolution, so clients can tell "temporarily unserveable"
+  // from "does not exist". Internal (recovery/repair) connections bypass
+  // the check — they are the path that un-degrades a model.
+  if (!internal_) {
+    const std::string* target = nullptr;
+    if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
+      target = &join->model_name;
+    } else if (auto* content =
+                   std::get_if<SelectContentStatement>(&statement)) {
+      target = &content->model_name;
+    } else if (auto* export_stmt =
+                   std::get_if<ExportModelStatement>(&statement)) {
+      target = &export_stmt->model_name;
+    }
+    if (target != nullptr) {
+      DMX_RETURN_IF_ERROR(provider_->CheckModelServable(*target));
+    }
+  }
+
   if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
     Result<Rowset> rowset = ExecutePredictionJoin(
         provider_->database_, &provider_->models_, *join);
@@ -338,23 +494,41 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
                                          std::optional<rel::SqlStatement>& sql,
                                          const std::string& command,
                                          const ExecGuard* guard) {
+  // Store-wide read-only degraded mode: while the catalog shard is
+  // quarantined no mutation can be journaled, so none may execute. Degraded
+  // models refuse writes the same way reads do — their quarantined shard is
+  // the only durable home for these statements. Internal connections bypass
+  // both checks (they replay already-durable records).
+  if (!internal_) {
+    DMX_RETURN_IF_ERROR(provider_->CheckStoreWritable());
+  }
+
   if (parsed.is_sql) {
     DMX_ASSIGN_OR_RETURN(Rowset rowset,
                          rel::Execute(&provider_->database_, *sql));
-    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    DMX_RETURN_IF_ERROR(JournalLocked(command));
     return rowset;
   }
   DmxStatement& statement = *parsed.statement;
 
   if (auto* create = std::get_if<CreateModelStatement>(&statement)) {
+    if (!internal_) {
+      // A degraded model still owns its name: its quarantined shard will
+      // re-materialize it on Repair, so a colliding CREATE is refused.
+      DMX_RETURN_IF_ERROR(
+          provider_->CheckModelServable(create->definition.model_name));
+    }
     DMX_RETURN_IF_ERROR(provider_->models_
                             .CreateModel(std::move(create->definition),
                                          provider_->services_)
                             .status());
-    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    DMX_RETURN_IF_ERROR(JournalLocked(command));
     return Rowset();
   }
   if (auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
+    if (!internal_) {
+      DMX_RETURN_IF_ERROR(provider_->CheckModelServable(insert->model_name));
+    }
     DMX_ASSIGN_OR_RETURN(MiningModel * model,
                          provider_->models_.GetModel(insert->model_name));
     // A tripping guard can abort training mid-stream, so snapshot enough
@@ -391,8 +565,11 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
       return trained.WithContext("training model '" + insert->model_name +
                                  "'");
     }
-    if (provider_->store_ != nullptr &&
-        !model->service().capabilities().supports_incremental) {
+    if (internal_) {
+      // Recovery/repair replay: the record being applied is already durable
+      // in the shard being replayed.
+    } else if (provider_->store_ != nullptr &&
+               !model->service().capabilities().supports_incremental) {
       // Non-incremental training is not a pure function of (catalog,
       // statement): the retrain folds in the volatile case cache, which
       // snapshots do not capture. Replaying the statement after a snapshot
@@ -404,27 +581,40 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
       DMX_ASSIGN_OR_RETURN(std::string pmml, SerializeModel(*model));
       DMX_RETURN_IF_ERROR(provider_->store_->JournalModelBlob(
           model->definition().model_name, pmml));
-    } else {
-      DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    } else if (provider_->store_ != nullptr) {
+      // Incremental training is replayable: journal the statement into the
+      // model's own WAL shard.
+      DMX_RETURN_IF_ERROR(provider_->store_->JournalModelStatement(
+          insert->model_name, command));
     }
     return Rowset();
   }
   if (auto* del = std::get_if<DeleteFromModelStatement>(&statement)) {
+    if (!internal_) {
+      DMX_RETURN_IF_ERROR(provider_->CheckModelServable(del->model_name));
+    }
     // DELETE FROM is shared syntax: models win, tables fall through.
     if (provider_->models_.HasModel(del->model_name)) {
       DMX_ASSIGN_OR_RETURN(MiningModel * model,
                            provider_->models_.GetModel(del->model_name));
       DMX_RETURN_IF_ERROR(model->Reset());
+      if (!internal_ && provider_->store_ != nullptr) {
+        DMX_RETURN_IF_ERROR(provider_->store_->JournalModelStatement(
+            del->model_name, command));
+      }
     } else {
       DMX_RETURN_IF_ERROR(
           rel::ExecuteSql(&provider_->database_, command).status());
+      DMX_RETURN_IF_ERROR(JournalLocked(command));
     }
-    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
     return Rowset();
   }
   if (auto* drop = std::get_if<DropModelStatement>(&statement)) {
+    if (!internal_) {
+      DMX_RETURN_IF_ERROR(provider_->CheckModelServable(drop->model_name));
+    }
     DMX_RETURN_IF_ERROR(provider_->models_.DropModel(drop->model_name));
-    DMX_RETURN_IF_ERROR(provider_->JournalStatementLocked(command));
+    DMX_RETURN_IF_ERROR(JournalLocked(command));
     return Rowset();
   }
   if (auto* import_stmt = std::get_if<ImportModelStatement>(&statement)) {
@@ -432,19 +622,28 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
         std::unique_ptr<MiningModel> model,
         LoadModelFromFile(import_stmt->path, provider_->services_));
     std::string name = model->definition().model_name;
+    if (!internal_) {
+      DMX_RETURN_IF_ERROR(provider_->CheckModelServable(name));
+    }
     std::string pmml;
-    if (provider_->store_ != nullptr) {
+    const bool journal = !internal_ && provider_->store_ != nullptr;
+    if (journal) {
       // Journal the serialized model itself, not the IMPORT statement:
       // replay must not depend on the external file still existing.
       DMX_ASSIGN_OR_RETURN(pmml, SerializeModel(*model));
     }
     DMX_RETURN_IF_ERROR(provider_->models_.AdoptModel(std::move(model)));
-    if (provider_->store_ != nullptr) {
+    if (journal) {
       DMX_RETURN_IF_ERROR(provider_->store_->JournalModelBlob(name, pmml));
     }
     return Rowset();
   }
   return Internal() << "unhandled DMX statement";
+}
+
+Status Connection::JournalLocked(const std::string& command) {
+  if (internal_) return Status::OK();
+  return provider_->JournalStatementLocked(command);
 }
 
 Result<Rowset> Connection::GetSchemaRowset(SchemaRowsetKind kind,

@@ -23,9 +23,12 @@
 #ifndef DMX_CORE_PROVIDER_H_
 #define DMX_CORE_PROVIDER_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "common/exec_guard.h"
@@ -98,6 +101,24 @@ class Provider {
   /// Serialized against all statement execution.
   Status Checkpoint() DMX_EXCLUDES(catalog_mu_);
 
+  /// Re-adopts a quarantined shard — by shard id ("catalog", "m000003") or
+  /// by the name of a degraded model — and lifts the affected degradation.
+  /// Serialized against all statement execution, like Checkpoint.
+  Status Repair(const std::string& target,
+                store::RepairStats* stats = nullptr) DMX_EXCLUDES(catalog_mu_);
+
+  /// (model, reason) for every model currently degraded by a quarantined
+  /// shard; empty when the store is healthy or absent.
+  std::vector<std::pair<std::string, std::string>> DegradedModels() const
+      DMX_EXCLUDES(catalog_mu_);
+
+  /// True while the store's catalog shard is quarantined: every mutating
+  /// statement is refused with kUnavailable; reads still serve.
+  bool StoreReadOnly() const DMX_EXCLUDES(catalog_mu_) {
+    ReaderMutexLock lock(&catalog_mu_);
+    return store_read_only_;
+  }
+
  private:
   friend class Connection;
   class CatalogStoreClient;
@@ -114,6 +135,26 @@ class Provider {
   Status JournalStatementLocked(const std::string& text)
       DMX_REQUIRES(catalog_mu_);
 
+  /// One model's degradation: its WAL shard failed recovery.
+  struct DegradedState {
+    std::string shard_id;
+    std::string reason;
+  };
+
+  /// Rebuilds the degraded-model map and the read-only flag from the store's
+  /// current quarantine set (after OpenStore and after Repair).
+  void RefreshDegradedLocked() DMX_REQUIRES(catalog_mu_);
+
+  /// kUnavailable when `name` is a degraded model, with a context frame
+  /// naming the quarantined shard. Callers check this *before* resolving the
+  /// name so clients see kUnavailable rather than kNotFound.
+  Status CheckModelServable(const std::string& name) const
+      DMX_REQUIRES_SHARED(catalog_mu_);
+
+  /// kUnavailable for every mutating statement while the catalog shard is
+  /// quarantined (the store-wide read-only degraded mode).
+  Status CheckStoreWritable() const DMX_REQUIRES_SHARED(catalog_mu_);
+
   /// Catalog-level lock: DDL/DML and store maintenance take it exclusively,
   /// SELECT / PREDICTION JOIN / schema rowsets take it shared. Timed so
   /// writers blocked behind long readers can honour their deadline.
@@ -127,6 +168,13 @@ class Provider {
   std::unique_ptr<CatalogStoreClient> store_client_
       DMX_GUARDED_BY(catalog_mu_);
   std::unique_ptr<store::DurableStore> store_ DMX_GUARDED_BY(catalog_mu_);
+
+  /// Models whose WAL shard is quarantined: they keep their recovered base
+  /// state in memory (Repair replays on top of it) but every statement that
+  /// touches them returns kUnavailable.
+  std::map<std::string, DegradedState> degraded_models_
+      DMX_GUARDED_BY(catalog_mu_);
+  bool store_read_only_ DMX_GUARDED_BY(catalog_mu_) = false;
 };
 
 /// \brief One session: the command execution surface.
@@ -171,6 +219,13 @@ class Connection {
                                std::optional<rel::SqlStatement>& sql,
                                const std::string& command,
                                const ExecGuard* guard)
+      DMX_REQUIRES(provider_->catalog_mu_);
+
+  /// Journals one catalog-shard statement — unless this is an internal
+  /// (recovery/repair) connection: replayed statements are already durable
+  /// in the shard being replayed, and re-journaling them under Repair would
+  /// self-deadlock on the store's mutex.
+  Status JournalLocked(const std::string& command)
       DMX_REQUIRES(provider_->catalog_mu_);
 
   Provider* provider_;

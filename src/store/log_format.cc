@@ -22,6 +22,20 @@ bool GetFixed32(std::string_view* src, uint32_t* v) {
   return true;
 }
 
+void PutFixed64(std::string* dst, uint64_t v) {
+  PutFixed32(dst, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutFixed32(dst, static_cast<uint32_t>(v >> 32));
+}
+
+bool GetFixed64(std::string_view* src, uint64_t* v) {
+  uint32_t lo = 0;
+  uint32_t hi = 0;
+  if (src->size() < 8) return false;
+  if (!GetFixed32(src, &lo) || !GetFixed32(src, &hi)) return false;
+  *v = static_cast<uint64_t>(lo) | (static_cast<uint64_t>(hi) << 32);
+  return true;
+}
+
 void PutLengthPrefixed(std::string* dst, std::string_view s) {
   PutFixed32(dst, static_cast<uint32_t>(s.size()));
   dst->append(s.data(), s.size());
@@ -79,8 +93,8 @@ Status RecordWriter::Append(std::string_view payload) {
   return file_->Append(framed);
 }
 
-Result<ReadLogResult> ParseLog(std::string_view data) {
-  ReadLogResult out;
+ParsedPrefix ParseLogPrefix(std::string_view data) {
+  ParsedPrefix out;
   const uint64_t total = data.size();
   uint64_t offset = 0;
   while (offset < total) {
@@ -91,7 +105,7 @@ Result<ReadLogResult> ParseLog(std::string_view data) {
     // to EOF, so this is a torn final write.
     if (!GetFixed32(&rest, &size) || !GetFixed32(&rest, &crc) ||
         rest.size() < size) {
-      out.torn_tail = true;
+      out.log.torn_tail = true;
       return out;
     }
     std::string_view payload = rest.substr(0, size);
@@ -99,24 +113,32 @@ Result<ReadLogResult> ParseLog(std::string_view data) {
     if (RecordCrc(size, payload) != crc) {
       if (next >= total) {
         // Checksum failure on the final record: torn write.
-        out.torn_tail = true;
+        out.log.torn_tail = true;
         return out;
       }
       if (AllZero(data.substr(offset))) {
         // A zero-filled run to EOF is preallocated blocks left behind by a
         // crash, not damage to written records: torn tail, truncate it.
-        out.torn_tail = true;
+        out.log.torn_tail = true;
         return out;
       }
-      return Corruption() << "checksum mismatch in record at offset " << offset
-                          << " (" << size << " bytes, followed by "
-                          << total - next << " more)";
+      out.damage = Corruption()
+                   << "checksum mismatch in record at offset " << offset
+                   << " (" << size << " bytes, followed by " << total - next
+                   << " more)";
+      return out;
     }
-    out.records.emplace_back(payload);
+    out.log.records.emplace_back(payload);
     offset = next;
-    out.valid_bytes = offset;
+    out.log.valid_bytes = offset;
   }
   return out;
+}
+
+Result<ReadLogResult> ParseLog(std::string_view data) {
+  ParsedPrefix parsed = ParseLogPrefix(data);
+  if (!parsed.damage.ok()) return parsed.damage;
+  return std::move(parsed.log);
 }
 
 Result<ReadLogResult> ReadLogFile(Env* env, const std::string& path) {

@@ -34,6 +34,8 @@ namespace dmx::store {
 
 void PutFixed32(std::string* dst, uint32_t v);
 bool GetFixed32(std::string_view* src, uint32_t* v);
+void PutFixed64(std::string* dst, uint64_t v);
+bool GetFixed64(std::string_view* src, uint64_t* v);
 void PutLengthPrefixed(std::string* dst, std::string_view s);
 bool GetLengthPrefixed(std::string_view* src, std::string_view* out);
 
@@ -65,6 +67,19 @@ struct ReadLogResult {
 /// Parses every record of `data`. Torn final record => OK with
 /// torn_tail=true; damage before the end => kCorruption.
 Result<ReadLogResult> ParseLog(std::string_view data);
+
+/// \brief Lenient variant for quarantine repair: always yields the valid
+/// record prefix, plus the verdict on how parsing stopped.
+///
+/// `damage` is OK when the log is clean or merely torn (torn_tail set as in
+/// ParseLog); kCorruption when damage was found before the end of the file.
+/// In every case `log.records` / `log.valid_bytes` describe the longest
+/// valid prefix, so a caller can truncate the file back to health.
+struct ParsedPrefix {
+  ReadLogResult log;
+  Status damage;
+};
+ParsedPrefix ParseLogPrefix(std::string_view data);
 
 /// ReadFileToString + ParseLog. A missing file is an empty log.
 Result<ReadLogResult> ReadLogFile(Env* env, const std::string& path);

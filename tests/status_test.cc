@@ -162,7 +162,10 @@ TEST(StatusTest, ReturnIfErrorMacro) {
 
 TEST(StatusTest, CodeCountMatchesEnum) {
   EXPECT_EQ(kStatusCodeCount, static_cast<int>(StatusCode::kInternal) + 1);
-  EXPECT_EQ(kStatusCodeCount, 14);
+  Status degraded = Unavailable() << "model quarantined";
+  EXPECT_TRUE(degraded.IsUnavailable());
+  EXPECT_EQ(degraded.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(kStatusCodeCount, 15);
   // One past the end is out of the closed set.
   EXPECT_STREQ(StatusCodeToString(static_cast<StatusCode>(kStatusCodeCount)),
                "Unknown");

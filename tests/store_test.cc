@@ -1,8 +1,10 @@
 // Durable store: statements journaled through a provider survive process
-// death. Covers the WAL/snapshot round trip, checkpoint rotation, torn-tail
-// vs mid-log corruption handling, IMPORT blob journaling, and the crash-point
-// sweep — a fault injected at EVERY mutating I/O op must leave a state that
-// recovers to exactly the successfully-executed statement prefix.
+// death. Covers the sharded WAL/snapshot round trip, checkpoint rotation,
+// torn-tail vs mid-log corruption handling, IMPORT blob journaling, shard
+// quarantine + per-model degraded mode + Repair, the namespace-aware stale
+// sweep, parallel recovery, and the crash-point sweep — a fault injected at
+// EVERY mutating I/O op must leave a state that recovers to exactly the
+// successfully-executed statement prefix.
 
 #include "store/store.h"
 
@@ -40,10 +42,32 @@ const std::vector<std::string>& Script() {
   return kScript;
 }
 
+// A script whose model trains *incrementally* (Naive_Bayes): its INSERT INTO
+// statements journal as statements into the model's own shard, giving that
+// shard a multi-record log to damage, quarantine and repair.
+const std::vector<std::string>& NbScript() {
+  static const std::vector<std::string> kScript = {
+      Script()[0],
+      Script()[1],
+      "CREATE MINING MODEL [NB] ([Id] LONG KEY, [Age] DOUBLE DISCRETIZED, "
+      "[Loyalty] LONG DISCRETE PREDICT) USING Naive_Bayes",
+      "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM People",
+      "INSERT INTO People VALUES (7, 28, 120, 0), (8, 52, 380, 1)",
+      "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM People",
+      "INSERT INTO People VALUES (9, 41, 260, 1)",
+      "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM People",
+  };
+  return kScript;
+}
+
 constexpr const char* kPredictQuery =
     "SELECT t.[Id], Predict([Loyalty]) AS P, PredictProbability([Loyalty]) "
     "AS Q FROM [M] NATURAL PREDICTION JOIN "
     "(SELECT [Id], [Age], [Income] FROM People) AS t";
+
+constexpr const char* kNbPredictQuery =
+    "SELECT Predict([Loyalty]) AS P FROM [NB] NATURAL PREDICTION JOIN "
+    "(SELECT [Id], [Age] FROM People) AS t";
 
 // Serializes everything observable about a provider: table contents, model
 // inventory (with case counts), and — when [M] is trained — its predictions.
@@ -77,49 +101,69 @@ std::string StateString(Provider* provider) {
   return out;
 }
 
-// Executes the first `count` script statements on a fresh in-memory provider
-// — the oracle a recovered store is compared against.
-std::string OracleState(size_t count) {
+// Executes the first `count` statements of `script` on a fresh in-memory
+// provider — the oracle a recovered store is compared against.
+std::string OracleState(const std::vector<std::string>& script, size_t count) {
   Provider provider;
   auto conn = provider.Connect();
   for (size_t i = 0; i < count; ++i) {
-    auto result = conn->Execute(Script()[i]);
+    auto result = conn->Execute(script[i]);
     EXPECT_TRUE(result.ok())
         << "oracle statement " << i << ": " << result.status().ToString();
   }
   return StateString(&provider);
 }
 
+std::string OracleState(size_t count) { return OracleState(Script(), count); }
+
 std::string StoreDir(const std::string& name) {
   std::string dir = ::testing::TempDir() + "/store_test_" + name;
-  // Tests reuse names across runs; start from an empty directory.
+  // Tests reuse names across runs; start from an empty directory
+  // (including any quarantined shards from a previous run).
   Env* env = Env::Default();
-  auto names = env->ListDir(dir);
-  if (names.ok()) {
-    for (const std::string& f : *names) (void)env->DeleteFile(dir + "/" + f);
+  for (const std::string& sub : {dir + "/quarantine", dir}) {
+    auto names = env->ListDir(sub);
+    if (!names.ok()) continue;
+    for (const std::string& f : *names) (void)env->DeleteFile(sub + "/" + f);
   }
   return dir;
 }
 
-// Returns the path of the single wal-*.log file in `dir`.
-std::string FindWal(const std::string& dir) {
+// Returns the path of the first file in `dir` whose name starts with
+// `prefix` — e.g. "shard-catalog-" or "shard-m" for model shards.
+std::string FindShard(const std::string& dir, const std::string& prefix) {
   auto names = Env::Default()->ListDir(dir);
   EXPECT_TRUE(names.ok());
   for (const std::string& name : *names) {
-    if (name.rfind("wal-", 0) == 0) return dir + "/" + name;
+    if (name.rfind(prefix, 0) == 0) return dir + "/" + name;
   }
-  ADD_FAILURE() << "no WAL file in " << dir;
+  ADD_FAILURE() << "no " << prefix << "* file in " << dir;
   return "";
 }
 
 std::string FindSnapshot(const std::string& dir) {
-  auto names = Env::Default()->ListDir(dir);
-  EXPECT_TRUE(names.ok());
-  for (const std::string& name : *names) {
-    if (name.rfind("snapshot-", 0) == 0) return dir + "/" + name;
+  return FindShard(dir, "snapshot-");
+}
+
+// Rewrites the log at `path` flipping one payload byte of record `target`
+// (0-based): that record's CRC fails while every record after it stays
+// healthy — mid-log damage, not a torn tail.
+void CorruptRecord(const std::string& path, size_t target) {
+  auto data = Env::Default()->ReadFileToString(path);
+  ASSERT_TRUE(data.ok());
+  auto parsed = store::ParseLog(*data);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_FALSE(parsed->torn_tail);
+  ASSERT_GT(parsed->records.size(), target + 1)
+      << "need a record after the damaged one";
+  std::string out;
+  for (size_t i = 0; i < parsed->records.size(); ++i) {
+    std::string frame;
+    store::AppendRecordTo(&frame, parsed->records[i]);
+    if (i == target) frame[8] ^= 0x01;  // first payload byte
+    out += frame;
   }
-  ADD_FAILURE() << "no snapshot file in " << dir;
-  return "";
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(path, out, true).ok());
 }
 
 TEST(StoreTest, StatePersistsAcrossReopen) {
@@ -139,12 +183,15 @@ TEST(StoreTest, StatePersistsAcrossReopen) {
   Provider reopened;
   ASSERT_TRUE(reopened.OpenStore(dir).ok());
   const store::RecoveryStats& stats = reopened.store()->recovery_stats();
-  // Training INSERTs into non-incremental models (the two [M] Clustering
-  // inserts) journal the trained model blob, not the statement: statement
-  // replay cannot reproduce a retrain whose case cache is volatile.
-  EXPECT_EQ(stats.replayed_statements, Script().size() - 2);
-  EXPECT_EQ(stats.replayed_blobs, 2u);
+  // Training INSERTs into non-incremental models journal the trained model
+  // blob, not the statement — and journaling a blob *rotates* the model's
+  // shard, superseding the earlier blob and the DELETE FROM that preceded
+  // it. What survives: 4 catalog statements + the final trained blob.
+  EXPECT_EQ(stats.replayed_statements, Script().size() - 3);
+  EXPECT_EQ(stats.replayed_blobs, 1u);
   EXPECT_FALSE(stats.torn_tail_truncated);
+  EXPECT_EQ(stats.shards_quarantined, 0u);
+  EXPECT_GE(stats.shards_recovered, 2u);  // catalog + [M]'s shard
   EXPECT_EQ(StateString(&reopened), before);
   EXPECT_EQ(before, OracleState(Script().size()));
 }
@@ -193,8 +240,9 @@ TEST(StoreTest, TornWalTailIsTruncatedSilently) {
       ASSERT_TRUE(conn->Execute(Script()[i]).ok());
     }
   }
-  // Simulate a crash mid-append: a record header with no payload behind it.
-  std::string wal = FindWal(dir);
+  // Simulate a crash mid-append on the catalog shard: a record header with
+  // no payload behind it.
+  std::string wal = FindShard(dir, "shard-catalog-");
   std::string tail;
   store::PutFixed32(&tail, 1000);  // claims 1000 payload bytes
   store::PutFixed32(&tail, 0xdeadbeef);
@@ -212,6 +260,7 @@ TEST(StoreTest, TornWalTailIsTruncatedSilently) {
   // 3 statements + 1 model blob: the [M] training insert journals a blob.
   EXPECT_EQ(reopened.store()->recovery_stats().replayed_statements, 3u);
   EXPECT_EQ(reopened.store()->recovery_stats().replayed_blobs, 1u);
+  EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 0u);
   EXPECT_EQ(StateString(&reopened), OracleState(4));
 
   // The truncation repaired the file: a third open sees a clean log.
@@ -232,8 +281,8 @@ TEST(StoreTest, ZeroFilledWalTailIsTornTail) {
     }
   }
   // Block preallocation after power loss: the WAL gains a run of zero bytes
-  // past the last fsynced record. Must recover silently, not kCorruption.
-  std::string wal = FindWal(dir);
+  // past the last fsynced record. Must recover silently, not quarantine.
+  std::string wal = FindShard(dir, "shard-catalog-");
   {
     auto file = Env::Default()->NewWritableFile(wal, /*append=*/true);
     ASSERT_TRUE(file.ok());
@@ -247,6 +296,7 @@ TEST(StoreTest, ZeroFilledWalTailIsTornTail) {
   // 3 statements + 1 model blob (see TornWalTailIsTruncatedSilently).
   EXPECT_EQ(reopened.store()->recovery_stats().replayed_statements, 3u);
   EXPECT_EQ(reopened.store()->recovery_stats().replayed_blobs, 1u);
+  EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 0u);
   EXPECT_EQ(StateString(&reopened), OracleState(4));
 }
 
@@ -285,8 +335,125 @@ TEST(StoreTest, SnapshotRoundTripsNewlineAndEmptyCells) {
   EXPECT_TRUE(rows[2][1].is_null());
 }
 
-TEST(StoreTest, MidLogDamageSurfacesCorruption) {
-  std::string dir = StoreDir("midlog");
+// ---------------------------------------------------------------------------
+// Quarantine + degraded mode — the acceptance criterion. Mid-log damage in
+// ONE model's shard must not fail the open: the shard moves to quarantine/,
+// the model serves kUnavailable, everything else keeps working, and Repair
+// re-adopts the valid prefix.
+// ---------------------------------------------------------------------------
+
+TEST(StoreTest, ModelShardDamageQuarantinesAndDegrades) {
+  std::string dir = StoreDir("quarantine");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : NbScript()) {
+      auto result = conn->Execute(statement);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+    }
+  }
+  // [NB]'s shard holds {header, insert#1, insert#2, insert#3}. Damage
+  // insert#2: a healthy record follows, so this is mid-log damage — the
+  // valid prefix is insert#1.
+  CorruptRecord(FindShard(dir, "shard-m"), 2);
+
+  {
+    Provider reopened;
+    Status status = reopened.OpenStore(dir);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 1u);
+
+    // The damaged shard is in quarantine/ with a reason sidecar.
+    std::string qfile = FindShard(dir + "/quarantine", "shard-m");
+    ASSERT_FALSE(qfile.empty());
+    auto reason = Env::Default()->ReadFileToString(qfile + ".reason");
+    ASSERT_TRUE(reason.ok());
+    EXPECT_NE(reason->find("\"model\":\"NB\""), std::string::npos) << *reason;
+
+    // [NB] is degraded: reads and writes against it say kUnavailable and
+    // name the quarantined shard; they do NOT say kNotFound or kCorruption.
+    auto conn = reopened.Connect();
+    auto predict = conn->Execute(kNbPredictQuery);
+    ASSERT_FALSE(predict.ok());
+    EXPECT_TRUE(predict.status().IsUnavailable()) << predict.status().ToString();
+    EXPECT_NE(predict.status().ToString().find("quarantined"),
+              std::string::npos)
+        << predict.status().ToString();
+    auto retrain =
+        conn->Execute("INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] "
+                      "FROM People");
+    ASSERT_FALSE(retrain.ok());
+    EXPECT_TRUE(retrain.status().IsUnavailable());
+    auto drop = conn->Execute("DROP MINING MODEL [NB]");
+    ASSERT_FALSE(drop.ok());
+    EXPECT_TRUE(drop.status().IsUnavailable());
+    // Re-creating a model whose name a quarantined shard still owns is also
+    // refused — repairing later must not find the name taken.
+    auto recreate = conn->Execute(NbScript()[2]);
+    ASSERT_FALSE(recreate.ok());
+    EXPECT_TRUE(recreate.status().IsUnavailable());
+
+    // Everything else serves: reads and writes on other objects succeed.
+    EXPECT_FALSE(reopened.StoreReadOnly());
+    ASSERT_TRUE(
+        conn->Execute("SELECT COUNT(*) AS N FROM People").ok());
+    ASSERT_TRUE(
+        conn->Execute("INSERT INTO People VALUES (10, 33, 140, 0)").ok());
+
+    auto degraded = reopened.DegradedModels();
+    ASSERT_EQ(degraded.size(), 1u);
+    EXPECT_EQ(degraded[0].first, "NB");
+
+    // The status report carries the quarantined row.
+    store::StoreStatus report = reopened.store()->GetStatus();
+    size_t quarantined_rows = 0;
+    for (const store::ShardStatus& row : report.shards) {
+      if (!row.quarantined) continue;
+      ++quarantined_rows;
+      EXPECT_EQ(row.model, "NB");
+      EXPECT_FALSE(row.reason.empty());
+    }
+    EXPECT_EQ(quarantined_rows, 1u);
+  }
+
+  // The quarantine survives a reopen (reloaded from the reason sidecar).
+  {
+    Provider again;
+    ASSERT_TRUE(again.OpenStore(dir).ok());
+    ASSERT_EQ(again.DegradedModels().size(), 1u);
+    auto conn = again.Connect();
+    auto predict = conn->Execute(kNbPredictQuery);
+    ASSERT_FALSE(predict.ok());
+    EXPECT_TRUE(predict.status().IsUnavailable());
+
+    // Repair re-adopts the valid prefix — by model name — and lifts the
+    // degradation in place, no reopen needed.
+    store::RepairStats stats;
+    Status repaired = again.Repair("NB", &stats);
+    ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+    EXPECT_EQ(stats.records_reapplied, 1u);  // insert#1 survives
+    EXPECT_GT(stats.bytes_dropped, 0u);      // insert#2 + insert#3 dropped
+    EXPECT_TRUE(again.DegradedModels().empty());
+    ASSERT_TRUE(conn->Execute(kNbPredictQuery).ok());
+    // The quarantine entry is gone from disk too.
+    auto leftovers = Env::Default()->ListDir(dir + "/quarantine");
+    if (leftovers.ok()) {
+      EXPECT_TRUE(leftovers->empty());
+    }
+  }
+
+  // After Repair the store reopens clean and [NB] serves.
+  Provider final_check;
+  ASSERT_TRUE(final_check.OpenStore(dir).ok());
+  EXPECT_EQ(final_check.store()->recovery_stats().shards_quarantined, 0u);
+  EXPECT_TRUE(final_check.DegradedModels().empty());
+  auto conn = final_check.Connect();
+  ASSERT_TRUE(conn->Execute(kNbPredictQuery).ok());
+}
+
+TEST(StoreTest, CatalogShardDamageMakesStoreReadOnly) {
+  std::string dir = StoreDir("catquarantine");
   {
     Provider provider;
     ASSERT_TRUE(provider.OpenStore(dir).ok());
@@ -295,20 +462,185 @@ TEST(StoreTest, MidLogDamageSurfacesCorruption) {
       ASSERT_TRUE(conn->Execute(Script()[i]).ok());
     }
   }
-  // Flip a byte inside the FIRST record's payload — damage followed by more
-  // records is not a torn tail and must not be silently dropped.
-  std::string wal = FindWal(dir);
-  auto data = Env::Default()->ReadFileToString(wal);
-  ASSERT_TRUE(data.ok());
-  ASSERT_GT(data->size(), 16u);
-  (*data)[10] ^= 0x40;
-  ASSERT_TRUE(Env::Default()->WriteStringToFile(wal, *data, true).ok());
+  // Catalog shard: {header, CREATE TABLE, INSERT, CREATE MODEL}. Damage the
+  // INSERT — the CREATE MODEL after it makes this mid-log damage.
+  CorruptRecord(FindShard(dir, "shard-catalog-"), 2);
 
   Provider reopened;
   Status status = reopened.OpenStore(dir);
-  ASSERT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kCorruption);
-  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_TRUE(reopened.StoreReadOnly());
+  EXPECT_TRUE(reopened.store()->catalog_quarantined());
+
+  // Every mutating statement is refused with kUnavailable...
+  auto conn = reopened.Connect();
+  auto insert =
+      conn->Execute("INSERT INTO People VALUES (10, 33, 140, 0)");
+  ASSERT_FALSE(insert.ok());
+  EXPECT_TRUE(insert.status().IsUnavailable()) << insert.status().ToString();
+  auto create = conn->Execute("CREATE TABLE Other (Id LONG)");
+  ASSERT_FALSE(create.ok());
+  EXPECT_TRUE(create.status().IsUnavailable());
+  // ...as is checkpointing (it would discard the quarantined records).
+  EXPECT_FALSE(reopened.Checkpoint().ok());
+
+  // Reads still serve: [M]'s shard replayed its blob independently.
+  auto model = reopened.models()->GetModel("M");
+  ASSERT_TRUE(model.ok());
+  EXPECT_TRUE((*model)->is_trained());
+  ASSERT_TRUE(conn->GetSchemaRowset(SchemaRowsetKind::kMiningModels).ok());
+
+  // Repair re-adopts the valid prefix (the CREATE TABLE) and lifts the
+  // read-only mode.
+  store::RepairStats stats;
+  Status repaired = reopened.Repair(store::kCatalogShardId, &stats);
+  ASSERT_TRUE(repaired.ok()) << repaired.ToString();
+  EXPECT_EQ(stats.records_reapplied, 1u);
+  EXPECT_FALSE(reopened.StoreReadOnly());
+  ASSERT_TRUE(
+      conn->Execute("INSERT INTO People VALUES (1, 25, 100, 0)").ok());
+
+  // And the repaired store round-trips.
+  Provider again;
+  ASSERT_TRUE(again.OpenStore(dir).ok());
+  EXPECT_EQ(again.store()->recovery_stats().shards_quarantined, 0u);
+  EXPECT_EQ(StateString(&again), StateString(&reopened));
+}
+
+TEST(StoreTest, MissingShardFileIsQuarantined) {
+  std::string dir = StoreDir("missing");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+  }
+  // The retrain rotated [M]'s shard, committing it to the MANIFEST with a
+  // record floor — deleting the file is detectable data loss, not a
+  // legitimately empty shard.
+  ASSERT_TRUE(Env::Default()->DeleteFile(FindShard(dir, "shard-m")).ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 1u);
+  auto degraded = reopened.DegradedModels();
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0].first, "M");
+  EXPECT_NE(degraded[0].second.find("missing"), std::string::npos)
+      << degraded[0].second;
+
+  // The catalog replayed normally around the hole.
+  auto conn = reopened.Connect();
+  auto predict = conn->Execute(kPredictQuery);
+  ASSERT_FALSE(predict.ok());
+  EXPECT_TRUE(predict.status().IsUnavailable());
+  ASSERT_TRUE(conn->Execute("SELECT COUNT(*) AS N FROM People").ok());
+
+  // Repair of a missing file re-adopts empty: [M] is back to its recovered
+  // base (created, untrained) and writable — a retrain restores it fully.
+  store::RepairStats stats;
+  ASSERT_TRUE(reopened.Repair("M", &stats).ok());
+  EXPECT_EQ(stats.records_reapplied, 0u);
+  EXPECT_TRUE(reopened.DegradedModels().empty());
+  ASSERT_TRUE(conn->Execute(Script()[6]).ok());  // retrain [M]
+  ASSERT_TRUE(conn->Execute(kPredictQuery).ok());
+
+  Provider again;
+  ASSERT_TRUE(again.OpenStore(dir).ok());
+  EXPECT_EQ(again.store()->recovery_stats().shards_quarantined, 0u);
+  EXPECT_EQ(StateString(&again), StateString(&reopened));
+}
+
+TEST(StoreTest, StaleSweepSparesUserFilesAndQuarantine) {
+  std::string dir = StoreDir("sweep_ns");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (size_t i = 0; i < 2; ++i) {
+      ASSERT_TRUE(conn->Execute(Script()[i]).ok());
+    }
+    ASSERT_TRUE(provider.Checkpoint().ok());
+    ASSERT_TRUE(
+        conn->Execute("INSERT INTO People VALUES (7, 28, 120, 0)").ok());
+  }
+  Env* env = Env::Default();
+  // A user file, an orphaned temp file, a shard the MANIFEST never heard of
+  // (an unreadable header means its creation was never acknowledged), and an
+  // uncommitted snapshot.
+  ASSERT_TRUE(env->WriteStringToFile(dir + "/notes.txt", "user data").ok());
+  ASSERT_TRUE(env->WriteStringToFile(dir + "/leftover.tmp", "junk").ok());
+  ASSERT_TRUE(
+      env->WriteStringToFile(dir + "/shard-m000099-000001.log", "junk").ok());
+  ASSERT_TRUE(env->WriteStringToFile(dir + "/snapshot-000099", "junk").ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 0u);
+  {
+    // Recovery round-tripped the checkpointed + journaled state.
+    Provider oracle;
+    auto oconn = oracle.Connect();
+    ASSERT_TRUE(oconn->Execute(Script()[0]).ok());
+    ASSERT_TRUE(oconn->Execute(Script()[1]).ok());
+    ASSERT_TRUE(
+        oconn->Execute("INSERT INTO People VALUES (7, 28, 120, 0)").ok());
+    EXPECT_EQ(StateString(&reopened), StateString(&oracle));
+  }
+  // Only the store's own stale namespace is swept; the user file survives.
+  EXPECT_TRUE(env->FileExists(dir + "/notes.txt"));
+  EXPECT_FALSE(env->FileExists(dir + "/leftover.tmp"));
+  EXPECT_FALSE(env->FileExists(dir + "/shard-m000099-000001.log"));
+  EXPECT_FALSE(env->FileExists(dir + "/snapshot-000099"));
+  // The committed snapshot is untouched.
+  EXPECT_FALSE(FindSnapshot(dir).empty());
+}
+
+TEST(StoreTest, ParallelRecoveryMatchesSerial) {
+  std::string dir = StoreDir("parallel");
+  constexpr int kModels = 5;
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    ASSERT_TRUE(conn->Execute(Script()[0]).ok());
+    ASSERT_TRUE(conn->Execute(Script()[1]).ok());
+    for (int i = 0; i < kModels; ++i) {
+      const std::string name = "NB" + std::to_string(i);
+      ASSERT_TRUE(conn->Execute("CREATE MINING MODEL [" + name +
+                                "] ([Id] LONG KEY, [Age] DOUBLE DISCRETIZED, "
+                                "[Loyalty] LONG DISCRETE PREDICT) "
+                                "USING Naive_Bayes")
+                      .ok());
+      ASSERT_TRUE(conn->Execute("INSERT INTO [" + name +
+                                "] SELECT [Id], [Age], [Loyalty] FROM People")
+                      .ok());
+    }
+  }
+
+  std::string serial_state;
+  {
+    Provider serial;
+    store::StoreOptions options;
+    options.recovery_threads = 1;
+    ASSERT_TRUE(serial.OpenStore(dir, options).ok());
+    EXPECT_EQ(serial.store()->recovery_stats().shards_recovered,
+              1u + kModels);  // catalog + one shard per model
+    serial_state = StateString(&serial);
+  }
+
+  Provider parallel;
+  store::StoreOptions options;
+  options.recovery_threads = 4;
+  ASSERT_TRUE(parallel.OpenStore(dir, options).ok());
+  EXPECT_EQ(parallel.store()->recovery_stats().shards_recovered,
+            1u + kModels);
+  EXPECT_EQ(StateString(&parallel), serial_state);
+  EXPECT_GE(parallel.store()->recovery_report().size(), 1u + kModels);
 }
 
 TEST(StoreTest, SnapshotDamageSurfacesCorruption) {
@@ -329,6 +661,8 @@ TEST(StoreTest, SnapshotDamageSurfacesCorruption) {
   ASSERT_TRUE(
       Env::Default()->WriteStringToFile(snapshot, *data, true).ok());
 
+  // The snapshot is the shared base of every shard: there is no per-model
+  // blast radius to contain, so damage is still a failed open.
   Provider reopened;
   Status status = reopened.OpenStore(dir);
   ASSERT_FALSE(status.ok());
@@ -395,8 +729,25 @@ TEST(StoreTest, RecoveredStateReplacesPreloadedObjects) {
 // failing at every successive write/fsync/rename/... offset (and as a torn
 // write, and as ENOSPC), reopening the store must always succeed with a
 // clean env and recover EXACTLY the successfully-executed statement prefix:
-// never a partial statement, never a crash, never kCorruption.
+// never a partial statement, never a crash, never a quarantine — injected
+// crashes are torn tails and lost appends, not mid-log damage. The workload
+// spans the catalog shard, a blob shard (with an epoch-bumping rotation) and
+// an incremental statement shard, with auto-checkpoints rewriting the
+// MANIFEST mid-run.
 // ---------------------------------------------------------------------------
+
+const std::vector<std::string>& SweepScript() {
+  static const std::vector<std::string> kScript = [] {
+    std::vector<std::string> script = Script();
+    script.push_back(
+        "CREATE MINING MODEL [N] ([Id] LONG KEY, [Age] DOUBLE DISCRETIZED, "
+        "[Loyalty] LONG DISCRETE PREDICT) USING Naive_Bayes");
+    script.push_back(
+        "INSERT INTO [N] SELECT [Id], [Age], [Loyalty] FROM People");
+    return script;
+  }();
+  return kScript;
+}
 
 class CrashPointSweep
     : public ::testing::TestWithParam<FaultInjectionEnv::FaultKind> {};
@@ -415,6 +766,7 @@ TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
   // The three kinds run as separate concurrent ctest processes — keep their
   // scratch directories disjoint.
   const std::string tag = KindName(kind);
+  const std::vector<std::string>& script = SweepScript();
 
   // Pass 1: count the mutating ops of a fault-free run.
   int64_t total_ops = 0;
@@ -428,7 +780,7 @@ TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
     Provider provider;
     ASSERT_TRUE(provider.OpenStore(dir, options).ok());
     auto conn = provider.Connect();
-    for (const std::string& statement : Script()) {
+    for (const std::string& statement : script) {
       ASSERT_TRUE(conn->Execute(statement).ok());
     }
     total_ops = env.op_count();
@@ -437,8 +789,10 @@ TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
   ASSERT_GT(total_ops, 10);
 
   // Cache oracle states — StateString per statement prefix.
-  std::vector<std::string> oracle(Script().size() + 1);
-  for (size_t i = 0; i <= Script().size(); ++i) oracle[i] = OracleState(i);
+  std::vector<std::string> oracle(script.size() + 1);
+  for (size_t i = 0; i <= script.size(); ++i) {
+    oracle[i] = OracleState(script, i);
+  }
 
   // Pass 2: fail at every offset.
   for (int64_t fail_at = 0; fail_at < total_ops; ++fail_at) {
@@ -455,7 +809,7 @@ TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
       Provider provider;
       if (provider.OpenStore(dir, options).ok()) {
         auto conn = provider.Connect();
-        for (const std::string& statement : Script()) {
+        for (const std::string& statement : script) {
           if (!conn->Execute(statement).ok()) break;
           ++ok_prefix;
         }
@@ -466,12 +820,14 @@ TEST_P(CrashPointSweep, EveryFaultOffsetRecoversToAPrefix) {
     // crash or ENOSPC is never corruption — and land on the state of a
     // statement PREFIX. The failing statement itself may or may not be
     // durable (its WAL bytes can reach the disk even when the fsync reports
-    // the fault), but a statement must never be half-applied.
+    // the fault), but a statement must never be half-applied, and a crash
+    // must never quarantine a shard.
     Provider reopened;
     Status status = reopened.OpenStore(dir);
     ASSERT_TRUE(status.ok()) << status.ToString();
+    EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 0u);
     std::string recovered = StateString(&reopened);
-    size_t next = std::min(ok_prefix + 1, Script().size());
+    size_t next = std::min(ok_prefix + 1, script.size());
     EXPECT_TRUE(recovered == oracle[ok_prefix] || recovered == oracle[next])
         << "ok_prefix=" << ok_prefix << "\nrecovered:\n"
         << recovered << "\nexpected either prefix " << ok_prefix << ":\n"

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
-# Crash-recovery stress for the durable store: run an idempotent training
-# workload through dmxsh --store, SIGKILL the shell at staggered points
-# mid-session, reopen after every kill, and finally assert that the table
-# and the trained model recovered with working predictions.
+# Crash-recovery stress for the sharded durable store: run an idempotent
+# multi-model workload through dmxsh --store — catalog DDL/DML plus a
+# blob-journaled Clustering model and an incrementally-journaled Naive_Bayes
+# model, so kills land across three WAL shards in different states — SIGKILL
+# the shell at staggered points mid-session, reopen after every kill, and
+# finally assert that the table and both models recovered with working
+# predictions and no quarantined shards.
 #
 #   tools/crash_recovery_stress.sh <path-to-dmxsh> [rounds]
 set -u
@@ -16,9 +19,13 @@ ROWS=200
 
 # Idempotent workload: every statement either applies or fails harmlessly
 # against recovered state, so the script can be replayed after any kill
-# point and always converge to the same catalog.
+# point and always converge to the same catalog. [M] journals as a model
+# blob (shard rotation), [NB] journals incremental training statements —
+# between them plus the catalog shard, a kill can strand any combination of
+# shards mid-write.
 workload() {
-  echo "DROP MINING MODEL [M];"  # error on the first run; fine
+  echo "DROP MINING MODEL [M];"   # error on the first run; fine
+  echo "DROP MINING MODEL [NB];"  # ditto
   echo "CREATE TABLE T (Id LONG, Age DOUBLE, Loyalty LONG);"  # ditto later
   echo "DELETE FROM T;"
   for i in $(seq 1 "$ROWS"); do
@@ -28,6 +35,12 @@ workload() {
        "[Loyalty] LONG DISCRETE PREDICT)" \
        "USING Clustering(CLUSTER_COUNT = 2, SEED = 3);"
   echo "INSERT INTO [M] SELECT [Id], [Age], [Loyalty] FROM T;"
+  echo "CREATE MINING MODEL [NB] ([Id] LONG KEY, [Age] DOUBLE DISCRETIZED," \
+       "[Loyalty] LONG DISCRETE PREDICT) USING Naive_Bayes;"
+  # Three incremental rounds: each journals a statement into NB's own shard.
+  echo "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM T;"
+  echo "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM T;"
+  echo "INSERT INTO [NB] SELECT [Id], [Age], [Loyalty] FROM T;"
 }
 
 fail() {
@@ -40,16 +53,20 @@ for round in $(seq 1 "$ROUNDS"); do
   workload | "$DMXSH" --store "$STORE" --quiet >"$WORK/run.log" 2>&1 &
   pid=$!
   # Stagger the kill so different rounds die in different phases: journal
-  # appends, auto-checkpoints, model training.
+  # appends, blob rotations, auto-checkpoints, model training.
   sleep "0.0${round}"
   kill -9 "$pid" 2>/dev/null
   wait "$pid" 2>/dev/null
-  # Reopening after the kill must never report corruption.
-  out="$(echo '\quit' | "$DMXSH" --store "$STORE" 2>&1)" ||
+  # Reopening after the kill must never report corruption, and a plain
+  # process death must never quarantine a shard (quarantine is for damaged
+  # files, not torn tails).
+  out="$(echo '\store-status' | "$DMXSH" --store "$STORE" 2>&1)" ||
     fail "round $round: reopen exited non-zero:
 $out"
   case "$out" in
     *Corruption*) fail "round $round: reopen reported corruption:
+$out" ;;
+    *QUARANTINED*) fail "round $round: SIGKILL quarantined a shard:
 $out" ;;
   esac
   echo "round $round: killed pid $pid, reopen OK"
@@ -60,17 +77,28 @@ workload | "$DMXSH" --store "$STORE" --quiet >"$WORK/final.log" 2>&1 ||
   fail "final workload run exited non-zero: $(cat "$WORK/final.log")"
 
 echo "== verification =="
-verify="$(echo "SELECT t.[Id], Predict([Loyalty]) AS L FROM [M] \
+for model in M NB; do
+  verify="$(echo "SELECT t.[Id], Predict([Loyalty]) AS L FROM [$model] \
 NATURAL PREDICTION JOIN (SELECT [Id], [Age] FROM T) AS t;" |
-  "$DMXSH" --store "$STORE" --quiet 2>&1)" ||
-  fail "verification run exited non-zero:
+    "$DMXSH" --store "$STORE" --quiet 2>&1)" ||
+    fail "verification run for [$model] exited non-zero:
 $verify"
-case "$verify" in
-  *Corruption*) fail "verification reported corruption:
+  case "$verify" in
+    *Corruption*) fail "verification of [$model] reported corruption:
 $verify" ;;
-  *"($ROWS rows"*) ;;
-  *) fail "expected predictions for $ROWS rows, got:
+    *"($ROWS rows"*) ;;
+    *) fail "expected predictions for $ROWS rows from [$model], got:
 $verify" ;;
+  esac
+done
+
+status="$(echo '\store-status' | "$DMXSH" --store "$STORE" 2>&1)" ||
+  fail "final store-status exited non-zero:
+$status"
+case "$status" in
+  *QUARANTINED*|*degraded*) fail "store left degraded after recovery:
+$status" ;;
 esac
 
-echo "PASS: store recovered through $ROUNDS kills; predictions for $ROWS rows"
+echo "PASS: store recovered through $ROUNDS kills;" \
+     "predictions for $ROWS rows from [M] and [NB]; no quarantined shards"

@@ -49,6 +49,10 @@ void PrintHelp() {
       "  \\tables      base tables\n"
       "  \\columns m   column rowset of model m\n"
       "  \\checkpoint  snapshot the catalog and rotate the WAL (--store)\n"
+      "  \\store-status  shards, epochs, degraded models and quarantine\n"
+      "               reasons of the attached store (--store)\n"
+      "  \\repair t    re-adopt quarantined shard t (a shard id such as\n"
+      "               'catalog' or 'm000002', or a degraded model's name)\n"
       "  \\timeout ms  deadline per statement in milliseconds (0 disarms)\n"
       "  \\help        this text\n"
       "  \\quit        exit\n";
@@ -113,6 +117,51 @@ bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
     if (status.ok()) {
       std::cout << "checkpoint written (snapshot "
                 << conn->provider()->store()->snapshot_seq() << ")\n";
+    } else {
+      PrintStatus(status);
+    }
+  } else if (line == "\\store-status") {
+    dmx::store::DurableStore* store = conn->provider()->store();
+    if (store == nullptr) {
+      std::cout << "no store attached (start dmxsh with --store DIR)\n";
+      return true;
+    }
+    dmx::store::StoreStatus status = store->GetStatus();
+    std::cout << "store '" << store->dir() << "': snapshot "
+              << status.snapshot_seq << ", " << status.shards.size()
+              << " shard" << (status.shards.size() == 1 ? "" : "s");
+    if (conn->provider()->StoreReadOnly()) {
+      std::cout << " [READ-ONLY: catalog shard quarantined]";
+    }
+    std::cout << "\n";
+    for (const dmx::store::ShardStatus& shard : status.shards) {
+      std::cout << "  " << shard.id;
+      if (!shard.model.empty()) std::cout << " (model '" << shard.model << "')";
+      std::cout << ": epoch " << shard.epoch;
+      if (shard.quarantined) {
+        std::cout << " QUARANTINED — " << shard.reason;
+      } else {
+        std::cout << ", " << shard.records << " record"
+                  << (shard.records == 1 ? "" : "s");
+      }
+      std::cout << "\n";
+    }
+    for (const auto& [model, reason] : conn->provider()->DegradedModels()) {
+      std::cout << "  degraded model '" << model << "': " << reason << "\n";
+    }
+  } else if (line.rfind("\\repair ", 0) == 0) {
+    std::string target(dmx::Trim(line.substr(8)));
+    if (target.empty()) {
+      std::cout << "\\repair expects a shard id or degraded model name\n";
+      return true;
+    }
+    dmx::store::RepairStats stats;
+    auto status = conn->provider()->Repair(target, &stats);
+    if (status.ok()) {
+      std::cout << "shard repaired: " << stats.records_reapplied
+                << " records re-applied, " << stats.records_skipped
+                << " superseded, " << stats.bytes_dropped
+                << " bytes dropped past the valid prefix\n";
     } else {
       PrintStatus(status);
     }
@@ -216,10 +265,23 @@ int main(int argc, char** argv) {
                 << stats.snapshot_seq << " with " << stats.snapshot_entries
                 << " entries, " << stats.replayed_statements
                 << " statements + " << stats.replayed_blobs
-                << " model blobs replayed"
+                << " model blobs replayed across " << stats.shards_recovered
+                << " shards"
                 << (stats.torn_tail_truncated ? ", torn WAL tail truncated"
                                               : "")
                 << ")\n";
+      if (stats.shards_quarantined > 0) {
+        std::cout << "warning: " << stats.shards_quarantined
+                  << " shard(s) failed recovery and were quarantined — run "
+                     "\\store-status for details, \\repair to re-adopt\n";
+      }
+      for (const auto& [model, reason] : provider.DegradedModels()) {
+        std::cout << "  degraded model '" << model << "': " << reason << "\n";
+      }
+      if (provider.StoreReadOnly()) {
+        std::cout << "  store is READ-ONLY until its catalog shard is "
+                     "repaired\n";
+      }
     }
     // Preloaded tables exist only in memory — checkpoint at once so the
     // store is self-contained and a later `dmxsh --store` WITHOUT the

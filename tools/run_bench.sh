@@ -1,19 +1,26 @@
 #!/usr/bin/env bash
-# Runs the concurrency benchmark (bench/bench_concurrency.cc) and captures
-# the google-benchmark JSON as BENCH_concurrency.json — the machine-readable
-# ops/s record (items_per_second) for tracking lock-regime throughput across
-# PRs. The console table still prints for humans.
+# Runs the tracked benchmarks and captures their google-benchmark JSON:
 #
-# Usage: tools/run_bench.sh [BUILD_DIR] [OUTPUT_JSON]
-#   BUILD_DIR    configured build directory (default: build)
-#   OUTPUT_JSON  where to write the JSON (default: BENCH_concurrency.json
-#                in the repository root)
+#   bench/bench_concurrency.cc -> BENCH_concurrency.json
+#       ops/s record (items_per_second) for lock-regime throughput
+#   bench/bench_recovery.cc    -> BENCH_recovery.json
+#       reopen latency vs model count, serial (recovery_threads=1) vs
+#       parallel (recovery_threads=0) shard replay. On a single-core host
+#       both configurations degenerate to serial — the JSON's num_cpus
+#       field records the machine so readers can tell.
+#
+# The console tables still print for humans.
+#
+# Usage: tools/run_bench.sh [BUILD_DIR] [OUTPUT_DIR]
+#   BUILD_DIR   configured build directory (default: build)
+#   OUTPUT_DIR  where to write the JSON files (default: repository root)
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUTPUT_JSON="${2:-$REPO_ROOT/BENCH_concurrency.json}"
+OUTPUT_DIR="${2:-$REPO_ROOT}"
+mkdir -p "$OUTPUT_DIR"
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "run_bench: build directory '$BUILD_DIR' not found;" \
@@ -21,12 +28,21 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 
-cmake --build "$BUILD_DIR" --target bench_concurrency -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_concurrency bench_recovery \
+  -j "$(nproc)"
 
 "$BUILD_DIR/bench/bench_concurrency" \
   --benchmark_format=console \
-  --benchmark_out="$OUTPUT_JSON" \
+  --benchmark_out="$OUTPUT_DIR/BENCH_concurrency.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
-echo "run_bench: wrote $OUTPUT_JSON"
+echo "run_bench: wrote $OUTPUT_DIR/BENCH_concurrency.json"
+
+"$BUILD_DIR/bench/bench_recovery" \
+  --benchmark_format=console \
+  --benchmark_out="$OUTPUT_DIR/BENCH_recovery.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "run_bench: wrote $OUTPUT_DIR/BENCH_recovery.json"
