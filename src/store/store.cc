@@ -323,7 +323,8 @@ struct ShardScan {
   uint64_t epoch = 0;
   std::string path;
   std::string file_name;
-  bool known = false;  ///< Listed in the manifest.
+  bool known = false;        ///< Listed in the manifest.
+  uint64_t min_records = 0;  ///< Manifest floor: acked records at commit.
   // Outputs.
   Status failure;  ///< Non-OK: shard must be quarantined.
   bool header_valid = false;
@@ -443,21 +444,32 @@ Status DurableStore::Recover() {
   const int threads = ResolveRecoveryThreads(options_.recovery_threads);
 
   // 1. Resolve the manifest: snapshot seq, shard-number floor, shard table.
+  // A MANIFEST that exists but does not decode must fail the open, never
+  // downgrade to the directory-scan fallback: without the shard table every
+  // committed shard at epoch >= 2 would classify as stale and be swept —
+  // silent loss of acknowledged data. The crash model cannot produce this
+  // state (AtomicWriteFile leaves the previous MANIFEST intact until the
+  // rename), so reaching it means fs-level damage or a foreign format.
   ManifestData manifest;
   bool have_manifest = false;
   if (env_->FileExists(ManifestPath())) {
     DMX_ASSIGN_OR_RETURN(ReadLogResult raw,
                          ReadLogFile(env_, ManifestPath()));
-    if (raw.records.size() == 1 &&
-        DecodeManifestPayload(raw.records[0], &manifest)) {
-      have_manifest = true;
-      seq_ = manifest.seq;
-      next_shard_num_ = manifest.next_shard_num;
+    if (raw.records.size() != 1 ||
+        !DecodeManifestPayload(raw.records[0], &manifest)) {
+      return Corruption() << "MANIFEST exists but is undecodable ("
+                          << raw.records.size() << " records"
+                          << (raw.torn_tail ? ", torn tail" : "")
+                          << "); refusing to recover without the shard table";
     }
+    have_manifest = true;
+    seq_ = manifest.seq;
+    next_shard_num_ = manifest.next_shard_num;
   }
   if (!have_manifest) {
-    // Fallback: the newest snapshot on disk (rename is atomic, so a present
-    // snapshot is whole — its 'E' terminator is verified below anyway).
+    // Fallback (MANIFEST genuinely absent — a pre-first-commit store): the
+    // newest snapshot on disk (rename is atomic, so a present snapshot is
+    // whole — its 'E' terminator is verified below anyway).
     DMX_ASSIGN_OR_RETURN(std::vector<std::string> names, env_->ListDir(dir_));
     for (const std::string& name : names) {
       uint64_t seq = 0;
@@ -554,6 +566,7 @@ Status DurableStore::Recover() {
       scan.model = entry.model;
       scan.epoch = entry.epoch;
       scan.known = true;
+      scan.min_records = entry.min_records;
       scan.file_name = ShardFileName(entry.id, entry.epoch);
       scan.path = ShardPath(entry.id, entry.epoch);
       scans.push_back(std::move(scan));
@@ -685,6 +698,18 @@ Status DurableStore::Recover() {
           model_shard_.count(scan.model) > 0) {
         continue;  // duplicate claim on a model; the known shard wins
       }
+    }
+    if (scan.failure.ok() && scan.known &&
+        scan.records.size() < scan.min_records) {
+      // The file parses cleanly but holds fewer records than the manifest
+      // committed (fs rollback, lost writes): acknowledged records are gone.
+      // Checked before the torn-tail truncation so the file is quarantined
+      // whole. Every append is fsynced before it acks, so a legitimate torn
+      // tail can only be the one record past the manifest floor.
+      scan.failure = Corruption()
+                     << "shard replays " << scan.records.size()
+                     << " records but the manifest promises "
+                     << scan.min_records << " — acknowledged records lost";
     }
     if (scan.failure.ok() && scan.torn) {
       Status truncated = env_->TruncateFile(scan.path, scan.valid_bytes);
@@ -887,6 +912,22 @@ void DurableStore::LoadOutstandingQuarantines() {
     if (quarantined_.count(entry.id) > 0 || shards_.count(entry.id) > 0) {
       continue;  // already quarantined this open, or repaired concurrently
     }
+    if (entry.model.empty() && entry.id != kCatalogShardId) {
+      // Sidecar missing or incomplete: the shard file's own 'H' header still
+      // names the owning model. Without the attribution, ResolveModelShard
+      // could hand that model a fresh shard and fork its history (a later
+      // Repair would replay stale records over the new lineage).
+      Result<std::string> data =
+          env_->ReadFileToString(QuarantineDir() + "/" + file);
+      if (data.ok()) {
+        ParsedPrefix parsed = ParseLogPrefix(*data);
+        ShardHeader header;
+        if (!parsed.log.records.empty() &&
+            DecodeShardHeader(parsed.log.records[0], &header)) {
+          entry.model = header.model;
+        }
+      }
+    }
     uint64_t num = 0;
     if (ParseShardNum(entry.id, &num) && num + 1 > next_shard_num_) {
       next_shard_num_ = num + 1;
@@ -984,7 +1025,10 @@ Result<DurableStore::Shard*> DurableStore::ResolveModelShard(
     return &shards_[mapped->second];
   }
   // A quarantined shard may still own this model; creating a second shard
-  // would fork its history.
+  // would fork its history. A quarantine whose owner could not be recovered
+  // (header unreadable, sidecar gone) may own ANY model, so it blocks every
+  // new-shard creation until repaired.
+  const QuarantineEntry* unattributed = nullptr;
   for (const auto& [id, entry] : quarantined_) {
     if (entry.model == model) {
       Status status = Unavailable()
@@ -992,6 +1036,18 @@ Result<DurableStore::Shard*> DurableStore::ResolveModelShard(
                       << "' is quarantined (" << entry.reason << ")";
       return status.WithContext("quarantined shard '" + entry.file + "'");
     }
+    if (entry.model.empty() && id != kCatalogShardId) {
+      unattributed = &entry;
+    }
+  }
+  if (unattributed != nullptr) {
+    Status status = Unavailable()
+                    << "cannot create a shard for model '" << model
+                    << "': quarantined shard '" << unattributed->id
+                    << "' has no recorded owner model and may own it ("
+                    << unattributed->reason << ")";
+    return status.WithContext("quarantined shard '" + unattributed->file +
+                              "'");
   }
   Shard shard;
   shard.id = ModelShardId(next_shard_num_++);
@@ -1257,10 +1313,14 @@ Status DurableStore::Repair(const std::string& shard_id, RepairStats* stats) {
                             : EncodeModelRecord(record.name, record.data);
     AppendRecordTo(&bytes, EncodeJournalPayload(gsn++, inner));
   }
-  DMX_RETURN_IF_ERROR(env_->AtomicWriteFile(ShardPath(entry.id, new_epoch),
-                                            bytes)
-                          .WithContext("re-adopting shard '" + shard_id +
-                                       "'"));
+  Status wrote = env_->AtomicWriteFile(ShardPath(entry.id, new_epoch), bytes)
+                     .WithContext("re-adopting shard '" + shard_id + "'");
+  if (!wrote.ok()) {
+    // Step 2 already mutated the live catalog: a same-session retry would
+    // re-apply those records on top of themselves.
+    entry.partial_this_session = local.records_reapplied > 0;
+    return wrote;
+  }
 
   Shard shard;
   shard.id = entry.id;
@@ -1285,6 +1345,9 @@ Status DurableStore::Repair(const std::string& shard_id, RepairStats* stats) {
     restored.epoch = new_epoch - 1;
     restored.file = file;
     restored.reason = "repair interrupted: " + committed.ToString();
+    // The step-2 catalog mutations are not rolled back; refuse a
+    // same-session retry that would double-apply them.
+    restored.partial_this_session = local.records_reapplied > 0;
     quarantined_[shard_id] = std::move(restored);
     (void)env_->DeleteFile(ShardPath(shard_id, new_epoch));
     return committed.WithContext("re-adopting shard '" + shard_id + "'");

@@ -23,7 +23,9 @@
 // parse shards in parallel and then re-apply all records in their original
 // total order.
 //
-// Recovery: read MANIFEST (directory scan fallback), apply the snapshot,
+// Recovery: read MANIFEST (missing => directory-scan fallback; present but
+// undecodable => the open fails with kCorruption — recovering without the
+// shard table would sweep committed rotated shards), apply the snapshot,
 // then parse + deserialize all live shards on a bounded worker pool and
 // replay the merged records in gsn order. A torn final record in any shard
 // is truncated silently; a shard with damage earlier in the file (or one

@@ -554,6 +554,190 @@ TEST(StoreTest, MissingShardFileIsQuarantined) {
   EXPECT_EQ(StateString(&again), StateString(&reopened));
 }
 
+// A MANIFEST that exists but does not decode must fail the open, never fall
+// back to the directory scan: the fallback has no shard table, so a
+// committed rotated shard (epoch >= 2, hence no epoch-1 file) would classify
+// as stale and be swept — silent loss of acknowledged data.
+TEST(StoreTest, UndecodableManifestFailsOpenWithoutSweepingShards) {
+  std::string dir = StoreDir("badmanifest");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+  }  // The retrain rotated [M]'s shard to epoch 2, committed in MANIFEST.
+  std::string shard = FindShard(dir, "shard-m");
+  ASSERT_NE(shard.find("-000002.log"), std::string::npos) << shard;
+
+  // A well-framed single record whose payload is a foreign/old format.
+  std::string bogus;
+  store::AppendRecordTo(&bogus, "DMXMANIFEST1 not the v2 shard table");
+  ASSERT_TRUE(
+      Env::Default()->WriteStringToFile(dir + "/MANIFEST", bogus, true).ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption) << status.ToString();
+  // The committed shard was NOT swept by a blind fallback recovery.
+  EXPECT_TRUE(Env::Default()->FileExists(shard));
+}
+
+// A shard file that parses as a clean prefix but replays fewer records than
+// the MANIFEST committed (fs rollback, lost writes) lost acknowledged
+// records: recovery must quarantine it, not silently accept the short log.
+TEST(StoreTest, ShardShorterThanManifestFloorQuarantines) {
+  std::string dir = StoreDir("shortshard");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : Script()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+  }  // [M]'s rotated shard is committed with min_records = 1 (its blob).
+  // Rewrite the shard to header-only: a clean, complete-looking log.
+  std::string shard = FindShard(dir, "shard-m");
+  auto data = Env::Default()->ReadFileToString(shard);
+  ASSERT_TRUE(data.ok());
+  auto parsed = store::ParseLog(*data);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_GE(parsed->records.size(), 2u);
+  std::string out;
+  store::AppendRecordTo(&out, parsed->records[0]);
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(shard, out, true).ok());
+
+  Provider reopened;
+  Status status = reopened.OpenStore(dir);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(reopened.store()->recovery_stats().shards_quarantined, 1u);
+  auto degraded = reopened.DegradedModels();
+  ASSERT_EQ(degraded.size(), 1u);
+  EXPECT_EQ(degraded[0].first, "M");
+  EXPECT_NE(degraded[0].second.find("manifest promises"), std::string::npos)
+      << degraded[0].second;
+  auto conn = reopened.Connect();
+  auto predict = conn->Execute(kPredictQuery);
+  ASSERT_FALSE(predict.ok());
+  EXPECT_TRUE(predict.status().IsUnavailable()) << predict.status().ToString();
+}
+
+// A Repair that fails AFTER re-applying records (here: at the MANIFEST
+// commit) has already mutated the live catalog; a same-session retry would
+// re-execute that prefix on top of itself. The retry must be refused until
+// a reopen replays from a consistent base.
+TEST(StoreTest, RepairRetryAfterCommitFailureIsRefused) {
+  std::string dir = StoreDir("repairretry");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : NbScript()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+  }
+  CorruptRecord(FindShard(dir, "shard-m"), 2);  // valid prefix: insert#1
+
+  FaultInjectionEnv env(Env::Default());
+  store::StoreOptions options;
+  options.env = &env;
+  Provider reopened;
+  ASSERT_TRUE(reopened.OpenStore(dir, options).ok());
+  ASSERT_EQ(reopened.DegradedModels().size(), 1u);
+
+  // Fail the MANIFEST commit of the repair; everything before it (the
+  // catalog re-apply and the new epoch file) succeeds.
+  env.SetPathFilter("MANIFEST");
+  env.ArmFault(0, FaultInjectionEnv::FaultKind::kIOError);
+  store::RepairStats stats;
+  Status failed = reopened.Repair("NB", &stats);
+  ASSERT_FALSE(failed.ok());
+  env.Disarm();
+  env.ClearPathFilter();
+  ASSERT_EQ(reopened.DegradedModels().size(), 1u);  // still quarantined
+
+  // insert#1 was re-applied before the commit failed: a same-session retry
+  // must be refused, not double-applied.
+  Status retry = reopened.Repair("NB");
+  ASSERT_FALSE(retry.ok());
+  EXPECT_TRUE(retry.IsInvalidState()) << retry.ToString();
+  EXPECT_NE(retry.ToString().find("reopen"), std::string::npos)
+      << retry.ToString();
+
+  // After a reopen (consistent replay base) the repair goes through.
+  Provider again;
+  ASSERT_TRUE(again.OpenStore(dir).ok());
+  ASSERT_EQ(again.DegradedModels().size(), 1u);
+  store::RepairStats stats2;
+  ASSERT_TRUE(again.Repair("NB", &stats2).ok());
+  EXPECT_EQ(stats2.records_reapplied, 1u);
+  EXPECT_TRUE(again.DegradedModels().empty());
+  auto conn = again.Connect();
+  ASSERT_TRUE(conn->Execute(kNbPredictQuery).ok());
+}
+
+// Losing the .reason sidecar must not orphan a quarantine: the owning model
+// comes back from the shard file's own 'H' header, so the model stays
+// degraded instead of forking its history onto a fresh shard. If even the
+// header is unreadable, the quarantine may own ANY model, so every
+// new-shard creation is refused until it is repaired.
+TEST(StoreTest, SidecarLossRecoversOwnerFromShardHeader) {
+  std::string dir = StoreDir("sidecarloss");
+  {
+    Provider provider;
+    ASSERT_TRUE(provider.OpenStore(dir).ok());
+    auto conn = provider.Connect();
+    for (const std::string& statement : NbScript()) {
+      ASSERT_TRUE(conn->Execute(statement).ok());
+    }
+  }
+  CorruptRecord(FindShard(dir, "shard-m"), 2);
+  {  // Quarantine the shard, then lose its sidecar.
+    Provider first;
+    ASSERT_TRUE(first.OpenStore(dir).ok());
+    ASSERT_EQ(first.DegradedModels().size(), 1u);
+  }
+  std::string qfile = FindShard(dir + "/quarantine", "shard-m");
+  ASSERT_TRUE(Env::Default()->DeleteFile(qfile + ".reason").ok());
+
+  {
+    Provider reopened;
+    ASSERT_TRUE(reopened.OpenStore(dir).ok());
+    auto degraded = reopened.DegradedModels();
+    ASSERT_EQ(degraded.size(), 1u);
+    EXPECT_EQ(degraded[0].first, "NB");
+    auto conn = reopened.Connect();
+    auto insert = conn->Execute(NbScript()[3]);
+    ASSERT_FALSE(insert.ok());
+    EXPECT_TRUE(insert.status().IsUnavailable())
+        << insert.status().ToString();
+  }
+
+  // Damage the header record too: the quarantine is now unattributable.
+  auto qdata = Env::Default()->ReadFileToString(qfile);
+  ASSERT_TRUE(qdata.ok());
+  (*qdata)[8] ^= 0x01;  // first payload byte of the 'H' header record
+  ASSERT_TRUE(Env::Default()->WriteStringToFile(qfile, *qdata, true).ok());
+
+  Provider blind;
+  ASSERT_TRUE(blind.OpenStore(dir).ok());
+  auto conn = blind.Connect();
+  ASSERT_TRUE(conn->Execute(
+                      "CREATE MINING MODEL [NB2] ([Id] LONG KEY, "
+                      "[Age] DOUBLE DISCRETIZED, [Loyalty] LONG DISCRETE "
+                      "PREDICT) USING Naive_Bayes")
+                  .ok());
+  auto train = conn->Execute(
+      "INSERT INTO [NB2] SELECT [Id], [Age], [Loyalty] FROM People");
+  ASSERT_FALSE(train.ok());
+  EXPECT_TRUE(train.status().IsUnavailable()) << train.status().ToString();
+  EXPECT_NE(train.status().ToString().find("no recorded owner"),
+            std::string::npos)
+      << train.status().ToString();
+}
+
 TEST(StoreTest, StaleSweepSparesUserFilesAndQuarantine) {
   std::string dir = StoreDir("sweep_ns");
   {
