@@ -1,0 +1,153 @@
+// S1 — serving front end: statement QPS and latency percentiles through the
+// full wire stack (frame codec + transport + session loop + provider) at
+// 1 / 8 / 32 concurrent sessions, plus graceful-drain latency with idle
+// sessions connected. Sessions run over in-memory pipes, so the numbers
+// isolate the serving stack itself from kernel socket noise. Run via
+// tools/run_bench.sh, which captures the google-benchmark JSON as
+// BENCH_serving.json — items_per_second is the statements/s figure and the
+// p50/p95/p99 counters carry the per-statement latency distribution.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_util.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "server/transport.h"
+
+namespace dmx {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Statements each session executes per iteration.
+constexpr int kStatementsPerSession = 25;
+
+void PopulateServingCatalog(Provider* provider) {
+  auto conn = provider->Connect();
+  bench::MustExecute(conn.get(),
+                     "CREATE TABLE W (Id LONG, Age DOUBLE, City TEXT)");
+  std::string insert = "INSERT INTO W VALUES ";
+  for (int i = 0; i < 64; ++i) {
+    if (i > 0) insert += ", ";
+    insert += "(" + std::to_string(i) + ", " + std::to_string(20 + i % 50) +
+              ", 'c" + std::to_string(i % 7) + "')";
+  }
+  bench::MustExecute(conn.get(), insert);
+}
+
+double PercentileUs(std::vector<double>* latencies_us, double q) {
+  if (latencies_us->empty()) return 0;
+  std::sort(latencies_us->begin(), latencies_us->end());
+  size_t index = static_cast<size_t>(q * static_cast<double>(
+                                             latencies_us->size() - 1));
+  return (*latencies_us)[index];
+}
+
+/// One iteration: N concurrent sessions over in-memory pipes, each running
+/// kStatementsPerSession statements; per-statement wall latency recorded.
+void BM_ServeStatements(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  Provider provider;
+  PopulateServingCatalog(&provider);
+  server::DmxServer server(&provider, {});
+
+  std::vector<double> latencies_us;
+  int64_t statements = 0;
+  for (auto _ : state) {
+    std::vector<std::thread> serving;
+    std::vector<std::thread> clients;
+    std::vector<std::vector<double>> per_session(
+        static_cast<size_t>(sessions));
+    for (int i = 0; i < sessions; ++i) {
+      auto [server_end, client_end] = server::MakeLocalPipe();
+      serving.emplace_back(
+          [&server, end = std::move(server_end)]() mutable {
+            server.ServeConnection(std::move(end));
+          });
+      clients.emplace_back([&per_session, i,
+                            end = std::move(client_end)]() mutable {
+        auto client = server::DmxClient::Handshake(std::move(end), {});
+        if (!client.ok()) return;
+        per_session[static_cast<size_t>(i)].reserve(kStatementsPerSession);
+        for (int s = 0; s < kStatementsPerSession; ++s) {
+          auto start = Clock::now();
+          auto rows = (*client)->Execute("SELECT Id, Age FROM W");
+          auto end_time = Clock::now();
+          if (!rows.ok()) return;
+          per_session[static_cast<size_t>(i)].push_back(
+              std::chrono::duration<double, std::micro>(end_time - start)
+                  .count());
+        }
+        (*client)->Close();
+      });
+    }
+    for (auto& thread : clients) thread.join();
+    for (auto& thread : serving) thread.join();
+    for (const auto& session : per_session) {
+      statements += static_cast<int64_t>(session.size());
+      latencies_us.insert(latencies_us.end(), session.begin(), session.end());
+    }
+  }
+
+  state.SetItemsProcessed(statements);
+  state.counters["p50_us"] = PercentileUs(&latencies_us, 0.50);
+  state.counters["p95_us"] = PercentileUs(&latencies_us, 0.95);
+  state.counters["p99_us"] = PercentileUs(&latencies_us, 0.99);
+}
+BENCHMARK(BM_ServeStatements)->Arg(1)->Arg(8)->Arg(32)->UseRealTime();
+
+/// Graceful-drain latency: N idle sessions connected, then Drain() — the
+/// measured time covers the drain state machine (notice the flag at the
+/// next read slice, exit, join) but no in-flight statements.
+void BM_DrainLatency(benchmark::State& state) {
+  const int sessions = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Provider provider;
+    PopulateServingCatalog(&provider);
+    auto server = std::make_unique<server::DmxServer>(&provider,
+                                                      server::ServerOptions{});
+    std::vector<std::thread> serving;
+    std::vector<std::unique_ptr<server::DmxClient>> clients;
+    for (int i = 0; i < sessions; ++i) {
+      auto [server_end, client_end] = server::MakeLocalPipe();
+      serving.emplace_back(
+          [srv = server.get(), end = std::move(server_end)]() mutable {
+            srv->ServeConnection(std::move(end));
+          });
+      auto client = server::DmxClient::Handshake(std::move(client_end), {});
+      bench::Check(client.status(), "handshake");
+      clients.push_back(std::move(*client));
+    }
+
+    auto start = Clock::now();
+    bench::Check(server->Drain(), "drain");
+    state.SetIterationTime(
+        std::chrono::duration<double>(Clock::now() - start).count());
+
+    for (auto& thread : serving) thread.join();
+    for (auto& client : clients) client->Close();
+  }
+}
+BENCHMARK(BM_DrainLatency)->Arg(1)->Arg(8)->Arg(32)->UseManualTime();
+
+}  // namespace
+}  // namespace dmx
+
+int main(int argc, char** argv) {
+  dmx::bench::Banner(
+      "S1", "Serving front end (wire QPS, latency, drain)",
+      "statement throughput and p50/p95/p99 latency through the framed "
+      "protocol at 1/8/32 sessions; drain latency with idle sessions");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -4,11 +4,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/env.h"
@@ -18,6 +20,9 @@
 #include "core/provider.h"
 #include "relational/database.h"
 #include "relational/sql_parser.h"
+#include "server/server.h"
+#include "server/transport.h"
+#include "server/wire.h"
 
 namespace dmx::fuzz {
 
@@ -632,6 +637,126 @@ CheckResult CheckTokenizerParser(std::string_view text) {
   // Rendering diagnostics resolves spans against the source; it must be
   // robust for arbitrary byte inputs too.
   (void)report.ToString(statement);
+  return CheckResult::Pass();
+}
+
+// ---------------------------------------------------------------------------
+// Target 4: serving front end over raw wire bytes.
+// ---------------------------------------------------------------------------
+
+CheckResult CheckWireProtocol(std::string_view input) {
+  if (input.size() > (8u << 10)) return CheckResult::Pass();
+  // File-system statements are out of scope here exactly as for the
+  // statement fuzzer; a framed EXPORT would litter the disk.
+  if (TouchesFileSystem(input)) return CheckResult::Pass();
+
+  // A minimal catalog, rebuilt per input so a valid framed DDL inside the
+  // fuzz input cannot leak into the next run. No model training: the wire
+  // fuzzer stresses framing and session handling, not the algorithms.
+  Provider provider;
+  {
+    static const char* kSetup[] = {
+        "CREATE TABLE W (Id LONG, City TEXT)",
+        "INSERT INTO W VALUES (1, 'Oslo'), (2, 'Rome'), (3, 'Bern')",
+    };
+    auto conn = provider.Connect();
+    for (const char* stmt : kSetup) {
+      auto result = conn->Execute(stmt);
+      if (!result.ok()) {
+        std::fprintf(stderr, "wire fuzz catalog setup failed: %s\n",
+                     result.status().ToString().c_str());
+        std::abort();  // Harness bug, not a finding.
+      }
+    }
+  }
+
+  server::ServerOptions options;
+  options.idle_timeout_ms = 100;   // Dead-air inputs end quickly.
+  options.write_timeout_ms = 1'000;
+  // The send budget is held under the pipe capacity below so a server write
+  // can never block on backpressure: every response frame lands whole, and
+  // a torn frame seen by the oracle is a real server-side framing bug.
+  options.max_session_send_bytes = 128u << 10;
+  server::DmxServer server(&provider, options);
+
+  auto [server_end, client_end] = server::MakeLocalPipe(/*capacity=*/256u
+                                                        << 10);
+  std::thread session([&server, end = std::move(server_end)]() mutable {
+    server.ServeConnection(std::move(end));
+  });
+
+  // Feed the hostile bytes verbatim, then half-close. A timed-out write
+  // means the server already killed the session and stopped reading — fine.
+  (void)client_end->Write(input, 2'000);
+  client_end->ShutdownWrite();
+
+  // Drain the response stream, validating every frame.
+  std::string error;
+  server::FrameReader reader(client_end.get());
+  const auto read_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (error.empty()) {
+    auto next = reader.Next(200);
+    if (!next.ok()) {
+      if (next.status().IsDeadlineExceeded()) {
+        if (std::chrono::steady_clock::now() < read_deadline) continue;
+        error = "server failed to finish the session within 20 s";
+        break;
+      }
+      if (next.status().IsCorruption()) {
+        error = "server emitted a torn or corrupt frame: " +
+                next.status().ToString();
+      }
+      break;  // Transport teardown races are a clean end, not a finding.
+    }
+    if (!next->has_value()) break;  // Clean EOF: session over.
+    const server::Frame& frame = **next;
+    switch (frame.type) {
+      case server::FrameType::kHelloAck: {
+        auto ack = server::DecodeHelloAck(frame.body);
+        if (!ack.ok()) error = "undecodable HelloAck: " +
+                               ack.status().ToString();
+        break;
+      }
+      case server::FrameType::kSchema: {
+        auto schema = server::DecodeSchemaBody(frame.body);
+        if (!schema.ok()) error = "undecodable Schema frame: " +
+                                  schema.status().ToString();
+        break;
+      }
+      case server::FrameType::kChunk: {
+        auto chunk = server::DecodeChunk(frame.body);
+        if (!chunk.ok()) error = "undecodable Chunk frame: " +
+                                 chunk.status().ToString();
+        break;
+      }
+      case server::FrameType::kDone: {
+        auto done = server::DecodeDone(frame.body);
+        if (!done.ok()) {
+          error = "undecodable Done frame: " + done.status().ToString();
+        } else if (done->ToStatus().code() == StatusCode::kInternal) {
+          error = "server reported kInternal over the wire: " +
+                  done->ToStatus().ToString();
+        }
+        break;
+      }
+      default:
+        error = std::string("server sent a client-only frame type '") +
+                static_cast<char>(frame.type) + "'";
+        break;
+    }
+  }
+  client_end->Close();
+  session.join();
+
+  server::DmxServer::Stats stats = server.stats();
+  if (stats.sessions_opened != stats.sessions_closed) {
+    return CheckResult::Fail("session leak: opened " +
+                             std::to_string(stats.sessions_opened) +
+                             ", closed " +
+                             std::to_string(stats.sessions_closed));
+  }
+  if (!error.empty()) return CheckResult::Fail(error);
   return CheckResult::Pass();
 }
 

@@ -97,6 +97,18 @@ CheckResult CheckStoreRecovery(std::string_view input);
 /// Tokenizer / parser / analyzer robustness over raw bytes.
 CheckResult CheckTokenizerParser(std::string_view text);
 
+/// \brief Serving front-end robustness over raw wire bytes (DESIGN.md §13).
+/// The input is fed to a DmxServer session verbatim as the client byte
+/// stream (in-memory pipe, no socket). The oracle requires that the server
+///   * never crashes and never hangs past its idle timeout,
+///   * answers only well-formed, CRC-valid frames of the server->client
+///     types (a torn or corrupt response frame is a finding),
+///   * never reports kInternal in a Done frame, and
+///   * never leaks the session (opened == closed after the stream ends).
+/// The catalog is rebuilt per input, so a valid framed DDL statement inside
+/// the fuzz input cannot leak state between runs.
+CheckResult CheckWireProtocol(std::string_view input);
+
 /// Crash escalation for the fuzz entry points: prints `error`, saves the
 /// offending input as crash-<hash> in the working directory (so a standalone
 /// run preserves the reproducer exactly like libFuzzer does), and aborts.

@@ -1,0 +1,101 @@
+// Fuzz target: the serving front end over raw wire bytes. The input is the
+// client's entire byte stream, fed verbatim to a DmxServer session over an
+// in-memory pipe; the oracle (fuzz_targets.cc) requires the server to never
+// crash, never hang, never leak the session, and to answer only well-formed
+// CRC-valid frames.
+//
+// The mutator is byte-level (bit flips, truncation, splices) with one
+// protocol-aware move: re-framing a slice of the buffer as a valid CRC'd
+// frame of a random client type, so mutants regularly survive the frame
+// decoder and reach the session state machine and statement path behind it.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "fuzz/fuzz_targets.h"
+#include "server/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  dmx::fuzz::CheckResult result = dmx::fuzz::CheckWireProtocol(input);
+  if (!result.ok) {
+    dmx::fuzz::ReportFailure("wire_protocol", data, size, result.error);
+  }
+  return 0;
+}
+
+namespace {
+
+/// splitmix64: deterministic per-seed randomness for the mutator.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t* data, size_t size,
+                                          size_t max_size, unsigned int seed) {
+  uint64_t state = seed;
+  if (max_size == 0) return 0;
+
+  switch (NextRand(&state) % 6) {
+    case 0: {  // Flip one bit.
+      if (size == 0) break;
+      size_t at = NextRand(&state) % size;
+      data[at] ^= static_cast<uint8_t>(1u << (NextRand(&state) % 8));
+      break;
+    }
+    case 1: {  // Overwrite one byte.
+      if (size == 0) break;
+      data[NextRand(&state) % size] = static_cast<uint8_t>(NextRand(&state));
+      break;
+    }
+    case 2: {  // Truncate — torn frames and mid-stream disconnects.
+      if (size == 0) break;
+      size = NextRand(&state) % size;
+      break;
+    }
+    case 3: {  // Duplicate a slice to the end (frame replay / pipelining).
+      if (size == 0 || size >= max_size) break;
+      size_t from = NextRand(&state) % size;
+      size_t len = 1 + NextRand(&state) % (size - from);
+      if (len > max_size - size) len = max_size - size;
+      std::memmove(data + size, data + from, len);
+      size += len;
+      break;
+    }
+    case 4: {  // Insert a random byte.
+      if (size >= max_size) break;
+      size_t at = size == 0 ? 0 : NextRand(&state) % (size + 1);
+      std::memmove(data + at + 1, data + at, size - at);
+      data[at] = static_cast<uint8_t>(NextRand(&state));
+      ++size;
+      break;
+    }
+    case 5: {  // Re-frame: wrap a slice as a valid CRC'd client frame.
+      static const dmx::server::FrameType kTypes[] = {
+          dmx::server::FrameType::kHello, dmx::server::FrameType::kRequest,
+          dmx::server::FrameType::kCancel, dmx::server::FrameType::kGoodbye,
+      };
+      size_t from = size == 0 ? 0 : NextRand(&state) % size;
+      size_t len = size == 0 ? 0 : NextRand(&state) % (size - from + 1);
+      std::string body(reinterpret_cast<const char*>(data) + from, len);
+      std::string frame = dmx::server::EncodeFrame(
+          kTypes[NextRand(&state) % 4], body);
+      if (size + frame.size() > max_size) {
+        if (frame.size() > max_size) break;
+        size = max_size - frame.size();  // Make room: truncate the tail.
+      }
+      std::memcpy(data + size, frame.data(), frame.size());
+      size += frame.size();
+      break;
+    }
+  }
+  return size;
+}

@@ -79,6 +79,18 @@ class ExecGuard {
 
   bool has_deadline() const { return has_deadline_; }
   std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
+  /// Milliseconds of deadline budget left: -1 without a deadline, 0 once
+  /// it has passed. The serving front end bounds its response-streaming
+  /// writes with this, so one request deadline covers queueing, execution
+  /// and the bytes back to the client.
+  int64_t remaining_ms() const {
+    if (!has_deadline_) return -1;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline_ - std::chrono::steady_clock::now())
+                    .count();
+    return left > 0 ? left : 0;
+  }
   const std::shared_ptr<CancelToken>& cancel_token() const {
     return limits_.cancel;
   }

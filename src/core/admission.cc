@@ -22,44 +22,132 @@ void AdmissionController::SetLimits(uint32_t max_active, uint32_t max_queued) {
   slot_freed_.NotifyAll();
 }
 
-Status AdmissionController::Admit(ExecGuard* guard) {
+void AdmissionController::SetTenantLimits(uint32_t max_active,
+                                          uint32_t max_queued) {
+  {
+    MutexLock lock(&mu_);
+    tenant_max_active_ = max_active;
+    tenant_max_queued_ = max_queued;
+  }
+  slot_freed_.NotifyAll();
+}
+
+Status AdmissionController::Admit(ExecGuard* guard,
+                                  const std::string& tenant) {
   MutexLock lock(&mu_);
-  if (max_active_ == 0 || active_ < max_active_) {
+  const bool tenant_scoped = !tenant.empty() && tenant_max_active_ > 0;
+
+  bool global_full = max_active_ != 0 && active_ >= max_active_;
+  bool tenant_full = false;
+  if (tenant_scoped) {
+    auto it = tenants_.find(tenant);
+    tenant_full = it != tenants_.end() &&
+                  it->second.active >= tenant_max_active_;
+  }
+
+  if (!global_full && !tenant_full) {
     ++active_;
+    if (tenant_scoped) ++tenants_[tenant].active;
     return Status::OK();
   }
-  if (queued_ >= max_queued_) {
+
+  // Fail fast when the relevant queue is already full. The messages carry
+  // the live occupancy and the configured limits so an over-quota client's
+  // log is diagnosable on its own (asserted verbatim in
+  // condvar_admission_test.cc).
+  if (tenant_scoped) {
+    const TenantCounts& counts = tenants_[tenant];
+    if (counts.queued >= tenant_max_queued_) {
+      return ResourceExhausted()
+             << "tenant \"" << tenant << "\" over quota (" << counts.active
+             << " executing, " << counts.queued << " queued; quota "
+             << tenant_max_active_ << " active, " << tenant_max_queued_
+             << " queued); retry later";
+    }
+  }
+  if (max_active_ != 0 && queued_ >= max_queued_) {
     return ResourceExhausted()
            << "too many concurrent statements (" << active_ << " executing, "
-           << queued_ << " queued); retry later";
+           << queued_ << " queued; limits " << max_active_ << " active, "
+           << max_queued_ << " queued); retry later";
   }
+
   ++queued_;
-  while (max_active_ != 0 && active_ >= max_active_) {
+  if (tenant_scoped) ++tenants_[tenant].queued;
+  while (true) {
+    global_full = max_active_ != 0 && active_ >= max_active_;
+    tenant_full = false;
+    if (tenant_scoped) {
+      auto it = tenants_.find(tenant);
+      tenant_full = it != tenants_.end() &&
+                    it->second.active >= tenant_max_active_;
+    }
+    if (!global_full && !tenant_full) break;
     slot_freed_.WaitFor(&mu_, kQueuePollInterval);
     if (guard != nullptr) {
       Status trip = guard->Check();
       if (!trip.ok()) {
         --queued_;
+        if (tenant_scoped) {
+          auto it = tenants_.find(tenant);
+          if (it != tenants_.end()) {
+            if (it->second.queued > 0) --it->second.queued;
+            if (it->second.active == 0 && it->second.queued == 0) {
+              tenants_.erase(it);
+            }
+          }
+        }
         return trip.WithContext("waiting for statement admission");
       }
     }
   }
   --queued_;
   ++active_;
+  if (tenant_scoped) {
+    TenantCounts& counts = tenants_[tenant];
+    if (counts.queued > 0) --counts.queued;
+    ++counts.active;
+  }
   return Status::OK();
 }
 
-void AdmissionController::Release() {
+void AdmissionController::Release(const std::string& tenant) {
   {
     MutexLock lock(&mu_);
     if (active_ > 0) --active_;
+    if (!tenant.empty()) {
+      auto it = tenants_.find(tenant);
+      if (it != tenants_.end()) {
+        if (it->second.active > 0) --it->second.active;
+        if (it->second.active == 0 && it->second.queued == 0) {
+          tenants_.erase(it);
+        }
+      }
+    }
   }
-  slot_freed_.NotifyOne();
+  // NotifyAll, not NotifyOne: with tenant quotas, the freed slot may only
+  // be usable by waiters of one tenant — waking all lets the right one in.
+  slot_freed_.NotifyAll();
 }
 
 uint32_t AdmissionController::active() const {
   MutexLock lock(&mu_);
   return active_;
+}
+
+uint32_t AdmissionController::tenant_active(const std::string& tenant) const {
+  MutexLock lock(&mu_);
+  auto it = tenants_.find(tenant);
+  return it != tenants_.end() ? it->second.active : 0;
+}
+
+uint32_t AdmissionController::SuggestedRetryMs() const {
+  MutexLock lock(&mu_);
+  if (max_active_ == 0 && tenant_max_active_ == 0) return 0;
+  // Scale with total queue depth: each queued statement drains in roughly
+  // one statement-time; 10 ms per depth step, clamped to [10 ms, 1 s].
+  uint32_t hint = 10 * (queued_ + 1);
+  return hint > 1'000 ? 1'000 : hint;
 }
 
 }  // namespace dmx

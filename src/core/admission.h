@@ -1,12 +1,17 @@
 // Admission control: a provider-level cap on concurrently executing
-// statements with a bounded wait queue. Beyond the queue, statements fail
-// fast with kResourceExhausted instead of piling up — the DBMS-grade
-// behaviour under overload the paper's server-object model assumes.
+// statements with a bounded wait queue, plus per-tenant quotas layered
+// under the global cap (the serving front end's fairness knob). Beyond the
+// queue, statements fail fast with kResourceExhausted instead of piling up
+// — the DBMS-grade behaviour under overload the paper's server-object
+// model assumes.
 
 #ifndef DMX_CORE_ADMISSION_H_
 #define DMX_CORE_ADMISSION_H_
 
 #include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
 
 #include "common/exec_guard.h"
 #include "common/mutex.h"
@@ -18,43 +23,76 @@ namespace dmx {
 /// \brief Counting gate in front of statement execution. Thread-safe: every
 /// counter is GUARDED_BY(mu_), checked by clang -Wthread-safety.
 ///
-/// `max_active == 0` disables admission control entirely (the default — a
-/// single-session provider pays nothing). With a cap set, up to `max_active`
-/// statements execute at once; up to `max_queued` more wait for a slot, and
-/// anything beyond that is rejected immediately.
+/// Two layers:
+///   * global — `max_active == 0` disables admission entirely (the default;
+///     a single-session provider pays nothing). With a cap set, up to
+///     `max_active` statements execute at once, up to `max_queued` more
+///     wait, the rest are rejected immediately.
+///   * per tenant — with a tenant quota set, each named tenant is held to
+///     its own active/queued bounds *under* the global cap, so one noisy
+///     tenant saturates its quota, not the server. Statements admitted
+///     with an empty tenant id bypass the tenant layer (in-process
+///     callers; the network front end always names a tenant).
+///
+/// Rejection messages carry the current limits and queue depth (and the
+/// tenant, for tenant-quota rejections) so a client log is diagnosable
+/// without server access; SuggestedRetryMs() is the machine-readable
+/// retry-after hint the server forwards in its Done frames.
 class AdmissionController {
  public:
   void SetLimits(uint32_t max_active, uint32_t max_queued) DMX_EXCLUDES(mu_);
 
-  /// Acquires an execution slot. Blocks in the wait queue when the provider
-  /// is saturated; while queued, `guard` (may be nullptr) is polled so a
-  /// cancellation or deadline trips the wait instead of the statement
-  /// occupying a queue slot forever. Returns kResourceExhausted when the
-  /// queue itself is full.
-  Status Admit(ExecGuard* guard) DMX_EXCLUDES(mu_);
+  /// Default quota applied to every named tenant (0 = tenant layer off).
+  void SetTenantLimits(uint32_t max_active, uint32_t max_queued)
+      DMX_EXCLUDES(mu_);
 
-  /// Releases a slot acquired by a successful Admit().
-  void Release() DMX_EXCLUDES(mu_);
+  /// Acquires an execution slot for `tenant` ("" = no tenant accounting).
+  /// Blocks in the wait queue when saturated; while queued, `guard` (may
+  /// be nullptr) is polled so a cancellation or deadline trips the wait
+  /// instead of the statement occupying a queue slot forever. Returns
+  /// kResourceExhausted when the relevant queue is full.
+  Status Admit(ExecGuard* guard, const std::string& tenant = "")
+      DMX_EXCLUDES(mu_);
+
+  /// Releases a slot acquired by a successful Admit() with `tenant`.
+  void Release(const std::string& tenant = "") DMX_EXCLUDES(mu_);
 
   /// Statements currently executing (diagnostics / tests).
   uint32_t active() const DMX_EXCLUDES(mu_);
+  /// Statements currently executing for `tenant`.
+  uint32_t tenant_active(const std::string& tenant) const DMX_EXCLUDES(mu_);
+
+  /// Suggested client backoff before retrying a rejection, scaled to the
+  /// current queue depth. 0 when admission is disabled.
+  uint32_t SuggestedRetryMs() const DMX_EXCLUDES(mu_);
 
  private:
+  /// Per-tenant occupancy; erased when both counters return to zero so the
+  /// map never grows with tenant churn.
+  struct TenantCounts {
+    uint32_t active = 0;
+    uint32_t queued = 0;
+  };
+
   mutable Mutex mu_{"admission.mu"};
   CondVar slot_freed_;
   uint32_t max_active_ DMX_GUARDED_BY(mu_) = 0;  ///< 0: unlimited.
   uint32_t max_queued_ DMX_GUARDED_BY(mu_) = 0;
+  uint32_t tenant_max_active_ DMX_GUARDED_BY(mu_) = 0;  ///< 0: layer off.
+  uint32_t tenant_max_queued_ DMX_GUARDED_BY(mu_) = 0;
   uint32_t active_ DMX_GUARDED_BY(mu_) = 0;
   uint32_t queued_ DMX_GUARDED_BY(mu_) = 0;
+  std::map<std::string, TenantCounts> tenants_ DMX_GUARDED_BY(mu_);
 };
 
 /// RAII release of an admission slot.
 class AdmissionSlot {
  public:
-  explicit AdmissionSlot(AdmissionController* controller)
-      : controller_(controller) {}
+  explicit AdmissionSlot(AdmissionController* controller,
+                         std::string tenant = "")
+      : controller_(controller), tenant_(std::move(tenant)) {}
   ~AdmissionSlot() {
-    if (controller_ != nullptr) controller_->Release();
+    if (controller_ != nullptr) controller_->Release(tenant_);
   }
 
   AdmissionSlot(const AdmissionSlot&) = delete;
@@ -62,6 +100,7 @@ class AdmissionSlot {
 
  private:
   AdmissionController* controller_;
+  std::string tenant_;
 };
 
 }  // namespace dmx

@@ -253,6 +253,11 @@ void Provider::SetAdmissionLimits(uint32_t max_active, uint32_t max_queued) {
   admission_.SetLimits(max_active, max_queued);
 }
 
+void Provider::SetTenantAdmissionLimits(uint32_t max_active,
+                                        uint32_t max_queued) {
+  admission_.SetTenantLimits(max_active, max_queued);
+}
+
 Status Provider::OpenStore(const std::string& store_dir,
                            store::StoreOptions options) {
   // Exclusive: recovery rewrites the catalogs, and the one-shot check below
@@ -365,6 +370,12 @@ Status Provider::JournalStatementLocked(const std::string& text) {
 }
 
 Result<Rowset> Connection::Execute(const std::string& command) {
+  ExecGuard guard(limits_);
+  return ExecuteGuarded(command, &guard);
+}
+
+Result<Rowset> Connection::ExecuteGuarded(const std::string& command,
+                                          ExecGuard* guard) {
   Result<DmxParseResult> parsed = ParseDmx(command);
   if (!parsed.ok()) {
     return parsed.status().WithContext("parsing statement");
@@ -402,27 +413,32 @@ Result<Rowset> Connection::Execute(const std::string& command) {
     return DispatchWrite(*parsed, sql, command, nullptr);
   }
 
-  ExecGuard guard(limits_);
   // Admission before locks: a saturated provider rejects (or queues) the
-  // statement without touching the catalog mutex.
-  DMX_RETURN_IF_ERROR(provider_->admission_.Admit(&guard));
-  AdmissionSlot slot(&provider_->admission_);
-  ExecGuardScope scope(&guard);
+  // statement without touching the catalog mutex. The "statement
+  // admission" context frame marks the one rejection made *before*
+  // execution begins — the serving front end's licence to tell clients
+  // "retry" (a row-budget kResourceExhausted mid-statement never gets it).
+  Status admitted = provider_->admission_.Admit(guard, tenant_);
+  if (!admitted.ok()) {
+    return admitted.WithContext("statement admission");
+  }
+  AdmissionSlot slot(&provider_->admission_, tenant_);
+  ExecGuardScope scope(guard);
 
   if (read_only) {
     Status trip;
-    if (!LockSharedWithGuard(&provider_->catalog_mu_, &guard, &trip)) {
+    if (!LockSharedWithGuard(&provider_->catalog_mu_, guard, &trip)) {
       return trip;
     }
     AdoptedReaderLock lock(&provider_->catalog_mu_);
     return DispatchRead(*parsed, sql);
   }
   Status trip;
-  if (!LockExclusiveWithGuard(&provider_->catalog_mu_, &guard, &trip)) {
+  if (!LockExclusiveWithGuard(&provider_->catalog_mu_, guard, &trip)) {
     return trip;
   }
   AdoptedWriterLock lock(&provider_->catalog_mu_);
-  return DispatchWrite(*parsed, sql, command, &guard);
+  return DispatchWrite(*parsed, sql, command, guard);
 }
 
 Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,

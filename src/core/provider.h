@@ -78,6 +78,15 @@ class Provider {
   /// (the default) disables admission control.
   void SetAdmissionLimits(uint32_t max_active, uint32_t max_queued);
 
+  /// \brief Per-tenant quota layered under the global cap: each named
+  /// tenant (Connection::set_tenant; the server's session tenant id) is
+  /// held to its own active/queued bounds. 0 disables the tenant layer.
+  void SetTenantAdmissionLimits(uint32_t max_active, uint32_t max_queued);
+
+  /// The admission gate (internally synchronized) — the serving front end
+  /// reads its retry-after hint and occupancy from here.
+  AdmissionController* admission() { return &admission_; }
+
   /// \brief Attaches a durable store rooted at `store_dir` (created if
   /// missing): recovers any existing snapshot + WAL into this provider's
   /// catalogs, then journals every subsequent successful DDL/DML statement.
@@ -187,6 +196,12 @@ class Connection {
   /// runs under this connection's ExecLimits.
   Result<Rowset> Execute(const std::string& command);
 
+  /// \brief Session-scoped execute: runs under `guard`, which the caller
+  /// armed and keeps after the call. The serving front end uses this so
+  /// one guard (deadline + cancel token) spans admission, execution *and*
+  /// the response streaming that follows. `limits_` is ignored.
+  Result<Rowset> ExecuteGuarded(const std::string& command, ExecGuard* guard);
+
   /// Provider self-description (paper §3's schema rowsets). Takes the
   /// catalog lock shared, like any other read.
   Result<Rowset> GetSchemaRowset(SchemaRowsetKind kind,
@@ -196,6 +211,11 @@ class Connection {
   /// (deadline, cancellation token, row budgets). Default: no limits.
   void set_limits(ExecLimits limits) { limits_ = std::move(limits); }
   const ExecLimits& limits() const { return limits_; }
+
+  /// Tenant id this session's statements are admitted under ("" = no
+  /// tenant accounting). The server sets it from the session handshake.
+  void set_tenant(std::string tenant) { tenant_ = std::move(tenant); }
+  const std::string& tenant() const { return tenant_; }
 
   Provider* provider() { return provider_; }
 
@@ -230,6 +250,7 @@ class Connection {
 
   Provider* provider_;
   ExecLimits limits_;
+  std::string tenant_;
   /// Recovery-replay connection: skips guards and admission; asserts (rather
   /// than takes) the exclusive catalog lock its caller holds.
   bool internal_ = false;

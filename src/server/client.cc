@@ -1,0 +1,258 @@
+#include "server/client.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmx::server {
+
+DmxClient::DmxClient(std::unique_ptr<Transport> transport,
+                     ClientOptions options, RetryClock* clock)
+    : transport_(std::move(transport)),
+      options_(std::move(options)),
+      clock_(clock != nullptr ? clock : &system_clock_),
+      jitter_(options_.retry.jitter_seed) {}
+
+DmxClient::~DmxClient() { Close(); }
+
+Result<std::unique_ptr<DmxClient>> DmxClient::Connect(const std::string& host,
+                                                      uint16_t port,
+                                                      ClientOptions options,
+                                                      RetryClock* clock) {
+  Result<std::unique_ptr<Transport>> transport =
+      ConnectTcp(host, port, options.connect_timeout_ms);
+  if (!transport.ok()) {
+    return transport.status().WithContext("connecting to DMX server");
+  }
+  auto client = std::unique_ptr<DmxClient>(
+      new DmxClient(std::move(*transport), std::move(options), clock));
+  client->host_ = host;
+  client->port_ = port;
+  client->can_reconnect_ = true;
+  Status handshake = client->DoHandshake();
+  if (!handshake.ok()) {
+    return handshake.WithContext("handshaking with DMX server");
+  }
+  return client;
+}
+
+Result<std::unique_ptr<DmxClient>> DmxClient::Handshake(
+    std::unique_ptr<Transport> transport, ClientOptions options,
+    RetryClock* clock) {
+  auto client = std::unique_ptr<DmxClient>(
+      new DmxClient(std::move(transport), std::move(options), clock));
+  Status handshake = client->DoHandshake();
+  if (!handshake.ok()) {
+    return handshake.WithContext("handshaking with DMX server");
+  }
+  return client;
+}
+
+Status DmxClient::DoHandshake() {
+  HelloBody hello;
+  hello.tenant = options_.tenant;
+  DMX_RETURN_IF_ERROR(
+      transport_->Write(EncodeFrame(FrameType::kHello, EncodeHello(hello)),
+                        options_.io_timeout_ms));
+  FrameReader reader(transport_.get());
+  Result<std::optional<Frame>> frame = reader.Next(options_.io_timeout_ms);
+  if (!frame.ok()) {
+    return frame.status().WithContext("awaiting HelloAck");
+  }
+  if (!frame->has_value()) {
+    return Unavailable() << "server closed the connection during handshake";
+  }
+  if ((*frame)->type == FrameType::kDone) {
+    // The server refused the handshake with a typed error.
+    Result<DoneBody> done = DecodeDone((*frame)->body);
+    if (done.ok()) return done->ToStatus().WithContext("handshake refused");
+    return done.status().WithContext("decoding handshake refusal");
+  }
+  if ((*frame)->type != FrameType::kHelloAck) {
+    return Corruption() << "expected HelloAck, got frame type '"
+                        << static_cast<char>((*frame)->type) << "'";
+  }
+  Result<HelloAckBody> ack = DecodeHelloAck((*frame)->body);
+  if (!ack.ok()) return ack.status().WithContext("decoding HelloAck");
+  if (ack->version != kProtocolVersion) {
+    return NotSupported() << "server speaks protocol version "
+                          << ack->version << ", this client speaks "
+                          << kProtocolVersion;
+  }
+  session_id_ = ack->session_id;
+  broken_ = false;
+  return Status::OK();
+}
+
+Status DmxClient::Reconnect() {
+  if (!can_reconnect_) {
+    return Unavailable() << "session transport is broken and this client "
+                            "cannot reconnect (adopted transport)";
+  }
+  transport_->Close();
+  Result<std::unique_ptr<Transport>> transport =
+      ConnectTcp(host_, port_, options_.connect_timeout_ms);
+  if (!transport.ok()) {
+    return transport.status().WithContext("reconnecting to DMX server");
+  }
+  transport_ = std::move(*transport);
+  return DoHandshake().WithContext("re-handshaking after reconnect");
+}
+
+Result<Rowset> DmxClient::Execute(const std::string& statement,
+                                  uint64_t deadline_ms) {
+  if (closed_) return InvalidState() << "Execute on a closed client";
+  last_attempts_ = 0;
+  last_backoff_ms_ = 0;
+  Status last_error = Internal() << "retry loop never ran";
+  for (int attempt = 1; attempt <= options_.retry.max_attempts; ++attempt) {
+    last_attempts_ = attempt;
+    if (broken_) {
+      Status reconnected = Reconnect();
+      if (!reconnected.ok()) {
+        // Reconnects target connection-refused blips; anything else (or an
+        // adopted transport) ends the retry loop — nothing was sent.
+        return reconnected;
+      }
+    }
+    DoneBody done;
+    bool consumed_response = false;
+    Result<Rowset> result =
+        ExecuteOnce(statement, deadline_ms, &done, &consumed_response);
+    if (result.ok()) return result;
+    last_error = result.status();
+
+    // The retry gate. `done.retryable` is the server's explicit guarantee
+    // that execution never began; everything else — transport errors after
+    // the send, decode errors, mid-stream failures — must not be retried
+    // (the statement may have executed).
+    bool retryable = done.retryable && !consumed_response;
+    if (!retryable || attempt == options_.retry.max_attempts) {
+      return last_error;
+    }
+    int backoff = options_.retry.initial_backoff_ms;
+    for (int i = 1; i < attempt; ++i) {
+      backoff = std::min(backoff * 2, options_.retry.max_backoff_ms);
+    }
+    // Full jitter over [backoff/2, backoff], floored at the server's hint.
+    int jittered =
+        backoff / 2 +
+        static_cast<int>(jitter_.Uniform(
+            static_cast<uint64_t>(backoff - backoff / 2) + 1));
+    jittered = std::max(jittered, static_cast<int>(done.retry_after_ms));
+    last_backoff_ms_ += jittered;
+    clock_->SleepMs(jittered);
+  }
+  return last_error;
+}
+
+Result<Rowset> DmxClient::ExecuteOnce(const std::string& statement,
+                                      uint64_t deadline_ms, DoneBody* done,
+                                      bool* consumed_response) {
+  RequestBody request;
+  request.request_id = next_request_id_++;
+  request.deadline_ms = deadline_ms;
+  request.statement = statement;
+  Status sent = transport_->Write(
+      EncodeFrame(FrameType::kRequest, EncodeRequest(request)),
+      options_.io_timeout_ms);
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent.WithContext("sending request");
+  }
+
+  // Receive budget: the statement deadline plus slack for queueing jitter,
+  // or the io timeout when no deadline rides the request.
+  int receive_timeout = options_.io_timeout_ms;
+  if (deadline_ms > 0) {
+    receive_timeout = static_cast<int>(
+        std::min<uint64_t>(deadline_ms + 2'000,
+                           static_cast<uint64_t>(options_.io_timeout_ms)));
+  }
+
+  FrameReader reader(transport_.get());
+  std::shared_ptr<const Schema> schema;
+  std::vector<Row> rows;
+  while (true) {
+    Result<std::optional<Frame>> next = reader.Next(receive_timeout);
+    if (!next.ok()) {
+      broken_ = true;
+      return next.status().WithContext("reading response");
+    }
+    if (!next->has_value()) {
+      broken_ = true;
+      return Unavailable() << "server closed the connection mid-response";
+    }
+    Frame frame = std::move(**next);
+    switch (frame.type) {
+      case FrameType::kSchema: {
+        Result<SchemaBody> body = DecodeSchemaBody(frame.body);
+        if (!body.ok()) {
+          broken_ = true;
+          return body.status().WithContext("decoding response schema");
+        }
+        if (body->request_id != request.request_id) {
+          broken_ = true;
+          return Corruption() << "response for request " << body->request_id
+                              << " while awaiting " << request.request_id;
+        }
+        *consumed_response = true;
+        schema = body->schema;
+        continue;
+      }
+      case FrameType::kChunk: {
+        Result<ChunkBody> body = DecodeChunk(frame.body);
+        if (!body.ok()) {
+          broken_ = true;
+          return body.status().WithContext("decoding response chunk");
+        }
+        if (body->request_id != request.request_id) {
+          broken_ = true;
+          return Corruption() << "response for request " << body->request_id
+                              << " while awaiting " << request.request_id;
+        }
+        *consumed_response = true;
+        for (Row& row : body->rows) rows.push_back(std::move(row));
+        continue;
+      }
+      case FrameType::kDone: {
+        Result<DoneBody> body = DecodeDone(frame.body);
+        if (!body.ok()) {
+          broken_ = true;
+          return body.status().WithContext("decoding terminal frame");
+        }
+        // A Done for an *older* request can only mean the server and
+        // client disagree about the stream position: poison the session.
+        if (body->request_id != request.request_id &&
+            body->request_id != 0) {
+          broken_ = true;
+          return Corruption() << "terminal frame for request "
+                              << body->request_id << " while awaiting "
+                              << request.request_id;
+        }
+        *done = std::move(*body);
+        Status status = done->ToStatus();
+        if (!status.ok()) return status;
+        if (schema == nullptr) schema = Schema::Make({});
+        return Rowset(std::move(schema), std::move(rows));
+      }
+      default:
+        broken_ = true;
+        return Corruption() << "unexpected frame type '"
+                            << static_cast<char>(frame.type)
+                            << "' in response stream";
+    }
+  }
+}
+
+void DmxClient::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (!broken_) {
+    (void)transport_->Write(EncodeFrame(FrameType::kGoodbye, ""),
+                            /*timeout_ms=*/1'000);
+  }
+  transport_->ShutdownWrite();
+  transport_->Close();
+}
+
+}  // namespace dmx::server

@@ -1,0 +1,121 @@
+// DmxClient: the in-repo client of the serving front end (dmxsh --connect
+// and the server tests). One client is one session: a Transport, a
+// handshake, then serial Execute calls.
+//
+// Retry contract (DESIGN.md §13): an attempt is retried ONLY when it is
+// provably side-effect free —
+//   * ConnectTcp found nothing listening (kUnavailable: nothing was sent);
+//   * the server answered a Done frame with `retryable` set, which it does
+//     only for rejections made *before* execution began (admission quota,
+//     drain refusal).
+// A transport error after the request was sent, or any error after a
+// response frame was consumed, is NEVER retried: the statement may have
+// executed, and re-running DDL/DML would double-apply it. Backoff between
+// attempts is exponential with jitter, floored at the server's
+// retry-after hint, and sleeps through the injectable RetryClock (bare
+// sleep_for is banned in src/ — dmx_lint raw-sleep).
+
+#ifndef DMX_SERVER_CLIENT_H_
+#define DMX_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/random.h"
+#include "common/rowset.h"
+#include "common/status.h"
+#include "server/transport.h"
+#include "server/wire.h"
+
+namespace dmx::server {
+
+struct RetryPolicy {
+  int max_attempts = 4;           ///< Total tries, first included.
+  int initial_backoff_ms = 50;    ///< Doubled per retry...
+  int max_backoff_ms = 2'000;     ///< ...up to this cap.
+  uint64_t jitter_seed = 1;       ///< Deterministic jitter (tests).
+};
+
+struct ClientOptions {
+  std::string tenant;
+  int connect_timeout_ms = 5'000;
+  /// Per-frame receive/send budget while a response streams.
+  int io_timeout_ms = 30'000;
+  RetryPolicy retry;
+};
+
+/// \brief One client session. NOT thread-safe — open one per thread, like
+/// Connection.
+class DmxClient {
+ public:
+  ~DmxClient();
+  DmxClient(const DmxClient&) = delete;
+  DmxClient& operator=(const DmxClient&) = delete;
+
+  /// Connects over TCP and performs the handshake. `clock` (borrowed, may
+  /// be nullptr for the system clock) paces retry backoff.
+  static Result<std::unique_ptr<DmxClient>> Connect(
+      const std::string& host, uint16_t port, ClientOptions options,
+      RetryClock* clock = nullptr);
+
+  /// Adopts an already-connected transport (in-memory pipes in tests) and
+  /// performs the handshake. Such a client cannot reconnect, so only
+  /// server-side retryable rejections are retried.
+  static Result<std::unique_ptr<DmxClient>> Handshake(
+      std::unique_ptr<Transport> transport, ClientOptions options,
+      RetryClock* clock = nullptr);
+
+  /// Executes one statement, retrying per the policy. `deadline_ms` rides
+  /// the frame header and becomes the server-side guard deadline (0 = no
+  /// deadline).
+  Result<Rowset> Execute(const std::string& statement,
+                         uint64_t deadline_ms = 0);
+
+  uint64_t session_id() const { return session_id_; }
+  /// Attempts consumed by the last Execute (tests assert retry schedules).
+  int last_attempts() const { return last_attempts_; }
+  /// Backoff actually slept by the last Execute, in ms (tests).
+  int last_backoff_ms() const { return last_backoff_ms_; }
+
+  /// Sends Goodbye and half-closes. Idempotent; also run by the dtor.
+  void Close();
+
+ private:
+  DmxClient(std::unique_ptr<Transport> transport, ClientOptions options,
+            RetryClock* clock);
+
+  /// Hello/HelloAck over the current transport.
+  Status DoHandshake();
+  /// Tears down and re-establishes the TCP transport + handshake.
+  Status Reconnect();
+
+  /// One attempt: send the request, consume Schema/Chunk*/Done.
+  /// `*done` carries the terminal frame when the server produced one;
+  /// `*consumed_response` flips as soon as any response frame for this
+  /// request arrives (the no-retry-after-partial-consumption latch).
+  Result<Rowset> ExecuteOnce(const std::string& statement,
+                             uint64_t deadline_ms, DoneBody* done,
+                             bool* consumed_response);
+
+  std::unique_ptr<Transport> transport_;
+  ClientOptions options_;
+  RetryClock* clock_;  ///< Borrowed; falls back to system_clock_.
+  SystemRetryClock system_clock_;
+  Rng jitter_;
+
+  std::string host_;  ///< Set only for Connect()-made clients (reconnect).
+  uint16_t port_ = 0;
+  bool can_reconnect_ = false;
+
+  uint64_t session_id_ = 0;
+  uint64_t next_request_id_ = 1;
+  bool broken_ = false;  ///< Transport no longer frame-aligned.
+  bool closed_ = false;
+  int last_attempts_ = 0;
+  int last_backoff_ms_ = 0;
+};
+
+}  // namespace dmx::server
+
+#endif  // DMX_SERVER_CLIENT_H_

@@ -1,0 +1,416 @@
+#include "server/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace dmx::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Accept-loop poll slice: how quickly the server notices a drain request.
+constexpr int kAcceptPollMs = 100;
+/// Session read slice: how quickly an idle session notices a drain.
+constexpr int kReadPollMs = 100;
+/// Timeout for best-effort error frames on a session that is being killed.
+constexpr int kErrorWriteMs = 1'000;
+
+/// True for the one rejection shape the client may retry: admission said
+/// no *before* execution began. Identified by the "statement admission"
+/// context frame Connection::ExecuteGuarded attaches — a kResourceExhausted
+/// from a row budget mid-statement does NOT carry it and is not retryable.
+bool IsAdmissionRejection(const Status& status) {
+  if (!status.IsResourceExhausted()) return false;
+  const auto& frames = status.context();
+  return std::find(frames.begin(), frames.end(), "statement admission") !=
+         frames.end();
+}
+
+}  // namespace
+
+DmxServer::DmxServer(Provider* provider, ServerOptions options)
+    : provider_(provider), options_(std::move(options)) {}
+
+DmxServer::~DmxServer() {
+  // Last-resort drain; callers that care about the checkpoint status call
+  // Drain() themselves.
+  (void)Drain();
+}
+
+Status DmxServer::Start() {
+  DMX_ASSIGN_OR_RETURN(listener_,
+                       TcpListener::Listen(options_.host, options_.port));
+  port_ = listener_->port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void DmxServer::AcceptLoop() {
+  while (!draining() && !stopped_.load(std::memory_order_acquire)) {
+    Result<std::unique_ptr<Transport>> conn = listener_->Accept(kAcceptPollMs);
+    ReapSessions(/*all=*/false);
+    if (!conn.ok()) {
+      if (conn.status().IsDeadlineExceeded()) continue;  // Poll slice.
+      if (draining() || stopped_.load(std::memory_order_acquire)) break;
+      continue;  // Transient accept failure; keep serving.
+    }
+    auto session = std::make_unique<Session>();
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+    Session* raw = session.get();
+    // Ownership: the registry owns the Session; the thread only borrows it
+    // and flips `done` last, so ReapSessions never frees a live frame.
+    std::shared_ptr<Transport> transport(std::move(*conn));
+    raw->thread = std::thread([this, raw, transport] {
+      RunSession(raw, transport.get());
+      transport->Close();
+      raw->done.store(true, std::memory_order_release);
+    });
+    {
+      MutexLock lock(&sessions_mu_);
+      sessions_.push_back(std::move(session));
+    }
+    MutexLock lock(&stats_mu_);
+    ++stats_.sessions_opened;
+  }
+}
+
+void DmxServer::ServeConnection(std::unique_ptr<Transport> transport) {
+  auto session = std::make_unique<Session>();
+  session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  Session* raw = session.get();
+  {
+    MutexLock lock(&sessions_mu_);
+    sessions_.push_back(std::move(session));
+  }
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.sessions_opened;
+  }
+  RunSession(raw, transport.get());
+  transport->Close();
+  raw->done.store(true, std::memory_order_release);
+  ReapSessions(/*all=*/false);
+}
+
+void DmxServer::ReapSessions(bool all) {
+  std::vector<std::unique_ptr<Session>> finished;
+  {
+    MutexLock lock(&sessions_mu_);
+    auto it = sessions_.begin();
+    while (it != sessions_.end()) {
+      if ((*it)->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Joins happen outside sessions_mu_: a join can block on session teardown
+  // and must not serialize registration.
+  for (auto& session : finished) {
+    if (session->thread.joinable()) session->thread.join();
+    MutexLock lock(&stats_mu_);
+    ++stats_.sessions_closed;
+  }
+  if (all) {
+    // Callers (Drain) have already ensured every session flipped `done`.
+  }
+}
+
+void DmxServer::RunSession(Session* session, Transport* transport) {
+  FrameReader reader(transport);
+  auto kill = [&](const Status& status, uint64_t request_id) {
+    // Best-effort terminal frame; once framing is lost the write may fail,
+    // which is fine — the client sees the disconnect.
+    DoneBody done;
+    done.request_id = request_id;
+    done.SetStatus(status);
+    (void)transport->Write(EncodeFrame(FrameType::kDone, EncodeDone(done)),
+                           kErrorWriteMs);
+    MutexLock lock(&stats_mu_);
+    ++stats_.frames_rejected;
+  };
+
+  // --- handshake ---
+  auto idle_start = Clock::now();
+  auto idle_exceeded = [&]() {
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               Clock::now() - idle_start)
+               .count() >= options_.idle_timeout_ms;
+  };
+  std::optional<Frame> hello_frame;
+  while (true) {
+    Result<std::optional<Frame>> next = reader.Next(kReadPollMs);
+    if (!next.ok()) {
+      if (next.status().IsDeadlineExceeded()) {
+        if (draining() || idle_exceeded()) return;
+        continue;
+      }
+      kill(next.status(), 0);
+      return;
+    }
+    if (!next->has_value()) return;  // EOF before Hello.
+    hello_frame = std::move(**next);
+    break;
+  }
+  if (hello_frame->type != FrameType::kHello) {
+    kill(InvalidArgument() << "expected Hello, got frame type '"
+                           << static_cast<char>(hello_frame->type) << "'",
+         0);
+    return;
+  }
+  Result<HelloBody> hello = DecodeHello(hello_frame->body);
+  if (!hello.ok()) {
+    kill(hello.status(), 0);
+    return;
+  }
+  if (hello->version != kProtocolVersion) {
+    kill(NotSupported() << "protocol version " << hello->version
+                        << " not supported (server speaks "
+                        << kProtocolVersion << ")",
+         0);
+    return;
+  }
+  session->tenant = hello->tenant;
+  HelloAckBody ack;
+  ack.session_id = session->id;
+  if (!transport
+           ->Write(EncodeFrame(FrameType::kHelloAck, EncodeHelloAck(ack)),
+                   options_.write_timeout_ms)
+           .ok()) {
+    return;
+  }
+
+  // --- statement loop ---
+  uint64_t sent_bytes = 0;
+  idle_start = Clock::now();
+  while (true) {
+    Result<std::optional<Frame>> next = reader.Next(kReadPollMs);
+    if (!next.ok()) {
+      if (next.status().IsDeadlineExceeded()) {
+        if (draining() || idle_exceeded()) return;
+        continue;
+      }
+      kill(next.status(), 0);
+      return;
+    }
+    if (!next->has_value()) return;  // Clean half-close.
+    idle_start = Clock::now();
+    Frame frame = std::move(**next);
+    switch (frame.type) {
+      case FrameType::kRequest: {
+        Result<RequestBody> request = DecodeRequest(frame.body);
+        if (!request.ok()) {
+          kill(request.status(), 0);
+          return;
+        }
+        if (draining()) {
+          // Drain refusal: the statement never starts, so it is the other
+          // legitimately retryable rejection (against another replica or
+          // after the restart).
+          DoneBody done;
+          done.request_id = request->request_id;
+          done.SetStatus(Unavailable()
+                         << "server is draining; statement not started");
+          done.retryable = true;
+          done.retry_after_ms =
+              static_cast<uint32_t>(options_.drain_grace_ms);
+          if (!transport
+                   ->Write(EncodeFrame(FrameType::kDone, EncodeDone(done)),
+                           kErrorWriteMs)
+                   .ok()) {
+            return;
+          }
+          continue;
+        }
+        if (!HandleRequest(session, transport, *request, &sent_bytes)) {
+          return;
+        }
+        continue;
+      }
+      case FrameType::kCancel: {
+        // Statements on a session are serial, so a Cancel can only arrive
+        // between requests: decode for validity, then ignore (the request
+        // it names has already finished).
+        Result<CancelBody> cancel = DecodeCancel(frame.body);
+        if (!cancel.ok()) {
+          kill(cancel.status(), 0);
+          return;
+        }
+        continue;
+      }
+      case FrameType::kGoodbye:
+        return;
+      default:
+        kill(InvalidArgument()
+                 << "unexpected frame type '"
+                 << static_cast<char>(frame.type) << "' from client",
+             0);
+        return;
+    }
+  }
+}
+
+bool DmxServer::HandleRequest(Session* session, Transport* transport,
+                              const RequestBody& request,
+                              uint64_t* sent_bytes) {
+  // Arm the guard from the frame header: the deadline spans admission,
+  // execution and (below) the streaming writes. The cancel token is
+  // registered on the session so Drain() can reach a straggler.
+  ExecLimits limits;
+  limits.deadline_ms = static_cast<int64_t>(request.deadline_ms);
+  limits.cancel = std::make_shared<CancelToken>();
+  ExecGuard guard(limits);
+  {
+    MutexLock lock(&session->mu);
+    session->cancel = limits.cancel;
+  }
+  std::unique_ptr<Connection> conn = provider_->Connect();
+  conn->set_tenant(session->tenant);
+  Result<Rowset> result = conn->ExecuteGuarded(request.statement, &guard);
+  {
+    MutexLock lock(&session->mu);
+    session->cancel.reset();
+  }
+
+  auto write_timeout = [&]() {
+    int timeout = options_.write_timeout_ms;
+    if (guard.has_deadline()) {
+      int64_t left = guard.remaining_ms();
+      timeout = static_cast<int>(
+          std::min<int64_t>(timeout, left > 0 ? left : 1));
+    }
+    return timeout;
+  };
+  auto send = [&](FrameType type, const std::string& body) {
+    std::string frame = EncodeFrame(type, body);
+    *sent_bytes += frame.size();
+    return transport->Write(frame, write_timeout());
+  };
+  auto over_budget = [&]() {
+    return options_.max_session_send_bytes > 0 &&
+           *sent_bytes > options_.max_session_send_bytes;
+  };
+
+  DoneBody done;
+  done.request_id = request.request_id;
+
+  if (!result.ok()) {
+    done.SetStatus(result.status());
+    if (IsAdmissionRejection(result.status())) {
+      done.retryable = true;
+      done.retry_after_ms = provider_->admission()->SuggestedRetryMs();
+    }
+    {
+      MutexLock lock(&stats_mu_);
+      ++stats_.statements_failed;
+    }
+    return send(FrameType::kDone, EncodeDone(done)).ok();
+  }
+
+  // Stream the rowset: Schema, then Chunks, then Done. The guard keeps
+  // ticking — a deadline that expires mid-stream turns the tail of the
+  // response into a kDeadlineExceeded Done, and a stalled reader trips the
+  // write timeout, ending the session.
+  SchemaBody schema;
+  schema.request_id = request.request_id;
+  schema.schema = result->schema();
+  if (!send(FrameType::kSchema, EncodeSchemaBody(schema)).ok()) return false;
+
+  const std::vector<Row>& rows = result->rows();
+  for (size_t off = 0; off < rows.size(); off += options_.chunk_rows) {
+    Status tick = guard.Check();
+    if (!tick.ok()) {
+      done.SetStatus(tick.WithContext("streaming response"));
+      {
+        MutexLock lock(&stats_mu_);
+        ++stats_.statements_failed;
+      }
+      return send(FrameType::kDone, EncodeDone(done)).ok();
+    }
+    if (over_budget()) {
+      done.SetStatus(ResourceExhausted()
+                     << "session send budget exhausted (" << *sent_bytes
+                     << " of " << options_.max_session_send_bytes
+                     << " bytes)");
+      {
+        MutexLock lock(&stats_mu_);
+        ++stats_.statements_failed;
+      }
+      (void)send(FrameType::kDone, EncodeDone(done));
+      return false;  // Budget is per session: the session ends with it.
+    }
+    ChunkBody chunk;
+    chunk.request_id = request.request_id;
+    size_t end = std::min(rows.size(), off + options_.chunk_rows);
+    chunk.rows.assign(rows.begin() + static_cast<ptrdiff_t>(off),
+                      rows.begin() + static_cast<ptrdiff_t>(end));
+    if (!send(FrameType::kChunk, EncodeChunk(chunk)).ok()) return false;
+  }
+
+  {
+    MutexLock lock(&stats_mu_);
+    ++stats_.statements_ok;
+  }
+  return send(FrameType::kDone, EncodeDone(done)).ok();
+}
+
+Status DmxServer::Drain() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::OK();  // Already drained.
+  }
+  RequestDrain();
+  if (listener_ != nullptr) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  auto all_done = [&]() {
+    MutexLock lock(&sessions_mu_);
+    for (const auto& session : sessions_) {
+      if (!session->done.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  };
+
+  // Grace: in-flight statements may finish on their own; idle sessions see
+  // `draining` at their next read slice and exit.
+  SystemRetryClock clock;
+  const auto grace_deadline =
+      Clock::now() + std::chrono::milliseconds(options_.drain_grace_ms);
+  while (!all_done() && Clock::now() < grace_deadline) {
+    clock.SleepMs(10);
+  }
+
+  // Past grace: cancel stragglers through their statement CancelTokens;
+  // the guard checkpoints inside the algorithms unwind them cooperatively.
+  if (!all_done()) {
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+    {
+      MutexLock lock(&sessions_mu_);
+      for (const auto& session : sessions_) {
+        MutexLock session_lock(&session->mu);
+        if (session->cancel != nullptr) tokens.push_back(session->cancel);
+      }
+    }
+    for (const auto& token : tokens) token->Cancel();
+    while (!all_done()) {
+      clock.SleepMs(10);
+    }
+  }
+  ReapSessions(/*all=*/true);
+
+  // Checkpoint the store so the drained state is the recovered state.
+  if (provider_->store() != nullptr) {
+    return provider_->Checkpoint().WithContext("checkpointing on drain");
+  }
+  return Status::OK();
+}
+
+DmxServer::Stats DmxServer::stats() const {
+  MutexLock lock(&stats_mu_);
+  return stats_;
+}
+
+}  // namespace dmx::server

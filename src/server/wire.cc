@@ -1,0 +1,527 @@
+#include "server/wire.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/nested_table.h"
+#include "server/transport.h"
+#include "store/crc32c.h"
+#include "store/log_format.h"
+
+namespace dmx::server {
+
+namespace {
+
+using store::GetFixed32;
+using store::GetFixed64;
+using store::GetLengthPrefixed;
+using store::PutFixed32;
+using store::PutFixed64;
+using store::PutLengthPrefixed;
+
+// Same masking as the store's record framing (store/log_format.cc): the
+// value on the wire is never the raw CRC of its input, and the length word
+// is covered, so a zero run can never frame as a valid record.
+constexpr uint32_t kCrcMaskDelta = 0xa282ead8u;
+
+uint32_t MaskCrc(uint32_t crc) {
+  return ((crc >> 15) | (crc << 17)) + kCrcMaskDelta;
+}
+
+uint32_t FrameCrc(uint32_t size, std::string_view payload) {
+  std::string size_bytes;
+  PutFixed32(&size_bytes, size);
+  uint32_t crc = store::Crc32cExtend(0, size_bytes.data(), size_bytes.size());
+  crc = store::Crc32cExtend(crc, payload.data(), payload.size());
+  return MaskCrc(crc);
+}
+
+// Nesting bound for recursive schema/value decoding: deeper than any real
+// caseset, shallow enough that hostile input cannot overflow the stack.
+constexpr int kMaxWireDepth = 16;
+
+// DataType <-> wire tag. The tag is NOT the enum value: the enum may be
+// reordered freely, the wire may not.
+constexpr uint8_t kTypeTagBool = 1;
+constexpr uint8_t kTypeTagLong = 2;
+constexpr uint8_t kTypeTagDouble = 3;
+constexpr uint8_t kTypeTagText = 4;
+constexpr uint8_t kTypeTagTable = 5;
+
+uint8_t TypeToTag(DataType type) {
+  switch (type) {
+    case DataType::kBool: return kTypeTagBool;
+    case DataType::kLong: return kTypeTagLong;
+    case DataType::kDouble: return kTypeTagDouble;
+    case DataType::kText: return kTypeTagText;
+    case DataType::kTable: return kTypeTagTable;
+  }
+  return kTypeTagText;
+}
+
+bool TagToType(uint8_t tag, DataType* out) {
+  switch (tag) {
+    case kTypeTagBool: *out = DataType::kBool; return true;
+    case kTypeTagLong: *out = DataType::kLong; return true;
+    case kTypeTagDouble: *out = DataType::kDouble; return true;
+    case kTypeTagText: *out = DataType::kText; return true;
+    case kTypeTagTable: *out = DataType::kTable; return true;
+    default: return false;
+  }
+}
+
+// Value kind tags.
+constexpr uint8_t kValueTagNull = 0;
+constexpr uint8_t kValueTagBool = 1;
+constexpr uint8_t kValueTagLong = 2;
+constexpr uint8_t kValueTagDouble = 3;
+constexpr uint8_t kValueTagText = 4;
+constexpr uint8_t kValueTagTable = 5;
+
+bool GetByte(std::string_view* src, uint8_t* out) {
+  if (src->empty()) return false;
+  *out = static_cast<uint8_t>((*src)[0]);
+  src->remove_prefix(1);
+  return true;
+}
+
+/// Decodes a row of `num_columns` self-describing values.
+bool DecodeWireRow(std::string_view* src, size_t num_columns, Row* out,
+                   int depth) {
+  out->clear();
+  for (size_t i = 0; i < num_columns; ++i) {
+    Value value;
+    if (!DecodeWireValue(src, &value, depth)) return false;
+    out->push_back(std::move(value));
+  }
+  return true;
+}
+
+}  // namespace
+
+void EncodeWireSchema(std::string* dst, const Schema& schema) {
+  PutFixed32(dst, static_cast<uint32_t>(schema.num_columns()));
+  for (const ColumnDef& col : schema.columns()) {
+    dst->push_back(static_cast<char>(TypeToTag(col.type)));
+    PutLengthPrefixed(dst, col.name);
+    if (col.type == DataType::kTable) {
+      // A TABLE column always carries its nested schema (possibly empty).
+      static const Schema kEmpty;
+      EncodeWireSchema(dst, col.nested != nullptr ? *col.nested : kEmpty);
+    }
+  }
+}
+
+bool DecodeWireSchema(std::string_view* src,
+                      std::shared_ptr<const Schema>* out, int depth) {
+  if (depth > kMaxWireDepth) return false;
+  uint32_t num_columns = 0;
+  if (!GetFixed32(src, &num_columns)) return false;
+  // Each column consumes >= 5 bytes, so a huge declared count fails here
+  // before any allocation can be sized from it.
+  if (static_cast<uint64_t>(num_columns) * 5 > src->size()) return false;
+  std::vector<ColumnDef> columns;
+  columns.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns; ++i) {
+    uint8_t tag = 0;
+    std::string_view name;
+    DataType type = DataType::kText;
+    if (!GetByte(src, &tag) || !TagToType(tag, &type) ||
+        !GetLengthPrefixed(src, &name)) {
+      return false;
+    }
+    if (type == DataType::kTable) {
+      std::shared_ptr<const Schema> nested;
+      if (!DecodeWireSchema(src, &nested, depth + 1)) return false;
+      columns.emplace_back(std::string(name), std::move(nested));
+    } else {
+      columns.emplace_back(std::string(name), type);
+    }
+  }
+  *out = Schema::Make(std::move(columns));
+  return true;
+}
+
+void EncodeWireValue(std::string* dst, const Value& value) {
+  switch (value.kind()) {
+    case Value::Kind::kNull:
+      dst->push_back(static_cast<char>(kValueTagNull));
+      return;
+    case Value::Kind::kBool:
+      dst->push_back(static_cast<char>(kValueTagBool));
+      dst->push_back(value.bool_value() ? '\1' : '\0');
+      return;
+    case Value::Kind::kLong:
+      dst->push_back(static_cast<char>(kValueTagLong));
+      PutFixed64(dst, static_cast<uint64_t>(value.long_value()));
+      return;
+    case Value::Kind::kDouble: {
+      dst->push_back(static_cast<char>(kValueTagDouble));
+      double d = value.double_value();
+      uint64_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      PutFixed64(dst, bits);
+      return;
+    }
+    case Value::Kind::kText:
+      dst->push_back(static_cast<char>(kValueTagText));
+      PutLengthPrefixed(dst, value.text_value());
+      return;
+    case Value::Kind::kTable: {
+      dst->push_back(static_cast<char>(kValueTagTable));
+      const auto& table = value.table_value();
+      static const Schema kEmpty;
+      const Schema& schema =
+          table != nullptr && table->schema() != nullptr ? *table->schema()
+                                                         : kEmpty;
+      EncodeWireSchema(dst, schema);
+      uint32_t rows = table != nullptr
+                          ? static_cast<uint32_t>(table->num_rows())
+                          : 0;
+      PutFixed32(dst, rows);
+      if (table != nullptr) {
+        for (const Row& row : table->rows()) {
+          for (const Value& cell : row) EncodeWireValue(dst, cell);
+        }
+      }
+      return;
+    }
+  }
+}
+
+bool DecodeWireValue(std::string_view* src, Value* out, int depth) {
+  if (depth > kMaxWireDepth) return false;
+  uint8_t tag = 0;
+  if (!GetByte(src, &tag)) return false;
+  switch (tag) {
+    case kValueTagNull:
+      *out = Value::Null();
+      return true;
+    case kValueTagBool: {
+      uint8_t b = 0;
+      if (!GetByte(src, &b)) return false;
+      *out = Value::Bool(b != 0);
+      return true;
+    }
+    case kValueTagLong: {
+      uint64_t bits = 0;
+      if (!GetFixed64(src, &bits)) return false;
+      *out = Value::Long(static_cast<int64_t>(bits));
+      return true;
+    }
+    case kValueTagDouble: {
+      uint64_t bits = 0;
+      if (!GetFixed64(src, &bits)) return false;
+      double d = 0;
+      std::memcpy(&d, &bits, sizeof(d));
+      *out = Value::Double(d);
+      return true;
+    }
+    case kValueTagText: {
+      std::string_view text;
+      if (!GetLengthPrefixed(src, &text)) return false;
+      *out = Value::Text(std::string(text));
+      return true;
+    }
+    case kValueTagTable: {
+      std::shared_ptr<const Schema> schema;
+      if (!DecodeWireSchema(src, &schema, depth + 1)) return false;
+      uint32_t num_rows = 0;
+      if (!GetFixed32(src, &num_rows)) return false;
+      // A row with zero columns consumes no bytes, so a huge row count over
+      // an empty schema would loop without progress: reject it up front.
+      if (schema->num_columns() == 0 && num_rows > 0) return false;
+      if (static_cast<uint64_t>(num_rows) * schema->num_columns() >
+          src->size()) {
+        return false;
+      }
+      std::vector<Row> rows;
+      rows.reserve(num_rows);
+      for (uint32_t i = 0; i < num_rows; ++i) {
+        Row row;
+        if (!DecodeWireRow(src, schema->num_columns(), &row, depth + 1)) {
+          return false;
+        }
+        rows.push_back(std::move(row));
+      }
+      *out = Value::Table(NestedTable::Make(std::move(schema),
+                                            std::move(rows)));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Status DoneBody::ToStatus() const {
+  if (code == StatusCode::kOk) return Status::OK();
+  Status status(code, message);
+  // WithContext appends innermost-first, so reattach in stored order.
+  for (const std::string& frame : context) {
+    status = status.WithContext(frame);
+  }
+  return status;
+}
+
+void DoneBody::SetStatus(const Status& status) {
+  code = status.code();
+  message = status.message();
+  context = status.context();
+}
+
+std::string EncodeFrame(FrameType type, std::string_view body) {
+  std::string payload;
+  payload.reserve(1 + body.size());
+  payload.push_back(static_cast<char>(type));
+  payload.append(body);
+  std::string out;
+  out.reserve(8 + payload.size());
+  PutFixed32(&out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(&out, FrameCrc(static_cast<uint32_t>(payload.size()), payload));
+  out.append(payload);
+  return out;
+}
+
+std::string EncodeHello(const HelloBody& hello) {
+  std::string out;
+  PutFixed32(&out, hello.version);
+  PutLengthPrefixed(&out, hello.tenant);
+  return out;
+}
+
+Result<HelloBody> DecodeHello(std::string_view body) {
+  HelloBody hello;
+  std::string_view tenant;
+  if (!GetFixed32(&body, &hello.version) ||
+      !GetLengthPrefixed(&body, &tenant)) {
+    return Corruption() << "malformed Hello frame";
+  }
+  hello.tenant = std::string(tenant);
+  return hello;
+}
+
+std::string EncodeHelloAck(const HelloAckBody& ack) {
+  std::string out;
+  PutFixed32(&out, ack.version);
+  PutFixed64(&out, ack.session_id);
+  return out;
+}
+
+Result<HelloAckBody> DecodeHelloAck(std::string_view body) {
+  HelloAckBody ack;
+  if (!GetFixed32(&body, &ack.version) ||
+      !GetFixed64(&body, &ack.session_id)) {
+    return Corruption() << "malformed HelloAck frame";
+  }
+  return ack;
+}
+
+std::string EncodeRequest(const RequestBody& request) {
+  std::string out;
+  PutFixed64(&out, request.request_id);
+  PutFixed64(&out, request.deadline_ms);
+  PutLengthPrefixed(&out, request.statement);
+  return out;
+}
+
+Result<RequestBody> DecodeRequest(std::string_view body) {
+  RequestBody request;
+  std::string_view statement;
+  if (!GetFixed64(&body, &request.request_id) ||
+      !GetFixed64(&body, &request.deadline_ms) ||
+      !GetLengthPrefixed(&body, &statement)) {
+    return Corruption() << "malformed Request frame";
+  }
+  request.statement = std::string(statement);
+  return request;
+}
+
+std::string EncodeCancel(const CancelBody& cancel) {
+  std::string out;
+  PutFixed64(&out, cancel.request_id);
+  return out;
+}
+
+Result<CancelBody> DecodeCancel(std::string_view body) {
+  CancelBody cancel;
+  if (!GetFixed64(&body, &cancel.request_id)) {
+    return Corruption() << "malformed Cancel frame";
+  }
+  return cancel;
+}
+
+std::string EncodeSchemaBody(const SchemaBody& schema) {
+  std::string out;
+  PutFixed64(&out, schema.request_id);
+  static const Schema kEmpty;
+  EncodeWireSchema(&out,
+                   schema.schema != nullptr ? *schema.schema : kEmpty);
+  return out;
+}
+
+Result<SchemaBody> DecodeSchemaBody(std::string_view body) {
+  SchemaBody schema;
+  if (!GetFixed64(&body, &schema.request_id) ||
+      !DecodeWireSchema(&body, &schema.schema)) {
+    return Corruption() << "malformed Schema frame";
+  }
+  return schema;
+}
+
+std::string EncodeChunk(const ChunkBody& chunk) {
+  std::string out;
+  PutFixed64(&out, chunk.request_id);
+  PutFixed32(&out, static_cast<uint32_t>(chunk.rows.size()));
+  for (const Row& row : chunk.rows) {
+    PutFixed32(&out, static_cast<uint32_t>(row.size()));
+    for (const Value& cell : row) EncodeWireValue(&out, cell);
+  }
+  return out;
+}
+
+Result<ChunkBody> DecodeChunk(std::string_view body) {
+  ChunkBody chunk;
+  uint32_t num_rows = 0;
+  if (!GetFixed64(&body, &chunk.request_id) ||
+      !GetFixed32(&body, &num_rows)) {
+    return Corruption() << "malformed Chunk frame";
+  }
+  // Each row header is 4 bytes, so a hostile count fails before allocation.
+  if (static_cast<uint64_t>(num_rows) * 4 > body.size()) {
+    return Corruption() << "Chunk row count exceeds frame size";
+  }
+  chunk.rows.reserve(num_rows);
+  for (uint32_t i = 0; i < num_rows; ++i) {
+    uint32_t num_cells = 0;
+    if (!GetFixed32(&body, &num_cells)) {
+      return Corruption() << "malformed Chunk row header";
+    }
+    if (static_cast<uint64_t>(num_cells) > body.size()) {
+      return Corruption() << "Chunk cell count exceeds frame size";
+    }
+    Row row;
+    row.reserve(num_cells);
+    for (uint32_t j = 0; j < num_cells; ++j) {
+      Value value;
+      if (!DecodeWireValue(&body, &value)) {
+        return Corruption() << "malformed Chunk value";
+      }
+      row.push_back(std::move(value));
+    }
+    chunk.rows.push_back(std::move(row));
+  }
+  return chunk;
+}
+
+std::string EncodeDone(const DoneBody& done) {
+  std::string out;
+  PutFixed64(&out, done.request_id);
+  PutFixed32(&out, static_cast<uint32_t>(done.code));
+  out.push_back(done.retryable ? '\1' : '\0');
+  PutFixed32(&out, done.retry_after_ms);
+  PutLengthPrefixed(&out, done.message);
+  PutFixed32(&out, static_cast<uint32_t>(done.context.size()));
+  for (const std::string& frame : done.context) {
+    PutLengthPrefixed(&out, frame);
+  }
+  return out;
+}
+
+Result<DoneBody> DecodeDone(std::string_view body) {
+  DoneBody done;
+  uint32_t code = 0;
+  uint8_t retryable = 0;
+  std::string_view message;
+  uint32_t num_context = 0;
+  if (!GetFixed64(&body, &done.request_id) || !GetFixed32(&body, &code) ||
+      !GetByte(&body, &retryable) || !GetFixed32(&body, &done.retry_after_ms) ||
+      !GetLengthPrefixed(&body, &message) ||
+      !GetFixed32(&body, &num_context)) {
+    return Corruption() << "malformed Done frame";
+  }
+  if (code >= static_cast<uint32_t>(kStatusCodeCount)) {
+    return Corruption() << "Done frame carries unknown status code " << code;
+  }
+  if (static_cast<uint64_t>(num_context) * 4 > body.size()) {
+    return Corruption() << "Done context count exceeds frame size";
+  }
+  done.code = static_cast<StatusCode>(code);
+  done.retryable = retryable != 0;
+  done.message = std::string(message);
+  done.context.reserve(num_context);
+  for (uint32_t i = 0; i < num_context; ++i) {
+    std::string_view frame;
+    if (!GetLengthPrefixed(&body, &frame)) {
+      return Corruption() << "malformed Done context frame";
+    }
+    done.context.emplace_back(frame);
+  }
+  return done;
+}
+
+Result<std::optional<Frame>> FrameReader::Next(int timeout_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  auto remaining = [&]() -> int {
+    auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+    int left = timeout_ms - static_cast<int>(elapsed);
+    return left > 0 ? left : 0;
+  };
+
+  char buf[4096];
+  while (true) {
+    // How many bytes does the in-progress frame still need?
+    size_t want;
+    if (pending_.size() < 8) {
+      want = 8 - pending_.size();
+    } else {
+      std::string_view header(pending_.data(), 4);
+      uint32_t payload_size = 0;
+      (void)store::GetFixed32(&header, &payload_size);
+      if (payload_size > max_payload_ || payload_size == 0) {
+        return Corruption()
+               << "frame header declares " << payload_size
+               << " payload bytes (max " << max_payload_ << ")";
+      }
+      size_t total = 8 + payload_size;
+      if (pending_.size() >= total) {
+        // Frame complete: verify and strip.
+        std::string_view payload(pending_.data() + 8, payload_size);
+        std::string_view crc_bytes(pending_.data() + 4, 4);
+        uint32_t stored_crc = 0;
+        (void)store::GetFixed32(&crc_bytes, &stored_crc);
+        if (stored_crc != FrameCrc(payload_size, payload)) {
+          return Corruption() << "frame checksum mismatch (torn or corrupt "
+                                 "frame)";
+        }
+        Frame frame;
+        frame.type = static_cast<FrameType>(payload[0]);
+        frame.body.assign(payload.data() + 1, payload.size() - 1);
+        pending_.erase(0, total);
+        return std::optional<Frame>(std::move(frame));
+      }
+      want = total - pending_.size();
+    }
+    if (want > sizeof(buf)) want = sizeof(buf);
+
+    int left = remaining();
+    if (left == 0 && timeout_ms > 0) {
+      return DeadlineExceeded() << "no complete frame within " << timeout_ms
+                                << " ms";
+    }
+    Result<size_t> n = transport_->Read(buf, want, left);
+    if (!n.ok()) return n.status();
+    if (*n == 0) {
+      if (pending_.empty()) return std::optional<Frame>();  // Clean EOF.
+      return Corruption() << "connection closed mid-frame ("
+                          << pending_.size() << " bytes into the frame)";
+    }
+    pending_.append(buf, *n);
+    bytes_read_ += *n;
+  }
+}
+
+}  // namespace dmx::server

@@ -1,0 +1,196 @@
+// Wire protocol of the serving front end: a length-prefixed, CRC-framed
+// request/response exchange carrying DMX statements in and streamed rowset
+// chunks out (DESIGN.md §13).
+//
+// Every frame is
+//
+//   [u32 payload_size][u32 masked_crc][payload bytes]        (little-endian)
+//
+// — the durable store's record framing (store/log_format.h) reused on the
+// network: masked CRC32C over the size word and the payload, so an all-zero
+// run never frames as a valid record and a torn frame is always detected.
+// The first payload byte is the frame type; the rest is the type-specific
+// body encoded with the store's fixed/length-prefixed primitives.
+//
+// Conversation shape:
+//
+//   client                         server
+//   ------                         ------
+//   Hello{version, tenant}    ->
+//                             <-   HelloAck{version, session_id}
+//   Request{id, deadline, stmt} ->
+//                             <-   Schema{id, schema}          (rowset opens)
+//                             <-   Chunk{id, rows}*            (streamed)
+//                             <-   Done{id, status, retry hint} (terminal)
+//   Goodbye{}                 ->                               (half-close)
+//
+// The request deadline travels in the frame header (milliseconds of budget)
+// and arms the server-side ExecGuard, so one number bounds queueing,
+// execution and response streaming. Done frames carry the full Status
+// (code, message, context frames) plus the retry contract: a `retryable`
+// bit set only when the server knows the statement never began executing
+// (admission rejection, drain refusal), and a retry-after hint for
+// kResourceExhausted.
+
+#ifndef DMX_SERVER_WIRE_H_
+#define DMX_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rowset.h"
+#include "common/schema.h"
+#include "common/status.h"
+#include "common/value.h"
+
+namespace dmx::server {
+
+class Transport;
+
+/// Protocol version spoken by this tree. A server refuses a Hello carrying
+/// any other version — the protocol has no negotiation yet, by design.
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload. A header declaring more is rejected
+/// as corruption *before* any allocation, so a hostile length word cannot
+/// make a session allocate gigabytes (fuzz regression huge-length-frame).
+inline constexpr uint32_t kMaxFramePayload = 8u << 20;
+
+/// Frame types (the first payload byte).
+enum class FrameType : uint8_t {
+  kHello = 'H',     ///< client->server: version + tenant id.
+  kHelloAck = 'A',  ///< server->client: version + session id.
+  kRequest = 'Q',   ///< client->server: one statement + deadline budget.
+  kCancel = 'C',    ///< client->server: cancel an in-flight request.
+  kGoodbye = 'G',   ///< client->server: clean half-close notice.
+  kSchema = 'S',    ///< server->client: result schema (opens a rowset).
+  kChunk = 'R',     ///< server->client: a run of result rows.
+  kDone = 'D',      ///< server->client: terminal status for a request.
+};
+
+/// One decoded frame: the type byte plus the raw body bytes after it.
+struct Frame {
+  FrameType type;
+  std::string body;
+};
+
+struct HelloBody {
+  uint32_t version = kProtocolVersion;
+  std::string tenant;
+};
+
+struct HelloAckBody {
+  uint32_t version = kProtocolVersion;
+  uint64_t session_id = 0;
+};
+
+struct RequestBody {
+  uint64_t request_id = 0;
+  /// Wall-clock budget in ms for admission + execution + streaming;
+  /// 0 means no deadline.
+  uint64_t deadline_ms = 0;
+  std::string statement;
+};
+
+struct CancelBody {
+  uint64_t request_id = 0;
+};
+
+struct SchemaBody {
+  uint64_t request_id = 0;
+  std::shared_ptr<const Schema> schema;
+};
+
+struct ChunkBody {
+  uint64_t request_id = 0;
+  std::vector<Row> rows;
+};
+
+struct DoneBody {
+  uint64_t request_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string message;
+  std::vector<std::string> context;  ///< Status context frames, innermost first.
+  /// Set only when the server knows the statement never began executing
+  /// (admission rejection, drain refusal) — the client's licence to retry.
+  bool retryable = false;
+  /// Suggested backoff before retrying, 0 when the server has no opinion.
+  uint32_t retry_after_ms = 0;
+
+  /// The Status this frame carries, context frames reattached.
+  Status ToStatus() const;
+  /// Captures `status` (code, message, context) into this body.
+  void SetStatus(const Status& status);
+};
+
+// --- frame codec ---
+
+/// Frames `type` + `body` as one wire record.
+std::string EncodeFrame(FrameType type, std::string_view body);
+
+// Body encoders (the payload *after* the type byte).
+std::string EncodeHello(const HelloBody& hello);
+std::string EncodeHelloAck(const HelloAckBody& ack);
+std::string EncodeRequest(const RequestBody& request);
+std::string EncodeCancel(const CancelBody& cancel);
+std::string EncodeSchemaBody(const SchemaBody& schema);
+std::string EncodeChunk(const ChunkBody& chunk);
+std::string EncodeDone(const DoneBody& done);
+
+// Body decoders: every length, count and tag is validated, so arbitrary
+// bytes yield kCorruption / kInvalidArgument, never a crash or an
+// unbounded allocation (fuzz_wire_protocol's contract).
+Result<HelloBody> DecodeHello(std::string_view body);
+Result<HelloAckBody> DecodeHelloAck(std::string_view body);
+Result<RequestBody> DecodeRequest(std::string_view body);
+Result<CancelBody> DecodeCancel(std::string_view body);
+Result<SchemaBody> DecodeSchemaBody(std::string_view body);
+/// Rows are self-describing (each cell carries its kind tag), so the chunk
+/// decoder does not need the schema; arity against the schema is the
+/// caller's check.
+Result<ChunkBody> DecodeChunk(std::string_view body);
+Result<DoneBody> DecodeDone(std::string_view body);
+
+// Wire encoding of schema/value trees (recursive for TABLE columns) —
+// exposed for tests and the fuzz oracle.
+void EncodeWireSchema(std::string* dst, const Schema& schema);
+bool DecodeWireSchema(std::string_view* src,
+                      std::shared_ptr<const Schema>* out, int depth = 0);
+void EncodeWireValue(std::string* dst, const Value& value);
+bool DecodeWireValue(std::string_view* src, Value* out, int depth = 0);
+
+/// \brief Incremental frame reader over a Transport.
+///
+/// Next() assembles one frame, surviving short reads (partial bytes are
+/// buffered across calls, so a poll-sliced caller can keep its idle clock):
+///   * a frame        — decoded, CRC-verified
+///   * nullopt        — clean EOF at a frame boundary (peer half-closed)
+///   * kDeadlineExceeded — nothing (or only part of a frame) arrived within
+///     `timeout_ms`; call again to continue the same frame
+///   * kCorruption    — bad CRC, oversized length word, or EOF mid-frame
+///     (torn frame / mid-frame disconnect)
+///   * other codes    — transport failure, passed through
+class FrameReader {
+ public:
+  explicit FrameReader(Transport* transport,
+                       uint32_t max_payload = kMaxFramePayload)
+      : transport_(transport), max_payload_(max_payload) {}
+
+  Result<std::optional<Frame>> Next(int timeout_ms);
+
+  /// Bytes consumed off the transport so far (diagnostics / tests).
+  uint64_t bytes_read() const { return bytes_read_; }
+
+ private:
+  Transport* transport_;
+  uint32_t max_payload_;
+  std::string pending_;  ///< Bytes of the in-progress frame.
+  uint64_t bytes_read_ = 0;
+};
+
+}  // namespace dmx::server
+
+#endif  // DMX_SERVER_WIRE_H_

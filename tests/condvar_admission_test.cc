@@ -192,6 +192,102 @@ TEST(AdmissionQueueTest, CancelWhileQueuedLeavesTheQueue) {
   admission.Release();
 }
 
+// The global rejection is diagnosable from the message alone: live
+// occupancy plus the configured limits, rendered exactly like this
+// (admission.cc promises the wording; the serving front end forwards it to
+// clients verbatim inside a Done frame).
+TEST(AdmissionQueueTest, GlobalRejectionMessageCarriesLimitsAndDepth) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/1, /*max_queued=*/1);
+
+  ASSERT_TRUE(admission.Admit(nullptr).ok());  // occupies the only slot
+  std::atomic<bool> queued_ok{false};
+  std::thread queued([&] {
+    Status status = admission.Admit(nullptr);  // fills the queue
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    queued_ok.store(true);
+    admission.Release();
+  });
+  std::this_thread::sleep_for(milliseconds(30));  // let it park
+
+  Status overflow = admission.Admit(nullptr);
+  ASSERT_TRUE(overflow.IsResourceExhausted()) << overflow.ToString();
+  EXPECT_EQ(overflow.message(),
+            "too many concurrent statements (1 executing, 1 queued; "
+            "limits 1 active, 1 queued); retry later");
+
+  admission.Release();
+  queued.join();
+  EXPECT_TRUE(queued_ok.load());
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+// A tenant over its own quota is rejected by name — with its occupancy and
+// quota — even though the global gate has plenty of room.
+TEST(AdmissionQueueTest, TenantQuotaRejectionMessageNamesTheTenant) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/8, /*max_queued=*/8);
+  admission.SetTenantLimits(/*max_active=*/1, /*max_queued=*/0);
+
+  ASSERT_TRUE(admission.Admit(nullptr, "acme").ok());
+  Status over = admission.Admit(nullptr, "acme");
+  ASSERT_TRUE(over.IsResourceExhausted()) << over.ToString();
+  EXPECT_EQ(over.message(),
+            "tenant \"acme\" over quota (1 executing, 0 queued; "
+            "quota 1 active, 0 queued); retry later");
+
+  // Another tenant, and the anonymous session, are unaffected.
+  EXPECT_TRUE(admission.Admit(nullptr, "globex").ok());
+  EXPECT_TRUE(admission.Admit(nullptr).ok());
+  EXPECT_EQ(admission.tenant_active("acme"), 1u);
+  EXPECT_EQ(admission.tenant_active("globex"), 1u);
+
+  admission.Release("acme");
+  admission.Release("globex");
+  admission.Release();
+  EXPECT_EQ(admission.active(), 0u);
+  // Per-tenant bookkeeping is erased at zero occupancy, not accumulated.
+  EXPECT_EQ(admission.tenant_active("acme"), 0u);
+  EXPECT_EQ(admission.tenant_active("globex"), 0u);
+}
+
+// A waiter queued behind its tenant's quota (global gate open) is released
+// when that tenant's slot frees — Release must NotifyAll so the right
+// tenant's waiter wakes.
+TEST(AdmissionQueueTest, TenantWaiterWakesWhenTenantSlotFrees) {
+  AdmissionController admission;
+  admission.SetLimits(/*max_active=*/8, /*max_queued=*/8);
+  admission.SetTenantLimits(/*max_active=*/1, /*max_queued=*/1);
+
+  ASSERT_TRUE(admission.Admit(nullptr, "acme").ok());
+  std::atomic<bool> through{false};
+  std::thread waiter([&] {
+    Status status = admission.Admit(nullptr, "acme");
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    through.store(true);
+    admission.Release("acme");
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_FALSE(through.load());  // parked behind the tenant cap
+
+  admission.Release("acme");
+  waiter.join();
+  EXPECT_TRUE(through.load());
+  EXPECT_EQ(admission.active(), 0u);
+}
+
+// The retry-after hint: absent with admission off, present and bounded
+// once a cap exists (the serving front end forwards it in Done frames).
+TEST(AdmissionQueueTest, SuggestedRetryHintTracksConfiguration) {
+  AdmissionController admission;
+  EXPECT_EQ(admission.SuggestedRetryMs(), 0u);  // admission off: no opinion
+
+  admission.SetLimits(/*max_active=*/1, /*max_queued=*/4);
+  uint32_t hint = admission.SuggestedRetryMs();
+  EXPECT_GE(hint, 10u);
+  EXPECT_LE(hint, 1'000u);
+}
+
 // Raising the cap mid-wait frees queued statements immediately (SetLimits
 // notifies the condvar) — no 5 ms poll lag pile-up, no lost wakeups.
 TEST(AdmissionQueueTest, RaisingTheCapFreesWaiters) {

@@ -79,6 +79,14 @@ TEST(FuzzRegressionTest, TokenizerParserFixedFindings) {
   ReplayAll("regressions", "tokenizer_parser", fuzz::CheckTokenizerParser);
 }
 
+TEST(FuzzRegressionTest, WireProtocolSeedCorpus) {
+  ReplayAll("corpus", "wire_protocol", fuzz::CheckWireProtocol);
+}
+
+TEST(FuzzRegressionTest, WireProtocolFixedFindings) {
+  ReplayAll("regressions", "wire_protocol", fuzz::CheckWireProtocol);
+}
+
 // The allowlist is the contract that every analyzer/executor divergence is
 // named and justified: entries must use registered rule ids and carry a
 // non-empty justification (DESIGN.md §12 mirrors the table).

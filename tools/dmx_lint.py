@@ -24,8 +24,11 @@ enforcement"):
                       are forbidden in src/ and tools/: waiting must go
                       through CondVar or guard deadlines so the deterministic
                       scheduler (common/det_sched.h) can control time and
-                      deadlines/cancellation can trip the wait. Tests may
-                      sleep (tests/ is outside the linted tree).
+                      deadlines/cancellation can trip the wait. This covers
+                      src/server/ too — client retry backoff must sleep via
+                      the injectable RetryClock (server/transport.h), never a
+                      bare sleep_for. Tests may sleep (tests/ is outside the
+                      linted tree).
 
   status-context      In cross-layer boundary files, `return <expr>.status();`
                       must attach a WithContext frame — a Status that crosses
@@ -69,13 +72,16 @@ ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, RAW_SLEEP, STATUS_CONTEXT,
              BAD_SUPPRESSION)
 
 # Files the status-context rule applies to: the cross-layer boundaries where
-# a Status hops subsystems (core <-> store, core <-> relational, UI <-> core).
+# a Status hops subsystems (core <-> store, core <-> relational, UI <-> core,
+# and the serving front end where a Status crosses the wire).
 BOUNDARY_FILES = (
     "src/core/provider.cc",
     "src/core/prediction_join.cc",
     "src/core/caseset_source.cc",
     "src/core/schema_rowsets.cc",
     "src/store/store.cc",
+    "src/server/server.cc",
+    "src/server/client.cc",
 )
 
 # The only files allowed to touch raw sync/file primitives. lockdep and

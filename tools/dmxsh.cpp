@@ -4,7 +4,7 @@
 // resulting rowsets, the way a consumer talks to the provider in Figure 1.
 //
 //   dmxsh [--warehouse N] [--paper-example] [--store DIR] [--timeout MS]
-//         [--quiet]
+//         [--quiet] [--serve [HOST:]PORT | --connect HOST:PORT]
 //
 //   --warehouse N     preload the synthetic customer warehouse (N customers)
 //   --paper-example   preload the paper's Table 1 micro-warehouse
@@ -17,11 +17,29 @@
 //                     "Deadline exceeded" and leaves the catalogs unchanged
 //   --quiet           suppress the banner and prompts (for piped scripts)
 //
+// Serving mode (README "Serving"):
+//   --serve [HOST:]PORT   run the framed network front end over this
+//                     provider (PORT 0 = ephemeral, printed on startup).
+//                     SIGTERM/SIGINT trigger graceful drain: stop
+//                     accepting, finish or cancel in-flight statements,
+//                     checkpoint the store, exit
+//   --admission A,Q   global admission cap: A active statements, Q queued
+//   --tenant-quota A,Q  per-tenant quota layered under the global cap
+//
+// Client mode:
+//   --connect HOST:PORT   talk to a dmxsh --serve instance instead of an
+//                     in-process provider; statements and rowsets travel
+//                     the framed wire protocol with bounded retry
+//   --tenant NAME     tenant id for the session handshake
+//
 // Shell commands (no ';'):
 //   \models   \services   \tables   \columns <model>   \checkpoint
 //   \timeout <ms>   \help   \quit
 
+#include <signal.h>
+
 #include <cctype>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -31,6 +49,8 @@
 #include "core/dmx_analyzer.h"
 #include "core/provider.h"
 #include "datagen/warehouse.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace {
 
@@ -202,6 +222,133 @@ bool HandleShellCommand(dmx::Connection* conn, const std::string& line) {
   return true;
 }
 
+// "HOST:PORT" or bare "PORT" (host defaults to 127.0.0.1). False on junk.
+bool ParseHostPort(const std::string& spec, std::string* host, int* port) {
+  size_t colon = spec.rfind(':');
+  std::string port_str;
+  if (colon == std::string::npos) {
+    host->clear();
+    port_str = spec;
+  } else {
+    *host = spec.substr(0, colon);
+    port_str = spec.substr(colon + 1);
+  }
+  if (port_str.empty()) return false;
+  for (char c : port_str) {
+    if (std::isdigit(static_cast<unsigned char>(c)) == 0) return false;
+  }
+  long value = std::atol(port_str.c_str());
+  if (value < 0 || value > 65535) return false;
+  *port = static_cast<int>(value);
+  return true;
+}
+
+// "A,Q" pair for admission limits.
+bool ParseLimitPair(const char* spec, unsigned* active, unsigned* queued) {
+  return std::sscanf(spec, "%u,%u", active, queued) == 2;
+}
+
+// --connect: the REPL talks to a remote dmxsh --serve over the framed
+// protocol instead of an in-process provider.
+int RunClient(const std::string& host, int port, const std::string& tenant,
+              long timeout_ms, bool quiet) {
+  dmx::server::ClientOptions options;
+  options.tenant = tenant;
+  auto client =
+      dmx::server::DmxClient::Connect(host.empty() ? "127.0.0.1" : host,
+                                      static_cast<uint16_t>(port), options);
+  if (!client.ok()) {
+    PrintStatus(client.status());
+    return 1;
+  }
+  if (!quiet) {
+    std::cout << "connected to " << (host.empty() ? "127.0.0.1" : host) << ":"
+              << port << " (session " << (*client)->session_id();
+    if (!tenant.empty()) std::cout << ", tenant '" << tenant << "'";
+    std::cout << ")\ntype \\quit to exit\n";
+  }
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (!quiet) std::cout << (buffer.empty() ? "dmx> " : "...> ") << std::flush;
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(dmx::Trim(line));
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      std::cout << "shell commands are local-only over a network session "
+                   "(\\quit to exit)\n";
+      continue;
+    }
+    buffer += line;
+    buffer += '\n';
+    if (trimmed.empty() || trimmed.back() != ';') continue;
+    std::string command(dmx::Trim(buffer));
+    buffer.clear();
+    if (command == ";") continue;
+    auto result = (*client)->Execute(
+        command, timeout_ms > 0 ? static_cast<uint64_t>(timeout_ms) : 0);
+    if (!result.ok()) {
+      PrintStatus(result.status());
+      if ((*client)->last_attempts() > 1) {
+        std::cout << "  (" << (*client)->last_attempts() << " attempts, "
+                  << (*client)->last_backoff_ms() << " ms backoff)\n";
+      }
+      continue;
+    }
+    PrintRowset(*result);
+  }
+  (*client)->Close();
+  return 0;
+}
+
+// --serve: run the network front end until SIGTERM/SIGINT, then drain.
+// The signal set is blocked in every thread (the mask is inherited), so
+// the signal is consumed synchronously by sigwait — no async handler, no
+// races with session threads.
+int RunServer(dmx::Provider* provider, const std::string& host, int port,
+              bool quiet) {
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGTERM);
+  sigaddset(&signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  dmx::server::ServerOptions options;
+  options.host = host;
+  options.port = static_cast<uint16_t>(port);
+  dmx::server::DmxServer server(provider, options);
+  auto status = server.Start();
+  if (!status.ok()) {
+    PrintStatus(status);
+    return 1;
+  }
+  // The port line prints even under --quiet: a supervisor using an
+  // ephemeral port has no other way to learn it.
+  std::cout << "serving on " << (host.empty() ? "127.0.0.1" : host) << ":"
+            << server.port() << std::endl;
+  if (!quiet) {
+    std::cout << "SIGTERM/SIGINT drains gracefully (finish or cancel "
+                 "in-flight statements, checkpoint, exit)\n";
+  }
+  int signal = 0;
+  sigwait(&signals, &signal);
+  if (!quiet) {
+    std::cout << "signal " << signal << ": draining...\n";
+  }
+  auto drained = server.Drain();
+  if (!drained.ok()) {
+    PrintStatus(drained);
+    return 1;
+  }
+  if (!quiet) {
+    dmx::server::DmxServer::Stats stats = server.stats();
+    std::cout << "drained: " << stats.sessions_opened << " sessions served, "
+              << stats.statements_ok << " statements ok, "
+              << stats.statements_failed << " failed\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -210,6 +357,13 @@ int main(int argc, char** argv) {
   bool paper_example = false;
   std::string store_dir;
   long timeout_ms = 0;
+  bool serve = false;
+  bool connect = false;
+  std::string net_host;
+  int net_port = 0;
+  std::string tenant;
+  unsigned admit_active = 0, admit_queued = 0;
+  unsigned quota_active = 0, quota_queued = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quiet") == 0) {
       quiet = true;
@@ -225,11 +379,45 @@ int main(int argc, char** argv) {
         std::cerr << "--timeout expects a millisecond count >= 0\n";
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = true;
+      if (!ParseHostPort(argv[++i], &net_host, &net_port)) {
+        std::cerr << "--serve expects [HOST:]PORT\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect = true;
+      if (!ParseHostPort(argv[++i], &net_host, &net_port)) {
+        std::cerr << "--connect expects [HOST:]PORT\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--tenant") == 0 && i + 1 < argc) {
+      tenant = argv[++i];
+    } else if (std::strcmp(argv[i], "--admission") == 0 && i + 1 < argc) {
+      if (!ParseLimitPair(argv[++i], &admit_active, &admit_queued)) {
+        std::cerr << "--admission expects ACTIVE,QUEUED\n";
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--tenant-quota") == 0 && i + 1 < argc) {
+      if (!ParseLimitPair(argv[++i], &quota_active, &quota_queued)) {
+        std::cerr << "--tenant-quota expects ACTIVE,QUEUED\n";
+        return 2;
+      }
     } else {
       std::cerr << "usage: dmxsh [--warehouse N] [--paper-example] "
-                   "[--store DIR] [--timeout MS] [--quiet]\n";
+                   "[--store DIR] [--timeout MS] [--quiet]\n"
+                   "             [--serve [HOST:]PORT [--admission A,Q] "
+                   "[--tenant-quota A,Q]]\n"
+                   "             [--connect HOST:PORT [--tenant NAME]]\n";
       return 2;
     }
+  }
+  if (serve && connect) {
+    std::cerr << "--serve and --connect are mutually exclusive\n";
+    return 2;
+  }
+  if (connect) {
+    return RunClient(net_host, net_port, tenant, timeout_ms, quiet);
   }
 
   dmx::Provider provider;
@@ -294,6 +482,16 @@ int main(int argc, char** argv) {
       }
     }
   }
+  if (serve) {
+    if (admit_active > 0) {
+      provider.SetAdmissionLimits(admit_active, admit_queued);
+    }
+    if (quota_active > 0) {
+      provider.SetTenantAdmissionLimits(quota_active, quota_queued);
+    }
+    return RunServer(&provider, net_host, net_port, quiet);
+  }
+
   auto conn = provider.Connect();
   if (timeout_ms > 0) {
     dmx::ExecLimits limits;

@@ -1,0 +1,41 @@
+// Fixture: the serving front end is inside the lint perimeter. A client
+// retry loop that sleeps with bare sleep_for (instead of the injectable
+// RetryClock), guards its state with a raw std::mutex (instead of
+// dmx::Mutex), or lets a Status cross the wire boundary without a
+// WithContext frame must all be reported.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace dmx {
+
+struct Status {
+  bool ok() const { return true; }
+};
+template <typename T>
+struct Result {
+  Status status() const { return Status(); }
+  Status WithContext(const char*) const { return Status(); }
+};
+
+std::mutex g_backoff_mu;  // raw primitive outside the mutex.h seam
+
+Status ExecuteWithRetry(int attempts) {
+  Result<int> rows;
+  for (int i = 0; i < attempts; ++i) {
+    std::lock_guard<std::mutex> lock(g_backoff_mu);
+    // Backoff invisible to det-sched and fault injection:
+    std::this_thread::sleep_for(std::chrono::milliseconds(50 << i));
+  }
+  // A wire-boundary Status with no context frame is undiagnosable by the
+  // time it reaches the remote user:
+  return rows.status();
+}
+
+Status ExecuteOnce() {
+  Result<int> rows;
+  // The compliant shape: context attached at the boundary.
+  return rows.status().WithContext("executing remote statement");
+}
+
+}  // namespace dmx

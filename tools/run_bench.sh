@@ -8,6 +8,10 @@
 #       parallel (recovery_threads=0) shard replay. On a single-core host
 #       both configurations degenerate to serial — the JSON's num_cpus
 #       field records the machine so readers can tell.
+#   bench/bench_serving.cc     -> BENCH_serving.json
+#       statement throughput (items_per_second) and p50/p95/p99 latency
+#       counters through the framed wire protocol at 1/8/32 concurrent
+#       sessions, plus graceful-drain latency with idle sessions attached.
 #
 # The console tables still print for humans.
 #
@@ -28,7 +32,8 @@ if [[ ! -d "$BUILD_DIR" ]]; then
   exit 1
 fi
 
-cmake --build "$BUILD_DIR" --target bench_concurrency bench_recovery \
+cmake --build "$BUILD_DIR" \
+  --target bench_concurrency bench_recovery bench_serving \
   -j "$(nproc)"
 
 "$BUILD_DIR/bench/bench_concurrency" \
@@ -46,3 +51,11 @@ echo "run_bench: wrote $OUTPUT_DIR/BENCH_concurrency.json"
   --benchmark_min_time=0.2
 
 echo "run_bench: wrote $OUTPUT_DIR/BENCH_recovery.json"
+
+"$BUILD_DIR/bench/bench_serving" \
+  --benchmark_format=console \
+  --benchmark_out="$OUTPUT_DIR/BENCH_serving.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "run_bench: wrote $OUTPUT_DIR/BENCH_serving.json"

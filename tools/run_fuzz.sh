@@ -22,7 +22,7 @@
 #   BUILD_DIR           fuzz build directory (default: build-fuzz)
 # Environment:
 #   DMX_FUZZ_SANITIZE   sanitizer config to build with (default: address)
-#   DMX_FUZZ_TARGETS    space-separated subset to run (default: all three)
+#   DMX_FUZZ_TARGETS    space-separated subset to run (default: all four)
 
 set -euo pipefail
 
@@ -32,7 +32,7 @@ BUDGET="${1:-60}"
 BUILD_DIR="${2:-build-fuzz}"
 [[ "$BUILD_DIR" = /* ]] || BUILD_DIR="$REPO_ROOT/$BUILD_DIR"
 SANITIZE="${DMX_FUZZ_SANITIZE:-address}"
-TARGETS="${DMX_FUZZ_TARGETS:-fuzz_dmx_statement fuzz_store_recovery fuzz_tokenizer_parser}"
+TARGETS="${DMX_FUZZ_TARGETS:-fuzz_dmx_statement fuzz_store_recovery fuzz_tokenizer_parser fuzz_wire_protocol}"
 
 cmake -B "$BUILD_DIR" -S . -DDMX_FUZZ=ON -DDMX_SANITIZE="$SANITIZE" >/dev/null
 # shellcheck disable=SC2086
