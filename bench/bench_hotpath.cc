@@ -1,0 +1,254 @@
+// H1 — hot-path allocation accounting (DESIGN.md §14): allocs/row and
+// bytes/row for the four guard-checkpointed inner loops the paper's
+// integration argument rests on — relational scan+filter, SHAPE child
+// indexing, InsertCases ingest+train, and PREDICTION JOIN scoring per
+// service. Run via tools/run_bench.sh, which builds a dedicated
+// -DDMX_ALLOC_STATS=ON tree and captures the google-benchmark JSON as
+// BENCH_hotpath.json; the committed copy is the baseline the columnar
+// refactor (ROADMAP item 1) has to beat, and tests/alloc_budget_test.cc
+// turns the same numbers into hard CI ceilings.
+//
+// Without -DDMX_ALLOC_STATS=ON the binary still runs (wall-clock numbers
+// stay meaningful) but every *_per_row counter reports 0; the console
+// banner says which mode this is.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "common/alloc_stats.h"
+#include "shape/shape_executor.h"
+#include "shape/shape_parser.h"
+
+namespace dmx {
+namespace {
+
+constexpr int kTrainCustomers = 400;
+constexpr int kTestCustomers = 200;
+
+Provider* g_provider = nullptr;
+
+/// Attaches allocs/bytes-per-row counters from an accumulated delta.
+void SetPerRowCounters(benchmark::State& state, const AllocCounts& total,
+                       double rows) {
+  state.counters["allocs_per_row"] =
+      benchmark::Counter(static_cast<double>(total.allocs) / rows);
+  state.counters["bytes_per_row"] =
+      benchmark::Counter(static_cast<double>(total.bytes) / rows);
+  state.counters["alloc_stats_enabled"] =
+      benchmark::Counter(AllocStats::Enabled() ? 1 : 0);
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+
+/// Relational scan + filter: one SELECT with a numeric WHERE over the
+/// Customers table. Rows = table size (every row is scanned; ~half pass).
+void BM_RelationalFilterScan(benchmark::State& state) {
+  auto conn = g_provider->Connect();
+  const std::string query =
+      "SELECT [Customer ID], [Age] FROM Customers WHERE [Age] > 40";
+  AllocCounts total;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    AllocStats::Region r;
+    Rowset out = bench::MustExecute(conn.get(), query);
+    benchmark::DoNotOptimize(out.rows().size());
+    AllocCounts d = r.Delta();
+    total.allocs += d.allocs;
+    total.bytes += d.bytes;
+    ++iters;
+  }
+  SetPerRowCounters(state, total,
+                    static_cast<double>(iters) * kTrainCustomers);
+}
+BENCHMARK(BM_RelationalFilterScan);
+
+/// SHAPE child indexing + case assembly: build the keyed child index and
+/// stream every hierarchical case through ShapedCaseReader. Rows = master
+/// rows (one case per customer).
+void BM_ShapeChildIndexing(benchmark::State& state) {
+  const std::string shape_text =
+      "SHAPE {SELECT [Customer ID], [Gender], [Age] FROM Customers"
+      " ORDER BY [Customer ID]}\n"
+      "APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales"
+      " ORDER BY [CustID]}\n"
+      "  RELATE [Customer ID] TO [CustID]) AS [Product Purchases]";
+  auto stmt = shape::ParseShape(shape_text);
+  bench::Check(stmt.status(), "parse shape");
+  AllocCounts total;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    AllocStats::Region r;
+    auto reader = shape::ShapedCaseReader::Create(*g_provider->database(),
+                                                  *stmt);
+    bench::Check(reader.status(), "shape reader");
+    Row row;
+    size_t cases = 0;
+    while (true) {
+      auto more = (*reader)->Next(&row);
+      bench::Check(more.status(), "shape next");
+      if (!*more) break;
+      ++cases;
+    }
+    benchmark::DoNotOptimize(cases);
+    AllocCounts d = r.Delta();
+    total.allocs += d.allocs;
+    total.bytes += d.bytes;
+    ++iters;
+  }
+  SetPerRowCounters(state, total,
+                    static_cast<double>(iters) * kTrainCustomers);
+}
+BENCHMARK(BM_ShapeChildIndexing);
+
+/// INSERT INTO (InsertCases): SHAPE ingest + statistics + training, the
+/// paper's §3.1 case-at-a-time consumption path. The model is re-created
+/// outside the measured region each iteration; rows = training cases.
+void BM_InsertCases(benchmark::State& state) {
+  auto conn = g_provider->Connect();
+  AllocCounts total;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    (void)conn->Execute("DROP MINING MODEL [H1 Insert]");
+    bench::MustExecute(conn.get(),
+                       bench::AgeModelDmx("H1 Insert", "Naive_Bayes"));
+    state.ResumeTiming();
+    AllocStats::Region r;
+    bench::MustExecute(conn.get(),
+                       bench::AgeInsertDmx("H1 Insert", "Customers", "Sales"));
+    AllocCounts d = r.Delta();
+    total.allocs += d.allocs;
+    total.bytes += d.bytes;
+    ++iters;
+  }
+  SetPerRowCounters(state, total,
+                    static_cast<double>(iters) * kTrainCustomers);
+}
+BENCHMARK(BM_InsertCases);
+
+/// PREDICTION JOIN scoring over the test warehouse, one benchmark per
+/// registered service family (the [Age Prediction] model shape from the
+/// paper). Rows = test cases scored.
+void PredictionJoinBody(benchmark::State& state, const std::string& model) {
+  auto conn = g_provider->Connect();
+  const std::string query =
+      bench::AgePredictDmx(model, "TestCustomers", "TestSales");
+  AllocCounts total;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    AllocStats::Region r;
+    Rowset out = bench::MustExecute(conn.get(), query);
+    benchmark::DoNotOptimize(out.rows().size());
+    AllocCounts d = r.Delta();
+    total.allocs += d.allocs;
+    total.bytes += d.bytes;
+    ++iters;
+  }
+  SetPerRowCounters(state, total,
+                    static_cast<double>(iters) * kTestCustomers);
+}
+
+void BM_PredictionJoin_NaiveBayes(benchmark::State& state) {
+  PredictionJoinBody(state, "H1 NB");
+}
+BENCHMARK(BM_PredictionJoin_NaiveBayes);
+
+void BM_PredictionJoin_Clustering(benchmark::State& state) {
+  PredictionJoinBody(state, "H1 Clu");
+}
+BENCHMARK(BM_PredictionJoin_Clustering);
+
+void BM_PredictionJoin_DecisionTrees(benchmark::State& state) {
+  PredictionJoinBody(state, "H1 DT");
+}
+BENCHMARK(BM_PredictionJoin_DecisionTrees);
+
+void BM_PredictionJoin_LinearRegression(benchmark::State& state) {
+  // The LR model predicts continuous Age from [Customer Loyalty]; its
+  // prediction join carries that column through the SHAPE source.
+  auto conn = g_provider->Connect();
+  const std::string query =
+      "SELECT t.[Customer ID], Predict([Age]) AS [P] FROM [H1 LR]\n"
+      "NATURAL PREDICTION JOIN\n"
+      "  (SHAPE {SELECT [Customer ID], [Gender], [Customer Loyalty] FROM "
+      "TestCustomers ORDER BY [Customer ID]}\n"
+      "   APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM "
+      "TestSales ORDER BY [CustID]}\n"
+      "     RELATE [Customer ID] TO [CustID]) AS [Product Purchases]) AS t";
+  AllocCounts total;
+  int64_t iters = 0;
+  for (auto _ : state) {
+    AllocStats::Region r;
+    Rowset out = bench::MustExecute(conn.get(), query);
+    benchmark::DoNotOptimize(out.rows().size());
+    AllocCounts d = r.Delta();
+    total.allocs += d.allocs;
+    total.bytes += d.bytes;
+    ++iters;
+  }
+  SetPerRowCounters(state, total,
+                    static_cast<double>(iters) * kTestCustomers);
+}
+BENCHMARK(BM_PredictionJoin_LinearRegression);
+
+}  // namespace
+}  // namespace dmx
+
+int main(int argc, char** argv) {
+  dmx::bench::Banner(
+      "H1", "Hot-path allocation accounting (allocs/row, bytes/row)",
+      std::string("per-row allocation counts for scan+filter, SHAPE "
+                  "indexing, InsertCases and per-service prediction joins; "
+                  "alloc counters ") +
+          (dmx::AllocStats::Enabled() ? "ENABLED" : "DISABLED (wall-clock "
+                                                    "only; configure with "
+                                                    "-DDMX_ALLOC_STATS=ON)"));
+
+  dmx::g_provider = new dmx::Provider();
+  dmx::bench::SetupWarehouses(dmx::g_provider, dmx::kTrainCustomers,
+                              dmx::kTestCustomers);
+  auto conn = dmx::g_provider->Connect();
+  const struct {
+    const char* model;
+    const char* service;
+  } kModels[] = {{"H1 NB", "Naive_Bayes"},
+                 {"H1 Clu", "Clustering"},
+                 {"H1 DT", "Decision_Trees"}};
+  for (const auto& m : kModels) {
+    dmx::bench::MustExecute(conn.get(),
+                            dmx::bench::AgeModelDmx(m.model, m.service));
+    dmx::bench::MustExecute(
+        conn.get(), dmx::bench::AgeInsertDmx(m.model, "Customers", "Sales"));
+  }
+  // Linear_Regression predicts a continuous target, so its model keeps Age
+  // un-discretized and regresses on [Customer Loyalty].
+  dmx::bench::MustExecute(
+      conn.get(),
+      "CREATE MINING MODEL [H1 LR] (\n"
+      "  [Customer ID] LONG KEY,\n"
+      "  [Gender] TEXT DISCRETE,\n"
+      "  [Customer Loyalty] LONG ORDERED,\n"
+      "  [Age] DOUBLE CONTINUOUS PREDICT,\n"
+      "  [Product Purchases] TABLE(\n"
+      "    [Product Name] TEXT KEY,\n"
+      "    [Product Type] TEXT DISCRETE RELATED TO [Product Name]))\n"
+      "USING Linear_Regression");
+  dmx::bench::MustExecute(
+      conn.get(),
+      "INSERT INTO [H1 LR] (\n"
+      "  [Customer ID], [Gender], [Customer Loyalty], [Age],\n"
+      "  [Product Purchases]([Product Name], [Product Type]))\n"
+      "SHAPE {SELECT [Customer ID], [Gender], [Customer Loyalty], [Age] FROM "
+      "Customers ORDER BY [Customer ID]}\n"
+      "APPEND ({SELECT [CustID], [Product Name], [Product Type] FROM Sales "
+      "ORDER BY [CustID]}\n"
+      "  RELATE [Customer ID] TO [CustID]) AS [Product Purchases]");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  delete dmx::g_provider;
+  return 0;
+}

@@ -63,13 +63,17 @@ std::string AssociationModel::ItemName(const AttributeSet& attrs,
 Result<CasePrediction> AssociationModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  // dmx-hot-begin(ar-predict)
   DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   // Intern the case's items (only ones the model has seen matter).
   std::unordered_map<Item, int, ItemHash> lookup;
   for (size_t id = 0; id < items_.size(); ++id) lookup.emplace(items_[id], id);
 
+  size_t case_items = attrs.attributes.size();
+  for (const auto& group_items : input.groups) case_items += group_items.size();
   std::vector<int> transaction;
+  transaction.reserve(case_items);
   for (size_t g = 0; g < attrs.groups.size(); ++g) {
     for (const CaseItem& entry : input.groups[g]) {
       Item item{static_cast<int>(g), -1, entry.key};
@@ -90,12 +94,13 @@ Result<CasePrediction> AssociationModel::Predict(
   transaction.erase(std::unique(transaction.begin(), transaction.end()),
                     transaction.end());
 
-  // Rank candidate items for every output group.
+  // Rank candidate items for every output group. `best_rule` maps item id to
+  // the best applicable rule and is reused across groups.
+  std::unordered_map<int, const Rule*> best_rule;
   for (size_t g = 0; g < attrs.groups.size(); ++g) {
     const NestedGroup& group = attrs.groups[g];
     if (!group.is_output) continue;
-    // score per item id: best applicable rule confidence.
-    std::unordered_map<int, const Rule*> best_rule;
+    best_rule.clear();
     for (const Rule& rule : rules_) {
       const Item& target = items_[rule.consequent];
       if (target.group != static_cast<int>(g)) continue;
@@ -110,6 +115,7 @@ Result<CasePrediction> AssociationModel::Predict(
       }
     }
     AttributePrediction prediction;
+    prediction.histogram.reserve(best_rule.size());
     for (const auto& [item_id, rule] : best_rule) {
       ScoredValue sv;
       const Item& item = items_[item_id];
@@ -156,6 +162,7 @@ Result<CasePrediction> AssociationModel::Predict(
     }
     out.targets.emplace(group.name, std::move(prediction));
   }
+  // dmx-hot-end(ar-predict)
   return out;
 }
 
@@ -331,6 +338,11 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
   for (int64_t size = 2; size <= max_size && level.size() > 1; ++size) {
     // Candidate generation: join sets sharing the first size-2 items.
     std::vector<std::vector<int>> candidates;
+    candidates.reserve(level.size());
+    // Scratch for the prune step, reused across candidates.
+    std::vector<int> subset;
+    subset.reserve(static_cast<size_t>(size));
+    // dmx-hot-begin(ar-candidate-join)
     for (size_t i = 0; i < level.size(); ++i) {
       // Candidate generation is quadratic in the level width — the classic
       // apriori blow-up — so it checkpoints per outer row.
@@ -340,13 +352,17 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
                         level[j].begin())) {
           break;  // `level` is lexicographically sorted; prefixes diverged.
         }
-        std::vector<int> candidate = level[i];
+        // Each accepted candidate is moved into the candidate list, so the
+        // buffer cannot be reused across joins.
+        std::vector<int> candidate;  // dmx-lint: allow(hot-loop-alloc)
+        candidate.reserve(level[i].size() + 1);
+        candidate.assign(level[i].begin(), level[i].end());
         candidate.push_back(level[j].back());
         // Prune: all (size-1)-subsets must be frequent.
         bool all_frequent = true;
         for (size_t drop = 0; drop + 1 < candidate.size() && all_frequent;
              ++drop) {
-          std::vector<int> subset;
+          subset.clear();
           for (size_t p = 0; p < candidate.size(); ++p) {
             if (p != drop) subset.push_back(candidate[p]);
           }
@@ -355,8 +371,10 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
         if (all_frequent) candidates.push_back(std::move(candidate));
       }
     }
+    // dmx-hot-end(ar-candidate-join)
     // Count candidates.
     std::vector<double> counts(candidates.size(), 0.0);
+    // dmx-hot-begin(ar-support-count)
     for (size_t t = 0; t < transactions.size(); ++t) {
       if ((t & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       if (transactions[t].size() < static_cast<size_t>(size)) continue;
@@ -366,6 +384,7 @@ Result<std::unique_ptr<TrainedModel>> AssociationService::Train(
         }
       }
     }
+    // dmx-hot-end(ar-support-count)
     std::vector<std::vector<int>> next_level;
     for (size_t ci = 0; ci < candidates.size(); ++ci) {
       if (counts[ci] >= min_support) {

@@ -82,7 +82,12 @@ double ClusterLogLikelihood(const ClusteringModel::ClusterStats& cluster,
 
 ClusteringModel::ClusteringModel(std::vector<ClusterStats> clusters,
                                  double case_count, double alpha)
-    : clusters_(std::move(clusters)), case_count_(case_count), alpha_(alpha) {}
+    : clusters_(std::move(clusters)), case_count_(case_count), alpha_(alpha) {
+  cluster_names_.reserve(clusters_.size());
+  for (size_t i = 0; i < clusters_.size(); ++i) {
+    cluster_names_.push_back(Value::Text("Cluster " + std::to_string(i + 1)));
+  }
+}
 
 const std::string& ClusteringModel::service_name() const {
   return kServiceName;
@@ -117,6 +122,7 @@ std::vector<double> ClusteringModel::Responsibilities(const AttributeSet& attrs,
 Result<CasePrediction> ClusteringModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  // dmx-hot-begin(clu-predict)
   DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   std::vector<double> resp = Responsibilities(attrs, input,
@@ -124,9 +130,10 @@ Result<CasePrediction> ClusteringModel::Predict(
 
   // Cluster membership pseudo-target.
   AttributePrediction membership;
+  membership.histogram.reserve(clusters_.size());
   for (size_t i = 0; i < clusters_.size(); ++i) {
     ScoredValue sv;
-    sv.value = Value::Text("Cluster " + std::to_string(i + 1));
+    sv.value = cluster_names_[i];
     sv.state = static_cast<int>(i);
     sv.probability = resp[i];
     sv.support = clusters_[i].weight;
@@ -145,7 +152,10 @@ Result<CasePrediction> ClusteringModel::Predict(
   }
   out.targets.emplace(kClusterTarget, std::move(membership));
 
-  // Mixture-posterior predictions for PREDICT columns.
+  // Mixture-posterior predictions for PREDICT columns. The per-state scratch
+  // is shared across targets; assign() resizes without shrinking.
+  std::vector<double> probs;
+  std::vector<double> supports;
   for (int target : attrs.OutputAttributeIndices()) {
     const Attribute& attr = attrs.attributes[static_cast<size_t>(target)];
     AttributePrediction prediction;
@@ -173,8 +183,8 @@ Result<CasePrediction> ClusteringModel::Predict(
       prediction.histogram.push_back(std::move(sv));
     } else {
       int card = std::max(1, attr.cardinality());
-      std::vector<double> probs(card, 0.0);
-      std::vector<double> supports(card, 0.0);
+      probs.assign(card, 0.0);
+      supports.assign(card, 0.0);
       for (size_t i = 0; i < clusters_.size(); ++i) {
         auto it = clusters_[i].cat_counts.find(target);
         for (int state = 0; state < card; ++state) {
@@ -215,6 +225,7 @@ Result<CasePrediction> ClusteringModel::Predict(
     }
     out.targets.emplace(attr.name, std::move(prediction));
   }
+  // dmx-hot-end(clu-predict)
   return out;
 }
 
@@ -337,6 +348,9 @@ Result<std::unique_ptr<TrainedModel>> ClusteringService::Train(
 
   std::vector<ClusteringModel::ClusterStats> clusters;
   double previous_ll = -std::numeric_limits<double>::infinity();
+  // Per-case log-likelihood scratch, reused across all EM iterations.
+  std::vector<double> log_like(num_clusters);
+  // dmx-hot-begin(clu-train-em)
   for (int64_t iteration = 0; iteration < max_iterations; ++iteration) {
     // --- M step: rebuild cluster statistics from responsibilities ---
     clusters.assign(num_clusters, ClusteringModel::ClusterStats());
@@ -385,7 +399,6 @@ Result<std::unique_ptr<TrainedModel>> ClusteringService::Train(
     double ll = 0;
     for (size_t i = 0; i < n; ++i) {
       if ((i & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
-      std::vector<double> log_like(num_clusters);
       double max_log = -std::numeric_limits<double>::infinity();
       for (size_t j = 0; j < num_clusters; ++j) {
         double prior =
@@ -418,6 +431,7 @@ Result<std::unique_ptr<TrainedModel>> ClusteringService::Train(
     if (std::fabs(mean_ll - previous_ll) < tolerance) break;
     previous_ll = mean_ll;
   }
+  // dmx-hot-end(clu-train-em)
 
   return std::unique_ptr<TrainedModel>(
       new ClusteringModel(std::move(clusters), total_weight, alpha));

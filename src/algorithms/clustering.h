@@ -64,6 +64,9 @@ class ClusteringModel : public TrainedModel {
 
  private:
   std::vector<ClusterStats> clusters_;
+  /// "Cluster <i+1>" labels, formatted once — Predict emits one per cluster
+  /// for every scored case.
+  std::vector<Value> cluster_names_;
   double case_count_ = 0;
   double alpha_;
 };

@@ -297,6 +297,7 @@ class TreeBuilder {
 
     // One guard checkpoint per node keeps the overhead proportional to tree
     // size, not case count; a trip prunes the rest of the recursion.
+    // dmx-hot-begin(dt-build-partition)
     if (guard_status_.ok()) guard_status_ = GuardCheck();
     if (!guard_status_.ok()) return index;
 
@@ -309,6 +310,8 @@ class TreeBuilder {
 
     std::vector<int> then_members;
     std::vector<int> else_members;
+    then_members.reserve(members.size());
+    else_members.reserve(members.size());
     for (int i : members) {
       if (best.split.Test(cases_[i])) {
         then_members.push_back(i);
@@ -316,6 +319,7 @@ class TreeBuilder {
         else_members.push_back(i);
       }
     }
+    // dmx-hot-end(dt-build-partition)
     if (then_members.empty() || else_members.empty()) return index;
 
     nodes_[index].split = best.split;
@@ -385,6 +389,7 @@ Result<CasePrediction> DecisionTreeModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
   CasePrediction out;
+  // dmx-hot-begin(dt-predict)
   for (const TargetTree& tree : trees_) {
     DMX_RETURN_IF_ERROR(GuardCheck());
     const Attribute& target = attrs.attributes[tree.target];
@@ -413,6 +418,7 @@ Result<CasePrediction> DecisionTreeModel::Predict(
       sv.variance = leaf.variance;
       prediction.histogram.push_back(std::move(sv));
     } else {
+      prediction.histogram.reserve(leaf.class_counts.size());
       for (size_t cls = 0; cls < leaf.class_counts.size(); ++cls) {
         double p = leaf.support > 0 ? leaf.class_counts[cls] / leaf.support : 0;
         if (p <= 0 && !options.include_zero_probability) continue;
@@ -439,6 +445,7 @@ Result<CasePrediction> DecisionTreeModel::Predict(
     }
     out.targets.emplace(target.name, std::move(prediction));
   }
+  // dmx-hot-end(dt-predict)
   return out;
 }
 

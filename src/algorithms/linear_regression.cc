@@ -192,6 +192,7 @@ Result<CasePrediction> LinearRegressionModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
   (void)options;
+  // dmx-hot-begin(lr-predict)
   DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   std::vector<double> x = FeatureVector(input);
@@ -200,6 +201,7 @@ Result<CasePrediction> LinearRegressionModel::Predict(
     double y = 0;
     for (size_t i = 0; i < x.size(); ++i) y += reg.coefficients[i] * x[i];
     AttributePrediction prediction;
+    prediction.histogram.reserve(1);
     prediction.predicted = Value::Double(y);
     prediction.probability = 1.0;
     prediction.variance = reg.residual_variance;
@@ -213,6 +215,7 @@ Result<CasePrediction> LinearRegressionModel::Predict(
     out.targets.emplace(attrs.attributes[reg.target].name,
                         std::move(prediction));
   }
+  // dmx-hot-end(lr-predict)
   return out;
 }
 
@@ -313,10 +316,12 @@ Result<std::unique_ptr<TrainedModel>> LinearRegressionService::Train(
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
   size_t n = 0;
+  // dmx-hot-begin(lr-train-consume)
   for (const DataCase& c : cases) {
     if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
+  // dmx-hot-end(lr-train-consume)
   return model;
 }
 

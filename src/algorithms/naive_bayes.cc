@@ -115,8 +115,13 @@ Status NaiveBayesModel::ConsumeCase(const AttributeSet& attrs,
 Result<CasePrediction> NaiveBayesModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  // dmx-hot-begin(nb-predict)
   DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
+  // Per-class scratch, reused across targets; assign() resizes without
+  // shrinking.
+  std::vector<double> log_post;
+  std::vector<char> present;
   for (const TargetStats& stats : targets_) {
     const Attribute& target = attrs.attributes[stats.target];
     size_t num_classes =
@@ -130,7 +135,7 @@ Result<CasePrediction> NaiveBayesModel::Predict(
     double total = 0;
     for (double n : stats.class_counts) total += n;
 
-    std::vector<double> log_post(num_classes);
+    log_post.assign(num_classes, 0.0);
     for (size_t cls = 0; cls < num_classes; ++cls) {
       double prior = cls < stats.class_counts.size() ? stats.class_counts[cls]
                                                      : 0.0;
@@ -178,7 +183,7 @@ Result<CasePrediction> NaiveBayesModel::Predict(
       if (!group.is_input) continue;
       auto it = stats.group_counts.find(static_cast<int>(g));
       if (it == stats.group_counts.end()) continue;
-      std::vector<char> present(group.keys.size(), 0);
+      present.assign(group.keys.size(), 0);
       for (const CaseItem& item : input.groups[g]) {
         if (item.key >= 0 && static_cast<size_t>(item.key) < present.size()) {
           present[item.key] = 1;
@@ -211,6 +216,7 @@ Result<CasePrediction> NaiveBayesModel::Predict(
       lp = std::exp(lp - max_log);
       norm += lp;
     }
+    prediction.histogram.reserve(num_classes);
     for (size_t cls = 0; cls < num_classes; ++cls) {
       double p = norm > 0 ? log_post[cls] / norm : 0;
       if (p <= 0 && !options.include_zero_probability) continue;
@@ -238,6 +244,7 @@ Result<CasePrediction> NaiveBayesModel::Predict(
     }
     out.targets.emplace(target.name, std::move(prediction));
   }
+  // dmx-hot-end(nb-predict)
   return out;
 }
 
@@ -338,10 +345,12 @@ Result<std::unique_ptr<TrainedModel>> NaiveBayesService::Train(
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
   size_t n = 0;
+  // dmx-hot-begin(nb-train-consume)
   for (const DataCase& c : cases) {
     if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
+  // dmx-hot-end(nb-train-consume)
   return model;
 }
 

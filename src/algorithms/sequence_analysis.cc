@@ -89,13 +89,18 @@ Status MarkovSequenceModel::ConsumeCase(const AttributeSet& attrs,
 Result<CasePrediction> MarkovSequenceModel::Predict(
     const AttributeSet& attrs, const DataCase& input,
     const PredictOptions& options) const {
+  // dmx-hot-begin(sa-predict)
   DMX_RETURN_IF_ERROR(GuardCheck());
   CasePrediction out;
   for (const Chain& chain : chains_) {
     const NestedGroup& group = attrs.groups[chain.group];
-    std::vector<int> sequence = OrderedItems(group, input.groups[chain.group]);
+    // OrderedItems sorts the case's items by sequence time into a fresh
+    // buffer; a model has at most a handful of chains.
+    std::vector<int> sequence =  // dmx-lint: allow(hot-loop-alloc)
+        OrderedItems(group, input.groups[chain.group]);
     const size_t vocabulary = group.keys.size();
     AttributePrediction prediction;
+    prediction.histogram.reserve(vocabulary);
 
     // Distribution over the next item: transition row of the last item, or
     // the initial distribution for empty histories.
@@ -141,6 +146,7 @@ Result<CasePrediction> MarkovSequenceModel::Predict(
     }
     out.targets.emplace(group.name, std::move(prediction));
   }
+  // dmx-hot-end(sa-predict)
   return out;
 }
 
@@ -245,10 +251,12 @@ Result<std::unique_ptr<TrainedModel>> SequenceAnalysisService::Train(
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<TrainedModel> model,
                        CreateEmpty(attrs, params));
   size_t n = 0;
+  // dmx-hot-begin(sa-train-consume)
   for (const DataCase& c : cases) {
     if ((n++ & 255) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
     DMX_RETURN_IF_ERROR(model->ConsumeCase(attrs, c));
   }
+  // dmx-hot-end(sa-train-consume)
   return model;
 }
 

@@ -1,0 +1,129 @@
+// Counting operator new/delete (see alloc_stats.h). The replacement
+// operators live here — one TU, external linkage — so simply linking
+// dmx_common into a binary built with -DDMX_ALLOC_STATS=ON makes every
+// allocation in that binary pass through the counters. Without the define
+// this file contributes only the trivial zero-returning accessors.
+
+#include "common/alloc_stats.h"
+
+#if defined(DMX_ALLOC_STATS)
+
+#include <cstdlib>
+#include <new>
+
+namespace dmx {
+namespace {
+
+// Plain thread-local PODs: zero-initialised statically, incremented without
+// synchronisation. The allocation path must not itself allocate or lock.
+thread_local std::uint64_t t_allocs = 0;
+thread_local std::uint64_t t_bytes = 0;
+thread_local std::uint64_t t_frees = 0;
+
+void* CountedAlloc(std::size_t size) {
+  t_allocs += 1;
+  t_bytes += size;
+  // malloc(0) may return nullptr legally; operator new must not.
+  return std::malloc(size ? size : 1);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  t_allocs += 1;
+  t_bytes += size;
+  void* p = nullptr;
+  // glibc free() handles posix_memalign blocks, so one CountedFree suffices.
+  if (posix_memalign(&p, align, size ? size : align) != 0) return nullptr;
+  return p;
+}
+
+void CountedFree(void* p) {
+  if (p == nullptr) return;
+  t_frees += 1;
+  std::free(p);
+}
+
+}  // namespace
+
+bool AllocStats::Enabled() { return true; }
+
+AllocCounts AllocStats::ThreadTotals() {
+  return AllocCounts{t_allocs, t_bytes, t_frees};
+}
+
+}  // namespace dmx
+
+// Replacement global allocation functions ([new.delete.single] /
+// [new.delete.array]). Array forms forward to the single-object forms'
+// helpers, and all deletes funnel into CountedFree, so counts stay
+// consistent no matter which variant the std library picks.
+
+void* operator new(std::size_t size) {
+  void* p = dmx::CountedAlloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return dmx::CountedAlloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return dmx::CountedAlloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = dmx::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return dmx::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return dmx::CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { dmx::CountedFree(p); }
+void operator delete[](void* p) noexcept { dmx::CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { dmx::CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { dmx::CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  dmx::CountedFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  dmx::CountedFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  dmx::CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  dmx::CountedFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  dmx::CountedFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  dmx::CountedFree(p);
+}
+
+#else  // !DMX_ALLOC_STATS
+
+namespace dmx {
+
+bool AllocStats::Enabled() { return false; }
+
+AllocCounts AllocStats::ThreadTotals() { return AllocCounts{}; }
+
+}  // namespace dmx
+
+#endif  // DMX_ALLOC_STATS

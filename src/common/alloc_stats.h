@@ -1,0 +1,69 @@
+// Allocation accounting for the hot paths (DESIGN.md §14).
+//
+// Built with -DDMX_ALLOC_STATS=ON, this TU replaces the global operator
+// new/delete with thin wrappers that bump thread-local counters (allocation
+// count, requested bytes, free count). An AllocStats::Region snapshot-pairs
+// those counters so benchmarks and the allocation-budget tests can measure
+// exactly how many heap allocations one operation performs on the calling
+// thread:
+//
+//   dmx::AllocStats::Region r;
+//   ... run the scan / join / prediction ...
+//   dmx::AllocCounts d = r.Delta();   // allocs + bytes since construction
+//
+// Counters are thread-local on purpose: gtest, the catalog and background
+// threads allocate freely, and a per-thread delta keeps their noise out of a
+// measurement without any synchronisation on the allocation path. The cost
+// per allocation when enabled is two thread-local integer increments; when
+// the option is OFF this header still compiles everywhere and every call
+// collapses to a zero-returning inline — no interposition, no overhead,
+// which is why the option defaults to OFF and only the dedicated hotpath
+// CI job turns it on.
+
+#ifndef DMX_COMMON_ALLOC_STATS_H_
+#define DMX_COMMON_ALLOC_STATS_H_
+
+#include <cstdint>
+
+namespace dmx {
+
+// Monotonic per-thread totals. `bytes` counts bytes *requested* through
+// operator new (not allocator overhead); frees carry no size (sized delete
+// is not universal), so only their count is tracked.
+struct AllocCounts {
+  std::uint64_t allocs = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t frees = 0;
+};
+
+class AllocStats {
+ public:
+  // True when the binary was built with -DDMX_ALLOC_STATS=ON and the
+  // counting operators are live. Tests use this to skip budget assertions
+  // in builds where every Delta() is legitimately zero.
+  static bool Enabled();
+
+  // Totals for the calling thread since thread start.
+  static AllocCounts ThreadTotals();
+
+  // RAII measurement window. Regions nest freely (each keeps its own start
+  // snapshot) and are cheap enough to wrap single benchmark iterations.
+  class Region {
+   public:
+    Region() : start_(ThreadTotals()) {}
+
+    // Allocations on this thread since the Region was constructed.
+    AllocCounts Delta() const {
+      AllocCounts now = ThreadTotals();
+      return AllocCounts{now.allocs - start_.allocs, now.bytes - start_.bytes,
+                         now.frees - start_.frees};
+    }
+
+   private:
+    AllocCounts start_;
+  };
+};
+
+}  // namespace dmx
+
+#endif  // DMX_COMMON_ALLOC_STATS_H_

@@ -83,7 +83,9 @@ class VectorRowsetReader : public RowsetReader {
 
   Result<bool> Next(Row* row) override {
     if (pos_ >= rowset_.num_rows()) return false;
-    *row = rowset_.rows()[pos_++];
+    // The adapter owns the rowset and the stream is forward-only, so rows
+    // move out instead of deep-copying every Value.
+    *row = std::move(rowset_.mutable_rows()[pos_++]);
     return true;
   }
 

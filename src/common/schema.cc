@@ -22,6 +22,17 @@ Result<size_t> Schema::ResolveColumn(std::string_view name) const {
   return static_cast<size_t>(idx);
 }
 
+Result<std::vector<size_t>> Schema::ResolveColumns(
+    const std::vector<std::string>& names) const {
+  std::vector<size_t> indices;
+  indices.reserve(names.size());
+  for (const std::string& name : names) {
+    DMX_ASSIGN_OR_RETURN(size_t idx, ResolveColumn(name));
+    indices.push_back(idx);
+  }
+  return indices;
+}
+
 bool Schema::Equals(const Schema& other) const {
   if (columns_.size() != other.columns_.size()) return false;
   for (size_t i = 0; i < columns_.size(); ++i) {

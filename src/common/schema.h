@@ -52,6 +52,13 @@ class Schema {
   /// Like FindColumn but produces a BindError naming the column on failure.
   Result<size_t> ResolveColumn(std::string_view name) const;
 
+  /// One-shot batch resolution: every name resolved against the index in a
+  /// single call, failing on the first unknown name. Callers resolve once
+  /// per statement and index rows by position in their per-row loops —
+  /// string-keyed lookups never belong inside a hot loop (DESIGN.md §14).
+  Result<std::vector<size_t>> ResolveColumns(
+      const std::vector<std::string>& names) const;
+
   bool HasColumn(std::string_view name) const { return FindColumn(name) >= 0; }
 
   /// Structural equality: same names (case-insensitive), types, and nested

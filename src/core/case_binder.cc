@@ -1,7 +1,6 @@
 #include "core/case_binder.h"
 
 #include <algorithm>
-#include <set>
 
 #include "algorithms/discretizer.h"
 
@@ -479,13 +478,17 @@ Status CaseBinder::FinalizeStatistics(AttributeSet* attrs,
   return Status::OK();
 }
 
-Result<DataCase> CaseBinder::BindCaseImpl(const Row& row,
-                                          const AttributeSet& attrs,
-                                          AttributeSet* intern_into) const {
+Status CaseBinder::BindCaseIntoImpl(const Row& row, const AttributeSet& attrs,
+                                    AttributeSet* intern_into,
+                                    DataCase* out) const {
   const bool allow_intern = intern_into != nullptr;
-  DataCase c;
+  DataCase& c = *out;
   c.values.assign(attribute_count_, kMissing);
-  c.groups.resize(group_count_);
+  c.weight = 1.0;
+  c.confidences.clear();
+  // clear() per group keeps the item capacity from the previous case.
+  if (c.groups.size() != group_count_) c.groups.resize(group_count_);
+  for (auto& group_items : c.groups) group_items.clear();
   if (weight_column_ >= 0 && !row[weight_column_].is_null()) {
     DMX_ASSIGN_OR_RETURN(c.weight, row[weight_column_].AsDouble());
     if (c.weight < 0) {
@@ -526,12 +529,13 @@ Result<DataCase> CaseBinder::BindCaseImpl(const Row& row,
       }
     }
   }
+  std::vector<int> derived_items;
   for (const GroupBinding& binding : groups_) {
     if (binding.source_column < 0 || binding.key_nested_column < 0) continue;
     const Value& cell = row[binding.source_column];
     if (!cell.is_table() || cell.table_value() == nullptr) continue;
     const NestedGroup& group = attrs.groups[binding.group];
-    std::set<int> derived_items;
+    derived_items.clear();
     for (const Row& nested : cell.table_value()->rows()) {
       const Value& key = nested[binding.key_nested_column];
       if (!UsableValue(key)) continue;
@@ -560,11 +564,15 @@ Result<DataCase> CaseBinder::BindCaseImpl(const Row& row,
                               .InternKey(relation)
                         : attrs.groups[binding.derived_group]
                               .LookupKey(relation);
-          if (idx >= 0) derived_items.insert(idx);
+          if (idx >= 0) derived_items.push_back(idx);
         }
       }
     }
     if (binding.derived_group >= 0) {
+      std::sort(derived_items.begin(), derived_items.end());
+      derived_items.erase(
+          std::unique(derived_items.begin(), derived_items.end()),
+          derived_items.end());
       for (int idx : derived_items) {
         CaseItem item;
         item.key = idx;
@@ -572,7 +580,7 @@ Result<DataCase> CaseBinder::BindCaseImpl(const Row& row,
       }
     }
   }
-  return c;
+  return Status::OK();
 }
 
 }  // namespace dmx

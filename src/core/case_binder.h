@@ -69,13 +69,29 @@ class CaseBinder {
   /// Converts one source row into a DataCase, extending dictionaries with
   /// unseen values (the training path).
   Result<DataCase> BindCase(const Row& row, AttributeSet* attrs) const {
-    return BindCaseImpl(row, *attrs, attrs);
+    DataCase c;
+    DMX_RETURN_IF_ERROR(BindCaseIntoImpl(row, *attrs, attrs, &c));
+    return c;
   }
 
   /// Read-only binding (the prediction path): unseen categorical values and
   /// items read as missing; `attrs` is never mutated.
   Result<DataCase> BindCase(const Row& row, const AttributeSet& attrs) const {
-    return BindCaseImpl(row, attrs, nullptr);
+    DataCase c;
+    DMX_RETURN_IF_ERROR(BindCaseIntoImpl(row, attrs, nullptr, &c));
+    return c;
+  }
+
+  /// Like BindCase, but into a caller-owned DataCase whose buffers are
+  /// reused across calls — the form the per-case training and prediction
+  /// loops use to avoid re-allocating values/groups for every row.
+  Status BindCaseInto(const Row& row, AttributeSet* attrs,
+                      DataCase* out) const {
+    return BindCaseIntoImpl(row, *attrs, attrs, out);
+  }
+  Status BindCaseInto(const Row& row, const AttributeSet& attrs,
+                      DataCase* out) const {
+    return BindCaseIntoImpl(row, attrs, nullptr, out);
   }
 
   /// The source column bound to the case-level KEY (-1 when unbound);
@@ -103,9 +119,10 @@ class CaseBinder {
   CaseBinder() = default;
 
   /// Shared binding body; `intern_into` is non-null on the training path and
-  /// receives dictionary growth (it aliases `attrs`).
-  Result<DataCase> BindCaseImpl(const Row& row, const AttributeSet& attrs,
-                                AttributeSet* intern_into) const;
+  /// receives dictionary growth (it aliases `attrs`). `out` is reset (not
+  /// shrunk) before binding so callers can reuse one DataCase per loop.
+  Status BindCaseIntoImpl(const Row& row, const AttributeSet& attrs,
+                          AttributeSet* intern_into, DataCase* out) const;
 
   static Status BindScalarSource(const Schema& source,
                                  const std::string& source_name,

@@ -23,23 +23,27 @@ Status MiningModel::InsertCases(RowsetReader* reader,
 
   if (incremental) {
     Row row;
+    DataCase scratch;
     if (trained_ == nullptr) {
       // Bootstrap: buffer a prefix to pin bucket bounds and dictionaries.
       std::vector<Row> bootstrap;
+      bootstrap.reserve(kBootstrapCases);
+      // dmx-hot-begin(insert-stream)
       while (bootstrap.size() < kBootstrapCases) {
         DMX_RETURN_IF_ERROR(GuardCheck());
+        // Next() overwrites the row outright, so the moved-from buffer needs
+        // no reset here.
         DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
         if (!has) break;
         DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
         bootstrap.push_back(std::move(row));
-        row = Row();
       }
       DMX_RETURN_IF_ERROR(binder.FinalizeStatistics(&attrs_, first_training));
       DMX_RETURN_IF_ERROR(service_->ValidateBinding(attrs_));
       DMX_ASSIGN_OR_RETURN(trained_, service_->CreateEmpty(attrs_, params_));
       for (const Row& buffered : bootstrap) {
-        DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(buffered, &attrs_));
-        DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, c));
+        DMX_RETURN_IF_ERROR(binder.BindCaseInto(buffered, &attrs_, &scratch));
+        DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, scratch));
       }
     }
     // Stream the remainder (or, on refresh, the whole caseset) one case at a
@@ -49,15 +53,17 @@ Status MiningModel::InsertCases(RowsetReader* reader,
       DMX_ASSIGN_OR_RETURN(bool has, reader->Next(&row));
       if (!has) break;
       DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
-      DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(row, &attrs_));
-      DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, c));
+      DMX_RETURN_IF_ERROR(binder.BindCaseInto(row, &attrs_, &scratch));
+      DMX_RETURN_IF_ERROR(trained_->ConsumeCase(attrs_, scratch));
     }
+    // dmx-hot-end(insert-stream)
     return Status::OK();
   }
 
   // Non-incremental: two passes over the new rows, then retrain on the
   // cached union.
   DMX_ASSIGN_OR_RETURN(Rowset rows, reader->ReadAll());
+  // dmx-hot-begin(insert-retrain)
   for (const Row& row : rows.rows()) {
     DMX_RETURN_IF_ERROR(binder.CollectStatistics(row, &attrs_));
   }
@@ -68,9 +74,13 @@ Status MiningModel::InsertCases(RowsetReader* reader,
     // The case cache is the dominant memory cost of non-incremental training;
     // each retained case counts against the working-set budget.
     DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(1));
-    DMX_ASSIGN_OR_RETURN(DataCase c, binder.BindCase(row, &attrs_));
+    // The cache owns each bound case for later retraining, so there is no
+    // scratch buffer to reuse.
+    DMX_ASSIGN_OR_RETURN(DataCase c,  // dmx-lint: allow(hot-loop-alloc)
+                         binder.BindCase(row, &attrs_));
     case_cache_.push_back(std::move(c));
   }
+  // dmx-hot-end(insert-retrain)
   if (case_cache_.empty()) {
     return InvalidState() << "INSERT INTO '" << definition_.model_name
                           << "' delivered zero cases";

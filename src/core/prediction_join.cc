@@ -115,21 +115,36 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
 
   PredictOptions options;
 
+  // Per-statement binding: resolve every column path in the projection and
+  // WHERE clause once, so the per-case loop below does no name lookups and
+  // builds no schemas.
+  DmxExprBindings bindings;
+  for (const DmxSelectItem& item : stmt.items) {
+    bindings.Prepare(item.expr, *model, *source.schema(), stmt.source_alias);
+  }
+  for (const DmxFilter& filter : stmt.where) {
+    bindings.Prepare(filter.lhs, *model, *source.schema(), stmt.source_alias);
+    bindings.Prepare(filter.rhs, *model, *source.schema(), stmt.source_alias);
+  }
+  PredictionRowContext ctx;
+  ctx.model = model;
+  ctx.source_schema = source.schema().get();
+  ctx.source_alias = stmt.source_alias;
+  ctx.bindings = &bindings;
+
   size_t limit = stmt.top.has_value() ? static_cast<size_t>(*stmt.top)
                                       : source.num_rows();
+  DataCase input;
+  // dmx-hot-begin(prediction-scoring)
   for (size_t r = 0; r < source.num_rows() && out.num_rows() < limit; ++r) {
     DMX_RETURN_IF_ERROR(GuardCheck());
     const Row& source_row = source.rows()[r];
-    DMX_ASSIGN_OR_RETURN(DataCase input,
-                         binder.BindCase(source_row, model->attributes()));
+    DMX_RETURN_IF_ERROR(
+        binder.BindCaseInto(source_row, model->attributes(), &input));
     DMX_ASSIGN_OR_RETURN(CasePrediction prediction,
                          model->Predict(input, options));
-    PredictionRowContext ctx;
-    ctx.model = model;
     ctx.prediction = &prediction;
     ctx.source_row = &source_row;
-    ctx.source_schema = source.schema().get();
-    ctx.source_alias = stmt.source_alias;
     // WHERE: every conjunct must hold (NULL comparisons are false).
     bool keep = true;
     for (const DmxFilter& filter : stmt.where) {
@@ -152,7 +167,9 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
       }
     }
     if (!keep) continue;
-    Row out_row;
+    // Each output row is moved into the result, so its buffer cannot be
+    // reused across cases.
+    Row out_row;  // dmx-lint: allow(hot-loop-alloc)
     out_row.reserve(stmt.items.size());
     for (const DmxSelectItem& item : stmt.items) {
       DMX_ASSIGN_OR_RETURN(Value v, EvaluateDmxExpr(item.expr, ctx));
@@ -161,6 +178,7 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
     DMX_RETURN_IF_ERROR(GuardChargeOutputRows(1));
     DMX_RETURN_IF_ERROR(out.Append(std::move(out_row)));
   }
+  // dmx-hot-end(prediction-scoring)
   if (stmt.flattened) return FlattenRowset(out);
   return out;
 }

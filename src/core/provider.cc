@@ -487,12 +487,14 @@ Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
     scope.AddRange("CONTENT", *rowset.schema(), 0);
     DMX_RETURN_IF_ERROR(rel::BindExpr(content->where.get(), scope));
     Rowset filtered(rowset.schema());
+    // dmx-hot-begin(content-filter)
     for (Row& row : rowset.mutable_rows()) {
       DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(bool keep,
                            rel::EvalPredicate(*content->where, row));
       if (keep) DMX_RETURN_IF_ERROR(filtered.Append(std::move(row)));
     }
+    // dmx-hot-end(content-filter)
     return filtered;
   }
   if (auto* export_stmt = std::get_if<ExportModelStatement>(&statement)) {

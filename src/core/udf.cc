@@ -13,18 +13,14 @@ namespace {
 // Path resolution
 // ---------------------------------------------------------------------------
 
-struct ResolvedPath {
-  bool is_model = false;
-  int source_column = -1;          ///< When !is_model.
-  std::string model_column;        ///< When is_model: scalar or TABLE name.
-};
+using BoundPath = DmxExprBindings::BoundPath;
 
-Result<ResolvedPath> ResolvePath(const std::vector<std::string>& path,
-                                 const MiningModel& model,
-                                 const Schema& source,
-                                 const std::string& source_alias) {
+Result<BoundPath> ResolvePath(const std::vector<std::string>& path,
+                              const MiningModel& model,
+                              const Schema& source,
+                              const std::string& source_alias) {
   const std::string& model_name = model.definition().model_name;
-  ResolvedPath out;
+  BoundPath out;
   if (path.size() == 2) {
     if (!source_alias.empty() && EqualsCi(path[0], source_alias)) {
       DMX_ASSIGN_OR_RETURN(size_t idx, source.ResolveColumn(path[1]));
@@ -74,22 +70,35 @@ Result<const AttributePrediction*> TargetPrediction(
   return p;
 }
 
-// Resolving Predict*-style first arguments down to a model column name.
-Result<std::string> ModelColumnArg(const DmxExpr& arg,
-                                   const MiningModel& model,
-                                   const Schema& source,
-                                   const std::string& source_alias) {
+// The binding for a column-path expression: the statement's prepared cache
+// when available, live resolution into `scratch` otherwise. The returned
+// pointer aliases either the cache or `scratch` — no per-row string copies.
+Result<const BoundPath*> BoundPathFor(const DmxExpr& expr,
+                                      const PredictionRowContext& ctx,
+                                      BoundPath* scratch) {
+  if (ctx.bindings != nullptr) {
+    if (const BoundPath* bound = ctx.bindings->Find(expr)) return bound;
+  }
+  DMX_ASSIGN_OR_RETURN(*scratch, ResolvePath(expr.path, *ctx.model,
+                                             *ctx.source_schema,
+                                             ctx.source_alias));
+  return scratch;
+}
+
+// Resolving Predict*-style first arguments down to a model column binding.
+Result<const BoundPath*> ModelColumnArg(const DmxExpr& arg,
+                                        const PredictionRowContext& ctx,
+                                        BoundPath* scratch) {
   if (arg.kind != DmxExpr::Kind::kColumnPath) {
     return BindError() << "expected a model column reference, got "
                        << arg.ToString();
   }
-  DMX_ASSIGN_OR_RETURN(ResolvedPath resolved,
-                       ResolvePath(arg.path, model, source, source_alias));
-  if (!resolved.is_model) {
+  DMX_ASSIGN_OR_RETURN(const BoundPath* bound, BoundPathFor(arg, ctx, scratch));
+  if (!bound->is_model) {
     return BindError() << arg.ToString() << " is a source column; Predict "
                        << "functions take model columns";
   }
-  return resolved.model_column;
+  return bound;
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +146,7 @@ std::shared_ptr<const Schema> HistogramSchema(const MiningModel& model,
                        {"$STDEV", DataType::kDouble}});
 }
 
-Value HistogramTable(const MiningModel& model, const std::string& column,
+Value HistogramTable(const MiningModel& model, const BoundPath& bound,
                      const AttributePrediction& prediction, int limit) {
   std::vector<Row> rows;
   size_t n = prediction.histogram.size();
@@ -149,8 +158,11 @@ Value HistogramTable(const MiningModel& model, const std::string& column,
                     Value::Double(sv.probability), Value::Double(sv.variance),
                     Value::Double(sv.stdev())});
   }
-  return Value::Table(
-      NestedTable::Make(HistogramSchema(model, column), std::move(rows)));
+  std::shared_ptr<const Schema> schema =
+      bound.histogram_schema != nullptr
+          ? bound.histogram_schema
+          : HistogramSchema(model, bound.model_column);
+  return Value::Table(NestedTable::Make(std::move(schema), std::move(rows)));
 }
 
 // Histogram entry matching an explicit value argument.
@@ -170,12 +182,13 @@ Result<Value> EvalPredict(const DmxExpr& expr, const PredictionRowContext& ctx) 
   if (expr.args.empty() || expr.args.size() > 2) {
     return InvalidArgument() << "Predict takes 1 or 2 arguments";
   }
-  DMX_ASSIGN_OR_RETURN(std::string column,
-                       ModelColumnArg(expr.args[0], *ctx.model,
-                                      *ctx.source_schema, ctx.source_alias));
+  BoundPath scratch;
+  DMX_ASSIGN_OR_RETURN(const BoundPath* bound,
+                       ModelColumnArg(expr.args[0], ctx, &scratch));
   DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
-                       TargetPrediction(column, ctx));
-  const ModelColumn* spec = ctx.model->definition().FindColumn(column);
+                       TargetPrediction(bound->model_column, ctx));
+  const ModelColumn* spec =
+      ctx.model->definition().FindColumn(bound->model_column);
   if (spec != nullptr && spec->is_table()) {
     int limit = 10;
     if (expr.args.size() == 2) {
@@ -185,7 +198,7 @@ Result<Value> EvalPredict(const DmxExpr& expr, const PredictionRowContext& ctx) 
       }
       limit = static_cast<int>(expr.args[1].literal.long_value());
     }
-    return HistogramTable(*ctx.model, column, *p, limit);
+    return HistogramTable(*ctx.model, *bound, *p, limit);
   }
   return p->predicted;
 }
@@ -197,11 +210,11 @@ Result<Value> EvalPredictStat(const DmxExpr& expr,
   if (expr.args.empty() || expr.args.size() > 2) {
     return InvalidArgument() << expr.function << " takes 1 or 2 arguments";
   }
-  DMX_ASSIGN_OR_RETURN(std::string column,
-                       ModelColumnArg(expr.args[0], *ctx.model,
-                                      *ctx.source_schema, ctx.source_alias));
+  BoundPath scratch;
+  DMX_ASSIGN_OR_RETURN(const BoundPath* bound,
+                       ModelColumnArg(expr.args[0], ctx, &scratch));
   DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
-                       TargetPrediction(column, ctx));
+                       TargetPrediction(bound->model_column, ctx));
   double probability = p->probability;
   double support = p->support;
   double variance = p->variance;
@@ -239,12 +252,12 @@ Result<Value> EvalPredictHistogram(const DmxExpr& expr,
   if (expr.args.size() != 1) {
     return InvalidArgument() << "PredictHistogram takes exactly 1 argument";
   }
-  DMX_ASSIGN_OR_RETURN(std::string column,
-                       ModelColumnArg(expr.args[0], *ctx.model,
-                                      *ctx.source_schema, ctx.source_alias));
+  BoundPath scratch;
+  DMX_ASSIGN_OR_RETURN(const BoundPath* bound,
+                       ModelColumnArg(expr.args[0], ctx, &scratch));
   DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
-                       TargetPrediction(column, ctx));
-  return HistogramTable(*ctx.model, column, *p, /*limit=*/0);
+                       TargetPrediction(bound->model_column, ctx));
+  return HistogramTable(*ctx.model, *bound, *p, /*limit=*/0);
 }
 
 Result<Value> EvalTopCount(const DmxExpr& expr,
@@ -293,9 +306,10 @@ Result<Value> EvalRange(const DmxExpr& expr, const PredictionRowContext& ctx,
   if (expr.args.size() != 1) {
     return InvalidArgument() << expr.function << " takes exactly 1 argument";
   }
-  DMX_ASSIGN_OR_RETURN(std::string column,
-                       ModelColumnArg(expr.args[0], *ctx.model,
-                                      *ctx.source_schema, ctx.source_alias));
+  BoundPath scratch;
+  DMX_ASSIGN_OR_RETURN(const BoundPath* bound,
+                       ModelColumnArg(expr.args[0], ctx, &scratch));
+  const std::string& column = bound->model_column;
   int attr_index = ctx.model->attributes().FindAttribute(column);
   if (attr_index < 0) {
     return BindError() << expr.function << ": '" << column
@@ -344,6 +358,45 @@ Result<Value> EvalCluster(const DmxExpr& expr,
 
 }  // namespace
 
+void DmxExprBindings::Prepare(const DmxExpr& expr, const MiningModel& model,
+                              const Schema& source,
+                              const std::string& source_alias) {
+  switch (expr.kind) {
+    case DmxExpr::Kind::kLiteral:
+    case DmxExpr::Kind::kDollar:
+      return;
+    case DmxExpr::Kind::kColumnPath: {
+      if (paths_.count(&expr) > 0) return;
+      Result<BoundPath> resolved =
+          ResolvePath(expr.path, model, source, source_alias);
+      // Leave unresolvable paths unbound: evaluation re-resolves and reports
+      // the same diagnostic, so prepare-time failures change nothing.
+      if (!resolved.ok()) return;
+      BoundPath bound = std::move(resolved).value();
+      if (bound.is_model) {
+        bound.histogram_schema = HistogramSchema(model, bound.model_column);
+      }
+      paths_.emplace(&expr, std::move(bound));
+      return;
+    }
+    case DmxExpr::Kind::kFunction:
+      break;
+  }
+  // TopCount's rank argument names a column *inside* the nested table value,
+  // not a model or source column — it must stay unbound.
+  const bool is_top_count = EqualsCi(expr.function, "TopCount");
+  for (size_t i = 0; i < expr.args.size(); ++i) {
+    if (is_top_count && i == 1) continue;
+    Prepare(expr.args[i], model, source, source_alias);
+  }
+}
+
+const DmxExprBindings::BoundPath* DmxExprBindings::Find(
+    const DmxExpr& expr) const {
+  auto it = paths_.find(&expr);
+  return it == paths_.end() ? nullptr : &it->second;
+}
+
 Result<Value> EvaluateDmxExpr(const DmxExpr& expr,
                               const PredictionRowContext& ctx) {
   switch (expr.kind) {
@@ -353,15 +406,14 @@ Result<Value> EvaluateDmxExpr(const DmxExpr& expr,
       return BindError() << "$" << expr.dollar
                          << " is only meaningful inside table functions";
     case DmxExpr::Kind::kColumnPath: {
-      DMX_ASSIGN_OR_RETURN(
-          ResolvedPath resolved,
-          ResolvePath(expr.path, *ctx.model, *ctx.source_schema,
-                      ctx.source_alias));
-      if (!resolved.is_model) return (*ctx.source_row)[resolved.source_column];
+      BoundPath scratch;
+      DMX_ASSIGN_OR_RETURN(const BoundPath* bound,
+                           BoundPathFor(expr, ctx, &scratch));
+      if (!bound->is_model) return (*ctx.source_row)[bound->source_column];
       // A bare model column reference means its prediction (the paper's
       // "SELECT ..., [Age Prediction].[Age] FROM ... PREDICTION JOIN ...").
       DMX_ASSIGN_OR_RETURN(const AttributePrediction* p,
-                           TargetPrediction(resolved.model_column, ctx));
+                           TargetPrediction(bound->model_column, ctx));
       return p->predicted;
     }
     case DmxExpr::Kind::kFunction:
@@ -415,7 +467,7 @@ Result<ColumnDef> InferDmxItemColumn(const DmxExpr& expr,
       return BindError() << "$" << expr.dollar
                          << " cannot be a projection item";
     case DmxExpr::Kind::kColumnPath: {
-      DMX_ASSIGN_OR_RETURN(ResolvedPath resolved,
+      DMX_ASSIGN_OR_RETURN(BoundPath resolved,
                            ResolvePath(expr.path, model, source, source_alias));
       if (!resolved.is_model) {
         def.type = source.column(resolved.source_column).type;
@@ -451,7 +503,7 @@ Result<ColumnDef> InferDmxItemColumn(const DmxExpr& expr,
                              return BindError() << f << ": bad argument";
                            }
                            DMX_ASSIGN_OR_RETURN(
-                               ResolvedPath resolved,
+                               BoundPath resolved,
                                ResolvePath(expr.args[0].path, model, source,
                                            source_alias));
                            if (!resolved.is_model) {

@@ -19,7 +19,9 @@
 #ifndef DMX_CORE_UDF_H_
 #define DMX_CORE_UDF_H_
 
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rowset.h"
@@ -28,6 +30,37 @@
 
 namespace dmx {
 
+/// Per-statement binding cache for prediction-join expressions. Column-path
+/// resolution (model-vs-source disambiguation, case-insensitive name lookup)
+/// and histogram schema construction are per-statement work; without this
+/// cache they were redone for every joined case. Prepare() walks one
+/// expression tree and records every resolvable column path, keyed by AST
+/// node address — so a cache is only valid while the statement it was
+/// prepared from is alive and unmoved. Unresolvable paths are simply left
+/// unbound: evaluation falls back to live resolution and reports the same
+/// diagnostic it always did.
+class DmxExprBindings {
+ public:
+  struct BoundPath {
+    bool is_model = false;
+    int source_column = -1;        ///< When !is_model.
+    std::string model_column;      ///< When is_model: scalar or TABLE name.
+    /// When is_model: the histogram/nested-table schema for this column,
+    /// shared by every table value the statement produces.
+    std::shared_ptr<const Schema> histogram_schema;
+  };
+
+  void Prepare(const DmxExpr& expr, const MiningModel& model,
+               const Schema& source, const std::string& source_alias);
+
+  /// The binding for `expr`, or nullptr when it was not prepared (or did not
+  /// resolve at prepare time).
+  const BoundPath* Find(const DmxExpr& expr) const;
+
+ private:
+  std::unordered_map<const DmxExpr*, BoundPath> paths_;
+};
+
 /// Evaluation context for one joined case.
 struct PredictionRowContext {
   const MiningModel* model = nullptr;
@@ -35,6 +68,9 @@ struct PredictionRowContext {
   const Row* source_row = nullptr;
   const Schema* source_schema = nullptr;
   std::string source_alias;
+  /// Optional per-statement cache; evaluation works without one (tests,
+  /// ad-hoc calls) but then re-resolves paths on every call.
+  const DmxExprBindings* bindings = nullptr;
 };
 
 /// Static (schema-time) description of one projection item: its output

@@ -245,11 +245,13 @@ Result<Value> EvalOverGroup(const Expr& expr,
 }
 
 // GROUP BY / aggregate execution over the filtered pre-projection rows.
+// Borrows `rows` (which may be the table's own storage on an unfiltered
+// scan): groups hold pointers into it, never copies.
 Result<Rowset> ExecuteAggregation(const SelectStatement& stmt,
                                   const Scope& scope,
                                   const std::vector<const Schema*>& schemas,
                                   const std::vector<size_t>& offsets,
-                                  std::vector<Row> rows) {
+                                  const std::vector<Row>& rows) {
   // Bind everything.
   std::vector<ExprPtr> keys = stmt.group_by;
   for (const ExprPtr& key : keys) {
@@ -354,14 +356,44 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
   std::vector<size_t> offsets;
   std::vector<std::string> aliases;
   Scope scope;
-  std::vector<Row> rows;  // Working set of combined rows, built join by join.
+  // Working set of combined rows. The base scan is *borrowed* from the
+  // table — `working` points at the table's own rows and `rows` stays empty
+  // until a join or filter produces owned rows. A plain scan therefore never
+  // copies the table (the old `rows = base->rows()` cost one allocation per
+  // row plus one per non-inline text cell before a single predicate ran).
+  std::vector<Row> rows;
+  const std::vector<Row>* working = &rows;
+  bool owns_working = true;
+  // Selection vector over *working (set by a WHERE on a borrowed scan):
+  // passing rows are recorded by index, never copied — the projection reads
+  // straight from the table through it. Stages that must own contiguous
+  // rows (ORDER BY's sort, aggregation) materialize it first.
+  std::vector<size_t> selection;
+  bool use_selection = false;
+  auto materialize = [&]() {
+    if (use_selection) {
+      std::vector<Row> owned;
+      owned.reserve(selection.size());
+      for (size_t i : selection) owned.push_back((*working)[i]);
+      rows = std::move(owned);
+      selection.clear();
+      use_selection = false;
+    } else if (!owns_working) {
+      rows = *working;
+    } else {
+      return;
+    }
+    working = &rows;
+    owns_working = true;
+  };
   if (stmt.has_from()) {
     DMX_ASSIGN_OR_RETURN(const Table* base, db.GetTable(stmt.from.table));
     schemas.push_back(base->schema().get());
     offsets.push_back(0);
     aliases.push_back(stmt.from.effective_alias());
     scope.AddRange(aliases[0], *base->schema(), 0);
-    rows = base->rows();
+    working = &base->rows();
+    owns_working = false;
   } else {
     // Singleton SELECT: constant projections over one empty row.
     if (!stmt.joins.empty()) {
@@ -421,10 +453,14 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
         if (has_null) continue;  // NULL never equi-joins.
         hash.emplace(std::move(key), &right_row);
       }
-      for (const Row& left_row : rows) {
+      // The probe key is hoisted out of the loop: clear() keeps its
+      // capacity, so steady state probes allocate nothing.
+      Row key;
+      key.reserve(analysis.equi.size());
+      // dmx-hot-begin(sql-join-probe)
+      for (const Row& left_row : *working) {
         DMX_RETURN_IF_ERROR(GuardCheck());
-        Row key;
-        key.reserve(analysis.equi.size());
+        key.clear();
         bool has_null = false;
         for (auto [l, r] : analysis.equi) {
           (void)r;
@@ -437,9 +473,10 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
           DMX_RETURN_IF_ERROR(emit_if_match(left_row, *it->second));
         }
       }
+      // dmx-hot-end(sql-join-probe)
     } else {
       // Nested-loop fallback for non-equi conditions.
-      for (const Row& left_row : rows) {
+      for (const Row& left_row : *working) {
         DMX_RETURN_IF_ERROR(GuardCheck());
         for (const Row& right_row : right->rows()) {
           DMX_RETURN_IF_ERROR(emit_if_match(left_row, right_row));
@@ -448,24 +485,42 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     }
 
     rows = std::move(joined);
+    working = &rows;
+    owns_working = true;
     scope = std::move(combined);
     schemas.push_back(right->schema().get());
     offsets.push_back(left_width);
     aliases.push_back(join.table.effective_alias());
   }
 
-  // WHERE.
+  // WHERE. Owned rows are moved into the filtered set; a borrowed base scan
+  // only records the indices of passing rows — nothing is copied unless a
+  // later stage needs ownership.
+  // dmx-hot-begin(sql-where-scan)
   if (stmt.where != nullptr) {
     DMX_RETURN_IF_ERROR(BindExpr(stmt.where.get(), scope));
-    std::vector<Row> filtered;
-    filtered.reserve(rows.size());
-    for (Row& row : rows) {
-      DMX_RETURN_IF_ERROR(GuardCheck());
-      DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*stmt.where, row));
-      if (pass) filtered.push_back(std::move(row));
+    if (owns_working) {
+      std::vector<Row> filtered;
+      filtered.reserve(rows.size());
+      for (Row& row : rows) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
+        DMX_ASSIGN_OR_RETURN(bool pass, EvalPredicate(*stmt.where, row));
+        if (pass) filtered.push_back(std::move(row));
+      }
+      rows = std::move(filtered);
+      working = &rows;
+    } else {
+      selection.reserve(working->size());
+      for (size_t i = 0; i < working->size(); ++i) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
+        DMX_ASSIGN_OR_RETURN(bool pass,
+                             EvalPredicate(*stmt.where, (*working)[i]));
+        if (pass) selection.push_back(i);
+      }
+      use_selection = true;
     }
-    rows = std::move(filtered);
   }
+  // dmx-hot-end(sql-where-scan)
 
   // Aggregation path: GROUP BY present or any aggregate in the projection.
   bool aggregating = !stmt.group_by.empty();
@@ -473,7 +528,8 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     if (!item.star && item.expr->ContainsAggregate()) aggregating = true;
   }
   if (aggregating) {
-    return ExecuteAggregation(stmt, scope, schemas, offsets, std::move(rows));
+    materialize();
+    return ExecuteAggregation(stmt, scope, schemas, offsets, *working);
   }
 
   // ORDER BY (applied on the pre-projection rows so any column can sort).
@@ -496,6 +552,8 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     for (const OrderItem& item : order_by) {
       DMX_RETURN_IF_ERROR(BindExpr(item.expr.get(), scope));
     }
+    // Sorting mutates: materialize the borrowed scan / selection now.
+    materialize();
     Status sort_status;
     std::stable_sort(rows.begin(), rows.end(),
                      [&](const Row& a, const Row& b) {
@@ -516,8 +574,9 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     DMX_RETURN_IF_ERROR(sort_status);
   }
 
-  if (stmt.top.has_value() && rows.size() > static_cast<size_t>(*stmt.top)) {
-    rows.resize(static_cast<size_t>(*stmt.top));
+  size_t out_limit = use_selection ? selection.size() : working->size();
+  if (stmt.top.has_value() && out_limit > static_cast<size_t>(*stmt.top)) {
+    out_limit = static_cast<size_t>(*stmt.top);
   }
 
   // Projection. Expand stars, bind expressions, name and type columns.
@@ -556,9 +615,14 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
   out_columns = UniquifyColumns(std::move(out_columns), out_quals);
 
   Rowset result(Schema::Make(std::move(out_columns)));
-  for (const Row& row : rows) {
+  result.mutable_rows().reserve(out_limit);
+  // dmx-hot-begin(sql-projection)
+  for (size_t row_idx = 0; row_idx < out_limit; ++row_idx) {
+    const Row& row = (*working)[use_selection ? selection[row_idx] : row_idx];
     DMX_RETURN_IF_ERROR(GuardChargeOutputRows(1));
-    Row out;
+    // Each output row is moved into the result, so its buffer cannot be
+    // reused across iterations.
+    Row out;  // dmx-lint: allow(hot-loop-alloc)
     out.reserve(projections.size());
     for (const ExprPtr& p : projections) {
       DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*p, row));
@@ -566,6 +630,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     }
     DMX_RETURN_IF_ERROR(result.Append(std::move(out)));
   }
+  // dmx-hot-end(sql-projection)
   return result;
 }
 
@@ -586,10 +651,7 @@ Result<Rowset> Execute(Database* db, const SqlStatement& statement) {
     if (stmt->columns.empty()) {
       for (size_t i = 0; i < schema.num_columns(); ++i) positions.push_back(i);
     } else {
-      for (const std::string& name : stmt->columns) {
-        DMX_ASSIGN_OR_RETURN(size_t idx, schema.ResolveColumn(name));
-        positions.push_back(idx);
-      }
+      DMX_ASSIGN_OR_RETURN(positions, schema.ResolveColumns(stmt->columns));
     }
     // Evaluate every row before inserting any, so a guard trip (or a bad
     // expression) midway leaves the table untouched. VALUES rows have no row

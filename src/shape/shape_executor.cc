@@ -1,5 +1,7 @@
 #include "shape/shape_executor.h"
 
+#include <iterator>
+
 #include "common/exec_guard.h"
 #include "relational/sql_executor.h"
 
@@ -36,23 +38,28 @@ Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
     ChildIndex index;
     DMX_ASSIGN_OR_RETURN(index.rowset, rel::ExecuteSelect(db, append.child));
     index.nested_schema = index.rowset.schema();
+    std::vector<std::string> parent_names;
+    std::vector<std::string> child_names;
+    parent_names.reserve(append.relations.size());
+    child_names.reserve(append.relations.size());
     for (const RelatePair& pair : append.relations) {
-      DMX_ASSIGN_OR_RETURN(
-          size_t parent_col,
-          reader->master_.schema()->ResolveColumn(pair.parent_column));
-      DMX_ASSIGN_OR_RETURN(size_t child_col,
-                           index.rowset.schema()->ResolveColumn(
-                               pair.child_column));
-      index.parent_key_columns.push_back(parent_col);
-      index.child_key_columns.push_back(child_col);
+      parent_names.push_back(pair.parent_column);
+      child_names.push_back(pair.child_column);
     }
+    DMX_ASSIGN_OR_RETURN(
+        index.parent_key_columns,
+        reader->master_.schema()->ResolveColumns(parent_names));
+    DMX_ASSIGN_OR_RETURN(index.child_key_columns,
+                         index.rowset.schema()->ResolveColumns(child_names));
     DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(index.rowset.num_rows()));
     index.by_key.reserve(index.rowset.num_rows());
+    // dmx-hot-begin(shape-index-build)
     for (size_t r = 0; r < index.rowset.num_rows(); ++r) {
       if ((r & 1023) == 0) DMX_RETURN_IF_ERROR(GuardCheck());
       index.by_key.emplace(
           HashKey(index.rowset.rows()[r], index.child_key_columns), r);
     }
+    // dmx-hot-end(shape-index-build)
     out_columns.emplace_back(append.name, index.nested_schema);
     reader->children_.push_back(std::move(index));
   }
@@ -61,15 +68,23 @@ Result<std::unique_ptr<ShapedCaseReader>> ShapedCaseReader::Create(
 }
 
 Result<bool> ShapedCaseReader::Next(Row* row) {
+  // dmx-hot-begin(shape-case-assembly)
   DMX_RETURN_IF_ERROR(GuardCheck());
   if (pos_ >= master_.num_rows()) return false;
   const Row& parent = master_.rows()[pos_++];
-  *row = parent;
+  // Reuse the caller's row storage: one reserve covers the parent values
+  // plus one nested-table cell per APPEND.
+  row->clear();
   row->reserve(parent.size() + children_.size());
+  row->insert(row->end(), parent.begin(), parent.end());
   for (const ChildIndex& child : children_) {
-    std::vector<Row> nested_rows;
     size_t h = HashKey(parent, child.parent_key_columns);
     auto [begin, end] = child.by_key.equal_range(h);
+    // Ownership of the nested rows transfers to the NestedTable cell, so
+    // the buffer cannot be reused across parents.
+    std::vector<Row> nested_rows;  // dmx-lint: allow(hot-loop-alloc)
+    nested_rows.reserve(
+        static_cast<size_t>(std::distance(begin, end)));
     for (auto it = begin; it != end; ++it) {
       const Row& candidate = child.rowset.rows()[it->second];
       if (KeysEqual(parent, child.parent_key_columns, candidate,
@@ -81,6 +96,7 @@ Result<bool> ShapedCaseReader::Next(Row* row) {
         Value::Table(NestedTable::Make(child.nested_schema,
                                        std::move(nested_rows))));
   }
+  // dmx-hot-end(shape-case-assembly)
   return true;
 }
 

@@ -1,0 +1,112 @@
+// AllocStats (src/common/alloc_stats.{h,cc}): the counting-allocator runtime
+// behind -DDMX_ALLOC_STATS=ON. These tests run in every build config:
+// with the option ON they verify the counters actually observe operator
+// new/delete; with it OFF (the default tier-1 build) they verify the
+// zero-overhead contract — Enabled() false and every Delta() exactly zero.
+
+#include "common/alloc_stats.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace dmx {
+namespace {
+
+// A heap allocation the optimizer cannot elide: new-*expressions* may be
+// optimized away when paired with their delete (N3664), but direct calls to
+// the replaceable allocation functions may not.
+void ForceHeapAlloc(std::size_t bytes) {
+  void* p = ::operator new(bytes);
+  static_cast<char*>(p)[0] = 'x';
+  ::operator delete(p);
+}
+
+TEST(AllocStatsTest, DisabledBuildReportsZeroAndNoOverhead) {
+  if (AllocStats::Enabled()) GTEST_SKIP() << "DMX_ALLOC_STATS build";
+  AllocStats::Region r;
+  ForceHeapAlloc(4096);
+  AllocCounts d = r.Delta();
+  EXPECT_EQ(d.allocs, 0u);
+  EXPECT_EQ(d.bytes, 0u);
+  EXPECT_EQ(d.frees, 0u);
+}
+
+TEST(AllocStatsTest, RegionObservesNewAndDelete) {
+  if (!AllocStats::Enabled()) GTEST_SKIP() << "needs -DDMX_ALLOC_STATS=ON";
+  AllocStats::Region r;
+  ForceHeapAlloc(4096);
+  AllocCounts d = r.Delta();
+  EXPECT_GE(d.allocs, 1u);
+  EXPECT_GE(d.bytes, 4096u);
+  EXPECT_GE(d.frees, 1u);
+}
+
+TEST(AllocStatsTest, RegionsNestIndependently) {
+  if (!AllocStats::Enabled()) GTEST_SKIP() << "needs -DDMX_ALLOC_STATS=ON";
+  AllocStats::Region outer;
+  ForceHeapAlloc(64);
+  AllocCounts outer_before_inner = outer.Delta();
+  {
+    AllocStats::Region inner;
+    ForceHeapAlloc(64);
+    AllocCounts id = inner.Delta();
+    // The inner region must not see the allocation made before it started.
+    EXPECT_GE(id.allocs, 1u);
+    EXPECT_LT(id.allocs, outer.Delta().allocs);
+  }
+  // The outer region keeps accumulating across the inner one's lifetime.
+  EXPECT_GT(outer.Delta().allocs, outer_before_inner.allocs);
+}
+
+TEST(AllocStatsTest, CountersAreThreadLocal) {
+  if (!AllocStats::Enabled()) GTEST_SKIP() << "needs -DDMX_ALLOC_STATS=ON";
+  AllocStats::Region r;
+  AllocCounts quiet_before = r.Delta();
+  std::uint64_t other_thread_allocs = 0;
+  std::thread t([&] {
+    AllocStats::Region mine;
+    ForceHeapAlloc(1 << 16);
+    ForceHeapAlloc(1 << 16);
+    other_thread_allocs = mine.Delta().allocs;
+  });
+  t.join();
+  ASSERT_GE(other_thread_allocs, 2u);
+  // The worker's allocations must not leak into this thread's region. The
+  // std::thread machinery itself allocates on *this* thread (closure state),
+  // so assert the worker's traffic is absent rather than demanding zero.
+  AllocCounts after = r.Delta();
+  EXPECT_LT(after.allocs - quiet_before.allocs, other_thread_allocs);
+}
+
+TEST(AllocStatsTest, BytesTrackRequestSizes) {
+  if (!AllocStats::Enabled()) GTEST_SKIP() << "needs -DDMX_ALLOC_STATS=ON";
+  constexpr std::size_t kBig = 1 << 20;
+  AllocStats::Region r;
+  ForceHeapAlloc(kBig);
+  AllocCounts d = r.Delta();
+  EXPECT_GE(d.bytes, kBig);
+  // Requested bytes, not arena overhead: a single 1 MiB request should not
+  // be accounted as more than a small multiple of itself.
+  EXPECT_LT(d.bytes, 2 * kBig);
+}
+
+TEST(AllocStatsTest, VectorGrowthIsVisible) {
+  if (!AllocStats::Enabled()) GTEST_SKIP() << "needs -DDMX_ALLOC_STATS=ON";
+  AllocStats::Region r;
+  std::vector<std::string> v;
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(std::string(64, static_cast<char>('a' + (i % 26))));
+  }
+  AllocCounts d = r.Delta();
+  // 100 non-SSO strings plus vector regrowth: well over 100 allocations.
+  EXPECT_GE(d.allocs, 100u);
+  EXPECT_GE(d.bytes, 100u * 64u);
+}
+
+}  // namespace
+}  // namespace dmx

@@ -39,6 +39,40 @@ enforcement"):
                       id (catches typos that would otherwise silently
                       suppress nothing).
 
+Hot-path hygiene (DESIGN.md §14). Regions bracketed by `// dmx-hot-begin(name)`
+and `// dmx-hot-end` mark the guard-checkpointed inner loops (scan/filter,
+SHAPE case assembly, InsertCases, prediction join scoring, the algorithms'
+train/predict loops). Inside a marked region a token-stream analyzer — real
+tokens with loop-body tracking, not line regexes — enforces:
+
+  hot-loop-alloc      No allocating construction per iteration: declaring a
+                      std::string/std::vector/std::map/Row/Rowset/DataCase
+                      (or `new`) inside a loop body, or push_back/emplace_back
+                      on a container that is never reserve()d. Fix: hoist the
+                      object out of the loop and clear()/reuse it, or reserve
+                      before the loop.
+
+  hot-value-copy      No Value/Row/DataCase/std::string taken by value in a
+                      range-for, and no [=] default copy-capture. Fix: iterate
+                      by const reference; capture exactly what the lambda
+                      needs, by reference.
+
+  hot-string-key      No per-row name-keyed lookups: ResolveColumn/FindColumn/
+                      Get/find/count/at with a string(-literal) key inside a
+                      loop body. Fix: resolve the column index once per
+                      statement (Schema::ResolveColumns) and index by it.
+
+  hot-tostring        No Value::ToString()/std::to_string() formatting inside
+                      a loop body. Fix: precompute the formatted values or
+                      move formatting out of the per-row path.
+
+  hot-missing-guard   A marked region that loops but never calls GuardCheck /
+                      GuardChargeOutputRows / GuardChargeWorkingSet: deadlines
+                      and cancellation cannot trip inside it.
+
+  hot-marker          Malformed region markers: dmx-hot-end without a begin,
+                      nested or unterminated dmx-hot-begin.
+
 Suppression: append `// dmx-lint: allow(<rule-id>)` to the violating line, or
 put it on the line immediately above (with a comment explaining why). Every
 suppression must name a known rule id.
@@ -67,9 +101,16 @@ RAW_SYNC_PRIMITIVE = "raw-sync-primitive"
 RAW_SLEEP = "raw-sleep"
 STATUS_CONTEXT = "status-context"
 BAD_SUPPRESSION = "bad-suppression"
+HOT_LOOP_ALLOC = "hot-loop-alloc"
+HOT_VALUE_COPY = "hot-value-copy"
+HOT_STRING_KEY = "hot-string-key"
+HOT_TOSTRING = "hot-tostring"
+HOT_MISSING_GUARD = "hot-missing-guard"
+HOT_MARKER = "hot-marker"
 
 ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, RAW_SLEEP, STATUS_CONTEXT,
-             BAD_SUPPRESSION)
+             BAD_SUPPRESSION, HOT_LOOP_ALLOC, HOT_VALUE_COPY, HOT_STRING_KEY,
+             HOT_TOSTRING, HOT_MISSING_GUARD, HOT_MARKER)
 
 # Files the status-context rule applies to: the cross-layer boundaries where
 # a Status hops subsystems (core <-> store, core <-> relational, UI <-> core,
@@ -199,6 +240,422 @@ def find_matching_brace(text, open_index):
 
 
 # ---------------------------------------------------------------------------
+# Token-stream analyzer for the hot-path rules. Operates on scrubbed text
+# (comments/strings blanked, the quote characters themselves preserved) so a
+# token is never a comment or literal fragment; region markers are read from
+# the raw lines because they *are* comments.
+# ---------------------------------------------------------------------------
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind, text, line):
+        self.kind = kind  # "ident" | "num" | "str" | "chr" | "op"
+        self.text = text
+        self.line = line  # 1-based
+
+    def __repr__(self):
+        return f"Token({self.kind}, {self.text!r}, {self.line})"
+
+
+TOKEN_RE = re.compile(
+    r"(?P<ident>[A-Za-z_]\w*)"
+    r"|(?P<num>\.?\d[\w.]*)"
+    r"|(?P<str>\"[^\"]*\")"          # scrub() blanks contents, keeps quotes
+    r"|(?P<chr>'[^']*')"
+    r"|(?P<op>::|->|\+\+|--|<<=|>>=|<=>|<<|>>|<=|>=|==|!=|&&|\|\||\.\.\."
+    r"|[{}()\[\];,<>=&|*+\-/.!?:~^%#\\])")
+
+
+def tokenize(scrubbed):
+    """Scrubbed C++ source -> list of Tokens with 1-based line numbers."""
+    tokens = []
+    line = 1
+    pos = 0
+    for match in TOKEN_RE.finditer(scrubbed):
+        line += scrubbed.count("\n", pos, match.start())
+        pos = match.start()
+        kind = match.lastgroup
+        tokens.append(Token(kind, match.group(), line))
+    return tokens
+
+
+HOT_BEGIN_RE = re.compile(r"//\s*dmx-hot-begin\((?P<name>[A-Za-z0-9_.-]+)\)")
+HOT_END_RE = re.compile(r"//\s*dmx-hot-end\b")
+
+
+def parse_hot_regions(lines):
+    """Raw lines -> ([(name, begin_line, end_line)], [marker Violations' (line, msg)]).
+
+    Regions do not nest; an unterminated begin extends to EOF and is
+    reported as malformed.
+    """
+    regions = []
+    errors = []
+    open_name, open_line = None, None
+    for line_no, line in enumerate(lines, start=1):
+        begin = HOT_BEGIN_RE.search(line)
+        end = HOT_END_RE.search(line)
+        if begin:
+            if open_name is not None:
+                errors.append((line_no,
+                               f"dmx-hot-begin({begin.group('name')}) inside "
+                               f"still-open region '{open_name}' (line "
+                               f"{open_line}); regions do not nest"))
+            else:
+                open_name, open_line = begin.group("name"), line_no
+        elif end:
+            if open_name is None:
+                errors.append((line_no, "dmx-hot-end without a matching "
+                                        "dmx-hot-begin"))
+            else:
+                regions.append((open_name, open_line, line_no))
+                open_name, open_line = None, None
+    if open_name is not None:
+        errors.append((open_line, f"dmx-hot-begin({open_name}) never closed "
+                                  "by a dmx-hot-end"))
+        regions.append((open_name, open_line, len(lines)))
+    return regions, errors
+
+
+def find_loop_spans(tokens):
+    """Token-index spans of every for/while/do loop: (kw, hdr_end, body_end).
+
+    kw is the loop keyword's index; the loop's full span is tokens[kw ..
+    body_end] inclusive, its body tokens[hdr_end+1 .. body_end]. A braceless
+    body runs to the next top-level `;`.
+    """
+
+    def match_forward(start, open_tok, close_tok):
+        depth = 0
+        for i in range(start, len(tokens)):
+            if tokens[i].text == open_tok:
+                depth += 1
+            elif tokens[i].text == close_tok:
+                depth -= 1
+                if depth == 0:
+                    return i
+        return len(tokens) - 1
+
+    spans = []
+    for i, tok in enumerate(tokens):
+        if tok.kind != "ident":
+            continue
+        if tok.text in ("for", "while"):
+            j = i + 1
+            if j >= len(tokens) or tokens[j].text != "(":
+                continue
+            hdr_end = match_forward(j, "(", ")")
+            body_start = hdr_end + 1
+            if body_start < len(tokens) and tokens[body_start].text == "{":
+                body_end = match_forward(body_start, "{", "}")
+            else:
+                body_end = body_start
+                while (body_end < len(tokens)
+                       and tokens[body_end].text != ";"):
+                    body_end += 1
+            spans.append((i, hdr_end, body_end))
+        elif tok.text == "do":
+            j = i + 1
+            if j < len(tokens) and tokens[j].text == "{":
+                spans.append((i, i, match_forward(j, "{", "}")))
+    return spans
+
+
+# Container/string types whose construction inside a hot loop body means a
+# fresh heap allocation (or growth towards one) every iteration.
+ALLOCATING_TYPES = {
+    "string", "vector", "map", "multimap", "unordered_map",
+    "unordered_multimap", "set", "unordered_set", "deque", "list",
+}
+ALLOCATING_PROJECT_TYPES = {"Row", "Rowset", "DataCase", "Rows"}
+
+# Types too heavy to pass through a range-for by value.
+HEAVY_COPY_TYPES = {
+    "Value", "Row", "Rowset", "DataCase", "CaseItem", "ScoredValue",
+    "AttributePrediction", "CasePrediction", "string",
+}
+
+# Name-keyed lookups that must be pre-resolved outside the loop.
+STRING_KEY_CALLS = {"ResolveColumn", "FindColumn", "ResolveColumns", "Get",
+                    "find", "count", "at", "contains"}
+
+GUARD_TOKENS = {"GuardCheck", "GuardChargeOutputRows",
+                "GuardChargeWorkingSet"}
+
+LOOP_KEYWORDS = {"for", "while", "do"}
+
+
+class HotAnalyzer:
+    """Runs the hot-path rules over one file's token stream."""
+
+    def __init__(self, relpath, tokens, regions):
+        self.relpath = relpath
+        self.tokens = tokens
+        self.regions = regions  # [(name, begin_line, end_line)]
+        spans = find_loop_spans(tokens)
+        # A loop is "hot" when its keyword sits inside a marked region.
+        self.hot_spans = [s for s in spans
+                          if self.region_of(tokens[s[0]].line)]
+        n = len(tokens)
+        self.in_hot_body = [False] * n
+        self.in_hot_loop = [False] * n  # header + body
+        for kw, hdr_end, body_end in self.hot_spans:
+            for i in range(kw, min(body_end + 1, n)):
+                self.in_hot_loop[i] = True
+            for i in range(hdr_end + 1, min(body_end + 1, n)):
+                self.in_hot_body[i] = True
+
+    def region_of(self, line):
+        for name, begin, end in self.regions:
+            if begin <= line <= end:
+                return name
+        return None
+
+    def violations(self):
+        yield from self.check_loop_alloc()
+        yield from self.check_value_copy()
+        yield from self.check_string_key()
+        yield from self.check_tostring()
+        yield from self.check_missing_guard()
+
+    # -- helpers ----------------------------------------------------------
+
+    def skip_template_args(self, i):
+        """Index just past a balanced <...> starting at i, else i."""
+        if i >= len(self.tokens) or self.tokens[i].text != "<":
+            return i
+        depth = 0
+        for j in range(i, len(self.tokens)):
+            t = self.tokens[j].text
+            if t == "<":
+                depth += 1
+            elif t == ">":
+                depth -= 1
+                if depth == 0:
+                    return j + 1
+            elif t == ">>":  # closes two template levels
+                depth -= 2
+                if depth <= 0:
+                    return j + 1
+            elif t in (";", "{", "}"):  # not template args after all
+                return i
+        return i
+
+    def match_type_head(self, i):
+        """If tokens[i:] starts an ALLOCATING_TYPES/-PROJECT type name
+        (optionally std::-qualified, optionally followed by template args),
+        return (index_past_type, type_name); else None. `const` prefixes are
+        handled by the caller's scan."""
+        toks = self.tokens
+        name = None
+        if (toks[i].kind == "ident" and toks[i].text == "std"
+                and i + 2 < len(toks) and toks[i + 1].text == "::"
+                and toks[i + 2].text in ALLOCATING_TYPES):
+            name = "std::" + toks[i + 2].text
+            j = i + 3
+        elif (toks[i].kind == "ident"
+              and toks[i].text in ALLOCATING_PROJECT_TYPES):
+            name = toks[i].text
+            j = i + 1
+        else:
+            return None
+        return self.skip_template_args(j), name
+
+    # -- rules ------------------------------------------------------------
+
+    def check_loop_alloc(self):
+        toks = self.tokens
+        reported_lines = set()
+        for i, tok in enumerate(toks):
+            if not self.in_hot_body[i]:
+                continue
+            # `new` expressions.
+            if tok.kind == "ident" and tok.text == "new":
+                yield Violation(
+                    HOT_LOOP_ALLOC, self.relpath, tok.line,
+                    "`new` inside a hot loop body allocates every iteration; "
+                    "hoist the object out of the loop or use an arena")
+                continue
+            # Declarations / temporaries of allocating types. Preceding `.`,
+            # `->` or `::` means this is a member/qualified name, not a type
+            # head; a following `&` or `*` declares a reference/pointer.
+            if tok.kind != "ident":
+                continue
+            if i > 0 and toks[i - 1].text in (".", "->", "::"):
+                continue
+            head = self.match_type_head(i)
+            if head is None:
+                continue
+            j, type_name = head
+            if j < len(toks) and toks[j].text in ("&", "*"):
+                continue  # reference binding / pointer declaration
+            if j < len(toks) and (toks[j].kind == "ident"
+                                  or toks[j].text in ("(", "{")):
+                if tok.line in reported_lines:
+                    continue
+                reported_lines.add(tok.line)
+                yield Violation(
+                    HOT_LOOP_ALLOC, self.relpath, tok.line,
+                    f"{type_name} constructed inside a hot loop body "
+                    "(one allocation per iteration); hoist it out of the "
+                    "loop and clear()/reuse it")
+        # push_back / emplace_back on receivers that are never reserve()d.
+        reserved = set()
+        for i, tok in enumerate(toks):
+            if (tok.kind == "ident" and tok.text == "reserve"
+                    and i >= 2 and toks[i - 1].text in (".", "->")
+                    and toks[i - 2].kind == "ident"):
+                reserved.add(toks[i - 2].text)
+        for i, tok in enumerate(toks):
+            if not self.in_hot_body[i]:
+                continue
+            if (tok.kind == "ident"
+                    and tok.text in ("push_back", "emplace_back")
+                    and i >= 2 and toks[i - 1].text in (".", "->")
+                    and toks[i - 2].kind == "ident"
+                    and toks[i - 2].text not in reserved):
+                yield Violation(
+                    HOT_LOOP_ALLOC, self.relpath, tok.line,
+                    f"{toks[i - 2].text}.{tok.text}() in a hot loop with no "
+                    f"{toks[i - 2].text}.reserve() anywhere in this file; "
+                    "reserve the expected size before the loop")
+
+    def check_value_copy(self):
+        toks = self.tokens
+        for i, tok in enumerate(toks):
+            # Default copy-capture anywhere in a region: hot lambdas must
+            # name what they take, by reference.
+            if (tok.text == "[" and i + 2 < len(toks)
+                    and toks[i + 1].text == "="
+                    and toks[i + 2].text == "]"
+                    and self.region_of(tok.line)):
+                yield Violation(
+                    HOT_VALUE_COPY, self.relpath, tok.line,
+                    "[=] default copy-capture in a hot region; capture the "
+                    "specific variables, by reference")
+                continue
+            # Range-for taking a heavy element type by value.
+            if not (tok.kind == "ident" and tok.text == "for"
+                    and self.region_of(tok.line)):
+                continue
+            if i + 1 >= len(toks) or toks[i + 1].text != "(":
+                continue
+            j = i + 2
+            if j < len(toks) and toks[j].text == "const":
+                j += 1
+            name = None
+            if (j + 2 < len(toks) and toks[j].text == "std"
+                    and toks[j + 1].text == "::"
+                    and toks[j + 2].text in HEAVY_COPY_TYPES):
+                name = "std::" + toks[j + 2].text
+                j = self.skip_template_args(j + 3)
+            elif toks[j].kind == "ident" and toks[j].text in HEAVY_COPY_TYPES:
+                name = toks[j].text
+                j = self.skip_template_args(j + 1)
+            else:
+                continue
+            if j < len(toks) and toks[j].text in ("&", "*"):
+                continue
+            # ident then ':' confirms a by-value range-for binding.
+            if (j + 1 < len(toks) and toks[j].kind == "ident"
+                    and toks[j + 1].text == ":"):
+                yield Violation(
+                    HOT_VALUE_COPY, self.relpath, tok.line,
+                    f"range-for copies each {name} in a hot region; iterate "
+                    "by const reference")
+
+    def check_string_key(self):
+        toks = self.tokens
+        for i, tok in enumerate(toks):
+            if not self.in_hot_body[i]:
+                continue
+            if not (tok.kind == "ident" and tok.text in STRING_KEY_CALLS
+                    and i + 1 < len(toks) and toks[i + 1].text == "("):
+                continue
+            # Method or qualified call only: plain `find(` could be any
+            # helper, but `x.find(` / `x->find(` / `Schema::Get(` is a
+            # container/schema lookup.
+            if not (i >= 1 and toks[i - 1].text in (".", "->", "::")):
+                continue
+            # A string literal or std::string temporary in the argument list
+            # means the key is (re)built per row.
+            depth = 0
+            has_string_key = False
+            for j in range(i + 1, len(toks)):
+                t = toks[j]
+                if t.text == "(":
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                elif t.kind == "str":
+                    has_string_key = True
+            # Schema lookups are name-keyed by definition.
+            if tok.text in ("ResolveColumn", "FindColumn", "ResolveColumns"):
+                has_string_key = True
+            if has_string_key:
+                yield Violation(
+                    HOT_STRING_KEY, self.relpath, tok.line,
+                    f"{tok.text}() with a string key inside a hot loop; "
+                    "resolve the column/key to an index once per statement "
+                    "(Schema::ResolveColumns) and use the index here")
+
+    def check_tostring(self):
+        toks = self.tokens
+        for i, tok in enumerate(toks):
+            if not self.in_hot_body[i]:
+                continue
+            if tok.kind != "ident":
+                continue
+            if (tok.text == "ToString" and i >= 1
+                    and toks[i - 1].text in (".", "->")):
+                yield Violation(
+                    HOT_TOSTRING, self.relpath, tok.line,
+                    "ToString() inside a hot loop formats every iteration; "
+                    "precompute the formatted value outside the loop")
+            elif (tok.text == "to_string" and i >= 2
+                  and toks[i - 1].text == "::" and toks[i - 2].text == "std"):
+                yield Violation(
+                    HOT_TOSTRING, self.relpath, tok.line,
+                    "std::to_string() inside a hot loop allocates and "
+                    "formats every iteration; precompute it outside the "
+                    "loop")
+
+    def check_missing_guard(self):
+        for name, begin, end in self.regions:
+            has_loop = False
+            has_guard = False
+            for tok in self.tokens:
+                if tok.line < begin or tok.line > end:
+                    continue
+                if tok.kind == "ident":
+                    if tok.text in LOOP_KEYWORDS:
+                        has_loop = True
+                    elif tok.text in GUARD_TOKENS:
+                        has_guard = True
+            if has_loop and not has_guard:
+                yield Violation(
+                    HOT_MISSING_GUARD, self.relpath, begin,
+                    f"hot region '{name}' loops but never calls GuardCheck/"
+                    "GuardCharge*; deadlines and cancellation cannot trip "
+                    "inside it")
+
+
+def check_hot_rules(relpath, lines, scrubbed):
+    if not relpath.startswith("src/"):
+        return
+    regions, marker_errors = parse_hot_regions(lines)
+    for line_no, message in marker_errors:
+        yield Violation(HOT_MARKER, relpath, line_no, message)
+    if not regions:
+        return
+    analyzer = HotAnalyzer(relpath, tokenize(scrubbed), regions)
+    yield from analyzer.violations()
+
+
+# ---------------------------------------------------------------------------
 # Rules. Each takes (relpath, raw_lines, scrubbed_text) and yields Violations.
 # ---------------------------------------------------------------------------
 
@@ -265,7 +722,7 @@ def check_status_context(relpath, lines, scrubbed):
 
 
 RULE_CHECKS = (check_guarded_loops, check_raw_sync_primitive,
-               check_raw_sleep, check_status_context)
+               check_raw_sleep, check_status_context, check_hot_rules)
 
 
 # ---------------------------------------------------------------------------

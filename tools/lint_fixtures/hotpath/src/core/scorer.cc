@@ -1,0 +1,55 @@
+// Fixture: every hot-path rule fires inside the marked region; the same
+// constructs outside the region (Prelude below) must NOT be reported.
+
+#include "core/scorer.h"
+
+namespace dmx {
+
+// Outside any region: allocations and lookups here are not hot-path
+// violations.
+void Prelude(const Rowset& in) {
+  for (const Row& row : in.rows()) {
+    std::string name = "unhot";
+    auto v = in.Get(0, "Age");
+    (void)name;
+    (void)v;
+  }
+}
+
+// dmx-hot-begin(scorer-loop)
+Status ScoreAll(const Rowset& in, Rowset* out) {
+  std::vector<Row> scored;
+  for (Row row : in.rows()) {
+    DMX_RETURN_IF_ERROR(GuardCheck());
+    std::string key = "Age";
+    auto idx = in.schema()->ResolveColumn("Age");
+    auto hist = counts_.find("Age");
+    Row copy(row.size());
+    double* buf = new double[row.size()];
+    std::string label = row[0].ToString();
+    std::string suffix = std::to_string(row.size());
+    auto emit = [=] { return key + label; };
+    scored.push_back(std::move(copy));
+    (void)idx;
+    (void)hist;
+    (void)buf;
+    (void)emit;
+    (void)suffix;
+  }
+  return Status::Ok();
+}
+// dmx-hot-end
+
+// dmx-hot-begin(unguarded-drain)
+void Drain(const Rowset& in) {
+  for (size_t i = 0; i < in.rows().size(); ++i) {
+    Consume(in.rows()[i]);
+  }
+}
+// dmx-hot-end
+
+// dmx-hot-end
+// dmx-hot-begin(never-closed)
+void Tail() {}
+
+}  // namespace dmx

@@ -12,6 +12,11 @@
 #       statement throughput (items_per_second) and p50/p95/p99 latency
 #       counters through the framed wire protocol at 1/8/32 concurrent
 #       sessions, plus graceful-drain latency with idle sessions attached.
+#   bench/bench_hotpath.cc     -> BENCH_hotpath.json
+#       allocs/row + bytes/row for the guard-checkpointed hot loops
+#       (scan+filter, SHAPE indexing, InsertCases, per-service prediction
+#       join). Needs -DDMX_ALLOC_STATS=ON for live counters, so this one
+#       builds in its own BUILD_DIR-alloc tree (configured on demand).
 #
 # The console tables still print for humans.
 #
@@ -59,3 +64,21 @@ echo "run_bench: wrote $OUTPUT_DIR/BENCH_recovery.json"
   --benchmark_min_time=0.2
 
 echo "run_bench: wrote $OUTPUT_DIR/BENCH_serving.json"
+
+# Allocation accounting needs the counting operators compiled in, which the
+# main build tree deliberately leaves off (zero-overhead default). Configure
+# a sibling tree once and reuse it across runs.
+ALLOC_BUILD_DIR="${BUILD_DIR%/}-alloc"
+if [[ ! -f "$ALLOC_BUILD_DIR/CMakeCache.txt" ]]; then
+  cmake -B "$ALLOC_BUILD_DIR" -S "$REPO_ROOT" \
+    -DCMAKE_BUILD_TYPE=Release -DDMX_ALLOC_STATS=ON
+fi
+cmake --build "$ALLOC_BUILD_DIR" --target bench_hotpath -j "$(nproc)"
+
+"$ALLOC_BUILD_DIR/bench/bench_hotpath" \
+  --benchmark_format=console \
+  --benchmark_out="$OUTPUT_DIR/BENCH_hotpath.json" \
+  --benchmark_out_format=json \
+  --benchmark_min_time=0.2
+
+echo "run_bench: wrote $OUTPUT_DIR/BENCH_hotpath.json"

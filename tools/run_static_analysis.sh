@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Static analysis driver for OpenDMX.
 #
-# Six gates, all expected to pass clean:
+# Seven gates, all expected to pass clean:
 #   1. The project-invariant linter (tools/dmx_lint.py): guard checkpoints in
 #      algorithm loops, no raw sync/file primitives outside the seams,
 #      WithContext on boundary Status returns — plus its own self-test
@@ -24,6 +24,10 @@
 #      fixed findings plus a short grammar-mutation run. The full
 #      time-budgeted campaign lives in tools/run_fuzz.sh; this gate keeps
 #      the harness building and the oracles green.
+#   7. Hot-path hygiene (DESIGN.md §14): an allocation-counting build
+#      (-DDMX_ALLOC_STATS=ON) running the AllocStats unit tests and the
+#      allocation-budget regression tests, locking per-operation allocs/row
+#      ceilings over the dmx-hot-marked loops that gate 1 checks statically.
 #
 # The clang gates are skipped (with a notice) in minimal containers; CI
 # installs clang and runs everything.
@@ -93,3 +97,12 @@ echo
 echo "== Gate 6: fuzz smoke (corpus replay + short mutation run) =="
 tools/run_fuzz.sh "${FUZZ_SMOKE_SECONDS:-10}" "$BUILD_DIR-fuzz"
 echo "fuzz smoke: clean"
+
+echo
+echo "== Gate 7: allocation budgets (DMX_ALLOC_STATS build) =="
+cmake -B "$BUILD_DIR-alloc" -S . -DDMX_ALLOC_STATS=ON >/dev/null
+cmake --build "$BUILD_DIR-alloc" -j "$(nproc)" \
+  --target alloc_stats_test alloc_budget_test
+ctest --test-dir "$BUILD_DIR-alloc" --output-on-failure \
+  -R 'AllocStats|AllocBudget'
+echo "allocation budgets: clean"
