@@ -6,8 +6,21 @@
 
 namespace dmx {
 
+Result<std::optional<Rowset>> PreloadCasesetSource(
+    const CasesetSource& source) {
+  const auto* open = std::get_if<OpenRowsetSource>(&source);
+  if (open == nullptr) return std::optional<Rowset>();
+  if (!EqualsCi(open->format, "CSV")) {
+    return NotSupported() << "OPENROWSET format '" << open->format
+                          << "' (only 'CSV' is supported)";
+  }
+  DMX_ASSIGN_OR_RETURN(Rowset rowset, rel::LoadCsv(open->path));
+  return std::optional<Rowset>(std::move(rowset));
+}
+
 Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
-    const rel::Database& db, const CasesetSource& source) {
+    const rel::Database& db, const CasesetSource& source,
+    std::optional<Rowset>* preloaded) {
   if (const auto* shape_stmt = std::get_if<shape::ShapeStatement>(&source)) {
     DMX_ASSIGN_OR_RETURN(std::unique_ptr<shape::ShapedCaseReader> reader,
                          shape::ShapedCaseReader::Create(db, *shape_stmt));
@@ -18,20 +31,24 @@ Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
     return std::unique_ptr<RowsetReader>(
         new VectorRowsetReader(std::move(rowset)));
   }
-  const auto& open = std::get<OpenRowsetSource>(source);
-  if (!EqualsCi(open.format, "CSV")) {
-    return NotSupported() << "OPENROWSET format '" << open.format
-                          << "' (only 'CSV' is supported)";
+  // OPENROWSET: the file was read by PreloadCasesetSource before the
+  // caller took the catalog lock; refusing to read it here keeps every
+  // under-lock path free of filesystem stalls.
+  if (preloaded == nullptr || !preloaded->has_value()) {
+    return Internal() << "OPENROWSET caseset was not preloaded before "
+                         "execution";
   }
-  DMX_ASSIGN_OR_RETURN(Rowset rowset, rel::LoadCsv(open.path));
+  Rowset rowset = std::move(**preloaded);
+  preloaded->reset();
   return std::unique_ptr<RowsetReader>(
       new VectorRowsetReader(std::move(rowset)));
 }
 
 Result<Rowset> MaterializeCasesetSource(const rel::Database& db,
-                                        const CasesetSource& source) {
+                                        const CasesetSource& source,
+                                        std::optional<Rowset>* preloaded) {
   DMX_ASSIGN_OR_RETURN(std::unique_ptr<RowsetReader> reader,
-                       OpenCasesetSource(db, source));
+                       OpenCasesetSource(db, source, preloaded));
   return reader->ReadAll();
 }
 

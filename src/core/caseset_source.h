@@ -6,6 +6,7 @@
 #define DMX_CORE_CASESET_SOURCE_H_
 
 #include <memory>
+#include <optional>
 
 #include "common/rowset.h"
 #include "core/dmx_ast.h"
@@ -13,13 +14,24 @@
 
 namespace dmx {
 
-/// Opens the source as a pull-based reader.
-Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
-    const rel::Database& db, const CasesetSource& source);
+/// Loads the file-backed payload of an OPENROWSET source; empty for SHAPE
+/// and SELECT sources, which read catalog state instead of the filesystem.
+/// This is the *only* entry point that touches a file: callers run it
+/// before taking the catalog lock and hand the result to Open/Materialize,
+/// so statement execution under the lock never blocks on I/O.
+Result<std::optional<Rowset>> PreloadCasesetSource(const CasesetSource& source);
 
-/// Materializes the source into a rowset.
-Result<Rowset> MaterializeCasesetSource(const rel::Database& db,
-                                        const CasesetSource& source);
+/// Opens the source as a pull-based reader. An OPENROWSET source consumes
+/// `*preloaded` (from PreloadCasesetSource) and fails if it is absent.
+Result<std::unique_ptr<RowsetReader>> OpenCasesetSource(
+    const rel::Database& db, const CasesetSource& source,
+    std::optional<Rowset>* preloaded = nullptr);
+
+/// Materializes the source into a rowset. Same preload contract as
+/// OpenCasesetSource.
+Result<Rowset> MaterializeCasesetSource(
+    const rel::Database& db, const CasesetSource& source,
+    std::optional<Rowset>* preloaded = nullptr);
 
 }  // namespace dmx
 

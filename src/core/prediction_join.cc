@@ -31,6 +31,7 @@ Result<Rowset> FlattenOneColumn(const Rowset& input, size_t column) {
   Rowset out(Schema::Make(std::move(columns)));
   const size_t nested_width = table_col.nested->num_columns();
   for (const Row& row : input.rows()) {
+    DMX_RETURN_IF_ERROR(GuardCheck());
     std::vector<Row> nested_rows;
     if (row[column].is_table() && row[column].table_value() != nullptr &&
         row[column].table_value()->num_rows() > 0) {
@@ -39,6 +40,7 @@ Result<Rowset> FlattenOneColumn(const Rowset& input, size_t column) {
       nested_rows.push_back(Row(nested_width, Value::Null()));
     }
     for (const Row& nested : nested_rows) {
+      DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(1));
       Row flat;
       flat.reserve(row.size() - 1 + nested_width);
       for (size_t c = 0; c < row.size(); ++c) {
@@ -78,7 +80,8 @@ Result<Rowset> FlattenRowset(const Rowset& input) {
 
 Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
                                      ModelCatalog* catalog,
-                                     const PredictionJoinStatement& stmt) {
+                                     const PredictionJoinStatement& stmt,
+                                     std::optional<Rowset>* preloaded_source) {
   DMX_ASSIGN_OR_RETURN(MiningModel * model, catalog->GetModel(stmt.model_name));
   // Semantic preflight: reject statements the binder would only fail on one
   // Status at a time (no PREDICT column, unknown model paths, ...) with the
@@ -92,8 +95,9 @@ Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
     return InvalidState() << "model '" << stmt.model_name
                           << "' has not been trained (INSERT INTO it first)";
   }
-  DMX_ASSIGN_OR_RETURN(Rowset source,
-                       MaterializeCasesetSource(db, stmt.source));
+  DMX_ASSIGN_OR_RETURN(
+      Rowset source,
+      MaterializeCasesetSource(db, stmt.source, preloaded_source));
 
   DMX_ASSIGN_OR_RETURN(
       CaseBinder binder,

@@ -8,6 +8,8 @@
 #ifndef DMX_CORE_PREDICTION_JOIN_H_
 #define DMX_CORE_PREDICTION_JOIN_H_
 
+#include <optional>
+
 #include "common/rowset.h"
 #include "core/catalog.h"
 #include "core/dmx_ast.h"
@@ -15,10 +17,14 @@
 
 namespace dmx {
 
-/// Executes one prediction-join statement.
-Result<Rowset> ExecutePredictionJoin(const rel::Database& db,
-                                     ModelCatalog* catalog,
-                                     const PredictionJoinStatement& stmt);
+/// Executes one prediction-join statement. `preloaded_source` carries the
+/// statement's OPENROWSET payload when it has one (see
+/// PreloadCasesetSource): the caller reads the file before taking the
+/// catalog lock so prediction never blocks on I/O while holding it.
+Result<Rowset> ExecutePredictionJoin(
+    const rel::Database& db, ModelCatalog* catalog,
+    const PredictionJoinStatement& stmt,
+    std::optional<Rowset>* preloaded_source = nullptr);
 
 /// Unnests every TABLE column of `input`: each nested row becomes one output
 /// row (cases with an empty nested table keep one row of NULLs); nested

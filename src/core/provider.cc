@@ -405,12 +405,21 @@ Result<Rowset> Connection::ExecuteGuarded(const std::string& command,
                 std::holds_alternative<ExportModelStatement>(statement);
   }
 
+  // All file inputs (IMPORT documents, OPENROWSET casesets) are read here,
+  // before any lock business: execution under the catalog mutex must never
+  // wait on a disk. EXPORT is the mirror image — serialized under the lock,
+  // written by FinishStatementIo after it drops.
+  StatementIo io;
+  if (!parsed->is_sql) {
+    DMX_RETURN_IF_ERROR(PrepareStatementIo(*parsed, &io));
+  }
+
   if (internal_) {
     // Recovery replay: OpenStore holds the catalog lock exclusively; assert
     // that ownership to the analysis instead of self-deadlocking on it.
     provider_->catalog_mu_.AssertHeld();
-    if (read_only) return DispatchRead(*parsed, sql);
-    return DispatchWrite(*parsed, sql, command, nullptr);
+    if (read_only) return DispatchRead(*parsed, sql, io);
+    return DispatchWrite(*parsed, sql, command, nullptr, io);
   }
 
   // Admission before locks: a saturated provider rejects (or queues) the
@@ -430,19 +439,70 @@ Result<Rowset> Connection::ExecuteGuarded(const std::string& command,
     if (!LockSharedWithGuard(&provider_->catalog_mu_, guard, &trip)) {
       return trip;
     }
-    AdoptedReaderLock lock(&provider_->catalog_mu_);
-    return DispatchRead(*parsed, sql);
+    Result<Rowset> result = [&]() -> Result<Rowset> {
+      AdoptedReaderLock lock(&provider_->catalog_mu_);
+      return DispatchRead(*parsed, sql, io);
+    }();
+    if (result.ok()) {
+      DMX_RETURN_IF_ERROR(FinishStatementIo(io));
+    }
+    return result;
   }
   Status trip;
   if (!LockExclusiveWithGuard(&provider_->catalog_mu_, guard, &trip)) {
     return trip;
   }
-  AdoptedWriterLock lock(&provider_->catalog_mu_);
-  return DispatchWrite(*parsed, sql, command, guard);
+  Result<Rowset> result = [&]() -> Result<Rowset> {
+    AdoptedWriterLock lock(&provider_->catalog_mu_);
+    return DispatchWrite(*parsed, sql, command, guard, io);
+  }();
+  if (result.ok()) {
+    DMX_RETURN_IF_ERROR(FinishStatementIo(io));
+  }
+  return result;
+}
+
+Status Connection::PrepareStatementIo(const DmxParseResult& parsed,
+                                      StatementIo* io) {
+  const DmxStatement& statement = *parsed.statement;
+  if (const auto* import_stmt =
+          std::get_if<ImportModelStatement>(&statement)) {
+    Result<std::string> document =
+        Env::Default()->ReadFileToString(import_stmt->path);
+    if (!document.ok()) {
+      return document.status().WithContext("importing model from '" +
+                                           import_stmt->path + "'");
+    }
+    io->import_document = std::move(*document);
+    return Status::OK();
+  }
+  if (const auto* insert = std::get_if<InsertIntoStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(io->caseset_rows,
+                         PreloadCasesetSource(insert->source));
+    return Status::OK();
+  }
+  if (const auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
+    DMX_ASSIGN_OR_RETURN(io->caseset_rows,
+                         PreloadCasesetSource(join->source));
+    return Status::OK();
+  }
+  if (const auto* export_stmt =
+          std::get_if<ExportModelStatement>(&statement)) {
+    io->export_path = export_stmt->path;
+  }
+  return Status::OK();
+}
+
+Status Connection::FinishStatementIo(StatementIo& io) {
+  if (!io.export_document.has_value()) return Status::OK();
+  return Env::Default()
+      ->AtomicWriteFile(io.export_path, *io.export_document)
+      .WithContext("exporting model '" + io.export_model + "'");
 }
 
 Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
-                                        std::optional<rel::SqlStatement>& sql) {
+                                        std::optional<rel::SqlStatement>& sql,
+                                        StatementIo& io) {
   if (parsed.is_sql) {
     return rel::Execute(&provider_->database_, *sql);
   }
@@ -469,8 +529,9 @@ Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
   }
 
   if (auto* join = std::get_if<PredictionJoinStatement>(&statement)) {
-    Result<Rowset> rowset = ExecutePredictionJoin(
-        provider_->database_, &provider_->models_, *join);
+    Result<Rowset> rowset =
+        ExecutePredictionJoin(provider_->database_, &provider_->models_,
+                              *join, &io.caseset_rows);
     if (!rowset.ok()) {
       return rowset.status().WithContext("predicting with model '" +
                                          join->model_name + "'");
@@ -501,8 +562,16 @@ Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
     DMX_ASSIGN_OR_RETURN(
         const MiningModel* model,
         provider_->models_.GetModel(export_stmt->model_name));
-    // Reads catalog state only — nothing to journal.
-    DMX_RETURN_IF_ERROR(SaveModelToFile(*model, export_stmt->path));
+    // Reads catalog state only — nothing to journal. Serialize under the
+    // shared lock; the file write itself is FinishStatementIo's, after the
+    // lock is released.
+    Result<std::string> document = SerializeModel(*model);
+    if (!document.ok()) {
+      return document.status().WithContext("exporting model '" +
+                                           export_stmt->model_name + "'");
+    }
+    io.export_document = std::move(*document);
+    io.export_model = export_stmt->model_name;
     return Rowset();
   }
   return Internal() << "read-only dispatch of a mutating DMX statement";
@@ -511,7 +580,8 @@ Result<Rowset> Connection::DispatchRead(DmxParseResult& parsed,
 Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
                                          std::optional<rel::SqlStatement>& sql,
                                          const std::string& command,
-                                         const ExecGuard* guard) {
+                                         const ExecGuard* guard,
+                                         StatementIo& io) {
   // Store-wide read-only degraded mode: while the catalog shard is
   // quarantined no mutation can be journaled, so none may execute. Degraded
   // models refuse writes the same way reads do — their quarantined shard is
@@ -561,7 +631,8 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
     Status trained = [&]() -> Status {
       DMX_ASSIGN_OR_RETURN(
           std::unique_ptr<RowsetReader> reader,
-          OpenCasesetSource(provider_->database_, insert->source));
+          OpenCasesetSource(provider_->database_, insert->source,
+                            &io.caseset_rows));
       return model->InsertCases(
           reader.get(), insert->columns.empty() ? nullptr : &insert->columns);
     }();
@@ -636,9 +707,16 @@ Result<Rowset> Connection::DispatchWrite(DmxParseResult& parsed,
     return Rowset();
   }
   if (auto* import_stmt = std::get_if<ImportModelStatement>(&statement)) {
+    // The document was read off disk by PrepareStatementIo, before the
+    // exclusive lock; only the (in-memory) deserialization happens here,
+    // because the service registry it binds against is lock-guarded.
+    if (!io.import_document.has_value()) {
+      return Internal() << "IMPORT document for '" << import_stmt->path
+                        << "' was not preloaded before execution";
+    }
     DMX_ASSIGN_OR_RETURN(
         std::unique_ptr<MiningModel> model,
-        LoadModelFromFile(import_stmt->path, provider_->services_));
+        DeserializeModel(*io.import_document, provider_->services_));
     std::string name = model->definition().model_name;
     if (!internal_) {
       DMX_RETURN_IF_ERROR(provider_->CheckModelServable(name));

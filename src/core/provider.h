@@ -225,12 +225,36 @@ class Connection {
   Connection(Provider* provider, bool internal)
       : provider_(provider), internal_(internal) {}
 
+  /// File payloads of one statement. Execution under the catalog lock never
+  /// touches the filesystem: PrepareStatementIo reads every external input
+  /// (IMPORT document, OPENROWSET caseset) *before* the lock is taken, and
+  /// FinishStatementIo performs the deferred EXPORT write *after* it is
+  /// released. A blocked disk therefore stalls only this statement, never
+  /// every session queued behind the catalog mutex.
+  struct StatementIo {
+    std::optional<std::string> import_document;  ///< IMPORT: file contents.
+    std::optional<Rowset> caseset_rows;  ///< OPENROWSET: loaded CSV rows.
+    std::string export_path;             ///< EXPORT: destination path.
+    std::string export_model;            ///< EXPORT: model name (context).
+    std::optional<std::string> export_document;  ///< EXPORT: serialized.
+  };
+
+  /// Reads every external input of the statement into `io`. Lock-free: runs
+  /// before admission and before any catalog lock is taken (on internal
+  /// replay connections, before the caller's lock ownership is asserted).
+  Status PrepareStatementIo(const DmxParseResult& parsed, StatementIo* io);
+
+  /// Writes the deferred EXPORT document, if any. Runs after the catalog
+  /// lock is released and only when execution succeeded.
+  Status FinishStatementIo(StatementIo& io);
+
   /// Dispatches one parsed read-only statement (SELECT, PREDICTION JOIN,
   /// CONTENT, EXPORT) against the catalogs under at least a shared lock.
   /// `sql` carries the relational parse when `parsed.is_sql` (so SQL text is
   /// parsed exactly once per Execute).
   Result<Rowset> DispatchRead(DmxParseResult& parsed,
-                              std::optional<rel::SqlStatement>& sql)
+                              std::optional<rel::SqlStatement>& sql,
+                              StatementIo& io)
       DMX_REQUIRES_SHARED(provider_->catalog_mu_);
 
   /// Dispatches one parsed mutating statement (DDL/DML/IMPORT) under the
@@ -238,7 +262,7 @@ class Connection {
   Result<Rowset> DispatchWrite(DmxParseResult& parsed,
                                std::optional<rel::SqlStatement>& sql,
                                const std::string& command,
-                               const ExecGuard* guard)
+                               const ExecGuard* guard, StatementIo& io)
       DMX_REQUIRES(provider_->catalog_mu_);
 
   /// Journals one catalog-shard statement — unless this is an internal

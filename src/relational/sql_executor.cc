@@ -181,6 +181,7 @@ Result<Value> ComputeAggregate(const Expr& call,
     }
     int64_t count = 0;
     for (const Row* row : group) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
       if (!v.is_null()) ++count;
     }
@@ -194,6 +195,7 @@ Result<Value> ComputeAggregate(const Expr& call,
     int64_t count = 0;
     bool all_long = true;
     for (const Row* row : group) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
       if (v.is_null()) continue;
       if (!v.is_long()) all_long = false;
@@ -209,6 +211,7 @@ Result<Value> ComputeAggregate(const Expr& call,
   if (f == "MIN" || f == "MAX") {
     Value best;
     for (const Row* row : group) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
       DMX_ASSIGN_OR_RETURN(Value v, EvalExpr(*call.children[0], *row));
       if (v.is_null()) continue;
       if (best.is_null() ||
@@ -290,7 +293,10 @@ Result<Rowset> ExecuteAggregation(const SelectStatement& stmt,
   std::vector<std::vector<const Row*>> groups;
   if (keys.empty()) {
     groups.emplace_back();
-    for (const Row& row : rows) groups.back().push_back(&row);
+    for (const Row& row : rows) {
+      DMX_RETURN_IF_ERROR(GuardCheck());
+      groups.back().push_back(&row);
+    }
   } else {
     std::unordered_map<Row, size_t, RowKeyHash, RowKeyEq> index;
     for (const Row& row : rows) {
@@ -370,21 +376,26 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
   // rows (ORDER BY's sort, aggregation) materialize it first.
   std::vector<size_t> selection;
   bool use_selection = false;
-  auto materialize = [&]() {
+  auto materialize = [&]() -> Status {
     if (use_selection) {
       std::vector<Row> owned;
       owned.reserve(selection.size());
-      for (size_t i : selection) owned.push_back((*working)[i]);
+      for (size_t i : selection) {
+        DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(1));
+        owned.push_back((*working)[i]);
+      }
       rows = std::move(owned);
       selection.clear();
       use_selection = false;
     } else if (!owns_working) {
+      DMX_RETURN_IF_ERROR(GuardChargeWorkingSet(working->size()));
       rows = *working;
     } else {
-      return;
+      return Status::OK();
     }
     working = &rows;
     owns_working = true;
+    return Status::OK();
   };
   if (stmt.has_from()) {
     DMX_ASSIGN_OR_RETURN(const Table* base, db.GetTable(stmt.from.table));
@@ -442,6 +453,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
       std::unordered_multimap<Row, const Row*, RowKeyHash, RowKeyEq> hash;
       hash.reserve(right->num_rows());
       for (const Row& right_row : right->rows()) {
+        DMX_RETURN_IF_ERROR(GuardCheck());
         Row key;
         key.reserve(analysis.equi.size());
         bool has_null = false;
@@ -528,7 +540,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
     if (!item.star && item.expr->ContainsAggregate()) aggregating = true;
   }
   if (aggregating) {
-    materialize();
+    DMX_RETURN_IF_ERROR(materialize());
     return ExecuteAggregation(stmt, scope, schemas, offsets, *working);
   }
 
@@ -553,7 +565,7 @@ Result<Rowset> ExecuteSelect(const Database& db, const SelectStatement& stmt) {
       DMX_RETURN_IF_ERROR(BindExpr(item.expr.get(), scope));
     }
     // Sorting mutates: materialize the borrowed scan / selection now.
-    materialize();
+    DMX_RETURN_IF_ERROR(materialize());
     Status sort_status;
     std::stable_sort(rows.begin(), rows.end(),
                      [&](const Row& a, const Row& b) {

@@ -1,0 +1,12 @@
+// Firing fixture: an allow() naming an unknown rule, and a well-formed
+// allow() that silences nothing.
+namespace fx {
+
+int Helper() {
+  // dmx-deep-lint: allow(no-such-rule)
+  int x = 1;
+  // dmx-deep-lint: allow(view-escape)
+  return x;
+}
+
+}  // namespace fx

@@ -1,0 +1,35 @@
+// Firing fixture: a row-scale loop reachable from the execution root with
+// no guard checkpoint anywhere in its cycle. The counter loop below it is
+// bounded (not row-scale) and must stay clean.
+#include "support.h"
+
+namespace fx {
+
+Status Helper(const Rowset& input) {
+  for (const Row& row : input.rows()) {
+    Consume(row);
+  }
+  for (int i = 0; i < 8; ++i) {
+    Tick(i);
+  }
+  return Status::OK();
+}
+
+// The range's name says nothing row-ish, but the element type does: a loop
+// over Row elements is row-scale no matter what the container is called.
+Status Partitioned(const std::vector<const Row*>& per_key_batch) {
+  for (const Row* row : per_key_batch) {
+    Consume(*row);
+  }
+  return Status::OK();
+}
+
+class Conn {
+ public:
+  Status Execute(const Rowset& input) {
+    Partitioned({});
+    return Helper(input);
+  }
+};
+
+}  // namespace fx

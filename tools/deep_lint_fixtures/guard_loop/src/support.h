@@ -1,0 +1,22 @@
+// Minimal stand-ins for the guard fixtures.
+struct Status {
+  static Status OK();
+};
+struct Row {};
+struct Rows {
+  const Row* begin() const;
+  const Row* end() const;
+};
+struct Rowset {
+  const Rows& rows() const;
+};
+void Consume(const Row& row);
+void Tick(int i);
+Status GuardCheck();
+Status GuardChargeOutputRows(int n);
+namespace std {
+template <typename T> struct vector {
+  const T* begin() const;
+  const T* end() const;
+};
+}  // namespace std

@@ -1,0 +1,34 @@
+// Firing fixture: blocking work transitively reachable while an exclusive
+// capability is held — once through an RAII writer lock, once through a
+// DMX_REQUIRES-annotated method defined out of line.
+#include "support.h"
+
+namespace fx {
+
+class Catalog {
+ public:
+  void Rebuild() {
+    WriterMutexLock lock(&mu_);
+    Persist();
+  }
+
+  int Persist() { return env_->WriteStringToFile("catalog", "x"); }
+
+ private:
+  SharedMutex mu_;
+  Env* env_;
+};
+
+class Journal {
+ public:
+  void AppendLocked(const char* record) DMX_REQUIRES(mu_);
+
+  Mutex mu_;
+  Env* env_;
+};
+
+void Journal::AppendLocked(const char* record) {
+  env_->WriteStringToFile("journal", record);
+}
+
+}  // namespace fx

@@ -1,0 +1,10 @@
+// Minimal stand-ins: the analyzer keys on the project's type and macro
+// names, so fixture stubs only need the shapes.
+struct Env {
+  int WriteStringToFile(const char* path, const char* data);
+};
+struct Mutex {};
+struct SharedMutex {};
+struct WriterMutexLock {
+  explicit WriterMutexLock(SharedMutex* mu);
+};

@@ -1,0 +1,7 @@
+// Firing fixture: CONFIG.json sanctions a function and an io-cap that do
+// not exist in the scanned tree; both entries must be flagged stale.
+namespace fx {
+
+int Touch() { return 0; }
+
+}  // namespace fx

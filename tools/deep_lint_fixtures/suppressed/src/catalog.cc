@@ -1,0 +1,21 @@
+// Clean fixture: a real finding silenced by a scoped allow() — the
+// suppression is consumed, so neither the finding nor unused-suppression
+// fires.
+#include "support.h"
+
+namespace fx {
+
+class Catalog {
+ public:
+  void Rebuild() {
+    WriterMutexLock lock(&mu_);
+    // dmx-deep-lint: allow(lock-blocking-call)
+    env_->WriteStringToFile("catalog", "x");
+  }
+
+ private:
+  SharedMutex mu_;
+  Env* env_;
+};
+
+}  // namespace fx

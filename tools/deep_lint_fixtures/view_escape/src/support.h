@@ -1,0 +1,14 @@
+// Minimal stand-ins for the view fixtures.
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct Row {};
+struct Rows {
+  const Row& operator[](unsigned i) const;
+};
+struct Rowset {
+  const Rows& rows() const;
+};
+std::string Render();
+std::string Canonical(const std::string& key);

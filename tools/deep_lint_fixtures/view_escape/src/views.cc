@@ -1,0 +1,28 @@
+// Firing fixture: views rooted in frame-local storage escaping through a
+// return value, a pointer into a by-value parameter, and a store into a
+// view-typed member.
+#include "support.h"
+
+namespace fx {
+
+std::string_view BadView() {
+  std::string buffer = Render();
+  return std::string_view(buffer);
+}
+
+const Row* BadRow(Rowset rows_by_value) {
+  return &rows_by_value.rows()[0];
+}
+
+class Cache {
+ public:
+  void Remember(const std::string& key) {
+    std::string owned = Canonical(key);
+    label_ = owned;
+  }
+
+ private:
+  std::string_view label_;
+};
+
+}  // namespace fx

@@ -1,0 +1,11 @@
+// Minimal stand-ins for the view fixtures.
+#include <string>
+#include <string_view>
+#include <vector>
+
+struct Row {};
+struct Model {
+  std::string_view label() const;
+};
+std::string Render();
+const std::string& Accept(const std::string& s);

@@ -1,0 +1,53 @@
+// Clean fixture: borrowed views are fine when rooted in caller-owned
+// storage (reference parameters, members); returning an owning value or
+// copying into owned members never fires.
+#include "support.h"
+
+namespace fx {
+
+std::string_view NameOf(const Model& model) {
+  return model.label();
+}
+
+std::string CopyOut() {
+  std::string buffer = Render();
+  return buffer;
+}
+
+// A function-local static outlives every frame; a reference to it is safe.
+const std::string& Fallback(bool have) {
+  static const std::string kEmpty;
+  std::string local = Render();
+  return have ? Accept(local) : kEmpty;
+}
+
+class Table {
+ public:
+  const Row* At(unsigned i) { return &rows_[i]; }
+
+  // The local is a *key* into member storage (subscript index) — the
+  // returned pointer roots in rows_, not in the key.
+  const Row* Find(unsigned hint) {
+    unsigned key = hint + 1;
+    return &rows_[key];
+  }
+
+  // The local is an *argument* to the call — the returned reference roots
+  // in whatever Intern aliases (member storage), not in the argument.
+  const std::string& Label(std::string fallback) {
+    return Intern(std::move(fallback));
+  }
+
+  void Remember(std::string label) { label_ = std::move(label); }
+
+ private:
+  const std::string& Intern(std::string value) {
+    label_ = std::move(value);
+    return label_;
+  }
+
+  std::vector<Row> rows_;
+  std::string label_;
+};
+
+}  // namespace fx

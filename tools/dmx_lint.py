@@ -39,6 +39,10 @@ enforcement"):
                       id (catches typos that would otherwise silently
                       suppress nothing).
 
+  unused-suppression  A well-formed `dmx-lint: allow(...)` that silences no
+                      violation — the code it excused was fixed or moved, so
+                      the comment is stale and must be deleted.
+
 Hot-path hygiene (DESIGN.md §14). Regions bracketed by `// dmx-hot-begin(name)`
 and `// dmx-hot-end` mark the guard-checkpointed inner loops (scan/filter,
 SHAPE case assembly, InsertCases, prediction join scoring, the algorithms'
@@ -101,6 +105,7 @@ RAW_SYNC_PRIMITIVE = "raw-sync-primitive"
 RAW_SLEEP = "raw-sleep"
 STATUS_CONTEXT = "status-context"
 BAD_SUPPRESSION = "bad-suppression"
+UNUSED_SUPPRESSION = "unused-suppression"
 HOT_LOOP_ALLOC = "hot-loop-alloc"
 HOT_VALUE_COPY = "hot-value-copy"
 HOT_STRING_KEY = "hot-string-key"
@@ -109,8 +114,9 @@ HOT_MISSING_GUARD = "hot-missing-guard"
 HOT_MARKER = "hot-marker"
 
 ALL_RULES = (GUARDED_LOOPS, RAW_SYNC_PRIMITIVE, RAW_SLEEP, STATUS_CONTEXT,
-             BAD_SUPPRESSION, HOT_LOOP_ALLOC, HOT_VALUE_COPY, HOT_STRING_KEY,
-             HOT_TOSTRING, HOT_MISSING_GUARD, HOT_MARKER)
+             BAD_SUPPRESSION, UNUSED_SUPPRESSION, HOT_LOOP_ALLOC,
+             HOT_VALUE_COPY, HOT_STRING_KEY, HOT_TOSTRING, HOT_MISSING_GUARD,
+             HOT_MARKER)
 
 # Files the status-context rule applies to: the cross-layer boundaries where
 # a Status hops subsystems (core <-> store, core <-> relational, UI <-> core,
@@ -735,9 +741,10 @@ def lint_file(root, path):
     lines = text.split("\n")
     scrubbed = scrub(text)
 
-    # Suppressions: rule -> set of line numbers it silences (the comment's
-    # own line and the one below it).
-    suppressed = {}
+    # Suppressions: each allow() entry silences its own line and the one
+    # below it, and must actually silence something — an allow() whose
+    # violation is gone is stale documentation and gets flagged itself.
+    suppressions = []  # [rule, comment line, covered lines, used]
     violations = []
     for line_no, line in enumerate(lines, start=1):
         for rule in SUPPRESS_RE.findall(line):
@@ -747,13 +754,24 @@ def lint_file(root, path):
                     f"allow() names unknown rule '{rule}' (known: "
                     f"{', '.join(ALL_RULES)})"))
                 continue
-            suppressed.setdefault(rule, set()).update((line_no, line_no + 1))
+            suppressions.append([rule, line_no, (line_no, line_no + 1),
+                                 False])
 
     for check in RULE_CHECKS:
         for violation in check(relpath, lines, scrubbed):
-            if violation.line in suppressed.get(violation.rule, ()):
-                continue
-            violations.append(violation)
+            hit = False
+            for entry in suppressions:
+                if violation.rule == entry[0] and violation.line in entry[2]:
+                    entry[3] = True
+                    hit = True
+            if not hit:
+                violations.append(violation)
+    for rule, line_no, _covered, used in suppressions:
+        if not used:
+            violations.append(Violation(
+                UNUSED_SUPPRESSION, relpath, line_no,
+                f"allow({rule}) silences nothing here (the violation it "
+                f"excused is gone; delete the comment)"))
     return violations
 
 

@@ -1,0 +1,11 @@
+// Fixture: a Status crossing the core boundary *with* a WithContext frame —
+// the status-context rule must stay quiet on the contexted form.
+#include "common/status.h"
+
+namespace dmx {
+
+Status ReplayOne(Connection* conn, const std::string& text) {
+  return conn->Execute(text).status().WithContext("replaying statement");
+}
+
+}  // namespace dmx

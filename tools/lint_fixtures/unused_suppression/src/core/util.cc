@@ -1,0 +1,10 @@
+// Fixture: a correctly spelled allow() whose violation no longer exists.
+// Must trip unused-suppression — stale excuses hide real regressions.
+#include "common/status.h"
+
+namespace dmx {
+
+// dmx-lint: allow(raw-sync-primitive)
+inline int Answer() { return 42; }
+
+}  // namespace dmx

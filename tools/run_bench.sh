@@ -20,9 +20,14 @@
 #
 # The console tables still print for humans.
 #
+# The BENCH_*.json files are append-only histories (see tools/bench_append.py
+# for the schema): each run adds a timestamped, commit-keyed record, so the
+# committed numbers accumulate across machines instead of being overwritten
+# by whichever host ran last.
+#
 # Usage: tools/run_bench.sh [BUILD_DIR] [OUTPUT_DIR]
 #   BUILD_DIR   configured build directory (default: build)
-#   OUTPUT_DIR  where to write the JSON files (default: repository root)
+#   OUTPUT_DIR  where the BENCH_*.json histories live (default: repo root)
 
 set -euo pipefail
 
@@ -30,6 +35,17 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
 OUTPUT_DIR="${2:-$REPO_ROOT}"
 mkdir -p "$OUTPUT_DIR"
+
+COMMIT="$(git -C "$REPO_ROOT" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+STAMP="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+TMP_DIR="$(mktemp -d)"
+trap 'rm -rf "$TMP_DIR"' EXIT
+
+append() {
+  python3 "$REPO_ROOT/tools/bench_append.py" \
+    --history "$OUTPUT_DIR/BENCH_$1.json" --run "$TMP_DIR/$1.json" \
+    --commit "$COMMIT" --timestamp "$STAMP"
+}
 
 if [[ ! -d "$BUILD_DIR" ]]; then
   echo "run_bench: build directory '$BUILD_DIR' not found;" \
@@ -43,27 +59,27 @@ cmake --build "$BUILD_DIR" \
 
 "$BUILD_DIR/bench/bench_concurrency" \
   --benchmark_format=console \
-  --benchmark_out="$OUTPUT_DIR/BENCH_concurrency.json" \
+  --benchmark_out="$TMP_DIR/concurrency.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
-echo "run_bench: wrote $OUTPUT_DIR/BENCH_concurrency.json"
+append concurrency
 
 "$BUILD_DIR/bench/bench_recovery" \
   --benchmark_format=console \
-  --benchmark_out="$OUTPUT_DIR/BENCH_recovery.json" \
+  --benchmark_out="$TMP_DIR/recovery.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
-echo "run_bench: wrote $OUTPUT_DIR/BENCH_recovery.json"
+append recovery
 
 "$BUILD_DIR/bench/bench_serving" \
   --benchmark_format=console \
-  --benchmark_out="$OUTPUT_DIR/BENCH_serving.json" \
+  --benchmark_out="$TMP_DIR/serving.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
-echo "run_bench: wrote $OUTPUT_DIR/BENCH_serving.json"
+append serving
 
 # Allocation accounting needs the counting operators compiled in, which the
 # main build tree deliberately leaves off (zero-overhead default). Configure
@@ -77,8 +93,8 @@ cmake --build "$ALLOC_BUILD_DIR" --target bench_hotpath -j "$(nproc)"
 
 "$ALLOC_BUILD_DIR/bench/bench_hotpath" \
   --benchmark_format=console \
-  --benchmark_out="$OUTPUT_DIR/BENCH_hotpath.json" \
+  --benchmark_out="$TMP_DIR/hotpath.json" \
   --benchmark_out_format=json \
   --benchmark_min_time=0.2
 
-echo "run_bench: wrote $OUTPUT_DIR/BENCH_hotpath.json"
+append hotpath

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Static analysis driver for OpenDMX.
 #
-# Seven gates, all expected to pass clean:
+# Eight gates, all expected to pass clean (keep this list in sync with the
+# gate table in README.md — lint_rule_coverage.py counts both):
 #   1. The project-invariant linter (tools/dmx_lint.py): guard checkpoints in
 #      algorithm loops, no raw sync/file primitives outside the seams,
 #      WithContext on boundary Status returns — plus its own self-test
@@ -28,6 +29,13 @@
 #      (-DDMX_ALLOC_STATS=ON) running the AllocStats unit tests and the
 #      allocation-budget regression tests, locking per-operation allocs/row
 #      ceilings over the dmx-hot-marked loops that gate 1 checks statically.
+#   8. Whole-program deep lint (DESIGN.md §15, tools/dmx_deep_lint.py): a
+#      project-wide call-graph analysis — blocking calls transitively
+#      reachable under the catalog lock, row-scale loops reachable from
+#      Execute with no guard checkpoint in their cycle, views escaping
+#      their owning frame. Consumes gate 2's compile_commands.json for its
+#      clang AST frontend when clang is present; otherwise its internal
+#      token-stream frontend covers the tree.
 #
 # The clang gates are skipped (with a notice) in minimal containers; CI
 # installs clang and runs everything.
@@ -106,3 +114,11 @@ cmake --build "$BUILD_DIR-alloc" -j "$(nproc)" \
 ctest --test-dir "$BUILD_DIR-alloc" --output-on-failure \
   -R 'AllocStats|AllocBudget'
 echo "allocation budgets: clean"
+
+echo
+echo "== Gate 8: whole-program deep lint (call-graph analysis) =="
+python3 tools/dmx_deep_lint.py --self-test
+python3 tools/dmx_deep_lint.py \
+  --compdb "$BUILD_DIR/compile_commands.json" \
+  --cache-dir "$BUILD_DIR/ast-cache"
+echo "deep lint: clean"
